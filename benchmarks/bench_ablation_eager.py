@@ -1,0 +1,75 @@
+"""Ablation 4 (DESIGN.md §6): CH3 eager/rendezvous threshold sweep.
+
+Sweeps the threshold across a fixed message size and shows the
+completion-time cliff when the message tips into rendezvous (two extra
+latency terms on BG/Q's 1.3 us links).
+"""
+
+import numpy as np
+
+from repro.core.config import BuildConfig
+from repro.fabric.model import BGQ_TORUS
+from repro.fabric.topology import Topology
+from repro.instrument.report import format_table
+from repro.runtime.world import World
+
+MESSAGE_BYTES = 8192
+
+
+def _send_time(threshold):
+    cfg = BuildConfig.original(fabric="bgq", eager_threshold=threshold)
+    world = World(2, cfg, topology=Topology(nranks=2, cores_per_node=1))
+
+    def main(comm):
+        data = np.zeros(MESSAGE_BYTES // 8, dtype=np.float64)
+        if comm.rank == 0:
+            t0 = comm.proc.vclock.now
+            comm.Isend(data, dest=1, tag=0).wait()
+            return comm.proc.vclock.now - t0
+        comm.Recv(np.zeros(MESSAGE_BYTES // 8, dtype=np.float64),
+                  source=0, tag=0)
+        return None
+
+    return world.run(main)[0]
+
+
+def test_eager_threshold_cliff(print_artifact):
+    thresholds = (1024, 4096, MESSAGE_BYTES, 65536)
+    times = {t: _send_time(t) for t in thresholds}
+    rows = [[t, "rendezvous" if t < MESSAGE_BYTES else "eager",
+             times[t] * 1e6] for t in thresholds]
+    print_artifact(
+        f"Ablation: CH3 eager threshold ({MESSAGE_BYTES}B message)",
+        format_table(["Threshold", "Protocol", "Sender time (us)"], rows))
+
+    # Below the message size: rendezvous pays the RTS/CTS round trip.
+    assert times[1024] - times[MESSAGE_BYTES] >= 1.8 * BGQ_TORUS.latency_s
+    assert times[1024] == times[4096]          # both rendezvous
+    assert times[MESSAGE_BYTES] == times[65536]  # both eager
+
+
+def test_protocol_counters_flip_at_threshold():
+    def run(threshold):
+        cfg = BuildConfig.original(fabric="bgq",
+                                   eager_threshold=threshold)
+        world = World(2, cfg,
+                      topology=Topology(nranks=2, cores_per_node=1))
+
+        def main(comm):
+            data = np.zeros(MESSAGE_BYTES // 8, dtype=np.float64)
+            if comm.rank == 0:
+                comm.Isend(data, dest=1, tag=0).wait()
+                dev = comm.proc.device
+                return dev.n_eager, dev.n_rendezvous
+            comm.Recv(np.zeros(MESSAGE_BYTES // 8, dtype=np.float64),
+                      source=0, tag=0)
+            return None
+
+        return world.run(main)[0]
+
+    assert run(1024) == (0, 1)
+    assert run(65536) == (1, 0)
+
+
+def test_bench_rendezvous_send(benchmark):
+    benchmark(_send_time, 1024)

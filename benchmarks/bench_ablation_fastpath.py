@@ -1,0 +1,61 @@
+"""Ablation 1 (DESIGN.md §6): CH4 fast path vs always-AM-fallback.
+
+Forcing every operation through the active-message fallback shows what
+the flow-through design buys: the fallback charges the AM header-build
+and handler-dispatch overhead on top of the fast path.
+"""
+
+import numpy as np
+
+from repro.core.config import BuildConfig
+from repro.fabric.topology import Topology
+from repro.netmod.base import AM_HANDLER_OVERHEAD, AM_ORIGIN_OVERHEAD
+from repro.perf.msgrate import pump_messages
+from repro.runtime.world import World
+
+
+def _internode(config):
+    return World(2, config, topology=Topology(nranks=2, cores_per_node=1))
+
+
+def _traced_send(world):
+    def main(comm):
+        buf = np.zeros(1, dtype=np.uint8)
+        from repro.datatypes.predefined import BYTE
+        if comm.rank == 0:
+            with comm.proc.tracer.call("send"):
+                comm.Isend((buf, 1, BYTE), dest=1, tag=0).wait()
+            return comm.proc.tracer.last("send").total
+        comm.Recv((buf, 1, BYTE), source=0, tag=0)
+        return None
+
+    return world.run(main)[0]
+
+
+def test_am_fallback_costs_the_documented_overhead(print_artifact):
+    fast = _traced_send(_internode(BuildConfig.ipo_build(fabric="ofi")))
+    am = _traced_send(_internode(
+        BuildConfig.ipo_build(fabric="ofi", force_am_fallback=True)))
+    assert fast == 59
+    assert am - fast == AM_ORIGIN_OVERHEAD + AM_HANDLER_OVERHEAD
+    print_artifact(
+        "Ablation: fast path vs AM fallback",
+        f"fast path: {fast} instructions\n"
+        f"AM fallback: {am} instructions "
+        f"(+{am - fast} = header {AM_ORIGIN_OVERHEAD} + handler "
+        f"{AM_HANDLER_OVERHEAD})")
+
+
+def test_fallback_rate_penalty_is_meaningful():
+    fast = _internode(BuildConfig.ipo_build(fabric="ofi"))
+    slow = _internode(BuildConfig.ipo_build(fabric="ofi",
+                                            force_am_fallback=True))
+    t_fast = pump_messages(fast, 100)
+    t_slow = pump_messages(slow, 100)
+    assert t_slow > t_fast * 1.05
+
+
+def test_bench_am_fallback_wallclock(benchmark):
+    world = _internode(BuildConfig.ipo_build(fabric="ofi",
+                                             force_am_fallback=True))
+    benchmark(pump_messages, world, 100)

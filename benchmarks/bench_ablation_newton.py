@@ -1,0 +1,66 @@
+"""Ablation 8: LAMMPS newton on/off.
+
+The classic MD communication/computation trade: newton-on computes
+each pair once but pays a reverse force exchange every step; newton-off
+computes cross-rank pairs twice and never communicates forces.  Both
+produce identical physics; the accounting shows where each one spends.
+"""
+
+import numpy as np
+
+from repro.apps.lammps.md import LJSimulation
+from repro.core.config import BuildConfig
+from repro.instrument.report import format_table
+from repro.runtime.world import World
+
+
+def _run(newton):
+    world = World(8, BuildConfig(fabric="bgq"))
+
+    def main(comm):
+        sim = LJSimulation(comm, cells=(3, 3, 3), dt=0.002,
+                           newton=newton)
+        deposited0 = comm.proc.engine.n_deposited
+        energies = [sim.step().total_energy for _ in range(3)]
+        return (energies,
+                comm.proc.compute_seconds,
+                comm.proc.engine.n_deposited - deposited0,
+                comm.proc.vclock.now)
+
+    results = world.run(main)
+    return {
+        "energies": results[0][0],
+        "compute_s": sum(r[1] for r in results),
+        "messages": sum(r[2] for r in results),
+        "vtime": max(r[3] for r in results),
+    }
+
+
+def test_newton_tradeoff(print_artifact):
+    off = _run(False)
+    on = _run(True)
+
+    np.testing.assert_allclose(on["energies"], off["energies"],
+                               rtol=1e-9)
+    rows = [
+        ["newton off", off["compute_s"] * 1e6, off["messages"],
+         off["vtime"] * 1e6],
+        ["newton on", on["compute_s"] * 1e6, on["messages"],
+         on["vtime"] * 1e6],
+    ]
+    print_artifact(
+        "Ablation: LAMMPS newton on/off (108 atoms, 8 ranks, 3 steps)",
+        format_table(["Mode", "Compute (us, sum)", "Messages (sum)",
+                      "Virtual makespan (us)"], rows))
+
+    # Pair work halves; message count grows (reverse communication).
+    assert on["compute_s"] < 0.6 * off["compute_s"]
+    assert on["messages"] > off["messages"]
+
+
+def test_bench_newton_on(benchmark):
+    benchmark(_run, True)
+
+
+def test_bench_newton_off(benchmark):
+    benchmark(_run, False)

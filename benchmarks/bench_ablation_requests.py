@@ -1,0 +1,58 @@
+"""Ablation 2 (DESIGN.md §6): per-operation requests vs bulk completion.
+
+Quantifies §3.5 along two axes: instruction counts (13 -> 3 per send)
+and real Python work (no Request object, no Event, no wait) — the
+request machinery is measurable in wall-clock too.
+"""
+
+import time
+
+from repro.core import extensions as ext
+from repro.core.config import BuildConfig
+from repro.perf.msgrate import measure_instructions, pump_messages
+from repro.runtime.world import World
+
+
+def test_request_vs_noreq_instruction_gap(print_artifact):
+    cfg = BuildConfig.ipo_build()
+    with_req = measure_instructions(cfg, "isend")
+    without = measure_instructions(cfg, "isend", ext.NOREQ)
+    assert with_req - without == 10
+    print_artifact(
+        "Ablation: request management",
+        f"per-op request: {with_req} instructions\n"
+        f"bulk (noreq):   {without} instructions (paper: saves ~10, "
+        "counter costs ~3)")
+
+
+def test_noreq_virtual_time_advantage():
+    t_req = pump_messages(World(2, BuildConfig.ipo_build()), 200)
+    t_noreq = pump_messages(World(2, BuildConfig.ipo_build()), 200,
+                            flags=ext.NOREQ | ext.NOMATCH)
+    assert t_noreq < t_req
+
+
+def test_noreq_wallclock_advantage():
+    """Real Python time: the noreq path skips Request allocation and
+    Event waits, so it must also win on the wall clock."""
+    def timed(flags):
+        world = World(2, BuildConfig.ipo_build())
+        start = time.perf_counter()
+        pump_messages(world, 400, flags)
+        return time.perf_counter() - start
+
+    # Warm up, then best-of-3 to damp scheduler noise.
+    timed(ext.NONE)
+    with_req = min(timed(ext.NONE) for _ in range(3))
+    without = min(timed(ext.NOREQ | ext.NOMATCH) for _ in range(3))
+    assert without < with_req * 1.1   # allow noise; must not be slower
+
+
+def test_bench_request_path_wallclock(benchmark):
+    world = World(2, BuildConfig.ipo_build())
+    benchmark(pump_messages, world, 200)
+
+
+def test_bench_noreq_path_wallclock(benchmark):
+    world = World(2, BuildConfig.ipo_build())
+    benchmark(pump_messages, world, 200, ext.NOREQ | ext.NOMATCH)

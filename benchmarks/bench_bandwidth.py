@@ -1,0 +1,51 @@
+"""Message-size sweep: where the paper's software overhead stops
+mattering.
+
+Not a numbered figure, but the flip side of the paper's thesis: "it is
+in this important (fast) regime where message sizes are small and the
+impact of lightweight MPI is important" (§4.3).  The sweep shows the
+builds' one-message times converging as the wire dominates.
+"""
+
+from repro.core.config import BuildConfig
+from repro.instrument.report import format_table
+from repro.perf.bandwidth import (DEFAULT_SIZES, bandwidth_sweep,
+                                  software_crossover_bytes)
+
+
+def test_builds_converge_at_large_messages(print_artifact):
+    ipo = bandwidth_sweep(BuildConfig.ipo_build(fabric="ofi"))
+    orig = bandwidth_sweep(BuildConfig.original(fabric="ofi"))
+
+    rows = [[a.nbytes, b.time_s * 1e6, a.time_s * 1e6,
+             b.time_s / a.time_s, round(100 * a.sw_fraction, 1)]
+            for a, b in zip(ipo, orig)]
+    print_artifact(
+        "Message-size sweep, OFI (Original vs CH4+ipo)",
+        format_table(["Bytes", "Original (us)", "CH4+ipo (us)",
+                      "Advantage", "sw % (ipo)"], rows))
+
+    advantage = [b.time_s / a.time_s for a, b in zip(ipo, orig)]
+    # Small messages: the software advantage is material; large: gone.
+    assert advantage[0] > 1.05
+    assert advantage[-1] < 1.01
+    assert advantage == sorted(advantage, reverse=True)
+
+    # Software share of the 1-byte message is large, then fades.
+    assert ipo[0].sw_fraction > 0.1
+    assert ipo[-1].sw_fraction < 0.01
+
+
+def test_crossover_is_small_on_fast_fabrics():
+    """The strong-scaling regime: the builds differ only for messages
+    below a few KiB on these fabrics."""
+    cross = software_crossover_bytes(
+        BuildConfig.ipo_build(fabric="ofi"),
+        BuildConfig.original(fabric="ofi"), "ofi")
+    assert cross <= 65536
+    assert cross >= 256
+
+
+def test_bench_sweep(benchmark):
+    result = benchmark(bandwidth_sweep, BuildConfig.ipo_build(fabric="ofi"))
+    assert len(result) == len(DEFAULT_SIZES)

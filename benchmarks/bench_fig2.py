@@ -1,0 +1,43 @@
+"""Figure 2: instruction counts across the five builds.
+
+Regenerates every bar, asserts the published values, and times the
+isend critical path of the best (ipo) build through the real runtime.
+"""
+
+import numpy as np
+
+from repro.analysis.figures import fig2_data, render_fig2
+from repro.core.config import BuildConfig
+from repro.datatypes.predefined import BYTE
+from repro.runtime.world import World
+
+PUBLISHED = {
+    "mpich/original": {"isend": 253, "put": 1342},
+    "mpich/ch4 (default)": {"isend": 221, "put": 215},
+    "mpich/ch4 (no-err)": {"isend": 147, "put": 143},
+    "mpich/ch4 (no-err-single)": {"isend": 141, "put": 129},
+    "mpich/ch4 (no-err-single-ipo)": {"isend": 59, "put": 44},
+}
+
+
+def test_fig2_reproduces_published_bars(print_artifact):
+    data = fig2_data()
+    assert data == PUBLISHED
+    print_artifact("Figure 2 (regenerated)", render_fig2(data))
+
+
+def test_bench_isend_critical_path_wallclock(benchmark):
+    """Wall-clock cost of one Isend+Recv pair on the ipo build."""
+    world = World(2, BuildConfig.ipo_build())
+    buf = np.zeros(1, dtype=np.uint8)
+
+    def roundtrip():
+        def main(comm):
+            if comm.rank == 0:
+                comm.Isend((buf, 1, BYTE), dest=1, tag=0).wait()
+            else:
+                comm.Recv((np.zeros(1, dtype=np.uint8), 1, BYTE),
+                          source=0, tag=0)
+        world.run(main)
+
+    benchmark(roundtrip)

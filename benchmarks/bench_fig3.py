@@ -1,0 +1,43 @@
+"""Figure 3: message rates with OFI/PSM2 on the IT cluster.
+
+Shape targets from the paper: "nearly a 50% increase in the message
+rate for MPI_ISEND and close to a fourfold increase ... for MPI_PUT"
+between MPICH/Original and the best CH4 build.
+"""
+
+import pytest
+
+from repro.analysis.figures import fig3_data, render_rate_figure
+from repro.core.config import BuildConfig
+from repro.perf.msgrate import pump_messages
+from repro.runtime.world import World
+
+
+def _rate(results, label, op):
+    return next(r.rate_msgs_per_s for r in results
+                if r.label == label and r.op == op)
+
+
+def test_fig3_shape(print_artifact):
+    results = fig3_data()
+    print_artifact("Figure 3 (regenerated)",
+                   render_rate_figure(results, "Message rates, OFI/PSM2"))
+
+    best, orig = "mpich/ch4 (no-err-single-ipo)", "mpich/original"
+    isend_gain = _rate(results, best, "isend") / _rate(results, orig,
+                                                       "isend")
+    put_gain = _rate(results, best, "put") / _rate(results, orig, "put")
+    assert isend_gain == pytest.approx(1.5, abs=0.05)
+    assert 3.5 < put_gain < 5.0
+
+    # Monotone improvement across builds, and all bars in the figure's
+    # single-digit-Mmsg/s range.
+    for op in ("isend", "put"):
+        rates = [r.rate_msgs_per_s for r in results if r.op == op]
+        assert rates == sorted(rates)
+        assert all(0.5e6 < rate < 10e6 for rate in rates)
+
+
+def test_bench_ofi_injection_wallclock(benchmark):
+    world = World(2, BuildConfig.ipo_build(fabric="ofi"))
+    benchmark(pump_messages, world, 200)

@@ -1,0 +1,41 @@
+"""Figure 4: message rates with UCX on Mellanox EDR (Gomez).
+
+The published figure has no ipo bar (four builds only); per-build gains
+are correspondingly smaller than Figure 3's.
+"""
+
+from repro.analysis.figures import fig4_data, render_rate_figure
+from repro.core.config import BuildConfig
+from repro.perf.msgrate import pump_messages
+from repro.runtime.world import World
+
+
+def test_fig4_shape(print_artifact):
+    results = fig4_data()
+    print_artifact("Figure 4 (regenerated)",
+                   render_rate_figure(results, "Message rates, UCX/EDR"))
+
+    labels = {r.label for r in results}
+    assert "mpich/ch4 (no-err-single-ipo)" not in labels   # no ipo bar
+    assert len(results) == 8
+
+    best = next(r for r in results
+                if r.label == "mpich/ch4 (no-err-single)"
+                and r.op == "put")
+    orig = next(r for r in results
+                if r.label == "mpich/original" and r.op == "put")
+    assert 3.5 < best.rate_msgs_per_s / orig.rate_msgs_per_s < 4.5
+
+    # Gomez clocks higher (2.5 GHz): its bars top Figure 3's analogues.
+    from repro.analysis.figures import fig3_data
+    fig3 = {(r.label, r.op): r.rate_msgs_per_s for r in fig3_data()}
+    f4_isend_orig = next(r for r in results
+                         if r.label == "mpich/original"
+                         and r.op == "isend")
+    assert f4_isend_orig.rate_msgs_per_s > fig3[("mpich/original",
+                                                 "isend")]
+
+
+def test_bench_ucx_injection_wallclock(benchmark):
+    world = World(2, BuildConfig.no_thread_check(fabric="ucx"))
+    benchmark(pump_messages, world, 200)

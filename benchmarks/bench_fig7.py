@@ -1,0 +1,88 @@
+"""Figure 7: Nek5000 mass-matrix inversion on Cetus (16384 ranks).
+
+Shape targets from the paper's §4.3:
+
+* "In the range n/P ~ 100-1000, there is a 1.2 to 1.25 performance
+  gain for the three values of N considered";
+* "MPICH/CH4 outperforms MPICH/Original except for the largest values
+  of n/P, where the two models are equal";
+* "a reduction in the ratio moving from E/P = 2 to E/P = 1";
+* the N = 3 curves underperform at matched n/P.
+
+The functional half benchmarks the real distributed CG solve at
+laptop scale on both devices.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import render_fig7
+from repro.apps.nek.cg import run_nek_cg
+from repro.apps.nek.model import ELEMENT_COUNTS, NekModel, figure7_series
+from repro.core.config import BuildConfig
+from repro.runtime.world import World
+
+
+def test_fig7_model_shape(print_artifact):
+    model = NekModel()
+    data = figure7_series(model)
+    print_artifact("Figure 7 (regenerated)", render_fig7(data))
+
+    for order in (3, 5, 7):
+        series = dict(data["center"][order])
+        in_band = [v for nop, v in series.items() if 100 <= nop <= 1000]
+        assert in_band and 1.18 <= max(in_band) <= 1.30
+
+        # CH4 never loses; equal at the largest n/P.
+        ratios = [v for _, v in data["center"][order]]
+        assert min(ratios) >= 1.0
+        assert ratios[-1] == pytest.approx(1.0, abs=0.06)
+
+        # E/P = 1 downturn.
+        assert ratios[0] < ratios[1]
+
+    # Left panel: in the work-dominated regime (matched large n/P),
+    # N=3 underperforms N=7 per grid point — the paper's caching /
+    # O(M^3 N) interpolation-overhead observation.
+    left = data["left"]
+    n3 = dict(left[(3, "ch4")])       # n/P up to 3456
+    n7 = dict(left[(7, "ch4")])       # compare near n/P ~ 2744-3456
+    per_point_3 = n3[max(n3)] / max(n3)
+    n7_matched = min(n7, key=lambda nop: abs(nop - max(n3)))
+    per_point_7 = n7[n7_matched] / n7_matched
+    assert per_point_3 < per_point_7
+
+    # Right panel: efficiency rises with n/P and CH4 >= Original.
+    for order in (5, 7):
+        ch4 = [v for _, v in data["right"][(order, "ch4")]]
+        ch3 = [v for _, v in data["right"][(order, "ch3")]]
+        assert ch4 == sorted(ch4)
+        assert all(a >= b for a, b in zip(ch4, ch3))
+
+
+def test_functional_cg_ch4_spends_less_virtual_time():
+    """The small-scale functional run orders the devices the same way
+    the Cetus model does."""
+    def main(comm):
+        res = run_nek_cg(comm, nelems=27, order=3, tol=1e-11)
+        return res.vtime_s, res.converged
+
+    times = {}
+    for device, cfg in (("ch4", BuildConfig.default(fabric="bgq")),
+                        ("ch3", BuildConfig.original(fabric="bgq"))):
+        results = World(8, cfg).run(main)
+        assert all(conv for _, conv in results)
+        times[device] = max(t for t, _ in results)
+    assert times["ch4"] < times["ch3"]
+
+
+def test_bench_cg_iteration_wallclock(benchmark):
+    def solve():
+        def main(comm):
+            return run_nek_cg(comm, nelems=8, order=3,
+                              tol=1e-10).iterations
+
+        return World(4, BuildConfig(fabric="bgq")).run(main)[0]
+
+    iterations = benchmark(solve)
+    assert iterations >= 1

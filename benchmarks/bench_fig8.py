@@ -1,0 +1,66 @@
+"""Figure 8: LAMMPS LJ strong scaling on BG/Q, 512 -> 8192 nodes.
+
+Shape targets from the paper's §4.4: "the simulation is sped up
+overall, with more speedup at higher scale as the scaling limit is
+approached.  We note, however, that the MPICH/Original library
+completely stops scaling at 8,192 nodes."
+"""
+
+from repro.analysis.figures import render_fig8
+from repro.apps.lammps.md import LJSimulation
+from repro.apps.lammps.model import NODE_COUNTS, LammpsModel
+from repro.core.config import BuildConfig
+from repro.runtime.world import World
+
+
+def test_fig8_model_shape(print_artifact):
+    model = LammpsModel()
+    print_artifact("Figure 8 (regenerated)", render_fig8())
+
+    # CH4 wins everywhere with growing margin.
+    speedups = [model.speedup_percent(n) for n in NODE_COUNTS]
+    assert speedups == sorted(speedups)
+    assert speedups[0] < 5 < 50 < speedups[-1]
+
+    # CH4 keeps scaling through 8192; Original flatlines there.
+    ch4 = [model.timesteps_per_second(n, "ch4") for n in NODE_COUNTS]
+    ch3 = [model.timesteps_per_second(n, "ch3") for n in NODE_COUNTS]
+    assert ch4 == sorted(ch4)
+    assert ch3[-1] / ch3[-2] < 1.10
+    assert ch4[-1] / ch4[-2] > 1.25
+
+    # 3M atoms at 512 nodes x 16 ranks = 368 atoms/core (figure axis).
+    assert round(model.atoms_per_core(512)) == 368
+
+
+def test_functional_md_ch4_spends_less_virtual_time():
+    def main(comm):
+        sim = LJSimulation(comm, cells=(3, 3, 3), dt=0.002)
+        for _ in range(3):
+            stats = sim.step()
+        return comm.proc.vclock.now, stats.total_energy
+
+    outcomes = {}
+    for device, cfg in (("ch4", BuildConfig.default(fabric="bgq")),
+                        ("ch3", BuildConfig.original(fabric="bgq"))):
+        results = World(8, cfg).run(main)
+        outcomes[device] = (max(t for t, _ in results), results[0][1])
+    # Identical physics, cheaper communication on CH4.
+    assert outcomes["ch4"][1] == outcomes["ch3"][1]
+    assert outcomes["ch4"][0] < outcomes["ch3"][0]
+
+
+def test_bench_md_step_wallclock(benchmark):
+    world = World(8, BuildConfig(fabric="bgq"))
+
+    def three_steps():
+        def main(comm):
+            sim = LJSimulation(comm, cells=(3, 3, 3), dt=0.002)
+            for _ in range(3):
+                sim.step()
+            return sim.natoms_local
+
+        return sum(world.run(main))
+
+    total = benchmark(three_steps)
+    assert total == 4 * 27

@@ -1,0 +1,47 @@
+"""Companion microbenchmark: small-message latency per build.
+
+Not a numbered paper figure, but the quantity behind §4.4's "a
+lower-latency MPI implementation ... will have a direct effect on
+strong scaling" — regenerated per fabric from the same instruction
+accounting as Figures 3-5.
+"""
+
+import pytest
+
+from repro.core.config import BuildConfig
+from repro.instrument.report import format_table
+from repro.perf.latency import latency_sweep, modeled_latency, \
+    pingpong_vtime
+
+
+def test_latency_ordering_per_fabric(print_artifact):
+    rows = []
+    for fabric in ("ofi", "ucx", "bgq"):
+        sweep = latency_sweep(fabric)
+        lats = [r.latency_s for r in sweep]
+        assert lats == sorted(lats, reverse=True)   # builds improve
+        rows.extend([fabric, r.label, r.instructions, r.latency_us]
+                    for r in sweep)
+    print_artifact(
+        "Small-message latency per build (modeled)",
+        format_table(["Fabric", "Build", "Instructions", "Latency (us)"],
+                     rows))
+
+
+def test_functional_pingpong_matches_model_ordering():
+    ipo = pingpong_vtime(BuildConfig.ipo_build(fabric="ofi"))
+    orig = pingpong_vtime(BuildConfig.original(fabric="ofi"))
+    assert ipo < orig
+    # Both in the microsecond regime of a real fabric.
+    assert 0.5e-6 < ipo < orig < 20e-6
+
+
+def test_model_and_functional_agree_roughly():
+    cfg = BuildConfig.ipo_build(fabric="ofi")
+    modeled = modeled_latency(cfg, nbytes=8).latency_s
+    functional = pingpong_vtime(cfg, nbytes=8)
+    assert functional == pytest.approx(modeled, rel=0.5)
+
+
+def test_bench_pingpong_wallclock(benchmark):
+    benchmark(pingpong_vtime, BuildConfig.ipo_build(fabric="ofi"), 20)

@@ -1,0 +1,30 @@
+"""Section 3: per-proposal instruction savings, measured individually.
+
+Paper-quoted savings: §3.1 ~10, §3.2 3-4, §3.3 8, §3.4 3, §3.5 ~10,
+§3.6 5, and the §3.7 combined path at 16 instructions total.
+"""
+
+from repro.analysis.figures import proposals_data, render_proposals
+from repro.core import extensions as ext
+from repro.core.config import BuildConfig
+from repro.perf.msgrate import measure_instructions
+
+
+def test_every_proposal_saving_matches_paper(print_artifact):
+    rows = proposals_data()
+    print_artifact("Section 3 proposal savings (regenerated)",
+                   render_proposals(rows))
+    for row in rows:
+        assert row["saving"] == row["paper_saving"], row["proposal"]
+
+
+def test_combined_path_is_16_instructions():
+    cfg = BuildConfig.ipo_build()
+    assert measure_instructions(cfg, "isend", ext.ALL_OPTS_PT2PT) == 16
+
+
+def test_bench_proposal_measurement(benchmark):
+    cfg = BuildConfig.ipo_build()
+    count = benchmark(measure_instructions, cfg, "isend",
+                      ext.ALL_OPTS_PT2PT)
+    assert count == 16

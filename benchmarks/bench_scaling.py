@@ -1,0 +1,66 @@
+"""Functional strong scaling of the Nek5000 proxy on the runtime.
+
+The laptop-scale cross-check of Figure 7's premise: with the problem
+fixed, adding ranks cuts the virtual solve time, efficiency decays as
+communication grows relative to work, and CH4 holds higher efficiency
+than Original at every point.
+"""
+
+from repro.apps.nek.cg import run_nek_cg
+from repro.core.config import BuildConfig
+from repro.instrument.report import format_table
+from repro.perf.scaling import strong_scaling_sweep
+
+RANKS = (1, 2, 4, 8)
+NELEMS, ORDER = 64, 3
+
+
+def _app(comm):
+    result = run_nek_cg(comm, nelems=NELEMS, order=ORDER, tol=1e-10)
+    assert result.converged
+
+
+def test_nek_strong_scaling_both_devices(print_artifact):
+    sweeps = {}
+    for device, cfg in (("ch4", BuildConfig.default(fabric="bgq")),
+                        ("ch3", BuildConfig.original(fabric="bgq"))):
+        sweeps[device] = strong_scaling_sweep(_app, RANKS, cfg,
+                                              ranks_per_node=4)
+
+    rows = []
+    for ch4_pt, ch3_pt in zip(sweeps["ch4"], sweeps["ch3"]):
+        rows.append([ch4_pt.nranks,
+                     ch3_pt.vtime_s * 1e3, ch4_pt.vtime_s * 1e3,
+                     ch3_pt.efficiency, ch4_pt.efficiency])
+    print_artifact(
+        f"Functional strong scaling: Nek CG (E={NELEMS}, N={ORDER})",
+        format_table(["Ranks", "Original (ms)", "CH4 (ms)",
+                      "Original eff", "CH4 eff"], rows))
+
+    for device, points in sweeps.items():
+        times = [p.vtime_s for p in points]
+        # Strong scaling: more ranks, less virtual time, throughout.
+        assert times == sorted(times, reverse=True), device
+        # Efficiency decays but stays meaningful at this scale.
+        assert points[-1].efficiency < points[0].efficiency
+        assert points[-1].speedup > 1.5
+
+    # CH4 is faster wherever communication exists (a 1-rank solve does
+    # no messaging at all, so the devices tie there).
+    for ch4_pt, ch3_pt in zip(sweeps["ch4"], sweeps["ch3"]):
+        if ch4_pt.nranks == 1:
+            assert ch4_pt.vtime_s == ch3_pt.vtime_s
+            assert ch4_pt.instructions == ch3_pt.instructions == 0
+        else:
+            assert ch4_pt.vtime_s < ch3_pt.vtime_s
+            assert ch3_pt.instructions > ch4_pt.instructions
+
+
+def test_bench_scaling_sweep(benchmark):
+    def sweep():
+        return strong_scaling_sweep(
+            _app, (1, 4), BuildConfig.default(fabric="bgq"),
+            ranks_per_node=4)
+
+    points = benchmark(sweep)
+    assert points[-1].speedup > 1.0

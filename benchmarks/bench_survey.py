@@ -1,0 +1,39 @@
+"""Section 2.2: the datatype-usage survey and link-time-inlining study."""
+
+from repro.analysis.survey import (SURVEY_CORPUS, render_survey,
+                                   survey_class_counts,
+                                   survey_redundant_checks)
+from repro.datatypes.usage import UsageClass
+
+
+def test_survey_reproduces_section22(print_artifact):
+    rows = survey_redundant_checks()
+    print_artifact("Section 2.2 survey (regenerated)",
+                   render_survey(rows))
+
+    by_class = {UsageClass(r["class"]): [] for r in rows}
+    for r in rows:
+        by_class[UsageClass(r["class"])].append(r)
+
+    # Class 1 (derived): checks are genuine work, never removable.
+    for r in by_class[UsageClass.DERIVED]:
+        assert r["no_ipo"] == r["mpi_only_ipo"] \
+            == r["whole_program_ipo"] == 59
+
+    # Class 2: MPI-only inlining suffices.
+    for r in by_class[UsageClass.COMPILE_TIME]:
+        assert r["no_ipo"] == 59 and r["mpi_only_ipo"] == 0
+
+    # Class 3: only whole-program inlining folds the checks.
+    for r in by_class[UsageClass.RUNTIME_CONST]:
+        assert r["mpi_only_ipo"] == 59
+        assert r["whole_program_ipo"] == 0
+
+    # The survey found derived types in exactly two applications.
+    assert survey_class_counts()[UsageClass.DERIVED] == 2
+    assert len(SURVEY_CORPUS) >= 13
+
+
+def test_bench_survey_measurement(benchmark):
+    rows = benchmark(survey_redundant_checks)
+    assert len(rows) == len(SURVEY_CORPUS)

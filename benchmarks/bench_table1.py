@@ -1,0 +1,41 @@
+"""Table 1: instruction attribution for MPI_ISEND / MPI_PUT.
+
+Regenerates the table by executing traced calls on the default CH4
+build, asserts every published cell, and times the traced-call path.
+"""
+
+from repro.analysis.table1 import render_table1, table1_records
+from repro.instrument.categories import Category
+
+PUBLISHED = {
+    "MPI_ISEND": {
+        Category.ERROR_CHECKING: 74,
+        Category.THREAD_SAFETY: 6,
+        Category.FUNCTION_CALL: 23,
+        Category.REDUNDANT_CHECKS: 59,
+        Category.MANDATORY: 59,
+    },
+    "MPI_PUT": {
+        Category.ERROR_CHECKING: 72,
+        Category.THREAD_SAFETY: 14,
+        Category.FUNCTION_CALL: 25,
+        Category.REDUNDANT_CHECKS: 60,   # Table-1's 62 resolved to Fig.2
+        Category.MANDATORY: 44,
+    },
+}
+
+
+def test_table1_reproduces_published_cells(print_artifact):
+    records = table1_records()
+    for call, cells in PUBLISHED.items():
+        for category, expected in cells.items():
+            measured = records[call].category(category)
+            assert measured == expected, (call, category)
+    assert records["MPI_ISEND"].total == 221
+    assert records["MPI_PUT"].total == 215
+    print_artifact("Table 1 (regenerated)", render_table1())
+
+
+def test_bench_table1_measurement(benchmark):
+    result = benchmark(table1_records)
+    assert result["MPI_ISEND"].total == 221

@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Every ``bench_*`` module regenerates one table or figure of the paper:
+it prints the rows/series the paper reports (add ``-s`` to see them),
+asserts the reproduced shape, and times the underlying operation with
+pytest-benchmark.
+"""
+
+import pytest
+
+
+def emit(title: str, text: str) -> None:
+    """Print a regenerated artifact (visible with ``pytest -s``)."""
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{text}")
+
+
+@pytest.fixture(scope="session")
+def print_artifact():
+    return emit

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Distributed BFS: fine-grained messaging and the §3.6 nomatch path.
+
+Runs level-synchronous BFS over a random graph on 4 ranks with the
+three frontier-exchange modes (bulk alltoall, standard eager messages,
+and the paper's no-match-bits extension), verifies they agree with the
+serial reference, and reports the per-mode instruction spend.
+
+    python examples/bfs_frontier.py
+"""
+
+import numpy as np
+
+from repro import BuildConfig, World
+from repro.apps.bfs import (MODES, DistributedBFS, random_graph_edges,
+                            serial_bfs_levels)
+from repro.instrument.categories import Subsystem
+
+NV, DEG, SEED = 120, 3, 5
+
+
+def run_mode(mode: str):
+    def main(comm):
+        edges = random_graph_edges(NV, DEG, SEED)
+        bfs = DistributedBFS(comm, NV, edges, mode=mode)
+        levels = bfs.run(0)
+        pieces = comm.gather(levels.tolist(), root=0)
+        instr = comm.proc.counter.total
+        match_bits = comm.proc.counter.by_subsystem[Subsystem.MATCH_BITS]
+        if comm.rank == 0:
+            return pieces, instr, match_bits, bfs.messages_sent
+        return None, instr, match_bits, bfs.messages_sent
+
+    world = World(4, BuildConfig.ipo_build())
+    results = world.run(main)
+    pieces = results[0][0]
+    flat = np.asarray([v for p in pieces for v in p])
+    total_instr = sum(r[1] for r in results)
+    total_match = sum(r[2] for r in results)
+    msgs = sum(r[3] for r in results)
+    return flat, total_instr, total_match, msgs
+
+
+if __name__ == "__main__":
+    reference = serial_bfs_levels(NV, random_graph_edges(NV, DEG, SEED), 0)
+    print(f"graph: {NV} vertices, degree {DEG}; "
+          f"BFS depth {reference.max()}, "
+          f"{np.count_nonzero(reference >= 0)} reached\n")
+    print(f"{'mode':10s} {'messages':>9s} {'instructions':>13s} "
+          f"{'match-bit instr':>16s}")
+    for mode in MODES:
+        levels, instr, match, msgs = run_mode(mode)
+        assert np.array_equal(levels, reference), mode
+        print(f"{mode:10s} {msgs:>9d} {instr:>13,d} {match:>16,d}")
+    print("\nall modes agree with the serial reference; the nomatch "
+          "mode spends the fewest match-bit instructions (§3.6)")

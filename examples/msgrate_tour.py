@@ -1,0 +1,26 @@
+#!/usr/bin/env python
+"""Message-rate tour: regenerate Figures 3-6 as text bars.
+
+    python examples/msgrate_tour.py
+"""
+
+from repro.analysis.figures import (fig3_data, fig4_data, fig5_data,
+                                    render_fig6, render_rate_figure)
+
+
+def bars(results, title):
+    print(render_rate_figure(results, title))
+    width = 48
+    peak = max(r.rate_millions for r in results)
+    print()
+    for r in results:
+        bar = "#" * max(1, int(width * r.rate_millions / peak))
+        print(f"  {r.label:31s} {r.op:5s} |{bar} {r.rate_millions:.2f}M")
+    print()
+
+
+if __name__ == "__main__":
+    bars(fig3_data(), "Figure 3: OFI/PSM2 (IT cluster)")
+    bars(fig4_data(), "Figure 4: UCX/EDR (Gomez)")
+    bars(fig5_data(), "Figure 5: infinitely fast network")
+    print(render_fig6())

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Five-point stencil halo exchange — the paper's running example.
+
+Solves the 2-D Laplace equation on a 2x2 rank grid three ways and
+compares their per-rank instruction spend:
+
+* standard MPI_ISEND with MPI_PROC_NULL boundary neighbors (§3.4's
+  convenient form);
+* ``isend_npn`` with an application-side PROC_NULL branch;
+* ``isend_global`` with pre-translated world ranks (§3.1's recipe).
+
+    python examples/stencil_halo.py
+"""
+
+import numpy as np
+
+from repro import BuildConfig, World
+from repro.apps.stencil import StencilGrid
+
+
+def run_mode(mode: str):
+    def main(comm):
+        grid = StencilGrid(comm, rank_dims=(2, 2),
+                           local_shape=(12, 12), mode=mode)
+        grid.set_dirichlet(top=1.0)
+        iters, delta = grid.solve(iterations=200, tol=1e-6)
+        global_grid = grid.gather_global()
+        instructions = comm.proc.counter.total
+        if comm.rank == 0:
+            return iters, delta, float(global_grid.mean()), instructions
+        return instructions
+
+    world = World(4, BuildConfig.ipo_build())
+    results = world.run(main)
+    iters, delta, mean, _ = results[0]
+    instr = [r if isinstance(r, int) else r[3] for r in results]
+    return iters, delta, mean, sum(instr)
+
+
+if __name__ == "__main__":
+    reference = None
+    for mode in ("standard", "npn", "global"):
+        iters, delta, mean, instr = run_mode(mode)
+        if reference is None:
+            reference = mean
+        assert abs(mean - reference) < 1e-12, "modes must agree numerically"
+        print(f"{mode:9s}: converged in {iters:3d} sweeps "
+              f"(delta={delta:.2e}, mean={mean:.6f}), "
+              f"total instructions={instr:,}")
+    print("all three modes produce identical physics; "
+          "the extension modes spend fewer instructions per halo send")

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no `wheel` package (offline), so PEP 517
+editable installs fail with `invalid command 'bdist_wheel'`.  This shim
+enables `pip install -e . --no-build-isolation --no-use-pep517`, which
+goes through `setup.py develop` and needs no wheel build.
+"""
+
+from setuptools import setup
+
+setup()

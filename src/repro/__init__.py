@@ -1,0 +1,123 @@
+"""repro — a reproduction of "Why Is MPI So Slow?" (Raffenetti et al., SC17).
+
+This package implements, in pure Python:
+
+* an MPI-3.1-subset message-passing runtime with the MPICH layering
+  (MPI layer -> abstract device -> netmod/shmmod), including the
+  lightweight **CH4** device the paper contributes and the layered
+  **CH3** device it uses as the "MPICH/Original" baseline
+  (:mod:`repro.core`, :mod:`repro.ch3`, :mod:`repro.mpi`,
+  :mod:`repro.runtime`);
+* an abstract-instruction accounting engine standing in for the Intel
+  SDE traces of the paper (:mod:`repro.instrument`);
+* simulated network fabrics — Omni-Path/PSM2-like, EDR/UCX-like, and
+  the paper's "infinitely fast" network (:mod:`repro.netmod`,
+  :mod:`repro.fabric`);
+* the paper's proposed MPI-standard extensions — ``isend_global``,
+  ``put_virtual_addr``, predefined communicator handles,
+  ``isend_npn``, ``isend_noreq``/``comm_waitall``, ``isend_nomatch``
+  and the combined ``isend_all_opts`` (:mod:`repro.core.extensions`);
+* strong-scaling application proxies for Nek5000 (spectral-element
+  mass-matrix CG) and LAMMPS (Lennard-Jones MD)
+  (:mod:`repro.apps`); and
+* the benchmark harness regenerating every table and figure of the
+  paper's evaluation (:mod:`repro.perf`, :mod:`repro.analysis`).
+
+Quickstart
+----------
+
+>>> from repro import World, BuildConfig
+>>> def main(comm):
+...     rank, size = comm.rank, comm.size
+...     if rank == 0:
+...         comm.send(b"hello", dest=1, tag=7)
+...     elif rank == 1:
+...         print(comm.recv(source=0, tag=7))
+>>> World(2, config=BuildConfig()).run(main)   # doctest: +SKIP
+
+See ``examples/quickstart.py`` for a fuller tour.
+"""
+
+from repro.version import __version__
+from repro.errors import (
+    MPIError,
+    MPIErrArg,
+    MPIErrBuffer,
+    MPIErrComm,
+    MPIErrCount,
+    MPIErrDatatype,
+    MPIErrRank,
+    MPIErrRequest,
+    MPIErrTag,
+    MPIErrTruncate,
+    MPIErrWin,
+)
+from repro.core.config import BuildConfig, Device, IpoScope
+from repro.runtime.world import World
+from repro.mpi.comm import Communicator
+from repro.mpi.group import Group
+from repro.mpi.status import Status
+from repro.mpi.info import Info
+from repro.mpi.rma import Window
+from repro.datatypes import (
+    Datatype,
+    BYTE,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    INT32,
+    INT64,
+    LONG,
+    SHORT,
+    UNSIGNED,
+    UNSIGNED_LONG,
+)
+from repro.consts import (
+    ANY_SOURCE,
+    ANY_TAG,
+    PROC_NULL,
+    UNDEFINED,
+    COMM_NULL,
+)
+
+__all__ = [
+    "__version__",
+    "World",
+    "BuildConfig",
+    "Device",
+    "IpoScope",
+    "Communicator",
+    "Group",
+    "Status",
+    "Info",
+    "Window",
+    "Datatype",
+    "MPIError",
+    "MPIErrArg",
+    "MPIErrBuffer",
+    "MPIErrComm",
+    "MPIErrCount",
+    "MPIErrDatatype",
+    "MPIErrRank",
+    "MPIErrRequest",
+    "MPIErrTag",
+    "MPIErrTruncate",
+    "MPIErrWin",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "PROC_NULL",
+    "UNDEFINED",
+    "COMM_NULL",
+    "BYTE",
+    "CHAR",
+    "DOUBLE",
+    "FLOAT",
+    "INT",
+    "INT32",
+    "INT64",
+    "LONG",
+    "SHORT",
+    "UNSIGNED",
+    "UNSIGNED_LONG",
+]

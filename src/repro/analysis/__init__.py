@@ -1,0 +1,64 @@
+"""Analysis harness: regenerate every table and figure of the paper.
+
+Each ``fig*_data`` function returns plain data (lists of labeled
+series) and each ``render_*`` function formats it as the text table
+the CLI prints — ``python -m repro.analysis all`` walks the entire
+evaluation section.
+"""
+
+from repro.analysis.table1 import table1_records, render_table1
+from repro.analysis.figures import (
+    fig2_data,
+    fig3_data,
+    fig4_data,
+    fig5_data,
+    fig6_data,
+    fig7_data,
+    fig8_data,
+    render_rate_figure,
+    render_fig2,
+    render_fig6,
+    render_fig7,
+    render_fig8,
+    proposals_data,
+    render_proposals,
+)
+from repro.analysis.survey import (
+    SURVEY_CORPUS,
+    AppProfile,
+    survey_class_counts,
+    survey_redundant_checks,
+    render_survey,
+)
+from repro.analysis.appreport import (
+    WorldProfile,
+    profile_world,
+    render_profile,
+)
+
+__all__ = [
+    "table1_records",
+    "render_table1",
+    "fig2_data",
+    "fig3_data",
+    "fig4_data",
+    "fig5_data",
+    "fig6_data",
+    "fig7_data",
+    "fig8_data",
+    "render_rate_figure",
+    "render_fig2",
+    "render_fig6",
+    "render_fig7",
+    "render_fig8",
+    "proposals_data",
+    "render_proposals",
+    "SURVEY_CORPUS",
+    "AppProfile",
+    "survey_class_counts",
+    "survey_redundant_checks",
+    "render_survey",
+    "WorldProfile",
+    "profile_world",
+    "render_profile",
+]

@@ -1,0 +1,78 @@
+"""The §4.3 fixed-cost argument, rendered.
+
+The paper's closing quantitative point: runtime ``T_P = O + W/P`` and
+energy ``E_P = c(PO + W)`` mean a halved overhead O lets you double P
+at the *same* energy cost and finish in half the time — "under fixed
+costs (e.g., power), [reduced overhead] can allow significant
+reductions in runtime".  This module instantiates that argument with
+the per-iteration overheads the Nek model derives for the two devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.nek.model import NekModel
+from repro.instrument.report import format_table
+from repro.perf.models import AmdahlModel
+
+
+@dataclass(frozen=True)
+class FixedCostRow:
+    """One line of the §4.3 illustration."""
+
+    device: str
+    overhead_us: float
+    nprocs: int
+    time_us: float
+    energy: float
+
+
+def fixed_cost_table(nelems: int = 2 ** 17, order: int = 5,
+                     base_procs: int = 16384) -> list[FixedCostRow]:
+    """Instantiate T_P = O + W/P with the modeled per-iteration comm
+    overhead (O) and compute work (W) of each device, then show the
+    equal-energy operating points."""
+    model = NekModel()
+    work = model.compute_s(nelems, order) * base_procs   # W, core-sec
+    rows = []
+    o_ch3 = model.comm_s(nelems, order, "ch3")
+    o_ch4 = model.comm_s(nelems, order, "ch4")
+
+    ch3 = AmdahlModel(overhead_s=o_ch3, work_core_s=work)
+    rows.append(FixedCostRow("ch3", o_ch3 * 1e6, base_procs,
+                             ch3.time(base_procs) * 1e6,
+                             ch3.energy(base_procs)))
+
+    ch4 = AmdahlModel(overhead_s=o_ch4, work_core_s=work)
+    rows.append(FixedCostRow("ch4 (same P)", o_ch4 * 1e6, base_procs,
+                             ch4.time(base_procs) * 1e6,
+                             ch4.energy(base_procs)))
+
+    # The §4.3 move: spend the saved overhead on more processors at
+    # (approximately) the same energy: P' = P * O/O'.
+    scaled_p = int(base_procs * o_ch3 / o_ch4)
+    rows.append(FixedCostRow("ch4 (fixed cost)", o_ch4 * 1e6, scaled_p,
+                             ch4.time(scaled_p) * 1e6,
+                             ch4.energy(scaled_p)))
+    return rows
+
+
+def render_fixed_cost(nelems: int = 2 ** 17, order: int = 5) -> str:
+    """Text table of the fixed-cost argument."""
+    rows = fixed_cost_table(nelems, order)
+    table = [[r.device, round(r.overhead_us, 2), r.nprocs,
+              round(r.time_us, 1), round(r.energy, 1)]
+             for r in rows]
+    out = format_table(
+        ["Configuration", "O (us/iter)", "P", "T_P (us/iter)",
+         "E_P = c(PO+W)"],
+        table,
+        title="Section 4.3: fixed-cost (energy) argument, Nek model "
+              f"(E=2^17, N={order})")
+    ch3, ch4_same, ch4_scaled = rows
+    speedup = ch3.time_us / ch4_scaled.time_us
+    return (out + "\n"
+            f"equal-energy speedup from the overhead reduction: "
+            f"{speedup:.2f}x (energy ratio "
+            f"{ch4_scaled.energy / ch3.energy:.3f})")

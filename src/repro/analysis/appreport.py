@@ -1,0 +1,104 @@
+"""Application instruction profiles: "where do the instructions go?"
+
+The paper's methodology applied to whole application runs: after a
+:class:`~repro.runtime.world.World` has executed, summarize the
+per-category and per-subsystem instruction spend across ranks — the
+same attribution as Table 1, aggregated over everything the
+application did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.instrument.categories import Category, Subsystem
+from repro.instrument.report import (CATEGORY_LABELS, SUBSYSTEM_LABELS,
+                                     format_table)
+from repro.runtime.world import World
+
+
+@dataclass(frozen=True)
+class WorldProfile:
+    """Aggregated instruction profile of one run."""
+
+    nranks: int
+    total: int
+    by_category: dict
+    by_subsystem: dict
+    max_vtime_s: float
+    compute_s: float
+
+    @property
+    def mandatory_fraction(self) -> float:
+        """Share of instructions that MPI-3.1 semantics mandate."""
+        if not self.total:
+            return 0.0
+        return self.by_category.get(Category.MANDATORY, 0) / self.total
+
+    @property
+    def removable_fraction(self) -> float:
+        """Share removable by build options within the standard
+        (error checking + thread gate + function call + redundant)."""
+        if not self.total:
+            return 0.0
+        removable = sum(self.by_category.get(c, 0)
+                        for c in (Category.ERROR_CHECKING,
+                                  Category.THREAD_SAFETY,
+                                  Category.FUNCTION_CALL,
+                                  Category.REDUNDANT_CHECKS))
+        return removable / self.total
+
+
+def profile_world(world: World) -> WorldProfile:
+    """Aggregate every rank's counters into one profile."""
+    by_category = {c: 0 for c in Category}
+    by_subsystem = {s: 0 for s in Subsystem}
+    total = 0
+    compute = 0.0
+    for proc in world.procs:
+        total += proc.counter.total
+        compute += proc.compute_seconds
+        for c, n in proc.counter.by_category.items():
+            by_category[c] += n
+        for s, n in proc.counter.by_subsystem.items():
+            by_subsystem[s] += n
+    return WorldProfile(nranks=world.nranks, total=total,
+                        by_category=by_category,
+                        by_subsystem=by_subsystem,
+                        max_vtime_s=world.max_vtime(),
+                        compute_s=compute)
+
+
+def render_profile(profile: WorldProfile,
+                   title: str = "Application instruction profile") -> str:
+    """Text report of a profile."""
+    rows = []
+    for category in Category:
+        n = profile.by_category.get(category, 0)
+        share = 100.0 * n / profile.total if profile.total else 0.0
+        rows.append([CATEGORY_LABELS[category], n, round(share, 1)])
+    rows.append(["Total", profile.total, 100.0])
+    lines = [format_table(["Category", "Instructions", "%"], rows,
+                          title=title)]
+
+    sub_rows = []
+    mandatory = profile.by_category.get(Category.MANDATORY, 0)
+    for subsystem in Subsystem:
+        n = profile.by_subsystem.get(subsystem, 0)
+        if not n:
+            continue
+        share = 100.0 * n / mandatory if mandatory else 0.0
+        sub_rows.append([SUBSYSTEM_LABELS[subsystem], n, round(share, 1)])
+    if sub_rows:
+        lines.append("")
+        lines.append(format_table(
+            ["Mandatory subsystem", "Instructions", "% of mandatory"],
+            sub_rows))
+    lines.append("")
+    lines.append(f"ranks: {profile.nranks}   "
+                 f"virtual makespan: {profile.max_vtime_s * 1e6:.2f} us   "
+                 f"compute: {profile.compute_s * 1e6:.2f} us")
+    lines.append(f"mandated by MPI-3.1: {profile.mandatory_fraction:.1%}"
+                 f"   removable by build options: "
+                 f"{profile.removable_fraction:.1%}")
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""JSON export of every regenerated artifact (for external plotting).
+
+``python -m repro.analysis`` prints text tables; this module writes the
+same data as structured JSON so downstream tooling (matplotlib,
+notebooks, CI dashboards) can replot the paper's figures:
+
+>>> from repro.analysis.export import export_all      # doctest: +SKIP
+>>> export_all("artifacts.json")                      # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.analysis.figures import (fig2_data, fig3_data, fig4_data,
+                                    fig5_data, fig6_data, fig7_data,
+                                    fig8_data, proposals_data)
+from repro.analysis.survey import survey_redundant_checks
+from repro.analysis.table1 import table1_records
+from repro.instrument.categories import Category, Subsystem
+
+
+def _rate_results(results) -> list[dict]:
+    return [{"label": r.label, "op": r.op,
+             "instructions": r.instructions,
+             "rate_msgs_per_s": r.rate_msgs_per_s} for r in results]
+
+
+def table1_json() -> dict:
+    """Table 1 as {call: {category: count, ..., total}}."""
+    out = {}
+    for call, record in table1_records().items():
+        out[call] = {c.value: record.category(c) for c in Category}
+        out[call]["mandatory_breakdown"] = {
+            s.value: record.subsystem(s) for s in Subsystem
+            if record.subsystem(s)}
+        out[call]["total"] = record.total
+    return out
+
+
+def fig7_json() -> dict:
+    """Figure 7 panels with string keys (JSON-safe)."""
+    data = fig7_data()
+    return {
+        "left": {f"N{n}_{dev}": series
+                 for (n, dev), series in data["left"].items()},
+        "center": {f"N{n}": series
+                   for n, series in data["center"].items()},
+        "right": {f"N{n}_{dev}": series
+                  for (n, dev), series in data["right"].items()},
+    }
+
+
+def collect_all() -> dict[str, Any]:
+    """Every artifact's data, JSON-serializable."""
+    return {
+        "table1": table1_json(),
+        "fig2": fig2_data(),
+        "fig3": _rate_results(fig3_data()),
+        "fig4": _rate_results(fig4_data()),
+        "fig5": _rate_results(fig5_data()),
+        "fig6": _rate_results(fig6_data()),
+        "fig7": fig7_json(),
+        "fig8": fig8_data(),
+        "proposals": proposals_data(),
+        "survey": survey_redundant_checks(),
+    }
+
+
+def export_all(path: str) -> dict[str, Any]:
+    """Write :func:`collect_all` to *path*; returns the data."""
+    data = collect_all()
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+    return data

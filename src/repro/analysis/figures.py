@@ -1,0 +1,186 @@
+"""Figure series generators and text renderers (Figures 2–8)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core import extensions as ext
+from repro.core.config import BuildConfig, named_builds
+from repro.apps.lammps.model import LammpsModel, figure8_series
+from repro.apps.nek.model import NekModel, figure7_series
+from repro.instrument.report import format_table
+from repro.perf.msgrate import (MsgRateResult, extension_chain_rates,
+                                measure_instructions, rate_sweep)
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: instruction counts per build
+# ---------------------------------------------------------------------------
+
+def fig2_data() -> dict[str, dict[str, int]]:
+    """{build label: {"isend": count, "put": count}}."""
+    out: dict[str, dict[str, int]] = {}
+    for label, config in named_builds().items():
+        out[label] = {op: measure_instructions(config, op)
+                      for op in ("isend", "put")}
+    return out
+
+
+def render_fig2(data: dict[str, dict[str, int]] | None = None) -> str:
+    """Figure 2 as a text table."""
+    if data is None:
+        data = fig2_data()
+    rows = [[label, counts["put"], counts["isend"]]
+            for label, counts in data.items()]
+    return format_table(["Build", "MPI_Put", "MPI_Isend"], rows,
+                        title="Figure 2: MPI instruction counts")
+
+
+# ---------------------------------------------------------------------------
+# Figures 3-5: message rates per fabric
+# ---------------------------------------------------------------------------
+
+def fig3_data() -> list[MsgRateResult]:
+    """Message rates with OFI/PSM2 (IT cluster)."""
+    return rate_sweep("ofi")
+
+
+def fig4_data() -> list[MsgRateResult]:
+    """Message rates with UCX/EDR (Gomez) — no ipo bar, as published."""
+    return rate_sweep("ucx", include_ipo=False)
+
+
+def fig5_data() -> list[MsgRateResult]:
+    """Message rates with the infinitely fast network."""
+    return rate_sweep("infinite")
+
+
+def render_rate_figure(results: Sequence[MsgRateResult],
+                       title: str) -> str:
+    """A message-rate figure (3/4/5) as a text table."""
+    rows = [[r.label, r.op, r.instructions, r.rate_millions]
+            for r in results]
+    return format_table(["Build", "Op", "Instructions", "Mmsg/s"], rows,
+                        title=title)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: MPI-standard extensions on the infinite network
+# ---------------------------------------------------------------------------
+
+def fig6_data() -> list[MsgRateResult]:
+    """Cumulative extension chain for MPI_ISEND (ipo build)."""
+    return extension_chain_rates("infinite")
+
+
+def render_fig6(results: Sequence[MsgRateResult] | None = None) -> str:
+    """Figure 6 as a text table."""
+    if results is None:
+        results = fig6_data()
+    rows = [[r.label, r.instructions, r.rate_millions] for r in results]
+    return format_table(
+        ["Configuration (cumulative)", "Instructions", "Mmsg/s"], rows,
+        title="Figure 6: MPI standard improvements for MPI_ISEND "
+              "(infinitely fast network)")
+
+
+# ---------------------------------------------------------------------------
+# Section 3 per-proposal savings (text companion of Figure 6)
+# ---------------------------------------------------------------------------
+
+#: (label, flags, paper-quoted saving).
+PROPOSALS = (
+    ("glob_rank (S3.1)", ext.GLOBAL_RANK, 10),
+    ("virtual_addr (S3.2, MPI_PUT)", ext.VIRTUAL_ADDR, 4),
+    ("predefined comm (S3.3)", ext.STATIC_COMM, 8),
+    ("no_proc_null (S3.4)", ext.NO_PROC_NULL, 3),
+    ("noreq (S3.5)", ext.NOREQ, 10),
+    ("nomatch (S3.6)", ext.NOMATCH, 5),
+)
+
+
+def proposals_data() -> list[dict]:
+    """Each proposal's measured saving against the ipo baseline."""
+    cfg = BuildConfig.ipo_build()
+    base_isend = measure_instructions(cfg, "isend")
+    base_put = measure_instructions(cfg, "put")
+    rows = []
+    for label, flags, paper in PROPOSALS:
+        op = "put" if flags.virtual_addr else "isend"
+        base = base_put if op == "put" else base_isend
+        measured = measure_instructions(cfg, op, flags)
+        rows.append({"proposal": label, "op": op, "baseline": base,
+                     "with_extension": measured,
+                     "saving": base - measured, "paper_saving": paper})
+    all_opts = measure_instructions(cfg, "isend", ext.ALL_OPTS_PT2PT)
+    rows.append({"proposal": "ALL_OPTS (S3.7)", "op": "isend",
+                 "baseline": base_isend, "with_extension": all_opts,
+                 "saving": base_isend - all_opts,
+                 "paper_saving": base_isend - 16})
+    return rows
+
+
+def render_proposals(rows: list[dict] | None = None) -> str:
+    """The per-proposal savings as a text table."""
+    if rows is None:
+        rows = proposals_data()
+    table = [[r["proposal"], r["op"], r["baseline"], r["with_extension"],
+              r["saving"], r["paper_saving"]] for r in rows]
+    return format_table(
+        ["Proposal", "Op", "Baseline", "With ext", "Saved", "Paper"],
+        table, title="Section 3: per-proposal instruction savings")
+
+
+# ---------------------------------------------------------------------------
+# Figures 7 and 8: application models
+# ---------------------------------------------------------------------------
+
+def fig7_data(model: NekModel | None = None) -> dict:
+    """The three Nek5000 panels (see apps.nek.model.figure7_series)."""
+    return figure7_series(model)
+
+
+def render_fig7(data: dict | None = None) -> str:
+    """Figure 7's three panels as text tables."""
+    if data is None:
+        data = fig7_data()
+    lines = ["Figure 7: Nek5000 mass-matrix inversion on Cetus "
+             "(16384 ranks)", "=" * 60]
+    rows = []
+    for n_ord, series in sorted(data["center"].items()):
+        for (n_over_p, ratio), (_, perf_ch3), (_, perf_ch4) in zip(
+                series, data["left"][(n_ord, "ch3")],
+                data["left"][(n_ord, "ch4")]):
+            rows.append([n_ord, int(n_over_p), perf_ch3, perf_ch4, ratio])
+    lines.append(format_table(
+        ["N", "n/P", "Std perf [pt-it/s]", "Lite perf [pt-it/s]",
+         "Ratio Lite/Std"], rows))
+    eff_rows = []
+    for (n_ord, device), series in sorted(data["right"].items()):
+        for n_over_p, eff in series:
+            eff_rows.append([n_ord, device, int(n_over_p), eff])
+    lines.append("")
+    lines.append(format_table(["N", "Device", "n/P", "Efficiency"],
+                              eff_rows,
+                              title="Figure 7 (right): efficiency model"))
+    return "\n".join(lines)
+
+
+def fig8_data(model: LammpsModel | None = None) -> dict:
+    """LAMMPS strong-scaling rows (see apps.lammps.model)."""
+    return figure8_series(model)
+
+
+def render_fig8(data: dict | None = None) -> str:
+    """Figure 8 as a text table."""
+    if data is None:
+        data = fig8_data()
+    rows = [[r["nodes"], int(r["atoms_per_core"]),
+             r["ch3_steps_per_s"], r["ch4_steps_per_s"],
+             100 * r["ch3_efficiency"], 100 * r["ch4_efficiency"],
+             r["speedup_percent"]]
+            for r in data["rows"]]
+    return format_table(
+        ["Nodes", "Atoms/core", "Original steps/s", "CH4 steps/s",
+         "Original eff %", "CH4 eff %", "CH4 speedup %"], rows,
+        title="Figure 8: LAMMPS strong scaling on BG/Q (3M-atom LJ)")

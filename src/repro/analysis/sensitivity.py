@@ -1,0 +1,116 @@
+"""Sensitivity analysis of the application models' calibrated constants.
+
+The Figure 7/8 models contain constants the paper does not publish
+(per-device progress-engine instructions, flop rates, message counts,
+match-penalty coefficients — all documented in EXPERIMENTS.md).  This
+module sweeps each one and reports how the models' *qualitative* claims
+respond, so a reviewer can see which conclusions are calibration-robust
+and which are knife-edge:
+
+* Figure 7's 1.2–1.25 ratio band at n/P in [100, 1000];
+* Figure 8's "Original stops scaling at 8192 nodes" and growing speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.lammps.model import NODE_COUNTS, LammpsModel
+from repro.apps.nek.model import ELEMENT_COUNTS, NekModel
+
+
+@dataclass(frozen=True)
+class NekBandCheck:
+    """Outcome of one NekModel parameterization."""
+
+    scale: float                #: multiplier applied to the parameter
+    peak_ratio: float           #: max ratio inside n/P [100, 1000]
+    in_paper_band: bool         #: 1.18 <= peak <= 1.30
+    ch4_never_loses: bool
+    converges_at_large: bool
+
+
+def nek_band(model: NekModel) -> tuple[float, bool, bool]:
+    """(peak ratio in band, ch4 never loses, converges) for *model*."""
+    peaks = []
+    never_loses = True
+    converges = True
+    for order in (3, 5, 7):
+        ratios = [(model.n_over_p(e, order), model.ratio(e, order))
+                  for e in ELEMENT_COUNTS]
+        in_band = [r for nop, r in ratios if 100 <= nop <= 1000]
+        if in_band:
+            peaks.append(max(in_band))
+        never_loses &= all(r >= 1.0 for _, r in ratios)
+        converges &= ratios[-1][1] < 1.06
+    return max(peaks), never_loses, converges
+
+
+def sweep_nek_progress(scales=(0.5, 0.75, 1.0, 1.25, 1.5)
+                       ) -> list[NekBandCheck]:
+    """Scale CH3's progress-engine constant and re-check the claims."""
+    out = []
+    base = NekModel().progress_instructions["ch3"]
+    for scale in scales:
+        model = NekModel(progress_instructions={
+            "ch4": NekModel().progress_instructions["ch4"],
+            "ch3": base * scale})
+        peak, never_loses, converges = nek_band(model)
+        out.append(NekBandCheck(scale=scale, peak_ratio=peak,
+                                in_paper_band=1.18 <= peak <= 1.30,
+                                ch4_never_loses=never_loses,
+                                converges_at_large=converges))
+    return out
+
+
+@dataclass(frozen=True)
+class LammpsShapeCheck:
+    """Outcome of one LammpsModel parameterization."""
+
+    scale: float
+    ch3_final_gain: float       #: steps/s(8192) / steps/s(4096), CH3
+    ch3_stops_scaling: bool     #: final gain < 1.10
+    speedup_monotone: bool
+
+
+def sweep_lammps_match_penalty(scales=(0.5, 0.75, 1.0, 1.5, 2.0)
+                               ) -> list[LammpsShapeCheck]:
+    """Scale CH3's match-penalty coefficient and re-check Figure 8."""
+    out = []
+    base = LammpsModel().match_penalty_s
+    for scale in scales:
+        model = LammpsModel(match_penalty_s={
+            "ch3": base["ch3"] * scale, "ch4": base["ch4"]})
+        gain = (model.timesteps_per_second(8192, "ch3")
+                / model.timesteps_per_second(4096, "ch3"))
+        speedups = [model.speedup_percent(n) for n in NODE_COUNTS]
+        out.append(LammpsShapeCheck(
+            scale=scale, ch3_final_gain=gain,
+            ch3_stops_scaling=gain < 1.10,
+            speedup_monotone=speedups == sorted(speedups)))
+    return out
+
+
+def render_sensitivity() -> str:
+    """Text report of both sweeps."""
+    from repro.instrument.report import format_table
+    nek_rows = [[c.scale, round(c.peak_ratio, 3),
+                 "yes" if c.in_paper_band else "no",
+                 "yes" if c.ch4_never_loses else "no",
+                 "yes" if c.converges_at_large else "no"]
+                for c in sweep_nek_progress()]
+    lammps_rows = [[c.scale, round(c.ch3_final_gain, 3),
+                    "yes" if c.ch3_stops_scaling else "no",
+                    "yes" if c.speedup_monotone else "no"]
+                   for c in sweep_lammps_match_penalty()]
+    return "\n\n".join([
+        format_table(["CH3-progress scale", "Peak ratio",
+                      "In 1.18-1.30 band", "CH4 never loses",
+                      "Converges"],
+                     nek_rows,
+                     title="Figure 7 sensitivity: CH3 progress constant"),
+        format_table(["Match-penalty scale", "CH3 8192/4096 gain",
+                      "Stops scaling", "Speedup monotone"],
+                     lammps_rows,
+                     title="Figure 8 sensitivity: CH3 match penalty"),
+    ])

@@ -1,0 +1,58 @@
+"""Table 1: instruction attribution for MPI_ISEND and MPI_PUT.
+
+Runs one traced MPI_ISEND and one traced MPI_PUT on the default CH4
+build and reports the per-category split — the numbers the paper's
+Table 1 publishes (with the PUT redundant-checks row resolved to
+Figure 2's total; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import BuildConfig
+from repro.datatypes.predefined import BYTE
+from repro.instrument.report import category_table
+from repro.instrument.trace import CallRecord
+from repro.mpi.rma import Window
+from repro.runtime.world import World
+
+
+def _trace_isend(comm):
+    buf = np.zeros(1, dtype=np.uint8)
+    if comm.rank == 0:
+        with comm.proc.tracer.call("MPI_ISEND"):
+            req = comm.Isend((buf, 1, BYTE), dest=1, tag=0)
+        req.wait()
+        return comm.proc.tracer.last("MPI_ISEND")
+    comm.Recv((buf, 1, BYTE), source=0, tag=0)
+    return None
+
+
+def _trace_put(comm):
+    arr = np.zeros(16, dtype=np.uint8)
+    win = Window.create(comm, arr, disp_unit=1)
+    record = None
+    if comm.rank == 0:
+        src = np.ones(1, dtype=np.uint8)
+        with comm.proc.tracer.call("MPI_PUT"):
+            win.put((src, 1, BYTE), target_rank=1, target_disp=0)
+        record = comm.proc.tracer.last("MPI_PUT")
+    win.fence()
+    return record
+
+
+def table1_records(config: BuildConfig | None = None
+                   ) -> dict[str, CallRecord]:
+    """Traced call records for the two Table 1 columns."""
+    cfg = config if config is not None else BuildConfig.default()
+    isend = World(2, cfg).run(_trace_isend)[0]
+    put = World(2, cfg).run(_trace_put)[0]
+    return {"MPI_ISEND": isend, "MPI_PUT": put}
+
+
+def render_table1(config: BuildConfig | None = None) -> str:
+    """The Table 1 text table."""
+    return category_table(table1_records(config),
+                          title="Table 1: Instruction analysis for MPI calls"
+                                " (MPICH/CH4 default build)")

@@ -1,0 +1,17 @@
+"""Application proxies for the paper's Section 4 evaluation.
+
+* :mod:`repro.apps.nek` — Nek5000's mass-matrix-inversion model
+  problem (spectral elements, gather-scatter, conjugate gradients) —
+  Figure 7.
+* :mod:`repro.apps.lammps` — LAMMPS's Lennard-Jones strong-scaling
+  benchmark (3-D spatial decomposition, cell lists, velocity Verlet,
+  per-step halo exchange) — Figure 8.
+* :mod:`repro.apps.stencil` — the five-point Cartesian stencil the
+  paper uses to motivate ``isend_global`` and ``isend_npn`` (§3.1 and
+  §3.4) — also the basis of ``examples/stencil_halo.py``.
+
+Each app has two faces: a *functional* driver that runs on the
+thread-per-rank runtime at small scale (correctness tests, examples)
+and an *analytic model* calibrated from the instruction accounting for
+the paper's 16384-rank figures.
+"""

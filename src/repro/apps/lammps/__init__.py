@@ -1,0 +1,39 @@
+"""LAMMPS proxy: Lennard-Jones molecular dynamics (Figure 8).
+
+The paper's experiment: "a 3-million-atom face-centered cubic crystal
+structure for 10,000 timesteps using a simple Lennard-Jones potential"
+on BG/Q, 512 to 8192 nodes, 16 MPI ranks per node — strong scaling
+down to 23 atoms per core, where "the neighbor exchange communication
+bottleneck is magnified".
+
+Components:
+
+* :mod:`repro.apps.lammps.lattice` — FCC lattice construction;
+* :mod:`repro.apps.lammps.lj` — Lennard-Jones force/energy kernels
+  (brute-force reference and vectorized cell list);
+* :mod:`repro.apps.lammps.md` — distributed velocity-Verlet MD with
+  the staged 6-direction ghost exchange and atom migration, running
+  on the runtime;
+* :mod:`repro.apps.lammps.model` — the BG/Q-scale strong-scaling
+  model behind Figure 8.
+"""
+
+from repro.apps.lammps.lattice import fcc_lattice
+from repro.apps.lammps.lj import (
+    lj_forces_bruteforce,
+    lj_forces_celllist,
+    lj_potential_energy,
+)
+from repro.apps.lammps.md import LJSimulation, run_lammps_proxy
+from repro.apps.lammps.model import LammpsModel, figure8_series
+
+__all__ = [
+    "fcc_lattice",
+    "lj_forces_bruteforce",
+    "lj_forces_celllist",
+    "lj_potential_energy",
+    "LJSimulation",
+    "run_lammps_proxy",
+    "LammpsModel",
+    "figure8_series",
+]

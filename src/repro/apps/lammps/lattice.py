@@ -1,0 +1,60 @@
+"""FCC lattice construction (the benchmark's initial condition)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Reduced density of the classic LAMMPS LJ benchmark ("melt").
+LJ_DENSITY = 0.8442
+
+#: The four-atom FCC basis in cell units.
+FCC_BASIS = np.array([
+    [0.0, 0.0, 0.0],
+    [0.5, 0.5, 0.0],
+    [0.5, 0.0, 0.5],
+    [0.0, 0.5, 0.5],
+])
+
+
+def fcc_cell_size(density: float = LJ_DENSITY) -> float:
+    """FCC cell edge at reduced *density* (4 atoms per cell)."""
+    if density <= 0:
+        raise ValueError(f"density must be positive, got {density}")
+    return (4.0 / density) ** (1.0 / 3.0)
+
+
+def fcc_lattice(cells: tuple[int, int, int],
+                density: float = LJ_DENSITY) -> tuple[np.ndarray, np.ndarray]:
+    """Positions of an FCC crystal and the periodic box.
+
+    Parameters
+    ----------
+    cells:
+        Unit-cell counts (cx, cy, cz); atom count = 4 * cx * cy * cz.
+
+    Returns
+    -------
+    (positions, box):
+        ``positions`` of shape (natoms, 3) in LJ sigma units;
+        ``box`` of shape (3,) — the periodic box edge lengths.
+    """
+    cx, cy, cz = cells
+    if min(cells) <= 0:
+        raise ValueError(f"cell counts must be positive: {cells}")
+    a = fcc_cell_size(density)
+    grid = np.stack(np.meshgrid(np.arange(cx), np.arange(cy),
+                                np.arange(cz), indexing="ij"),
+                    axis=-1).reshape(-1, 3).astype(np.float64)
+    pos = (grid[:, None, :] + FCC_BASIS[None, :, :]).reshape(-1, 3) * a
+    box = np.array([cx, cy, cz], dtype=np.float64) * a
+    return pos, box
+
+
+def initial_velocities(natoms: int, temperature: float = 1.44,
+                       seed: int = 12345) -> np.ndarray:
+    """Maxwell-Boltzmann velocities at reduced *temperature*, with the
+    center-of-mass drift removed (LAMMPS 'velocity create' semantics)."""
+    rng = np.random.default_rng(seed)
+    vel = rng.normal(0.0, np.sqrt(temperature), size=(natoms, 3))
+    vel -= vel.mean(axis=0, keepdims=True)
+    return vel

@@ -1,0 +1,362 @@
+"""Distributed Lennard-Jones molecular dynamics on the runtime.
+
+A faithful miniature of the LAMMPS communication pattern the paper
+benchmarks: 3-D spatial decomposition over a rank grid, per-timestep
+staged 6-direction ghost exchange (x, then y including x-ghosts, then
+z — covering edge/corner ghosts), atom migration after position
+updates, velocity-Verlet integration, and an allreduce for the
+thermodynamic output — all through the MPI layer, so per-build
+instruction overheads flow into the virtual-time results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.apps.lammps.lattice import (LJ_DENSITY, fcc_lattice,
+                                       initial_velocities)
+from repro.apps.lammps.lj import (DEFAULT_CUTOFF, lj_forces_celllist,
+                                  lj_potential_energy, pair_count_estimate)
+from repro.apps.nek.mesh import factor3
+from repro.mpi import reduceops
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.comm import Communicator
+
+#: Internal tags for MD traffic.
+TAG_MIGRATE = (1 << 19) + 21
+TAG_GHOST = (1 << 19) + 22
+
+#: Modeled flops per interacting pair (distance, powers, accumulate).
+FLOPS_PER_PAIR = 45.0
+
+
+@dataclass
+class StepStats:
+    """Per-step global thermodynamic output."""
+
+    step: int
+    temperature: float
+    kinetic: float
+    potential: float
+
+    @property
+    def total_energy(self) -> float:
+        """Kinetic + potential energy (the conservation invariant)."""
+        return self.kinetic + self.potential
+
+
+class LJSimulation:
+    """One rank's share of the LJ melt benchmark."""
+
+    def __init__(self, comm: "Communicator", cells: tuple[int, int, int],
+                 cutoff: float = DEFAULT_CUTOFF, dt: float = 0.005,
+                 temperature: float = 1.44, density: float = LJ_DENSITY,
+                 flops_per_second: float = 1.0e9, seed: int = 12345,
+                 newton: bool = False):
+        self.comm = comm
+        self.cutoff = cutoff
+        self.dt = dt
+        self.flops_per_second = flops_per_second
+        self.density = density
+        #: LAMMPS's "newton on": each cross-rank pair is computed once
+        #: (lexicographic-position tie-break) and the ghost half of the
+        #: force is *reverse-communicated* back to the owner — halving
+        #: pair computation at the price of a second exchange per step.
+        self.newton = newton
+
+        # Every rank builds the same global crystal deterministically,
+        # then keeps the atoms inside its sub-box.
+        pos, box = fcc_lattice(cells, density)
+        vel = initial_velocities(len(pos), temperature, seed)
+        self.box = box
+        self.rank_dims = np.array(factor3(comm.size), dtype=np.int64)
+        self.coords = np.array(self._rank_coords(comm.rank), dtype=np.int64)
+        self.lo = self.box * self.coords / self.rank_dims
+        self.hi = self.box * (self.coords + 1) / self.rank_dims
+        if np.any((self.hi - self.lo) < cutoff):
+            raise ValueError(
+                f"per-rank box {self.hi - self.lo} thinner than the "
+                f"cutoff {cutoff}; use fewer ranks or more cells")
+
+        mine = np.all((pos >= self.lo) & (pos < self.hi), axis=1)
+        self.pos = pos[mine].copy()
+        self.vel = vel[mine].copy()
+        self.forces: Optional[np.ndarray] = None
+        self.ghosts = np.empty((0, 3))
+        self.step_count = 0
+
+    # -- rank-grid helpers ------------------------------------------------------
+
+    def _rank_coords(self, rank: int) -> tuple[int, int, int]:
+        px, py, _pz = self.rank_dims
+        return (rank % px, (rank // px) % py, rank // (px * py))
+
+    def _rank_of(self, coords: np.ndarray) -> int:
+        px, py, _pz = self.rank_dims
+        cx, cy, cz = (int(c) % int(d)
+                      for c, d in zip(coords, self.rank_dims))
+        return cx + int(px) * (cy + int(py) * cz)
+
+    def _neighbor(self, dim: int, direction: int) -> int:
+        """Rank one step along *dim* (direction ±1, periodic)."""
+        nbr = self.coords.copy()
+        nbr[dim] += direction
+        return self._rank_of(nbr)
+
+    # -- communication phases -----------------------------------------------------
+
+    def _staged_exchange(self, dim: int, left_payload, right_payload,
+                         tag: int):
+        """Send payloads to the ±1 neighbors along *dim*; returns what
+        the two neighbors sent us (left's right-payload and vice
+        versa).  Self-neighbors (1-rank dimensions) short-circuit."""
+        left = self._neighbor(dim, -1)
+        right = self._neighbor(dim, +1)
+        if left == self.comm.rank and right == self.comm.rank:
+            return right_payload, left_payload
+        got_right = self.comm.sendrecv(left_payload, dest=left,
+                                       source=right, sendtag=tag,
+                                       recvtag=tag)
+        got_left = self.comm.sendrecv(right_payload, dest=right,
+                                      source=left, sendtag=tag,
+                                      recvtag=tag)
+        return got_left, got_right
+
+    def migrate(self) -> None:
+        """Move atoms that left this rank's box to their new owners
+        (one staged pass per dimension; single-hop is enough for MD
+        step sizes)."""
+        for dim in range(3):
+            # Wrap global periodic boundary first.
+            self.pos[:, dim] %= self.box[dim]
+            going_left = self.pos[:, dim] < self.lo[dim]
+            going_right = self.pos[:, dim] >= self.hi[dim]
+            # A 1-rank dimension wraps onto itself: position wrap above
+            # already fixed ownership.
+            if self.rank_dims[dim] == 1:
+                continue
+            stay = ~(going_left | going_right)
+            left_pkg = (self.pos[going_left], self.vel[going_left])
+            right_pkg = (self.pos[going_right], self.vel[going_right])
+            self.pos = self.pos[stay]
+            self.vel = self.vel[stay]
+            from_left, from_right = self._staged_exchange(
+                dim, left_pkg, right_pkg, TAG_MIGRATE)
+            for pkg in (from_left, from_right):
+                if pkg is not None and len(pkg[0]):
+                    self.pos = np.concatenate([self.pos, pkg[0]])
+                    self.vel = np.concatenate([self.vel, pkg[1]])
+
+    def exchange_ghosts(self) -> None:
+        """Staged ghost exchange: after the x, y, z passes every rank
+        holds all atoms within the cutoff of its box (including
+        edge/corner ghosts, because later passes forward earlier
+        passes' ghosts).  Records the per-stage send/receive structure
+        so :meth:`reverse_comm` can route ghost forces back."""
+        rc = self.cutoff
+        ghosts = np.empty((0, 3))
+        #: Per-dim bookkeeping for reverse communication:
+        #: (sent_left pool indices, sent_right pool indices,
+        #:  ghost-slot range from left, ghost-slot range from right).
+        self._stages = []
+        for dim in range(3):
+            pool = np.concatenate([self.pos, ghosts]) if len(ghosts) \
+                else self.pos
+            near_lo = np.nonzero(pool[:, dim] < self.lo[dim] + rc)[0]
+            near_hi = np.nonzero(pool[:, dim] >= self.hi[dim] - rc)[0]
+
+            left_out = pool[near_lo].copy()
+            right_out = pool[near_hi].copy()
+            # Periodic shift for images crossing the global boundary.
+            if self.coords[dim] == 0 and len(left_out):
+                left_out[:, dim] += self.box[dim]
+            if self.coords[dim] == self.rank_dims[dim] - 1 \
+                    and len(right_out):
+                right_out[:, dim] -= self.box[dim]
+
+            if self.rank_dims[dim] == 1:
+                # Self-images: both shifted copies become ghosts when
+                # the box is periodic in a single-rank dimension.
+                incoming = [left_out, right_out]
+                self_stage = True
+            else:
+                from_left, from_right = self._staged_exchange(
+                    dim, left_out, right_out, TAG_GHOST)
+                incoming = [from_left, from_right]
+                self_stage = False
+
+            base = len(self.pos) + len(ghosts)
+            n_l = len(incoming[0]) if incoming[0] is not None else 0
+            n_r = len(incoming[1]) if incoming[1] is not None else 0
+            self._stages.append({
+                "dim": dim, "self_stage": self_stage,
+                "sent_left": near_lo, "sent_right": near_hi,
+                "from_left": (base, base + n_l),
+                "from_right": (base + n_l, base + n_l + n_r),
+            })
+            for arr in incoming:
+                if arr is not None and len(arr):
+                    ghosts = np.concatenate([ghosts, arr]) \
+                        if len(ghosts) else arr.copy()
+        self.ghosts = ghosts
+
+    def reverse_comm(self, forces_pool: np.ndarray) -> np.ndarray:
+        """LAMMPS ``comm->reverse_comm()``: fold forces accumulated on
+        ghost copies back to the owners by unwinding the staged
+        exchange in reverse order (z, y, x).  Returns the owned-atom
+        force block with all contributions accumulated."""
+        for stage in reversed(self._stages):
+            lo_l, hi_l = stage["from_left"]
+            lo_r, hi_r = stage["from_right"]
+            back_left = forces_pool[lo_l:hi_l]    # return to left nbr
+            back_right = forces_pool[lo_r:hi_r]
+            if stage["self_stage"]:
+                # Self-images: the "from left" ghosts are my own
+                # near-lo copies, so their forces fold straight back.
+                got_left, got_right = back_left, back_right
+            else:
+                got_left, got_right = self._staged_exchange(
+                    stage["dim"], back_left, back_right, TAG_GHOST)
+            # What the left neighbor returned corresponds to the pool
+            # entries I sent left, and vice versa.
+            if got_left is not None and len(got_left):
+                np.add.at(forces_pool, stage["sent_left"], got_left)
+            if got_right is not None and len(got_right):
+                np.add.at(forces_pool, stage["sent_right"], got_right)
+        return forces_pool[:len(self.pos)]
+
+    # -- physics ----------------------------------------------------------------
+
+    def compute_forces(self) -> None:
+        """LJ forces on owned atoms.
+
+        newton off: full forces from owned + ghosts (each cross-rank
+        pair computed on both sides, no force communication).
+        newton on: each pair computed once — owned-owned pairs by index
+        order, owned-ghost pairs by lexicographic position tie-break —
+        with the ghost half folded back via :meth:`reverse_comm`.
+        """
+        all_pos = np.concatenate([self.pos, self.ghosts]) \
+            if len(self.ghosts) else self.pos
+        if not self.newton:
+            self.forces = lj_forces_celllist(self.pos, all_pos,
+                                             self.cutoff)
+            factor = 1.0
+        else:
+            pool_forces = self._half_forces(all_pos)
+            self.forces = self.reverse_comm(pool_forces)
+            factor = 0.5   # each pair computed once
+        pairs = len(self.pos) * pair_count_estimate(len(self.pos),
+                                                    self.density,
+                                                    self.cutoff)
+        self.comm.proc.charge_compute(
+            factor * pairs * FLOPS_PER_PAIR / self.flops_per_second)
+
+    def _half_forces(self, all_pos: np.ndarray) -> np.ndarray:
+        """Newton-on pair computation over the pool (owned first).
+
+        Pair (i owned, j) is evaluated when j is owned with j > i, or
+        j is a ghost whose position is lexicographically greater than
+        i's — so each physical pair is computed by exactly one rank.
+        Returns forces for the whole pool (ghost rows to be
+        reverse-communicated)."""
+        n_owned = len(self.pos)
+        n_pool = len(all_pos)
+        forces = np.zeros((n_pool, 3))
+        if n_owned == 0:
+            return forces
+        delta = self.pos[:, None, :] - all_pos[None, :, :]
+        r2 = np.einsum("ijk,ijk->ij", delta, delta)
+        within = (r2 > 1e-12) & (r2 < self.cutoff * self.cutoff)
+
+        idx = np.arange(n_pool)
+        owned_upper = idx[None, :n_owned] > np.arange(n_owned)[:, None]
+        mask_owned = within[:, :n_owned] & owned_upper
+
+        # Ghost tie-break: lexicographic (x, then y, then z).
+        gp = all_pos[n_owned:]
+        op = self.pos
+        if len(gp):
+            gx, ox = gp[None, :, 0], op[:, None, 0]
+            gy, oy = gp[None, :, 1], op[:, None, 1]
+            gz, oz = gp[None, :, 2], op[:, None, 2]
+            lex = ((ox < gx)
+                   | ((ox == gx) & (oy < gy))
+                   | ((ox == gx) & (oy == gy) & (oz < gz)))
+            mask_ghost = within[:, n_owned:] & lex
+            mask = np.concatenate([mask_owned, mask_ghost], axis=1)
+        else:
+            mask = mask_owned
+
+        from repro.apps.lammps.lj import _pair_force_factor
+        factor = np.zeros_like(r2)
+        if np.any(mask):
+            factor[mask] = _pair_force_factor(r2[mask], 1.0, 1.0)
+        pair_f = factor[:, :, None] * delta       # force on i from j
+        forces[:n_owned] += pair_f.sum(axis=1)
+        forces -= pair_f.sum(axis=0)              # reaction on j
+        return forces
+
+    def step(self) -> StepStats:
+        """One velocity-Verlet timestep; returns global thermo."""
+        if self.forces is None:
+            self.exchange_ghosts()
+            self.compute_forces()
+        dt = self.dt
+        self.vel += 0.5 * dt * self.forces
+        self.pos += dt * self.vel
+        self.migrate()
+        self.exchange_ghosts()
+        self.compute_forces()
+        self.vel += 0.5 * dt * self.forces
+        self.step_count += 1
+        return self.thermo()
+
+    def thermo(self) -> StepStats:
+        """Global kinetic/potential energy and temperature (allreduce)."""
+        all_pos = np.concatenate([self.pos, self.ghosts]) \
+            if len(self.ghosts) else self.pos
+        local_ke = 0.5 * float(np.sum(self.vel * self.vel))
+        local_pe = lj_potential_energy(self.pos, all_pos, self.cutoff)
+        local_n = len(self.pos)
+        ke, pe, n = self.comm.allreduce((local_ke, local_pe, local_n),
+                                        op=_TRIPLE_SUM)
+        temp = 2.0 * ke / (3.0 * max(n, 1))
+        return StepStats(step=self.step_count, temperature=temp,
+                         kinetic=ke, potential=pe)
+
+    @property
+    def natoms_local(self) -> int:
+        """Owned atoms on this rank."""
+        return len(self.pos)
+
+    def natoms_global(self) -> int:
+        """Total atoms (allreduce; conservation check)."""
+        return self.comm.allreduce(len(self.pos), op=reduceops.SUM)
+
+
+class _TripleSum:
+    """Elementwise-sum operator for (ke, pe, n) thermo triples."""
+
+    name = "TRIPLE_SUM"
+    commutative = True
+
+    @staticmethod
+    def combine_py(a, b):
+        return tuple(x + y for x, y in zip(a, b))
+
+
+_TRIPLE_SUM = _TripleSum()
+
+
+def run_lammps_proxy(comm: "Communicator", cells: tuple[int, int, int],
+                     nsteps: int, dt: float = 0.005,
+                     seed: int = 12345) -> list[StepStats]:
+    """Convenience driver: build the crystal, run *nsteps*, return the
+    per-step thermo trace (identical on every rank)."""
+    sim = LJSimulation(comm, cells, dt=dt, seed=seed)
+    return [sim.step() for _ in range(nsteps)]

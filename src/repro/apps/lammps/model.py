@@ -1,0 +1,159 @@
+"""BG/Q-scale strong-scaling model for Figure 8.
+
+The paper's run: a 3-million-atom FCC Lennard-Jones system, 512 to
+8192 BG/Q nodes, 16 MPI ranks/node (atoms/core 368 down to 23).
+Figure 8 shows timesteps/second and relative speedup: CH4 is faster
+everywhere, the speedup grows toward the strong-scaling limit, and
+"the MPICH/Original library completely stops scaling at 8,192 nodes".
+
+Per-timestep model for one rank (constants documented, test-pinned,
+tuned so the *shape* matches — see EXPERIMENTS.md for the shape-vs-
+absolute discussion):
+
+* compute — ``atoms/core * t_atom + t_step_fixed`` (pair forces plus
+  the per-step kernel/neighbor-list fixed costs that dominate at tiny
+  atom counts);
+* halo — 12 staged-exchange messages (6 directions x forward ghosts +
+  reverse forces) paying the device's per-message software overhead +
+  latency, plus ghost-data bandwidth, with the ghost count from LJ
+  geometry (ghost shells grow *relative to owned atoms* as the boxes
+  shrink — the "neighbor exchange communication bottleneck is
+  magnified");
+* thermo — one allreduce of ceil(log2 P) rounds;
+* CH3 matching penalty — CH3 walks its unexpected/posted queues
+  linearly per message; queue pressure scales with the ghost-to-owned
+  ratio, so the penalty explodes exactly at the strong-scaling limit.
+  This is the modeled mechanism behind Original's scaling collapse
+  (cf. the message-matching literature the paper cites [19]).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.apps.lammps.lattice import LJ_DENSITY
+from repro.fabric.model import BGQ_TORUS, FabricSpec
+from repro.perf.models import PROGRESS_INSTRUCTIONS, per_message_overhead_s
+
+#: The paper's node counts (16 ranks per node).
+NODE_COUNTS = (512, 1024, 2048, 4096, 8192)
+RANKS_PER_NODE = 16
+TOTAL_ATOMS = 3_014_656          # 512 nodes * 16 ranks * 368 atoms/core
+
+#: Issue-path instruction counts (default builds, Figure 2).
+ISSUE_INSTRUCTIONS = {"ch4": 221.0, "ch3": 253.0}
+
+
+@dataclass(frozen=True)
+class LammpsModel:
+    """Per-timestep time model."""
+
+    fabric: FabricSpec = field(default=BGQ_TORUS)
+    total_atoms: int = TOTAL_ATOMS
+    ranks_per_node: int = RANKS_PER_NODE
+    cutoff_sigma: float = 2.8          # LJ cutoff + neighbor skin
+    density: float = LJ_DENSITY
+    #: Pair-force time per owned atom (BG/Q core, ~40 neighbors).
+    t_atom_s: float = 11.0e-6
+    #: Per-step fixed kernel cost (neighbor list, integration, pack).
+    t_step_fixed_s: float = 240.0e-6
+    #: Staged-exchange messages per step (6 dirs x ghosts + forces).
+    halo_messages: int = 12
+    #: Per-message queue-walk cost per unit of ghost pressure — CH3's
+    #: linear unexpected/posted-queue search vs CH4's lightweight
+    #: matching path.
+    match_penalty_s: dict = field(
+        default_factory=lambda: {"ch3": 2.2e-6, "ch4": 0.3e-6})
+    progress_instructions: dict = field(
+        default_factory=lambda: dict(PROGRESS_INSTRUCTIONS))
+
+    # -- geometry ---------------------------------------------------------------
+
+    def atoms_per_core(self, nodes: int) -> float:
+        """Owned atoms per rank at *nodes* nodes."""
+        return self.total_atoms / (nodes * self.ranks_per_node)
+
+    def box_edge_sigma(self, nodes: int) -> float:
+        """Per-rank box edge in sigma units."""
+        return (self.atoms_per_core(nodes) / self.density) ** (1.0 / 3.0)
+
+    def ghost_atoms(self, nodes: int) -> float:
+        """Ghost atoms a rank imports per step (shell of thickness rc)."""
+        edge = self.box_edge_sigma(nodes)
+        rc = self.cutoff_sigma
+        return ((edge + 2.0 * rc) ** 3 - edge ** 3) * self.density
+
+    def ghost_pressure(self, nodes: int) -> float:
+        """Ghost-to-owned ratio — the strong-scaling stress metric."""
+        return self.ghost_atoms(nodes) / self.atoms_per_core(nodes)
+
+    # -- time terms -------------------------------------------------------------
+
+    def message_overhead_s(self, device: str) -> float:
+        """Per-message software overhead of *device* on this fabric."""
+        issue = ISSUE_INSTRUCTIONS[device]
+        return per_message_overhead_s(
+            issue, self.fabric,
+            progress_instructions=self.progress_instructions[device])
+
+    def compute_s(self, nodes: int) -> float:
+        """Per-timestep compute time per rank."""
+        return (self.atoms_per_core(nodes) * self.t_atom_s
+                + self.t_step_fixed_s)
+
+    def comm_s(self, nodes: int, device: str) -> float:
+        """Per-timestep communication time per rank."""
+        spec = self.fabric
+        o = self.message_overhead_s(device)
+        ghost_bytes = self.ghost_atoms(nodes) * 24.0   # 3 doubles/atom
+        halo = (self.halo_messages * (o + spec.latency_s)
+                + ghost_bytes / spec.bandwidth_Bps)
+        nranks = nodes * self.ranks_per_node
+        allreduce = math.ceil(math.log2(nranks)) * (o + spec.latency_s)
+        return (halo + allreduce
+                + self.halo_messages * self.match_penalty_s[device]
+                * self.ghost_pressure(nodes))
+
+    def step_s(self, nodes: int, device: str) -> float:
+        """Full per-timestep time per rank."""
+        return self.compute_s(nodes) + self.comm_s(nodes, device)
+
+    # -- Figure 8 quantities -------------------------------------------------------
+
+    def timesteps_per_second(self, nodes: int, device: str) -> float:
+        """Figure 8 left axis."""
+        return 1.0 / self.step_s(nodes, device)
+
+    def speedup_percent(self, nodes: int) -> float:
+        """Figure 8 right axis: CH4 over Original, percent."""
+        return 100.0 * (self.timesteps_per_second(nodes, "ch4")
+                        / self.timesteps_per_second(nodes, "ch3") - 1.0)
+
+    def efficiency(self, nodes: int, device: str,
+                   base_nodes: int | None = None) -> float:
+        """Strong-scaling efficiency relative to the smallest run."""
+        base = base_nodes if base_nodes is not None else NODE_COUNTS[0]
+        t_base = self.step_s(base, device)
+        t = self.step_s(nodes, device)
+        return (t_base * base) / (t * nodes)
+
+
+def figure8_series(model: LammpsModel | None = None,
+                   node_counts: Sequence[int] = NODE_COUNTS) -> dict:
+    """Figure 8 as plain data: per node count, both devices'
+    timesteps/second and efficiency, plus the CH4 speedup percent."""
+    m = model if model is not None else LammpsModel()
+    rows = []
+    for nodes in node_counts:
+        rows.append({
+            "nodes": nodes,
+            "atoms_per_core": m.atoms_per_core(nodes),
+            "ch4_steps_per_s": m.timesteps_per_second(nodes, "ch4"),
+            "ch3_steps_per_s": m.timesteps_per_second(nodes, "ch3"),
+            "ch4_efficiency": m.efficiency(nodes, "ch4"),
+            "ch3_efficiency": m.efficiency(nodes, "ch3"),
+            "speedup_percent": m.speedup_percent(nodes),
+        })
+    return {"rows": rows}

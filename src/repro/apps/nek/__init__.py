@@ -1,0 +1,40 @@
+"""Nek5000 proxy: spectral-element mass-matrix inversion (Figure 7).
+
+The paper's model problem: "solve the linear system Bu = f using
+conjugate gradient iteration, where B is the mass matrix associated
+with a spectral element discretization comprising E elements of order
+N covering the unit cube, for a problem size of n ~= E N^3 grid
+points".
+
+Components:
+
+* :mod:`repro.apps.nek.sem` — Gauss-Lobatto-Legendre quadrature and
+  the (diagonal) spectral-element mass matrix;
+* :mod:`repro.apps.nek.mesh` — the tensor-product brick mesh and its
+  block decomposition over ranks;
+* :mod:`repro.apps.nek.gs` — the gather-scatter (direct-stiffness
+  summation) operator with its neighbor exchange;
+* :mod:`repro.apps.nek.cg` — the distributed CG solver running on the
+  runtime;
+* :mod:`repro.apps.nek.model` — the Cetus-scale (16384-rank)
+  performance model behind Figure 7's three panels.
+"""
+
+from repro.apps.nek.sem import gll_points_weights, element_mass_diag
+from repro.apps.nek.mesh import BoxDecomposition, RankPatch
+from repro.apps.nek.gs import GatherScatter
+from repro.apps.nek.cg import MassMatrixProblem, cg_solve, run_nek_cg
+from repro.apps.nek.model import NekModel, figure7_series
+
+__all__ = [
+    "gll_points_weights",
+    "element_mass_diag",
+    "BoxDecomposition",
+    "RankPatch",
+    "GatherScatter",
+    "MassMatrixProblem",
+    "cg_solve",
+    "run_nek_cg",
+    "NekModel",
+    "figure7_series",
+]

@@ -1,0 +1,172 @@
+"""Distributed conjugate-gradient mass-matrix inversion.
+
+The model problem of the paper's Section 4.3: solve ``B u = f`` where
+B is the assembled spectral-element mass matrix.  The matrix is applied
+element-wise (local diagonal multiply) followed by gather-scatter —
+one neighbor exchange per iteration — and CG's two dot products each
+cost an allreduce.  Per-iteration communication therefore matches
+Nek5000's: halo + 2 small allreduces, the pattern whose latency
+sensitivity Figure 7 probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.apps.nek.gs import GatherScatter
+from repro.apps.nek.mesh import BoxDecomposition, RankPatch
+from repro.apps.nek.sem import element_flops_per_point, element_mass_diag
+from repro.mpi import reduceops
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.comm import Communicator
+
+#: Modeled sustained per-rank compute throughput used to convert flop
+#: counts into virtual compute time (BG/Q-class core).
+DEFAULT_FLOPS_PER_SECOND = 2.0e9
+
+
+class MassMatrixProblem:
+    """Per-rank state of the Bu = f solve."""
+
+    def __init__(self, comm: "Communicator", decomp: BoxDecomposition,
+                 use_global_ranks: bool = False,
+                 flops_per_second: float = DEFAULT_FLOPS_PER_SECOND):
+        self.comm = comm
+        self.decomp = decomp
+        self.patch = RankPatch(decomp, comm.rank)
+        self.gs = GatherScatter(comm, self.patch, use_global_ranks)
+        self.flops_per_second = flops_per_second
+
+        # Element mass diagonal (unit cube => element side 1/E_d; use
+        # the x-dimension count for the isotropic element size).
+        h = 1.0 / decomp.elem_dims[0]
+        self._elem_mass = element_mass_diag(decomp.order, h)
+
+        # Assembled local mass diagonal (before cross-rank summation).
+        local = self.patch.alloc()
+        for slices in self.patch.element_slices():
+            local[slices] += self._elem_mass
+        #: Fully assembled global mass diagonal restricted to the patch.
+        self.mass_diag = self.gs(local)
+        #: Point multiplicity (for weighted dot products).
+        self.mult = self.gs.multiplicity()
+        self._inv_mult = 1.0 / self.mult
+        self._flops_per_matvec = (self.patch.nelems
+                                  * (decomp.order + 1) ** 3
+                                  * element_flops_per_point(decomp.order))
+
+    # -- the operator -------------------------------------------------------
+
+    def matvec(self, u: np.ndarray) -> np.ndarray:
+        """``B u``: element-wise diagonal multiply, then gather-scatter.
+
+        Functionally equal to ``mass_diag * u`` (B is diagonal once
+        assembled) but performed the way Nek5000 performs it — through
+        the element space and a neighbor exchange — so the
+        communication pattern is faithful."""
+        w = self.patch.alloc()
+        for slices in self.patch.element_slices():
+            w[slices] += self._elem_mass * u[slices]
+        self.comm.proc.charge_compute(
+            self._flops_per_matvec / self.flops_per_second)
+        return self.gs(w)
+
+    def dot(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Globally consistent inner product over unique grid points
+        (replicated points down-weighted by multiplicity); one
+        allreduce."""
+        local = float(np.sum(a * b * self._inv_mult))
+        self.comm.proc.charge_compute(
+            3.0 * a.size / self.flops_per_second)
+        return self.comm.allreduce(local, op=reduceops.SUM)
+
+    def exact_solution(self, f: np.ndarray) -> np.ndarray:
+        """B is diagonal: the exact solution is f / diag(B)."""
+        return f / self.mass_diag
+
+
+@dataclass
+class CGResult:
+    """Outcome of one CG solve."""
+
+    iterations: int
+    residual_norm: float
+    converged: bool
+    solution: np.ndarray = field(repr=False)
+    vtime_s: float = 0.0
+
+
+def cg_solve(problem: MassMatrixProblem, f: np.ndarray,
+             tol: float = 1e-10, max_iter: int = 200) -> CGResult:
+    """Unpreconditioned conjugate gradients on ``B u = f``.
+
+    *f* must be globally consistent (same value on every copy of a
+    replicated point).  Two allreduces per iteration, exactly like
+    Nek5000's CG loop.
+    """
+    comm = problem.comm
+    t0 = comm.proc.vclock.now
+    u = problem.patch.alloc()
+    r = f.copy()
+    p = r.copy()
+    rr = problem.dot(r, r)
+    if rr == 0.0:
+        return CGResult(0, 0.0, True, u,
+                        comm.proc.vclock.now - t0)
+    tol2 = tol * tol * rr
+
+    iterations = 0
+    for k in range(1, max_iter + 1):
+        w = problem.matvec(p)
+        pap = problem.dot(p, w)
+        alpha = rr / pap
+        u += alpha * p
+        r -= alpha * w
+        rr_new = problem.dot(r, r)
+        iterations = k
+        if rr_new <= tol2:
+            rr = rr_new
+            break
+        beta = rr_new / rr
+        p = r + beta * p
+        rr = rr_new
+
+    return CGResult(iterations=iterations,
+                    residual_norm=float(np.sqrt(rr)),
+                    converged=rr <= tol2,
+                    solution=u,
+                    vtime_s=comm.proc.vclock.now - t0)
+
+
+def run_nek_cg(comm: "Communicator", nelems: int, order: int,
+               tol: float = 1e-10, max_iter: int = 200,
+               use_global_ranks: bool = False,
+               seed: int = 7) -> CGResult:
+    """Convenience driver: balanced decomposition, smooth right-hand
+    side, CG solve.  Returns this rank's :class:`CGResult`."""
+    decomp = BoxDecomposition.balanced(nelems, comm.size, order)
+    problem = MassMatrixProblem(comm, decomp,
+                                use_global_ranks=use_global_ranks)
+    patch = problem.patch
+
+    # A globally consistent smooth RHS: f(x,y,z) evaluated at global
+    # point coordinates (identical on every copy of a shared point).
+    n = order
+    gx = (np.arange(patch.point_lo[0], patch.point_hi[0] + 1)
+          / (decomp.elem_dims[0] * n))
+    gy = (np.arange(patch.point_lo[1], patch.point_hi[1] + 1)
+          / (decomp.elem_dims[1] * n))
+    gz = (np.arange(patch.point_lo[2], patch.point_hi[2] + 1)
+          / (decomp.elem_dims[2] * n))
+    f = (np.sin(np.pi * gx)[:, None, None]
+         * np.cos(np.pi * gy)[None, :, None]
+         * (1.0 + gz)[None, None, :])
+    # Scale by the assembled mass diagonal so f is in the operator's
+    # range with healthy magnitudes.
+    f = f * problem.mass_diag
+
+    return cg_solve(problem, f, tol=tol, max_iter=max_iter)

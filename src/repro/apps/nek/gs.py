@@ -1,0 +1,189 @@
+"""The gather-scatter operator (Nek5000's ``gs``/direct-stiffness sum).
+
+``gs(u)`` replaces every replicated grid point's value with the sum of
+its copies across all ranks.  Implementation: every rank exchanges its
+*pre-exchange* boundary values with each touching neighbor (up to 26)
+and adds what it receives — each pair of copies meets exactly once, so
+every rank ends with the full sum.  This is the per-CG-iteration
+communication of the paper's Figure 7 experiment.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.apps.nek.mesh import RankPatch
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.comm import Communicator
+
+#: Internal tag for gather-scatter traffic (below TAG_UB; user codes
+#: conventionally stay below 1<<16).
+GS_TAG = (1 << 19) + 7
+
+
+class GatherScatter:
+    """Precomputed neighbor exchange for one rank's patch.
+
+    Parameters
+    ----------
+    comm:
+        Communicator whose ranks map one-to-one onto decomposition
+        ranks (rank i of the comm owns patch i).
+    patch:
+        This rank's :class:`~repro.apps.nek.mesh.RankPatch`.
+    use_global_ranks:
+        When True, neighbor sends use the paper's §3.1
+        ``isend_global`` extension with pre-translated world ranks —
+        the optimization Figure 7's "Lite" curves benefit from.
+    """
+
+    def __init__(self, comm: "Communicator", patch: RankPatch,
+                 use_global_ranks: bool = False,
+                 use_datatypes: bool = False,
+                 use_persistent: bool = False):
+        if comm.size != patch.decomp.nranks:
+            raise ValueError(
+                f"communicator has {comm.size} ranks, decomposition needs "
+                f"{patch.decomp.nranks}")
+        if comm.rank != patch.rank:
+            raise ValueError(
+                f"patch {patch.rank} handled by comm rank {comm.rank}")
+        self.comm = comm
+        self.patch = patch
+        self.use_global_ranks = use_global_ranks
+        #: When True, boundary regions travel as MPI subarray datatypes
+        #: built once here in setup — the Class-1 usage pattern the
+        #: paper's §2.2 survey found in HACC and MCB ("in the setup
+        #: phase and not the performance-critical path"); False uses
+        #: explicit contiguous copies, like Nek5000's own gs library.
+        self.use_datatypes = use_datatypes
+        #: (neighbor comm rank, neighbor world rank, local slices)
+        self.exchanges: list[tuple[int, int, tuple]] = []
+        for nbr_rank, _offset in patch.neighbor_ranks():
+            region = patch.shared_region(nbr_rank)
+            if region is not None:
+                self.exchanges.append(
+                    (nbr_rank, comm.world_rank_of(nbr_rank), region))
+        self._region_types = None
+        if use_datatypes:
+            from repro.datatypes import subarray
+            from repro.datatypes.predefined import DOUBLE
+            self._region_types = []
+            for _nbr, _wr, region in self.exchanges:
+                sizes = list(patch.shape)
+                subsizes = [s.stop - s.start for s in region]
+                starts = [s.start for s in region]
+                dt = subarray(sizes, subsizes, starts, DOUBLE).commit()
+                self._region_types.append(dt)
+
+        #: Persistent-request variant: preallocated edge buffers plus
+        #: MPI_SEND_INIT/RECV_INIT pairs built once in setup — the
+        #: in-standard amortization Nek-style codes use for their fixed
+        #: per-iteration exchange patterns.
+        self.use_persistent = use_persistent
+        if use_persistent:
+            if use_datatypes:
+                raise ValueError(
+                    "use_persistent and use_datatypes are exclusive")
+            self._persist = []
+            for nbr, _wr, region in self.exchanges:
+                shape = tuple(s.stop - s.start for s in region)
+                out = np.zeros(shape)
+                inc = np.zeros(shape)
+                self._persist.append(
+                    (region, out, inc,
+                     comm.Send_init(out, dest=nbr, tag=GS_TAG),
+                     comm.Recv_init(inc, source=nbr, tag=GS_TAG)))
+
+    @property
+    def n_neighbors(self) -> int:
+        """Touching neighbors (messages per gs call, each direction)."""
+        return len(self.exchanges)
+
+    def __call__(self, u: np.ndarray) -> np.ndarray:
+        """In-place gather-scatter; returns *u* for chaining."""
+        if u.shape != self.patch.shape:
+            raise ValueError(
+                f"field shape {u.shape} does not match patch "
+                f"{self.patch.shape}")
+        if not self.exchanges:
+            return u
+
+        if self.use_datatypes:
+            return self._exchange_datatypes(u)
+        if self.use_persistent:
+            return self._exchange_persistent(u)
+
+        # Snapshot boundary values BEFORE any addition so each pairwise
+        # exchange carries pre-gs copies.
+        outgoing = [np.ascontiguousarray(u[region])
+                    for _, _, region in self.exchanges]
+
+        recv_reqs = []
+        recv_bufs = []
+        for (nbr, _wr, _region), out in zip(self.exchanges, outgoing):
+            buf = np.empty_like(out)
+            recv_bufs.append(buf)
+            recv_reqs.append(self.comm.Irecv(buf, source=nbr, tag=GS_TAG))
+
+        send_reqs = []
+        for (nbr, nbr_world, _region), out in zip(self.exchanges, outgoing):
+            if self.use_global_ranks:
+                send_reqs.append(
+                    self.comm.isend_global(out, nbr_world, tag=GS_TAG))
+            else:
+                send_reqs.append(self.comm.Isend(out, nbr, tag=GS_TAG))
+
+        for req, buf, (_nbr, _wr, region) in zip(recv_reqs, recv_bufs,
+                                                 self.exchanges):
+            req.wait()
+            u[region] += buf
+        for req in send_reqs:
+            req.wait()
+        return u
+
+    def _exchange_persistent(self, u: np.ndarray) -> np.ndarray:
+        """Persistent-request exchange: refill the preallocated edge
+        buffers and MPI_START the fixed request set."""
+        # Start all receives first, then fill + start sends.
+        for _region, _out, _inc, _sreq, rreq in self._persist:
+            rreq.start()
+        for region, out, _inc, sreq, _rreq in self._persist:
+            out[...] = u[region]
+            sreq.start()
+        for region, _out, inc, sreq, rreq in self._persist:
+            rreq.wait()
+            u[region] += inc
+            sreq.wait()
+        return u
+
+    def _exchange_datatypes(self, u: np.ndarray) -> np.ndarray:
+        """Derived-datatype variant: ship each boundary region straight
+        out of (and back into a temp of) the full field with the
+        subarray types built at setup — no explicit packing code."""
+        # Snapshot so every send carries pre-gs values.
+        snapshot = u.copy()
+        recvs = []
+        for (nbr, _wr, region), dt in zip(self.exchanges,
+                                          self._region_types):
+            tmp = np.zeros_like(u)
+            req = self.comm.Irecv((tmp, 1, dt), source=nbr, tag=GS_TAG)
+            recvs.append((req, tmp, region))
+        sends = [self.comm.Isend((snapshot, 1, dt), nbr, tag=GS_TAG)
+                 for (nbr, _wr, _region), dt in zip(self.exchanges,
+                                                    self._region_types)]
+        for req, tmp, region in recvs:
+            req.wait()
+            u[region] += tmp[region]
+        for req in sends:
+            req.wait()
+        return u
+
+    def multiplicity(self) -> np.ndarray:
+        """How many ranks hold each local point (gs of ones) — the
+        weight for globally consistent dot products."""
+        ones = np.ones(self.patch.shape, dtype=np.float64)
+        return self(ones)

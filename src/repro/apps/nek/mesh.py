@@ -1,0 +1,211 @@
+"""Tensor-product brick mesh and its block decomposition over ranks.
+
+"The underlying mesh is a tensor product array of brick elements, each
+of order N, and the problem is perfectly load balanced" — elements
+form an (Ex, Ey, Ez) grid over the unit cube; ranks form a (Px, Py,
+Pz) grid; each rank owns a contiguous block of elements.  Grid points
+on inter-rank block faces are *replicated* on every touching rank;
+gather-scatter sums their copies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+
+def factor3(n: int) -> tuple[int, int, int]:
+    """Factor *n* into three near-equal dimensions (largest first)."""
+    if n <= 0:
+        raise ValueError(f"cannot factor non-positive {n}")
+    best = (n, 1, 1)
+    best_score = n + 2
+    for a in range(1, int(round(n ** (1 / 3))) + 2):
+        if n % a:
+            continue
+        m = n // a
+        for b in range(a, int(math.isqrt(m)) + 1):
+            if m % b:
+                continue
+            c = m // b
+            score = c - a   # minimize spread
+            if score < best_score:
+                best_score = score
+                best = (c, b, a)
+    return best
+
+
+def _block_bounds(total: int, parts: int, index: int) -> tuple[int, int]:
+    """Balanced 1-D partition: bounds [lo, hi) of block *index*."""
+    base, rem = divmod(total, parts)
+    lo = index * base + min(index, rem)
+    hi = lo + base + (1 if index < rem else 0)
+    return lo, hi
+
+
+@dataclass(frozen=True)
+class BoxDecomposition:
+    """The global element grid and the rank grid over it.
+
+    Parameters
+    ----------
+    elem_dims:
+        (Ex, Ey, Ez) element counts; E = Ex*Ey*Ez.
+    rank_dims:
+        (Px, Py, Pz) rank counts; P = Px*Py*Pz.
+    order:
+        Spectral order N.
+    """
+
+    elem_dims: tuple[int, int, int]
+    rank_dims: tuple[int, int, int]
+    order: int
+
+    def __post_init__(self):
+        for e, p in zip(self.elem_dims, self.rank_dims):
+            if e <= 0 or p <= 0:
+                raise ValueError("element/rank dims must be positive")
+            if e < p:
+                raise ValueError(
+                    f"fewer elements than ranks in one dimension: "
+                    f"{self.elem_dims} vs {self.rank_dims}")
+        if self.order < 1:
+            raise ValueError(f"order must be >= 1, got {self.order}")
+
+    @classmethod
+    def balanced(cls, nelems: int, nranks: int,
+                 order: int) -> "BoxDecomposition":
+        """Factor element and rank counts into near-cubic grids."""
+        return cls(factor3(nelems), factor3(nranks), order)
+
+    @property
+    def nelems(self) -> int:
+        """Total element count E."""
+        ex, ey, ez = self.elem_dims
+        return ex * ey * ez
+
+    @property
+    def nranks(self) -> int:
+        """Total rank count P."""
+        px, py, pz = self.rank_dims
+        return px * py * pz
+
+    @property
+    def npoints_global(self) -> int:
+        """Unique global grid points: prod(E_d * N + 1)."""
+        n = self.order
+        out = 1
+        for e in self.elem_dims:
+            out *= e * n + 1
+        return out
+
+    def rank_coords(self, rank: int) -> tuple[int, int, int]:
+        """Rank-grid coordinates of *rank* (x fastest)."""
+        px, py, _pz = self.rank_dims
+        return (rank % px, (rank // px) % py, rank // (px * py))
+
+    def rank_of_coords(self, coords: tuple[int, int, int]) -> int:
+        """Inverse of :meth:`rank_coords`."""
+        px, py, _pz = self.rank_dims
+        cx, cy, cz = coords
+        return cx + px * (cy + py * cz)
+
+    def elem_block(self, rank: int) -> tuple[tuple[int, int], ...]:
+        """Per-dimension element bounds [lo, hi) owned by *rank*."""
+        coords = self.rank_coords(rank)
+        return tuple(_block_bounds(e, p, c)
+                     for e, p, c in zip(self.elem_dims, self.rank_dims,
+                                        coords))
+
+    def patch(self, rank: int) -> "RankPatch":
+        """Build the rank's local point patch."""
+        return RankPatch(self, rank)
+
+
+class RankPatch:
+    """One rank's contiguous sub-grid of global points.
+
+    The patch covers points ``[e_lo*N, e_hi*N]`` inclusive in each
+    dimension — boundary points are shared with (replicated on)
+    neighboring ranks.
+    """
+
+    def __init__(self, decomp: BoxDecomposition, rank: int):
+        self.decomp = decomp
+        self.rank = rank
+        n = decomp.order
+        self.elem_bounds = decomp.elem_block(rank)
+        #: Inclusive global point ranges per dimension.
+        self.point_lo = tuple(lo * n for lo, _ in self.elem_bounds)
+        self.point_hi = tuple(hi * n for _, hi in self.elem_bounds)
+        #: Local 3-D shape (points per dimension).
+        self.shape = tuple(hi - lo + 1
+                           for lo, hi in zip(self.point_lo, self.point_hi))
+        #: Elements per dimension in this block.
+        self.elems = tuple(hi - lo for lo, hi in self.elem_bounds)
+
+    @property
+    def npoints(self) -> int:
+        """Local (replicated-inclusive) point count."""
+        sx, sy, sz = self.shape
+        return sx * sy * sz
+
+    @property
+    def nelems(self) -> int:
+        """Elements owned by this rank."""
+        ex, ey, ez = self.elems
+        return ex * ey * ez
+
+    def alloc(self) -> np.ndarray:
+        """A zeroed local field."""
+        return np.zeros(self.shape, dtype=np.float64)
+
+    def element_slices(self) -> Iterator[tuple[slice, slice, slice]]:
+        """Local point slices of each owned element, x-fastest order."""
+        n = self.decomp.order
+        ex, ey, ez = self.elems
+        for kz in range(ez):
+            for ky in range(ey):
+                for kx in range(ex):
+                    yield (slice(kx * n, kx * n + n + 1),
+                           slice(ky * n, ky * n + n + 1),
+                           slice(kz * n, kz * n + n + 1))
+
+    def neighbor_ranks(self) -> list[tuple[int, tuple[int, int, int]]]:
+        """All 26-neighborhood ranks as (rank, offset) pairs."""
+        coords = self.decomp.rank_coords(self.rank)
+        out = []
+        for dz in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for dx in (-1, 0, 1):
+                    if dx == dy == dz == 0:
+                        continue
+                    nbr = (coords[0] + dx, coords[1] + dy, coords[2] + dz)
+                    if all(0 <= c < d for c, d
+                           in zip(nbr, self.decomp.rank_dims)):
+                        out.append((self.decomp.rank_of_coords(nbr),
+                                    (dx, dy, dz)))
+        return out
+
+    def shared_region(self, other_rank: int
+                      ) -> tuple[slice, slice, slice] | None:
+        """Local slices of the points shared with *other_rank*, or None
+        when the two patches do not touch."""
+        other = RankPatch(self.decomp, other_rank)
+        slices = []
+        for d in range(3):
+            lo = max(self.point_lo[d], other.point_lo[d])
+            hi = min(self.point_hi[d], other.point_hi[d])
+            if lo > hi:
+                return None
+            slices.append(slice(lo - self.point_lo[d],
+                                hi - self.point_lo[d] + 1))
+        return tuple(slices)
+
+    def global_coords(self, local_index: tuple[int, int, int]
+                      ) -> tuple[int, int, int]:
+        """Global point coordinates of a local index (tests)."""
+        return tuple(lo + i for lo, i in zip(self.point_lo, local_index))

@@ -1,0 +1,76 @@
+"""Spectral-element building blocks: GLL quadrature, diagonal mass.
+
+With Gauss-Lobatto-Legendre collocation the spectral-element mass
+matrix is diagonal: the entry of a 3-D tensor node (i, j, k) on an
+element of side h is ``w_i w_j w_k (h/2)^3``.  Inverting the
+*assembled* mass matrix still requires the gather-scatter operator
+(shared-face summation), which is exactly why Nek5000 uses this solve
+as its communication-sensitive model problem.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+from numpy.polynomial import legendre as npleg
+
+
+@lru_cache(maxsize=64)
+def gll_points_weights(order: int) -> tuple[np.ndarray, np.ndarray]:
+    """Gauss-Lobatto-Legendre points and weights on [-1, 1].
+
+    Parameters
+    ----------
+    order:
+        Polynomial order N (the paper's N in {3, 5, 7}); returns
+        ``N + 1`` points including both endpoints.
+
+    Returns
+    -------
+    (points, weights):
+        Arrays of length ``order + 1``; points ascending, weights
+        ``w_i = 2 / (N (N+1) P_N(x_i)^2)``.
+    """
+    n = order
+    if n < 1:
+        raise ValueError(f"order must be >= 1, got {n}")
+    if n == 1:
+        return np.array([-1.0, 1.0]), np.array([1.0, 1.0])
+
+    # Interior GLL nodes are the roots of P_N'(x).
+    coeffs = np.zeros(n + 1)
+    coeffs[n] = 1.0
+    dcoeffs = npleg.legder(coeffs)
+    interior = npleg.legroots(dcoeffs)
+    pts = np.concatenate(([-1.0], np.sort(interior.real), [1.0]))
+
+    pn = npleg.legval(pts, coeffs)
+    wts = 2.0 / (n * (n + 1) * pn**2)
+    return pts, wts
+
+
+def element_mass_diag(order: int, h: float = 1.0) -> np.ndarray:
+    """Diagonal of the 3-D element mass matrix, shape (N+1, N+1, N+1).
+
+    *h* is the element side length; the Jacobian of the reference-to-
+    physical map contributes ``(h/2)^3``.
+    """
+    _, w = gll_points_weights(order)
+    jac = (h / 2.0) ** 3
+    return jac * (w[:, None, None] * w[None, :, None] * w[None, None, :])
+
+
+def element_flops_per_point(order: int) -> float:
+    """Modeled floating-point work per grid point of one mass-matrix
+    application, including the small-N inefficiency the paper notes.
+
+    The diagonal multiply itself is O(1) per point, but Nek5000's
+    kernels pay per-element tensor-contraction setup and, for small N,
+    "caching and vectorization strategies ... but also the O(M^3 N)
+    interpolation overhead, which is large when N is small".  We model
+    the per-point cost as ``base * (1 + c / N^2)``.
+    """
+    base = 24.0          # flops/point for the assembled operator apply
+    small_n_penalty = 40.0
+    return base * (1.0 + small_n_penalty / (order * order))

@@ -1,0 +1,263 @@
+"""Five-point stencil on a Cartesian grid — the paper's running example.
+
+Section 3.1 proposes exactly this usage: "a five-point stencil
+computation on a Cartesian grid where the application could simply
+store the MPI_COMM_WORLD ranks of its north, south, east, and west
+neighbors in four separate variables and use those for the appropriate
+communication"; Section 3.4's MPI_PROC_NULL discussion is about the
+boundary ranks of the same pattern.
+
+:class:`StencilGrid` runs Jacobi iterations of the 2-D Laplace
+equation over a (Px, Py) rank grid with three send flavours:
+
+* ``mode="standard"`` — MPI_ISEND to communicator ranks, boundary
+  neighbors expressed as MPI_PROC_NULL (the convenient, slower form);
+* ``mode="npn"`` — the application branches on PROC_NULL itself and
+  uses ``isend_npn`` (§3.4's migration recipe);
+* ``mode="global"`` — pre-translated world ranks via ``isend_global``
+  plus the PROC_NULL branch (§3.1 + §3.4 together);
+* ``mode="rma"`` — one-sided halos: each rank PUTs its edges directly
+  into the neighbors' halo cells (derived subarray target datatypes —
+  the non-contiguous RMA case the paper's netmod walkthrough uses as
+  its AM-fallback example) inside fence epochs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.consts import PROC_NULL
+from repro.errors import MPIErrArg
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.comm import Communicator
+
+TAG_HALO = (1 << 19) + 31
+
+MODES = ("standard", "npn", "global", "rma")
+
+
+class StencilGrid:
+    """One rank's block of the global grid.
+
+    Parameters
+    ----------
+    comm:
+        Communicator of exactly ``px * py`` ranks.
+    rank_dims:
+        (Px, Py) rank grid.
+    local_shape:
+        Interior points per rank (ny, nx); the global grid is
+        ``(py*ny, px*nx)`` with fixed boundary values.
+    mode:
+        Send flavour, see module docstring.
+    """
+
+    def __init__(self, comm: "Communicator", rank_dims: tuple[int, int],
+                 local_shape: tuple[int, int] = (16, 16),
+                 mode: str = "standard"):
+        px, py = rank_dims
+        if px * py != comm.size:
+            raise MPIErrArg(
+                f"rank grid {rank_dims} needs {px * py} ranks, "
+                f"communicator has {comm.size}")
+        if mode not in MODES:
+            raise MPIErrArg(f"mode must be one of {MODES}, got {mode!r}")
+        self.comm = comm
+        self.mode = mode
+        self.px, self.py = px, py
+        self.cx = comm.rank % px
+        self.cy = comm.rank // px
+        ny, nx = local_shape
+        #: Interior + one halo layer on each side.
+        self.u = np.zeros((ny + 2, nx + 2), dtype=np.float64)
+
+        def nbr(cx: int, cy: int) -> int:
+            if 0 <= cx < px and 0 <= cy < py:
+                return cy * px + cx
+            return PROC_NULL
+
+        #: Communicator ranks (PROC_NULL at physical boundaries).
+        self.west = nbr(self.cx - 1, self.cy)
+        self.east = nbr(self.cx + 1, self.cy)
+        self.north = nbr(self.cx, self.cy - 1)
+        self.south = nbr(self.cx, self.cy + 1)
+        #: §3.1 recipe: pre-translated MPI_COMM_WORLD ranks, stored
+        #: once in "four separate variables".
+        self.west_w = self._world(self.west)
+        self.east_w = self._world(self.east)
+        self.north_w = self._world(self.north)
+        self.south_w = self._world(self.south)
+
+        self._win = None
+        if mode == "rma":
+            self._setup_rma()
+
+    def _setup_rma(self) -> None:
+        """Expose the whole field (halos included) as a window and
+        build the target subarray datatypes once, in setup."""
+        from repro.datatypes import subarray
+        from repro.datatypes.predefined import DOUBLE
+        from repro.mpi.rma import Window
+
+        self._win = Window.create(self.comm, self.u, disp_unit=8)
+        ny2, nx2 = self.u.shape
+        # Where MY edge lands in the NEIGHBOR's array.
+        self._rma_targets = {
+            # my west edge -> neighbor's east halo column
+            "west": (self.west, subarray([ny2, nx2], [ny2 - 2, 1],
+                                         [1, nx2 - 1], DOUBLE).commit()),
+            "east": (self.east, subarray([ny2, nx2], [ny2 - 2, 1],
+                                         [1, 0], DOUBLE).commit()),
+            # my north edge -> neighbor's south halo row
+            "north": (self.north, subarray([ny2, nx2], [1, nx2 - 2],
+                                           [ny2 - 1, 1], DOUBLE).commit()),
+            "south": (self.south, subarray([ny2, nx2], [1, nx2 - 2],
+                                           [0, 1], DOUBLE).commit()),
+        }
+
+    def _exchange_rma(self) -> None:
+        """One-sided halo exchange inside a fence epoch."""
+        from repro.datatypes.predefined import DOUBLE
+        u = self.u
+        edges = {
+            "west": np.ascontiguousarray(u[1:-1, 1]),
+            "east": np.ascontiguousarray(u[1:-1, -2]),
+            "north": np.ascontiguousarray(u[1, 1:-1]),
+            "south": np.ascontiguousarray(u[-2, 1:-1]),
+        }
+        self._win.fence()
+        for name, (target, target_dt) in self._rma_targets.items():
+            if target == PROC_NULL:
+                continue
+            edge = edges[name]
+            self._win.put((edge, edge.size, DOUBLE), target_rank=target,
+                          target_disp=0, target=(1, target_dt))
+        self._win.fence()
+
+    def _world(self, comm_rank: int) -> int:
+        if comm_rank == PROC_NULL:
+            return PROC_NULL
+        return self.comm.world_rank_of(comm_rank)
+
+    # -- boundary conditions ---------------------------------------------------
+
+    def set_dirichlet(self, top: float = 1.0, bottom: float = 0.0,
+                      left: float = 0.0, right: float = 0.0) -> None:
+        """Fixed values on the *global* boundary halos."""
+        if self.cy == 0:
+            self.u[0, :] = top
+        if self.cy == self.py - 1:
+            self.u[-1, :] = bottom
+        if self.cx == 0:
+            self.u[:, 0] = left
+        if self.cx == self.px - 1:
+            self.u[:, -1] = right
+
+    # -- halo exchange -----------------------------------------------------------
+
+    def _send(self, buf: np.ndarray, dest: int, dest_world: int):
+        """One halo send in the configured flavour; returns the request
+        (or None when the standard path swallowed a PROC_NULL)."""
+        if self.mode == "standard":
+            return self.comm.Isend(buf, dest, tag=TAG_HALO)
+        # The extension flavours branch on PROC_NULL themselves —
+        # exactly the application-side trade the paper describes.
+        if dest == PROC_NULL:
+            return None
+        if self.mode == "npn":
+            return self.comm.isend_npn(buf, dest, tag=TAG_HALO)
+        return self.comm.isend_global(buf, dest_world, tag=TAG_HALO)
+
+    def exchange_halos(self) -> None:
+        """Post all four receives, send all four edges, wait (or run
+        the one-sided exchange in rma mode)."""
+        if self.mode == "rma":
+            self._exchange_rma()
+            return
+        u = self.u
+        recvs = []
+        bufs = {}
+        for name, src in (("west", self.west), ("east", self.east),
+                          ("north", self.north), ("south", self.south)):
+            length = u.shape[0] - 2 if name in ("west", "east") \
+                else u.shape[1] - 2
+            buf = np.empty(length, dtype=np.float64)
+            bufs[name] = buf
+            # Receives from PROC_NULL complete immediately, empty.
+            recvs.append((name, src,
+                          self.comm.Irecv(buf, source=src, tag=TAG_HALO)))
+
+        sends = [
+            self._send(np.ascontiguousarray(u[1:-1, 1]), self.west,
+                       self.west_w),
+            self._send(np.ascontiguousarray(u[1:-1, -2]), self.east,
+                       self.east_w),
+            self._send(np.ascontiguousarray(u[1, 1:-1]), self.north,
+                       self.north_w),
+            self._send(np.ascontiguousarray(u[-2, 1:-1]), self.south,
+                       self.south_w),
+        ]
+
+        for name, src, req in recvs:
+            req.wait()
+            if src == PROC_NULL:
+                continue   # physical boundary: halo keeps its BC value
+            if name == "west":
+                u[1:-1, 0] = bufs[name]
+            elif name == "east":
+                u[1:-1, -1] = bufs[name]
+            elif name == "north":
+                u[0, 1:-1] = bufs[name]
+            else:
+                u[-1, 1:-1] = bufs[name]
+        for req in sends:
+            if req is not None:
+                req.wait()
+
+    # -- the sweep -----------------------------------------------------------------
+
+    def jacobi_step(self) -> float:
+        """One Jacobi sweep; returns the local max update delta."""
+        self.exchange_halos()
+        u = self.u
+        new = 0.25 * (u[:-2, 1:-1] + u[2:, 1:-1]
+                      + u[1:-1, :-2] + u[1:-1, 2:])
+        delta = float(np.max(np.abs(new - u[1:-1, 1:-1]))) if new.size else 0.0
+        u[1:-1, 1:-1] = new
+        return delta
+
+    def solve(self, iterations: int = 100,
+              tol: Optional[float] = None) -> tuple[int, float]:
+        """Run sweeps until *iterations* or global delta < *tol*.
+
+        Returns (iterations run, final global delta)."""
+        from repro.mpi import reduceops
+        delta = float("inf")
+        done = 0
+        for k in range(1, iterations + 1):
+            local = self.jacobi_step()
+            done = k
+            if tol is not None:
+                delta = self.comm.allreduce(local, op=reduceops.MAX)
+                if delta < tol:
+                    break
+            else:
+                delta = local
+        if tol is None:
+            delta = self.comm.allreduce(delta, op=reduceops.MAX)
+        return done, delta
+
+    def gather_global(self) -> Optional[np.ndarray]:
+        """Assemble the global interior grid on rank 0 (tests)."""
+        pieces = self.comm.gather(
+            (self.cx, self.cy, self.u[1:-1, 1:-1].copy()), root=0)
+        if pieces is None:
+            return None
+        ny, nx = self.u.shape[0] - 2, self.u.shape[1] - 2
+        out = np.zeros((self.py * ny, self.px * nx))
+        for cx, cy, block in pieces:
+            out[cy * ny:(cy + 1) * ny, cx * nx:(cx + 1) * nx] = block
+        return out

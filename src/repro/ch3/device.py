@@ -1,0 +1,219 @@
+"""The CH3 device implementation.
+
+Functionally equivalent to CH4 (same matching engine, same window
+registry, same fabrics) but with the layered critical path the paper
+measures as "MPICH/Original": virtual-connection lookup, protocol
+dispatch, queue management, always-allocated requests, and packet-based
+RMA.  Each step performs its (modeled) work and charges the
+corresponding :data:`~repro.instrument.costs.CH3_ISEND_STEPS` /
+:data:`~repro.instrument.costs.CH3_PUT_STEPS` cost.
+
+CH3 predates the Section 3 extensions — any operation carrying
+extension flags is rejected, mirroring that MPICH/Original has no such
+entry points.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.ch3.protocol import Protocol, choose_protocol, wire_overhead_s
+from repro.consts import PROC_NULL
+from repro.core import am
+from repro.core.ops import AccOp, GetOp, PutOp, RecvOp, SendOp, SyncState
+from repro.datatypes.pack import pack, packed_size, unpack
+from repro.errors import MPIErrArg
+from repro.instrument.costs import COSTS, CostModel
+from repro.netmod.base import Netmod
+from repro.netmod.registry import build_netmod
+from repro.netmod.shm import build_shmmod
+from repro.runtime.matching import PostedRecv
+from repro.runtime.message import Envelope, Message
+from repro.runtime.request import Request, RequestKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.proc import Proc
+
+
+class CH3Device:
+    """Per-rank CH3 device instance."""
+
+    name = "ch3"
+
+    def __init__(self, proc: "Proc", costs: CostModel = COSTS):
+        self.proc = proc
+        self.costs = costs
+        self.netmod: Netmod = build_netmod(proc, proc.config.fabric)
+        self.shmmod: Netmod = build_shmmod(proc, proc.config.shm_fabric)
+        #: Protocol statistics for tests and the eager-threshold ablation.
+        self.n_eager = 0
+        self.n_rendezvous = 0
+
+    # -- helpers ------------------------------------------------------------
+
+    def _reject_extensions(self, op) -> None:
+        if op.flags.any:
+            raise MPIErrArg(
+                f"{op.mpi_name}: MPICH/Original (CH3) does not implement "
+                "the proposed MPI-standard extensions")
+
+    def _charge_steps(self, steps) -> None:
+        charge = self.proc.charge
+        for category, subsystem, cost in steps.values():
+            charge(category, cost, subsystem)
+
+    def _transport_for(self, dest_world: int) -> Netmod:
+        if (dest_world == self.proc.world_rank
+                or self.proc.world.topology.same_node(
+                    self.proc.world_rank, dest_world)):
+            return self.shmmod
+        return self.netmod
+
+    # -- point-to-point -------------------------------------------------------
+
+    def isend(self, op: SendOp) -> Optional[Request]:
+        """Issue a send through the VC/protocol machinery."""
+        self._reject_extensions(op)
+        proc = self.proc
+        self._charge_steps(self.costs.ch3_isend_steps)
+
+        if op.dest == PROC_NULL:
+            request = Request(RequestKind.SEND, proc, proc.world.abort_event)
+            request.complete(proc.vclock.now)
+            return request
+
+        dest_world = op.comm.translation.world_rank(op.dest)
+        env = Envelope(ctx=op.comm.ctx, src=op.comm.rank, tag=op.tag)
+        request = Request(RequestKind.SEND, proc, proc.world.abort_event)
+
+        payload = pack(op.buf, op.count, op.dtref.datatype)
+        transport = self._transport_for(dest_world)
+        protocol = choose_protocol(len(payload), transport.spec,
+                                   proc.config.eager_threshold)
+        if protocol is Protocol.EAGER:
+            self.n_eager += 1
+        else:
+            self.n_rendezvous += 1
+
+        sync = None
+        if op.sync:
+            sync = SyncState(request=request,
+                             ack_latency_s=transport.spec.latency_s)
+
+        result = transport.issue(len(payload), native=True)
+        arrive = result.arrive_s + wire_overhead_s(protocol, transport.spec)
+        msg = Message(env=env, data=payload, arrive_s=arrive, sync=sync)
+        proc.deliver(dest_world, msg)
+
+        if not op.sync:
+            if protocol is Protocol.RENDEZVOUS:
+                # The sender's buffer is free only after the CTS returns.
+                request.complete(proc.vclock.now
+                                 + 2 * transport.spec.latency_s)
+            else:
+                request.complete(result.complete_s)
+        return request
+
+    def irecv(self, op: RecvOp) -> Request:
+        """Post a receive through the CH3 request machinery."""
+        self._reject_extensions(op)
+        proc = self.proc
+        self._charge_steps(self.costs.ch3_isend_steps)
+
+        request = Request(RequestKind.RECV, proc, proc.world.abort_event)
+        if op.source == PROC_NULL:
+            request.complete(proc.vclock.now, source=PROC_NULL, tag=-1,
+                             count_bytes=0)
+            return request
+
+        buf, count, datatype = op.buf, op.count, op.dtref.datatype
+
+        def on_match(msg: Message) -> None:
+            try:
+                if buf is None:
+                    request.payload = msg.data
+                else:
+                    unpack(msg.data, buf, count, datatype)
+                request.complete(msg.arrive_s, source=msg.env.src,
+                                 tag=msg.env.tag, count_bytes=len(msg.data))
+            except BaseException as exc:  # noqa: BLE001 - handed to waiter
+                request.complete(msg.arrive_s, source=msg.env.src,
+                                 tag=msg.env.tag, count_bytes=len(msg.data),
+                                 error=exc)
+
+        posted = PostedRecv(ctx=op.comm.ctx, src=op.source, tag=op.tag,
+                            nomatch=False, request=request,
+                            on_match=on_match)
+        proc.engine.post(posted, now_s=proc.vclock.now)
+        return request
+
+    # -- one-sided (packet-based in CH3) -----------------------------------------
+
+    def _rma_common(self, op):
+        """Charge the CH3 RMA packet path; resolve the target."""
+        self._reject_extensions(op)
+        self._charge_steps(self.costs.ch3_put_steps)
+        if op.target_rank == PROC_NULL:
+            return None
+        target_world = op.win.comm.translation.world_rank(op.target_rank)
+        state = op.win.state_of(target_world)
+        offset_bytes = op.target_disp * state.disp_unit
+        return target_world, state, offset_bytes
+
+    def put(self, op: PutOp) -> None:
+        """One-sided put through the CH3 packet machinery."""
+        resolved = self._rma_common(op)
+        if resolved is None:
+            return
+        target_world, state, offset_bytes = resolved
+        data = pack(op.origin_buf, op.origin_count, op.origin_dtref.datatype)
+        expect = packed_size(op.target_count, op.target_dtref.datatype)
+        if len(data) != expect:
+            raise MPIErrArg(
+                f"{op.mpi_name}: origin carries {len(data)} bytes but the "
+                f"target layout holds {expect}")
+        transport = self._transport_for(target_world)
+        result = transport.issue(len(data), native=True)
+        am.run_handler("put", state, data=data, offset_bytes=offset_bytes,
+                       target_count=op.target_count,
+                       target_datatype=op.target_dtref.datatype)
+        op.win.note_pending(target_world, result.arrive_s)
+
+    def get(self, op: GetOp) -> None:
+        """One-sided get through the CH3 packet machinery."""
+        resolved = self._rma_common(op)
+        if resolved is None:
+            return
+        target_world, state, offset_bytes = resolved
+        nbytes = packed_size(op.origin_count, op.origin_dtref.datatype)
+        transport = self._transport_for(target_world)
+        result = transport.issue(nbytes, native=True, round_trip=True)
+        data = am.run_handler("get", state, offset_bytes=offset_bytes,
+                              target_count=op.target_count,
+                              target_datatype=op.target_dtref.datatype)
+        unpack(data, op.origin_buf, op.origin_count, op.origin_dtref.datatype)
+        op.win.note_pending(target_world, result.complete_s)
+
+    def accumulate(self, op: AccOp) -> Optional[bytes]:
+        """One-sided accumulate through the CH3 packet machinery."""
+        resolved = self._rma_common(op)
+        if resolved is None:
+            return None
+        target_world, state, offset_bytes = resolved
+        data = pack(op.origin_buf, op.origin_count, op.origin_dtref.datatype)
+        transport = self._transport_for(target_world)
+        round_trip = op.fetch_buf is not None
+        result = transport.issue(len(data), native=True,
+                                 round_trip=round_trip)
+        before = am.run_handler(
+            "accumulate", state, data=data, offset_bytes=offset_bytes,
+            target_count=op.target_count,
+            target_datatype=op.target_dtref.datatype, op=op.op,
+            fetch=op.fetch_buf is not None)
+        if op.fetch_buf is not None:
+            unpack(before, op.fetch_buf, op.origin_count,
+                   op.origin_dtref.datatype)
+            op.win.note_pending(target_world, result.complete_s)
+        else:
+            op.win.note_pending(target_world, result.arrive_s)
+        return before

@@ -1,0 +1,37 @@
+"""CH3 eager/rendezvous protocol selection and timing.
+
+CH3 ships small messages eagerly (one trip) and large messages via
+rendezvous: a request-to-send, a clear-to-send from the receiver, then
+the payload — two extra latency terms on the wire and extra queue
+handling in software.  The threshold is a fabric property that the
+build may override (``BuildConfig.eager_threshold``), and
+``benchmarks/bench_ablation_eager.py`` sweeps it.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.fabric.model import FabricSpec
+
+
+class Protocol(enum.Enum):
+    """Which CH3 wire protocol a message uses."""
+
+    EAGER = "eager"
+    RENDEZVOUS = "rendezvous"
+
+
+def choose_protocol(nbytes: int, spec: FabricSpec,
+                    threshold_override: int | None = None) -> Protocol:
+    """Pick eager vs rendezvous for a message of *nbytes*."""
+    threshold = (threshold_override if threshold_override is not None
+                 else spec.rendezvous_threshold)
+    return Protocol.EAGER if nbytes <= threshold else Protocol.RENDEZVOUS
+
+
+def wire_overhead_s(protocol: Protocol, spec: FabricSpec) -> float:
+    """Extra wire time the protocol adds before payload transfer."""
+    if protocol is Protocol.RENDEZVOUS:
+        return 2.0 * spec.latency_s   # RTS + CTS round trip
+    return 0.0

@@ -1,0 +1,47 @@
+"""MPI-3.1 named constants used across the runtime.
+
+These mirror the constants of the MPI standard that the reproduced
+critical paths must honour.  ``PROC_NULL`` in particular is load-bearing
+for Section 3.4 of the paper: *every* communication call on the
+standard path must branch on it, and the ``isend_npn`` extension exists
+precisely to remove that branch.
+"""
+
+from __future__ import annotations
+
+from typing import Final
+
+#: Wildcard source rank for receive matching (MPI_ANY_SOURCE).
+ANY_SOURCE: Final[int] = -1
+
+#: Wildcard tag for receive matching (MPI_ANY_TAG).
+ANY_TAG: Final[int] = -1
+
+#: Null process: communication to it is discarded (MPI_PROC_NULL).
+PROC_NULL: Final[int] = -2
+
+#: Returned where the standard leaves a value undefined (MPI_UNDEFINED).
+UNDEFINED: Final[int] = -32766
+
+#: Sentinel for an invalid communicator handle (MPI_COMM_NULL).
+COMM_NULL: Final[None] = None
+
+#: Upper bound on user tags guaranteed by the standard (MPI_TAG_UB).
+TAG_UB: Final[int] = 2**30 - 1
+
+#: Maximum number of predefined communicator handles exposed by the
+#: Section 3.3 proposal (``MPI_COMM_1`` .. ``MPI_COMM_<MAX>``).
+MAX_PREDEFINED_COMMS: Final[int] = 8
+
+#: Status field value when no wildcard information is available.
+STATUS_IGNORE: Final[None] = None
+
+
+def is_wildcard_source(source: int) -> bool:
+    """Return True when *source* is the receive-side source wildcard."""
+    return source == ANY_SOURCE
+
+
+def is_wildcard_tag(tag: int) -> bool:
+    """Return True when *tag* is the receive-side tag wildcard."""
+    return tag == ANY_TAG

@@ -1,0 +1,25 @@
+"""The paper's primary contribution: the CH4 device and its extensions.
+
+* :mod:`repro.core.config` — build configurations (the Figure 2 axis:
+  default / no errors / no thread check / +ipo, and device selection).
+* :mod:`repro.core.ch4` — the lightweight CH4 device: locality
+  routing, netmod/shmmod dispatch, fast path vs active-message
+  fallback, and the calibrated instruction charging of Table 1.
+* :mod:`repro.core.am` — the active-message fallback protocol CH4
+  netmods fall back to for operations they cannot do natively.
+* :mod:`repro.core.extensions` — the Section 3 proposed MPI-standard
+  extensions and the descriptor flags that select them.
+"""
+
+from repro.core.config import BuildConfig, Device, IpoScope, named_builds
+from repro.core.ch4 import CH4Device
+from repro.core.extensions import ExtFlags
+
+__all__ = [
+    "BuildConfig",
+    "Device",
+    "IpoScope",
+    "named_builds",
+    "CH4Device",
+    "ExtFlags",
+]

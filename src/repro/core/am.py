@@ -1,0 +1,108 @@
+"""Active-message fallback handlers (the CH4 core's safety net).
+
+When a netmod cannot implement an operation natively — the paper's
+example is MPI_PUT with a complex data layout that the NIC's RDMA
+engine cannot express — the CH4 core runs it as an active message: the
+origin packs the data and ships a handler invocation; the handler
+performs the operation at the target.
+
+In this single-address-space substrate the handler executes inline in
+the origin thread against the target's window state (the outcome is
+identical; the extra *instruction* cost of building the AM and running
+the handler is charged by
+:meth:`repro.netmod.base.Netmod.charge_am_fallback`, and the extra
+*time* flows through the same fabric model).  Both the native-RDMA and
+AM paths funnel through these handlers for data movement; only their
+charging differs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.datatypes.pack import pack, unpack
+from repro.errors import MPIErrInternal
+
+#: Handler registry: name -> callable(target_state, **args).
+_HANDLERS: dict[str, Callable] = {}
+
+
+def am_handler(name: str):
+    """Register a function as an AM handler under *name*."""
+    def deco(fn: Callable) -> Callable:
+        if name in _HANDLERS:
+            raise MPIErrInternal(f"duplicate AM handler {name!r}")
+        _HANDLERS[name] = fn
+        return fn
+    return deco
+
+
+def run_handler(name: str, target_state, **args):
+    """Invoke the registered handler *name* on *target_state*."""
+    try:
+        handler = _HANDLERS[name]
+    except KeyError:
+        raise MPIErrInternal(f"no AM handler named {name!r}") from None
+    return handler(target_state, **args)
+
+
+def _span(count: int, datatype) -> int:
+    """Bytes a (count, datatype) access spans in the target window."""
+    if count == 0:
+        return 0
+    return (count - 1) * datatype.extent + datatype.typemap.ub
+
+
+@am_handler("put")
+def am_put(target_state, data: bytes, offset_bytes: int,
+           target_count: int, target_datatype) -> None:
+    """Scatter *data* into the target window with the target layout."""
+    span = _span(target_count, target_datatype)
+    with target_state.data_lock:
+        view = target_state.view(offset_bytes, span)
+        unpack(data, view, target_count, target_datatype)
+
+
+@am_handler("get")
+def am_get(target_state, offset_bytes: int, target_count: int,
+           target_datatype) -> bytes:
+    """Gather the target layout from the target window."""
+    span = _span(target_count, target_datatype)
+    with target_state.data_lock:
+        view = target_state.view(offset_bytes, span)
+        return pack(view, target_count, target_datatype)
+
+
+@am_handler("accumulate")
+def am_accumulate(target_state, data: bytes, offset_bytes: int,
+                  target_count: int, target_datatype, op,
+                  fetch: bool = False) -> bytes | None:
+    """Elementwise ``target = op(incoming, target)``; optionally return
+    the pre-update target contents (GET_ACCUMULATE)."""
+    if target_datatype.np_dtype is None:
+        from repro.errors import MPIErrDatatype
+        raise MPIErrDatatype(
+            "accumulate requires a predefined target datatype")
+    span = target_count * target_datatype.size
+    with target_state.data_lock:
+        view = target_state.view(offset_bytes, span) \
+            .view(target_datatype.np_dtype)
+        before = view.tobytes() if fetch else None
+        incoming = np.frombuffer(data, dtype=target_datatype.np_dtype)
+        op.apply_numpy(incoming, view)
+        return before
+
+
+@am_handler("compare_and_swap")
+def am_compare_and_swap(target_state, compare: bytes, origin: bytes,
+                        offset_bytes: int, datatype) -> bytes:
+    """Atomic compare-and-swap of one element; returns the old value."""
+    span = datatype.size
+    with target_state.data_lock:
+        view = target_state.view(offset_bytes, span)
+        current = view.tobytes()
+        if current == compare:
+            view[:] = np.frombuffer(origin, dtype=np.uint8)
+        return current

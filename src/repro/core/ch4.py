@@ -1,0 +1,422 @@
+"""The CH4 device: the paper's lightweight critical path.
+
+Design goals transcribed from Section 2 of the paper:
+
+1. the fast path "flows as directly as possible to either the netmod
+   or the shmmod using the fewest instructions";
+2. "the communication semantics are never lost all the way through the
+   software stack" — every method here receives the full MPI-level
+   operation descriptor and the netmod/shmmod decides native-vs-AM
+   with complete information.
+
+Every step charges its calibrated instruction cost *as it executes*;
+extension flags (Section 3 proposals) replace expensive steps with
+their cheap counterparts, so Table 1 / Figures 2 and 6 fall out of the
+accounting of real executions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.consts import ANY_SOURCE, PROC_NULL
+from repro.core import am
+from repro.core.extensions import ExtFlags
+from repro.core.ops import AccOp, GetOp, PutOp, RecvOp, SendOp, SyncState
+from repro.datatypes.pack import pack, packed_size, unpack
+from repro.datatypes.usage import DatatypeRef, UsageClass
+from repro.core.config import IpoScope
+from repro.errors import MPIErrArg, MPIErrRank
+from repro.instrument.categories import Category, Subsystem
+from repro.instrument.costs import COSTS, CostModel, MandatoryCosts, RedundantCheckCosts
+from repro.netmod.base import Netmod
+from repro.netmod.registry import build_netmod
+from repro.netmod.shm import build_shmmod
+from repro.runtime.message import Envelope, Message
+from repro.runtime.matching import PostedRecv
+from repro.runtime.ranktrans import DirectTableTranslation
+from repro.runtime.request import Request, RequestKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.proc import Proc
+
+_MAND = Category.MANDATORY
+_RED = Category.REDUNDANT_CHECKS
+
+
+class CH4Device:
+    """Per-rank CH4 device instance (ch4 core + one netmod + one shmmod)."""
+
+    name = "ch4"
+
+    def __init__(self, proc: "Proc", costs: CostModel = COSTS):
+        self.proc = proc
+        self.costs = costs
+        self.netmod: Netmod = build_netmod(proc, proc.config.fabric)
+        self.shmmod: Netmod = build_shmmod(proc, proc.config.shm_fabric)
+        self.force_am = proc.config.force_am_fallback
+        #: Protocol statistics (CH4 also switches to rendezvous for
+        #: large payloads — handled inside the netmod path, with no
+        #: extra instruction charges on the fast path).
+        self.n_eager = 0
+        self.n_rendezvous = 0
+
+    # ------------------------------------------------------------------ #
+    # shared charging helpers                                             #
+    # ------------------------------------------------------------------ #
+
+    def _transport_for(self, dest_world: int) -> Netmod:
+        """CH4 core locality check: self/intra-node -> shmmod, else netmod."""
+        if dest_world == self.proc.world_rank:
+            return self.shmmod
+        if self.proc.world.topology.same_node(self.proc.world_rank, dest_world):
+            return self.shmmod
+        return self.netmod
+
+    def _charge_object_lookup(self, flags: ExtFlags, static_handle: bool,
+                              mandatory: MandatoryCosts) -> None:
+        """Section 3.3: dynamic-object dereference vs static-index load."""
+        if flags.static_comm or static_handle:
+            self.proc.charge(_MAND, self.costs.predefined_object_lookup,
+                             Subsystem.OBJECT_LOOKUP)
+        else:
+            self.proc.charge(_MAND, mandatory.object_lookup,
+                             Subsystem.OBJECT_LOOKUP)
+
+    def _redundant_checks_needed(self, dtref: DatatypeRef) -> bool:
+        """Section 2.2: which datatype-usage classes keep their runtime
+        checks under the build's inlining scope."""
+        scope = self.proc.config.ipo_scope
+        if dtref.usage is UsageClass.DERIVED:
+            return True                     # Class 1: genuinely needed
+        if scope is IpoScope.NONE:
+            return True                     # no inlining: always checked
+        if dtref.usage is UsageClass.COMPILE_TIME:
+            return False                    # Class 2: folded by MPI-only ipo
+        return scope is not IpoScope.WHOLE_PROGRAM   # Class 3
+
+    def _charge_redundant(self, dtref: DatatypeRef,
+                          costs: RedundantCheckCosts) -> None:
+        if self._redundant_checks_needed(dtref):
+            self.proc.charge(_RED, costs.datatype_size)
+            self.proc.charge(_RED, costs.contiguity)
+            self.proc.charge(_RED, costs.builtin_branch)
+            self.proc.charge(_RED, costs.addr_arith)
+
+    def _charge_rank_translation(self, comm, flags: ExtFlags,
+                                 mandatory: MandatoryCosts) -> None:
+        """Section 3.1: communicator-rank translation (or the global-rank
+        bypass).  Direct-table communicators charge their cheap 2-instr
+        lookup; the calibrated default (compressed) charges the
+        per-operation calibrated cost."""
+        if flags.global_rank:
+            self.proc.charge(_MAND, self.costs.global_rank_lookup,
+                             Subsystem.RANK_TRANSLATION)
+        elif isinstance(comm.translation, DirectTableTranslation):
+            self.proc.charge(_MAND, comm.translation.lookup_instructions,
+                             Subsystem.RANK_TRANSLATION)
+        else:
+            self.proc.charge(_MAND, mandatory.rank_translation,
+                             Subsystem.RANK_TRANSLATION)
+
+    def _resolve_dest(self, comm, dest: int, flags: ExtFlags) -> int:
+        return dest if flags.global_rank else comm.translation.world_rank(dest)
+
+    def _charge_match_bits(self, comm, flags: ExtFlags,
+                           mandatory: MandatoryCosts) -> None:
+        """Section 3.6: full match bits, arrival-order bits, or the
+        single-load form when the context is static (3.6 + 3.3)."""
+        if flags.nomatch:
+            static_ctx = (flags.static_comm or flags.global_rank
+                          or comm.is_predefined_handle)
+            n = (self.costs.nomatch_bits_static if static_ctx
+                 else self.costs.nomatch_bits)
+            self.proc.charge(_MAND, n, Subsystem.MATCH_BITS)
+        else:
+            self.proc.charge(_MAND, mandatory.match_bits,
+                             Subsystem.MATCH_BITS)
+
+    # ------------------------------------------------------------------ #
+    # point-to-point                                                      #
+    # ------------------------------------------------------------------ #
+
+    def isend(self, op: SendOp) -> Optional[Request]:
+        """Issue a send; returns None under the noreq extension."""
+        proc, c = self.proc, self.costs
+        man = c.isend_mandatory
+        flags = op.flags
+        comm = op.comm
+
+        self._charge_object_lookup(flags, comm.is_predefined_handle, man)
+        self._charge_redundant(op.dtref, c.isend_redundant)
+
+        # Section 3.4: MPI_PROC_NULL.
+        if flags.no_proc_null:
+            if proc.config.error_checking and op.dest == PROC_NULL:
+                raise MPIErrRank(
+                    f"{op.mpi_name}: NPN routine called with MPI_PROC_NULL")
+        else:
+            proc.charge(_MAND, man.proc_null, Subsystem.PROC_NULL)
+            if op.dest == PROC_NULL:
+                return self._null_send(op)
+
+        self._charge_rank_translation(comm, flags, man)
+        dest_world = self._resolve_dest(comm, op.dest, flags)
+
+        self._charge_match_bits(comm, flags, man)
+        env = Envelope(ctx=comm.ctx, src=comm.rank, tag=op.tag,
+                       nomatch=flags.nomatch)
+
+        # Section 3.5: per-operation request vs bulk counter.
+        if flags.noreq:
+            if op.sync:
+                raise MPIErrArg("synchronous mode cannot combine with noreq")
+            proc.charge(_MAND, c.noreq_counter_inc, Subsystem.REQUEST_MGMT)
+            request = None
+        else:
+            proc.charge(_MAND, man.request_mgmt, Subsystem.REQUEST_MGMT)
+            request = Request(RequestKind.SEND, proc,
+                              proc.world.abort_event)
+
+        # Descriptor fill (fused under the combined extensions, §3.7).
+        desc = (c.fused_descriptor_isend if flags.fused_pt2pt
+                else man.descriptor)
+        proc.charge(_MAND, desc, Subsystem.DESCRIPTOR)
+
+        payload = pack(op.buf, op.count, op.dtref.datatype)
+        transport = self._transport_for(dest_world)
+        native = (not self.force_am
+                  and transport.send_is_native(op.dtref.datatype.contig))
+
+        sync = None
+        if op.sync:
+            sync = SyncState(request=request,
+                             ack_latency_s=transport.spec.latency_s)
+
+        # Large payloads go rendezvous (RTS/CTS round trip on the wire;
+        # CH4's netmod handles it without extra fast-path instructions).
+        threshold = (proc.config.eager_threshold
+                     if proc.config.eager_threshold is not None
+                     else transport.spec.rendezvous_threshold)
+        rendezvous = len(payload) > threshold
+        if rendezvous:
+            self.n_rendezvous += 1
+        else:
+            self.n_eager += 1
+
+        result = transport.issue(len(payload), native)
+        arrive = result.arrive_s
+        complete = result.complete_s
+        if rendezvous:
+            arrive += 2.0 * transport.spec.latency_s
+            complete = proc.vclock.now + 2.0 * transport.spec.latency_s
+        msg = Message(env=env, data=payload, arrive_s=arrive, sync=sync)
+        proc.deliver(dest_world, msg)
+
+        if request is None:
+            comm.note_noreq_issue(complete)
+            return None
+        if not op.sync:
+            request.complete(complete)
+        return request
+
+    def _null_send(self, op: SendOp) -> Optional[Request]:
+        """Communication to MPI_PROC_NULL 'succeeds immediately'."""
+        if op.flags.noreq:
+            op.comm.note_noreq_issue(self.proc.vclock.now)
+            return None
+        request = Request(RequestKind.SEND, self.proc,
+                          self.proc.world.abort_event)
+        request.complete(self.proc.vclock.now)
+        return request
+
+    def irecv(self, op: RecvOp) -> Request:
+        """Post a receive.
+
+        The charge structure mirrors :meth:`isend` — the paper omits
+        MPI_IRECV's analysis because "the software path is largely
+        identical ... for network APIs that support matching".
+        """
+        proc, c = self.proc, self.costs
+        man = c.isend_mandatory
+        flags = op.flags
+        comm = op.comm
+
+        self._charge_object_lookup(flags, comm.is_predefined_handle, man)
+        self._charge_redundant(op.dtref, c.isend_redundant)
+
+        request = Request(RequestKind.RECV, proc, proc.world.abort_event)
+
+        if flags.no_proc_null:
+            if proc.config.error_checking and op.source == PROC_NULL:
+                raise MPIErrRank(
+                    f"{op.mpi_name}: NPN routine called with MPI_PROC_NULL")
+        else:
+            proc.charge(_MAND, man.proc_null, Subsystem.PROC_NULL)
+            if op.source == PROC_NULL:
+                # Standard: receive from PROC_NULL completes immediately
+                # with source=PROC_NULL, tag=ANY_TAG, zero data.
+                request.complete(proc.vclock.now, source=PROC_NULL,
+                                 tag=-1, count_bytes=0)
+                return request
+
+        if op.source != ANY_SOURCE:
+            self._charge_rank_translation(comm, flags, man)
+        self._charge_match_bits(comm, flags, man)
+        proc.charge(_MAND, man.request_mgmt, Subsystem.REQUEST_MGMT)
+        desc = (c.fused_descriptor_isend if flags.fused_pt2pt
+                else man.descriptor)
+        proc.charge(_MAND, desc, Subsystem.DESCRIPTOR)
+
+        buf = op.buf
+        count = op.count
+        datatype = op.dtref.datatype
+
+        def on_match(msg: Message) -> None:
+            try:
+                if buf is None:
+                    request.payload = msg.data
+                else:
+                    unpack(msg.data, buf, count, datatype)
+                request.complete(msg.arrive_s, source=msg.env.src,
+                                 tag=msg.env.tag, count_bytes=len(msg.data))
+            except BaseException as exc:  # noqa: BLE001 - handed to waiter
+                request.complete(msg.arrive_s, source=msg.env.src,
+                                 tag=msg.env.tag, count_bytes=len(msg.data),
+                                 error=exc)
+
+        posted = PostedRecv(ctx=comm.ctx, src=op.source, tag=op.tag,
+                            nomatch=flags.nomatch, request=request,
+                            on_match=on_match)
+        proc.engine.post(posted, now_s=proc.vclock.now)
+        return request
+
+    # ------------------------------------------------------------------ #
+    # one-sided                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _rma_prologue(self, op, mandatory: MandatoryCosts,
+                      redundant: RedundantCheckCosts):
+        """Shared RMA path: object lookup, PROC_NULL, rank translation,
+        address resolution.  Returns (target_world, state, offset_bytes)
+        or None when the target is PROC_NULL (no-op per the standard)."""
+        proc, c = self.proc, self.costs
+        flags = op.flags
+        win = op.win
+
+        self._charge_object_lookup(flags, win.is_predefined_handle,
+                                   mandatory)
+        self._charge_redundant(op.origin_dtref, redundant)
+
+        if flags.no_proc_null:
+            if proc.config.error_checking and op.target_rank == PROC_NULL:
+                raise MPIErrRank(
+                    f"{op.mpi_name}: NPN routine called with MPI_PROC_NULL")
+        else:
+            proc.charge(_MAND, mandatory.proc_null, Subsystem.PROC_NULL)
+            if op.target_rank == PROC_NULL:
+                return None
+
+        self._charge_rank_translation(win.comm, flags, mandatory)
+        target_world = self._resolve_dest(win.comm, op.target_rank, flags)
+        state = win.state_of(target_world)
+
+        # Section 3.2: offset -> virtual address translation.
+        if flags.virtual_addr:
+            proc.charge(_MAND, c.virtual_addr_lookup,
+                        Subsystem.VM_ADDRESSING)
+            offset_bytes = op.target_disp
+        else:
+            proc.charge(_MAND, mandatory.vm_addressing,
+                        Subsystem.VM_ADDRESSING)
+            offset_bytes = op.target_disp * state.disp_unit
+        return target_world, state, offset_bytes
+
+    def _charge_rma_descriptor(self, flags: ExtFlags,
+                               mandatory: MandatoryCosts) -> None:
+        desc = (self.costs.fused_descriptor_put if flags.fused_rma
+                else mandatory.descriptor)
+        self.proc.charge(_MAND, desc, Subsystem.DESCRIPTOR)
+
+    def put(self, op: PutOp) -> None:
+        """One-sided put: remote write into the target window."""
+        c = self.costs
+        resolved = self._rma_prologue(op, c.put_mandatory, c.put_redundant)
+        if resolved is None:
+            return
+        target_world, state, offset_bytes = resolved
+        self._charge_rma_descriptor(op.flags, c.put_mandatory)
+
+        data = pack(op.origin_buf, op.origin_count, op.origin_dtref.datatype)
+        expect = packed_size(op.target_count, op.target_dtref.datatype)
+        if len(data) != expect:
+            raise MPIErrArg(
+                f"{op.mpi_name}: origin carries {len(data)} bytes but the "
+                f"target layout holds {expect}")
+
+        transport = self._transport_for(target_world)
+        contig = (op.origin_dtref.datatype.contig
+                  and op.target_dtref.datatype.contig)
+        native = not self.force_am and transport.rma_is_native(contig)
+        result = transport.issue(len(data), native)
+        am.run_handler("put", state, data=data, offset_bytes=offset_bytes,
+                       target_count=op.target_count,
+                       target_datatype=op.target_dtref.datatype)
+        op.win.note_pending(target_world, result.arrive_s)
+
+    def get(self, op: GetOp) -> None:
+        """One-sided get: remote read from the target window."""
+        c = self.costs
+        resolved = self._rma_prologue(op, c.put_mandatory, c.put_redundant)
+        if resolved is None:
+            return
+        target_world, state, offset_bytes = resolved
+        self._charge_rma_descriptor(op.flags, c.put_mandatory)
+
+        nbytes = packed_size(op.origin_count, op.origin_dtref.datatype)
+        expect = packed_size(op.target_count, op.target_dtref.datatype)
+        if nbytes != expect:
+            raise MPIErrArg(
+                f"{op.mpi_name}: origin holds {nbytes} bytes but the "
+                f"target layout carries {expect}")
+
+        transport = self._transport_for(target_world)
+        contig = (op.origin_dtref.datatype.contig
+                  and op.target_dtref.datatype.contig)
+        native = not self.force_am and transport.rma_is_native(contig)
+        result = transport.issue(nbytes, native, round_trip=True)
+        data = am.run_handler("get", state, offset_bytes=offset_bytes,
+                              target_count=op.target_count,
+                              target_datatype=op.target_dtref.datatype)
+        unpack(data, op.origin_buf, op.origin_count, op.origin_dtref.datatype)
+        op.win.note_pending(target_world, result.complete_s)
+
+    def accumulate(self, op: AccOp) -> Optional[bytes]:
+        """One-sided accumulate (and GET_ACCUMULATE when fetch_buf set)."""
+        c = self.costs
+        resolved = self._rma_prologue(op, c.put_mandatory, c.put_redundant)
+        if resolved is None:
+            return None
+        target_world, state, offset_bytes = resolved
+        self._charge_rma_descriptor(op.flags, c.put_mandatory)
+
+        data = pack(op.origin_buf, op.origin_count, op.origin_dtref.datatype)
+        transport = self._transport_for(target_world)
+        contig = (op.origin_dtref.datatype.contig
+                  and op.target_dtref.datatype.contig)
+        native = (not self.force_am
+                  and transport.rma_is_native(contig, atomic=True))
+        round_trip = op.fetch_buf is not None
+        result = transport.issue(len(data), native, round_trip=round_trip)
+        before = am.run_handler(
+            "accumulate", state, data=data, offset_bytes=offset_bytes,
+            target_count=op.target_count,
+            target_datatype=op.target_dtref.datatype, op=op.op,
+            fetch=op.fetch_buf is not None)
+        if op.fetch_buf is not None:
+            unpack(before, op.fetch_buf, op.origin_count,
+                   op.origin_dtref.datatype)
+            op.win.note_pending(target_world, result.complete_s)
+        else:
+            op.win.note_pending(target_world, result.arrive_s)
+        return before

@@ -1,0 +1,149 @@
+"""Build configurations.
+
+A :class:`BuildConfig` is this library's equivalent of configuring and
+compiling MPICH one particular way.  The five bars of the paper's
+Figure 2 are five configs (four CH4 variants plus CH3 "Original"); the
+datatype-survey experiment additionally varies :class:`IpoScope`.
+
+Feature *disablement* is real here, not cosmetic: when
+``error_checking`` is False the validation code is never invoked, when
+``ipo`` is on the function-call prologue and the (class-dependent)
+redundant datatype checks are skipped — so the instruction counters
+reproduce Figure 2 because the work genuinely does not run.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+
+class Device(enum.Enum):
+    """Which abstract device the build uses (Figure 1)."""
+
+    CH4 = "ch4"   #: the paper's lightweight device
+    CH3 = "ch3"   #: "MPICH/Original" — the layered baseline
+
+
+class IpoScope(enum.Enum):
+    """Link-time-inlining scope (Section 2.2).
+
+    ``MPI_ONLY`` inlines the MPI library's performance-critical
+    functions into the application — enough to fold Class-2 (compile-
+    time constant) datatype checks.  ``WHOLE_PROGRAM`` subsumes the
+    application and its libraries too, additionally folding Class-3
+    (runtime-constant) datatype checks at the cost of a much larger
+    executable.
+    """
+
+    NONE = "none"
+    MPI_ONLY = "mpi_only"
+    WHOLE_PROGRAM = "whole_program"
+
+
+@dataclass(frozen=True)
+class BuildConfig:
+    """One build of the MPI library.
+
+    Attributes
+    ----------
+    device:
+        CH4 (lightweight) or CH3 (Original baseline).
+    error_checking:
+        Validate arguments/objects on every call (Table 1 row 1).
+    thread_safety:
+        Perform the runtime thread-safety check and take the critical
+        section (Table 1 row 2).  Functionally this build really does
+        take a per-rank lock around the device call.
+    ipo_scope:
+        Link-time inlining scope; NONE leaves the function-call
+        prologue and all redundant runtime checks in place.
+    fabric:
+        Name of the inter-node fabric model (see :mod:`repro.fabric`).
+    shm_fabric:
+        Name of the intra-node shmmod fabric model.
+    rank_translation:
+        ``"compressed"`` (O(1) memory, 11-instruction lookup — the
+        calibrated default) or ``"direct"`` (O(P) table, 2
+        instructions).
+    eager_threshold:
+        CH3 eager/rendezvous switch in bytes; None uses the fabric's
+        default.
+    force_am_fallback:
+        Ablation switch: route every CH4 operation through the
+        active-message fallback even when the netmod could do it
+        natively (``benchmarks/bench_ablation_fastpath.py``).
+    """
+
+    device: Device = Device.CH4
+    error_checking: bool = True
+    thread_safety: bool = True
+    ipo_scope: IpoScope = IpoScope.NONE
+    fabric: str = "infinite"
+    shm_fabric: str = "posix"
+    rank_translation: str = "compressed"
+    eager_threshold: int | None = None
+    force_am_fallback: bool = False
+
+    @property
+    def ipo(self) -> bool:
+        """True when any link-time inlining is enabled."""
+        return self.ipo_scope is not IpoScope.NONE
+
+    def with_fabric(self, fabric: str) -> "BuildConfig":
+        """This config with a different inter-node fabric."""
+        return replace(self, fabric=fabric)
+
+    def label(self) -> str:
+        """Figure-2-style label for this build."""
+        if self.device is Device.CH3:
+            return "mpich/original"
+        if not self.error_checking and not self.thread_safety and self.ipo:
+            return "mpich/ch4 (no-err-single-ipo)"
+        if not self.error_checking and not self.thread_safety:
+            return "mpich/ch4 (no-err-single)"
+        if not self.error_checking:
+            return "mpich/ch4 (no-err)"
+        return "mpich/ch4 (default)"
+
+    # -- Figure 2 presets ---------------------------------------------------
+
+    @staticmethod
+    def original(**overrides) -> "BuildConfig":
+        """MPICH/Original: the CH3 device, default features."""
+        return BuildConfig(device=Device.CH3, **overrides)
+
+    @staticmethod
+    def default(**overrides) -> "BuildConfig":
+        """MPICH/CH4 default build."""
+        return BuildConfig(**overrides)
+
+    @staticmethod
+    def no_errors(**overrides) -> "BuildConfig":
+        """CH4 with error checking compiled out."""
+        return BuildConfig(error_checking=False, **overrides)
+
+    @staticmethod
+    def no_thread_check(**overrides) -> "BuildConfig":
+        """CH4 single-threaded build (no errors, no thread check)."""
+        return BuildConfig(error_checking=False, thread_safety=False,
+                           **overrides)
+
+    @staticmethod
+    def ipo_build(scope: IpoScope = IpoScope.MPI_ONLY,
+                  **overrides) -> "BuildConfig":
+        """CH4 with link-time inlining on top of the single-threaded
+        build — the paper's best within-standard configuration."""
+        return BuildConfig(error_checking=False, thread_safety=False,
+                           ipo_scope=scope, **overrides)
+
+
+def named_builds(fabric: str = "infinite") -> dict[str, BuildConfig]:
+    """The five Figure-2/Figures-3-5 builds, in plot order."""
+    return {
+        "mpich/original": BuildConfig.original(fabric=fabric),
+        "mpich/ch4 (default)": BuildConfig.default(fabric=fabric),
+        "mpich/ch4 (no-err)": BuildConfig.no_errors(fabric=fabric),
+        "mpich/ch4 (no-err-single)": BuildConfig.no_thread_check(fabric=fabric),
+        "mpich/ch4 (no-err-single-ipo)": BuildConfig.ipo_build(fabric=fabric),
+    }

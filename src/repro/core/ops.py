@@ -1,0 +1,121 @@
+"""Operation descriptors handed from the MPI layer to devices.
+
+The CH4 design principle the paper highlights (takeaway 2 of Section 2)
+is *flow-through*: "the communication semantics are never lost all the
+way through the software stack".  These descriptors are that principle
+made concrete — a netmod receives the full MPI-level operation,
+including which call produced it and every parameter, and can choose
+its native path or the AM fallback with full information.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.core.extensions import ExtFlags, NONE
+from repro.datatypes.pack import Buffer
+from repro.datatypes.usage import DatatypeRef
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.comm import Communicator
+    from repro.mpi.rma import Window
+
+
+@dataclass
+class SendOp:
+    """One MPI_(I)SEND-family operation."""
+
+    buf: Buffer
+    count: int
+    dtref: DatatypeRef
+    dest: int                  #: comm rank, or world rank under global_rank
+    tag: int
+    comm: "Communicator"
+    flags: ExtFlags = NONE
+    sync: bool = False         #: synchronous mode (MPI_SSEND)
+    mpi_name: str = "MPI_Isend"   #: flow-through: originating MPI call
+
+
+@dataclass
+class RecvOp:
+    """One MPI_(I)RECV-family operation.
+
+    When ``buf`` is None the payload is stashed on the request
+    (generic-object receive path).
+    """
+
+    buf: Optional[Buffer]
+    count: int
+    dtref: DatatypeRef
+    source: int
+    tag: int
+    comm: "Communicator"
+    flags: ExtFlags = NONE
+    mpi_name: str = "MPI_Irecv"
+
+
+@dataclass
+class PutOp:
+    """One MPI_PUT-family operation."""
+
+    origin_buf: Buffer
+    origin_count: int
+    origin_dtref: DatatypeRef
+    target_rank: int
+    target_disp: int           #: element offset, or byte virtual address
+    target_count: int
+    target_dtref: DatatypeRef
+    win: "Window"
+    flags: ExtFlags = NONE
+    mpi_name: str = "MPI_Put"
+
+
+@dataclass
+class GetOp:
+    """One MPI_GET-family operation."""
+
+    origin_buf: Buffer
+    origin_count: int
+    origin_dtref: DatatypeRef
+    target_rank: int
+    target_disp: int
+    target_count: int
+    target_dtref: DatatypeRef
+    win: "Window"
+    flags: ExtFlags = NONE
+    mpi_name: str = "MPI_Get"
+
+
+@dataclass
+class AccOp:
+    """One MPI_ACCUMULATE-family operation (op applied elementwise)."""
+
+    origin_buf: Buffer
+    origin_count: int
+    origin_dtref: DatatypeRef
+    target_rank: int
+    target_disp: int
+    target_count: int
+    target_dtref: DatatypeRef
+    win: "Window"
+    op: Any                    #: a repro.mpi.ops reduction operator
+    flags: ExtFlags = NONE
+    fetch_buf: Optional[Buffer] = None   #: GET_ACCUMULATE result buffer
+    mpi_name: str = "MPI_Accumulate"
+
+
+@dataclass
+class SyncState:
+    """Synchronous-send handshake state carried inside a message.
+
+    The matching engine records the match time, fires the event, and —
+    when ``request`` is set (MPI_ISSEND) — completes the request at
+    ``match time + ack_latency_s`` (the acknowledgment's travel time).
+    """
+
+    event: threading.Event = field(default_factory=threading.Event)
+    match_time_s: float = 0.0
+    request: Optional[object] = None
+    ack_latency_s: float = 0.0

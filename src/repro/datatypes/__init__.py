@@ -1,0 +1,99 @@
+"""MPI datatype engine: predefined and derived datatypes.
+
+Implements the subset of MPI-3.1 datatype machinery the paper's
+critical-path analysis exercises:
+
+* predefined types (``MPI_DOUBLE``, ``MPI_INT``, ...) with sizes and
+  numpy correspondence (:mod:`repro.datatypes.predefined`);
+* derived-type constructors — contiguous, vector, hvector, indexed,
+  hindexed, struct, subarray, resized — with commit semantics and
+  typemap flattening (:mod:`repro.datatypes.derived`,
+  :mod:`repro.datatypes.typemap`);
+* vectorized pack/unpack engines (:mod:`repro.datatypes.pack`); and
+* the Section 2.2 usage-class taxonomy — Class 1 (derived in the
+  critical path), Class 2 (predefined, compile-time constant), Class 3
+  (predefined, runtime constant) — that governs whether link-time
+  inlining can remove the redundant datatype checks
+  (:mod:`repro.datatypes.usage`).
+"""
+
+from repro.datatypes.predefined import (
+    Datatype,
+    PREDEFINED,
+    BYTE,
+    CHAR,
+    SHORT,
+    INT,
+    LONG,
+    LONG_LONG,
+    UNSIGNED,
+    UNSIGNED_LONG,
+    FLOAT,
+    DOUBLE,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    UINT8,
+    UINT16,
+    UINT32,
+    UINT64,
+    FLOAT32,
+    FLOAT64,
+    COMPLEX64,
+    COMPLEX128,
+    from_numpy_dtype,
+)
+from repro.datatypes.typemap import TypeSegment, Typemap
+from repro.datatypes.derived import (
+    DerivedDatatype,
+    contiguous,
+    vector,
+    hvector,
+    indexed,
+    hindexed,
+    indexed_block,
+    struct,
+    subarray,
+    resized,
+)
+from repro.datatypes.pack import pack, unpack, packed_size, as_bytes
+from repro.datatypes.usage import (
+    UsageClass,
+    DatatypeRef,
+    compile_time,
+    runtime_constant,
+    classify,
+)
+
+__all__ = [
+    "Datatype",
+    "DerivedDatatype",
+    "PREDEFINED",
+    "TypeSegment",
+    "Typemap",
+    "contiguous",
+    "vector",
+    "hvector",
+    "indexed",
+    "hindexed",
+    "indexed_block",
+    "struct",
+    "subarray",
+    "resized",
+    "pack",
+    "unpack",
+    "packed_size",
+    "as_bytes",
+    "UsageClass",
+    "DatatypeRef",
+    "compile_time",
+    "runtime_constant",
+    "classify",
+    "from_numpy_dtype",
+    "BYTE", "CHAR", "SHORT", "INT", "LONG", "LONG_LONG",
+    "UNSIGNED", "UNSIGNED_LONG", "FLOAT", "DOUBLE",
+    "INT8", "INT16", "INT32", "INT64",
+    "UINT8", "UINT16", "UINT32", "UINT64",
+    "FLOAT32", "FLOAT64", "COMPLEX64", "COMPLEX128",
+]

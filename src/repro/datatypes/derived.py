@@ -1,0 +1,246 @@
+"""Derived datatype constructors (MPI_TYPE_*).
+
+These implement the MPI-3.1 type constructors the paper's Section 2.2
+survey discusses: HACC and MCB are the Class-1 applications that build
+such types (in their setup phase).  All constructors return an
+uncommitted :class:`DerivedDatatype`; communication with an
+uncommitted type is an error the default build catches.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.datatypes.predefined import Datatype
+from repro.datatypes.typemap import TypeSegment, Typemap
+from repro.errors import MPIErrArg, MPIErrDatatype
+
+
+class DerivedDatatype(Datatype):
+    """A user-constructed datatype; starts uncommitted.
+
+    Keeps a reference to its construction recipe (``combiner`` and
+    arguments) for introspection, mirroring MPI_TYPE_GET_ENVELOPE.
+    """
+
+    __slots__ = ("combiner", "base", "construction_args")
+
+    def __init__(self, name: str, typemap: Typemap, extent: int,
+                 combiner: str, base: Datatype | Sequence[Datatype],
+                 construction_args: dict, lb: int = 0):
+        super().__init__(name=name, size=typemap.size, extent=extent,
+                         typemap=typemap, np_dtype=None,
+                         committed=False, predefined=False, lb=lb)
+        self.combiner = combiner
+        self.base = base
+        self.construction_args = dict(construction_args)
+
+    def dup(self) -> "DerivedDatatype":
+        """MPI_TYPE_DUP: an uncommitted copy of this type."""
+        return DerivedDatatype(
+            name=self.name, typemap=self.typemap, extent=self.extent,
+            combiner="dup", base=self, construction_args={}, lb=self.lb)
+
+
+def _require_positive(value: int, what: str) -> None:
+    if value <= 0:
+        raise MPIErrArg(f"{what} must be positive, got {value}")
+
+
+def _require_committed_or_predefined(base: Datatype) -> None:
+    if not (base.predefined or isinstance(base, DerivedDatatype)):
+        raise MPIErrDatatype(f"invalid base datatype {base!r}")
+
+
+def contiguous(count: int, base: Datatype) -> DerivedDatatype:
+    """MPI_TYPE_CONTIGUOUS: *count* back-to-back copies of *base*."""
+    _require_positive(count, "count")
+    _require_committed_or_predefined(base)
+    typemap = base.typemap.replicate(count, base.extent)
+    return DerivedDatatype(
+        name=f"contig({count},{base.name})", typemap=typemap,
+        extent=count * base.extent, combiner="contiguous", base=base,
+        construction_args={"count": count})
+
+
+def vector(count: int, blocklength: int, stride: int,
+           base: Datatype) -> DerivedDatatype:
+    """MPI_TYPE_VECTOR: *count* blocks of *blocklength* elements, block
+    starts *stride* elements apart (stride in units of the base extent)."""
+    _require_positive(count, "count")
+    _require_positive(blocklength, "blocklength")
+    if stride == 0 and count > 1:
+        raise MPIErrArg("zero stride with count > 1 overlaps blocks")
+    return hvector(count, blocklength, stride * base.extent, base)
+
+
+def hvector(count: int, blocklength: int, stride_bytes: int,
+            base: Datatype) -> DerivedDatatype:
+    """MPI_TYPE_CREATE_HVECTOR: like :func:`vector` with byte stride.
+
+    Negative strides are normalized so the typemap's lowest byte sits
+    at offset 0 (the runtime addresses buffers from their start).
+    """
+    _require_positive(count, "count")
+    _require_positive(blocklength, "blocklength")
+    _require_committed_or_predefined(base)
+    block = base.typemap.replicate(blocklength, base.extent)
+    if stride_bytes >= 0:
+        typemap = block.replicate(count, stride_bytes)
+    else:
+        # Place block k at k*stride (negative), then shift so min = 0.
+        shift = -(count - 1) * stride_bytes
+        pieces: list[TypeSegment] = []
+        for k in range(count):
+            pieces.extend(block.shifted(shift + k * stride_bytes).segments)
+        typemap = Typemap(pieces)
+    return DerivedDatatype(
+        name=f"hvector({count},{blocklength},{stride_bytes},{base.name})",
+        typemap=typemap, extent=typemap.ub,
+        combiner="hvector", base=base,
+        construction_args={"count": count, "blocklength": blocklength,
+                           "stride_bytes": stride_bytes})
+
+
+def indexed(blocklengths: Sequence[int], displacements: Sequence[int],
+            base: Datatype) -> DerivedDatatype:
+    """MPI_TYPE_INDEXED: blocks of varying length at varying element
+    displacements (in units of the base extent)."""
+    disp_bytes = [d * base.extent for d in displacements]
+    return hindexed(blocklengths, disp_bytes, base)
+
+
+def hindexed(blocklengths: Sequence[int], displacements_bytes: Sequence[int],
+             base: Datatype) -> DerivedDatatype:
+    """MPI_TYPE_CREATE_HINDEXED: like :func:`indexed` with byte
+    displacements."""
+    if len(blocklengths) != len(displacements_bytes):
+        raise MPIErrArg("blocklengths and displacements length mismatch")
+    if not blocklengths:
+        raise MPIErrArg("indexed type needs at least one block")
+    _require_committed_or_predefined(base)
+    pieces: list[TypeSegment] = []
+    for blen, disp in zip(blocklengths, displacements_bytes):
+        _require_positive(blen, "blocklength")
+        if disp < 0:
+            raise MPIErrArg("negative displacements are not supported; "
+                            "address buffers from their start")
+        block = base.typemap.replicate(blen, base.extent).shifted(disp)
+        pieces.extend(block.segments)
+    typemap = Typemap(pieces)
+    return DerivedDatatype(
+        name=f"hindexed({len(blocklengths)} blocks,{base.name})",
+        typemap=typemap, extent=typemap.ub, combiner="hindexed", base=base,
+        construction_args={"blocklengths": list(blocklengths),
+                           "displacements_bytes": list(displacements_bytes)})
+
+
+def indexed_block(blocklength: int, displacements: Sequence[int],
+                  base: Datatype) -> DerivedDatatype:
+    """MPI_TYPE_CREATE_INDEXED_BLOCK: equal-length blocks at element
+    displacements."""
+    return indexed([blocklength] * len(displacements), displacements, base)
+
+
+def struct(blocklengths: Sequence[int], displacements_bytes: Sequence[int],
+           types: Sequence[Datatype]) -> DerivedDatatype:
+    """MPI_TYPE_CREATE_STRUCT: heterogeneous blocks of distinct types."""
+    if not (len(blocklengths) == len(displacements_bytes) == len(types)):
+        raise MPIErrArg("struct argument arrays must have equal length")
+    if not types:
+        raise MPIErrArg("struct type needs at least one block")
+    pieces: list[TypeSegment] = []
+    for blen, disp, base in zip(blocklengths, displacements_bytes, types):
+        _require_positive(blen, "blocklength")
+        _require_committed_or_predefined(base)
+        block = base.typemap.replicate(blen, base.extent).shifted(disp)
+        pieces.extend(block.segments)
+    typemap = Typemap(pieces)
+    return DerivedDatatype(
+        name=f"struct({len(types)} blocks)", typemap=typemap,
+        extent=typemap.ub, combiner="struct", base=list(types),
+        construction_args={"blocklengths": list(blocklengths),
+                           "displacements_bytes": list(displacements_bytes)})
+
+
+def subarray(sizes: Sequence[int], subsizes: Sequence[int],
+             starts: Sequence[int], base: Datatype,
+             order: str = "C") -> DerivedDatatype:
+    """MPI_TYPE_CREATE_SUBARRAY: an n-dimensional sub-block of an
+    n-dimensional array — the halo-exchange workhorse.
+
+    Parameters
+    ----------
+    sizes / subsizes / starts:
+        Full-array shape, sub-block shape, and sub-block origin, all in
+        elements of *base*.
+    order:
+        ``"C"`` (row-major) or ``"F"`` (column-major).
+    """
+    ndim = len(sizes)
+    if not (len(subsizes) == len(starts) == ndim) or ndim == 0:
+        raise MPIErrArg("sizes/subsizes/starts must be equal, nonzero length")
+    for d in range(ndim):
+        _require_positive(sizes[d], "size")
+        _require_positive(subsizes[d], "subsize")
+        if starts[d] < 0 or starts[d] + subsizes[d] > sizes[d]:
+            raise MPIErrArg(
+                f"dim {d}: sub-block [{starts[d]}, {starts[d]+subsizes[d]})"
+                f" exceeds array size {sizes[d]}")
+    if order not in ("C", "F"):
+        raise MPIErrArg(f"order must be 'C' or 'F', got {order!r}")
+    _require_committed_or_predefined(base)
+
+    if order == "F":
+        sizes = list(reversed(sizes))
+        subsizes = list(reversed(subsizes))
+        starts = list(reversed(starts))
+
+    # Row-major strides in elements.
+    strides = [1] * ndim
+    for d in range(ndim - 2, -1, -1):
+        strides[d] = strides[d + 1] * sizes[d + 1]
+
+    # Enumerate the element offsets of the sub-block, merging the
+    # innermost (contiguous) dimension into block runs.
+    run_len = subsizes[-1]
+    outer_dims = ndim - 1
+    offsets: list[int] = []
+
+    def walk(dim: int, element_offset: int) -> None:
+        if dim == outer_dims:
+            offsets.append(element_offset + starts[-1])
+            return
+        base_off = element_offset + starts[dim] * strides[dim]
+        for i in range(subsizes[dim]):
+            walk(dim + 1, base_off + i * strides[dim])
+
+    walk(0, 0)
+
+    ext = base.extent
+    pieces: list[TypeSegment] = []
+    for off in offsets:
+        block = base.typemap.replicate(run_len, ext).shifted(off * ext)
+        pieces.extend(block.segments)
+    typemap = Typemap(pieces)
+    full_elems = 1
+    for s in sizes:
+        full_elems *= s
+    return DerivedDatatype(
+        name=f"subarray({list(subsizes)} of {list(sizes)},{base.name})",
+        typemap=typemap, extent=full_elems * ext, combiner="subarray",
+        base=base,
+        construction_args={"sizes": list(sizes), "subsizes": list(subsizes),
+                           "starts": list(starts), "order": order})
+
+
+def resized(base: Datatype, lb: int, extent: int) -> DerivedDatatype:
+    """MPI_TYPE_CREATE_RESIZED: same typemap, adjusted lb/extent —
+    used to interleave elements tighter or looser than their span."""
+    if extent <= 0:
+        raise MPIErrArg(f"extent must be positive, got {extent}")
+    _require_committed_or_predefined(base)
+    return DerivedDatatype(
+        name=f"resized({base.name},lb={lb},extent={extent})",
+        typemap=base.typemap, extent=extent, combiner="resized", base=base,
+        construction_args={"lb": lb, "extent": extent}, lb=lb)

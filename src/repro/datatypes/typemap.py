@@ -1,0 +1,133 @@
+"""Flattened typemaps: the byte-segment layout of one datatype element.
+
+MPI defines a datatype by its *typemap* — a sequence of (basic type,
+displacement) pairs.  For movement purposes only the byte coverage
+matters, so we flatten to sorted, coalesced ``(offset, length)``
+segments.  The segment list is what the pack engine turns into numpy
+index arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True, order=True)
+class TypeSegment:
+    """A half-open byte range ``[offset, offset+length)`` of true data
+    within one element extent."""
+
+    offset: int
+    length: int
+
+    def __post_init__(self):
+        if self.length <= 0:
+            raise ValueError(f"segment length must be positive, got {self.length}")
+        if self.offset < 0:
+            raise ValueError(f"segment offset must be >= 0, got {self.offset}")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the segment."""
+        return self.offset + self.length
+
+    def shifted(self, delta: int) -> "TypeSegment":
+        """The same segment displaced by *delta* bytes."""
+        return TypeSegment(self.offset + delta, self.length)
+
+
+class Typemap:
+    """An immutable, sorted, coalesced sequence of :class:`TypeSegment`.
+
+    Overlapping input segments are rejected: an MPI typemap never maps
+    two basic components onto the same byte of a single element.
+    """
+
+    __slots__ = ("segments",)
+
+    def __init__(self, segments: Iterable[TypeSegment]):
+        ordered = sorted(segments)
+        coalesced: list[TypeSegment] = []
+        for seg in ordered:
+            if coalesced and seg.offset < coalesced[-1].end:
+                raise ValueError(
+                    f"overlapping typemap segments: {coalesced[-1]} and {seg}")
+            if coalesced and seg.offset == coalesced[-1].end:
+                prev = coalesced.pop()
+                coalesced.append(TypeSegment(prev.offset,
+                                             prev.length + seg.length))
+            else:
+                coalesced.append(seg)
+        if not coalesced:
+            raise ValueError("typemap must contain at least one segment")
+        self.segments: tuple[TypeSegment, ...] = tuple(coalesced)
+
+    def __iter__(self) -> Iterator[TypeSegment]:
+        return iter(self.segments)
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Typemap) and self.segments == other.segments
+
+    def __hash__(self) -> int:
+        return hash(self.segments)
+
+    @property
+    def size(self) -> int:
+        """Total bytes of true data in one element."""
+        return sum(s.length for s in self.segments)
+
+    @property
+    def lb(self) -> int:
+        """Lower bound: offset of the first byte of true data."""
+        return self.segments[0].offset
+
+    @property
+    def ub(self) -> int:
+        """Upper bound: one past the last byte of true data."""
+        return self.segments[-1].end
+
+    @property
+    def span(self) -> int:
+        """Bytes from lower to upper bound (>= size; == size iff dense)."""
+        return self.ub - self.lb
+
+    def is_contiguous(self) -> bool:
+        """True when the element is one dense segment starting at 0."""
+        return len(self.segments) == 1 and self.segments[0].offset == 0
+
+    def replicate(self, count: int, stride_bytes: int) -> "Typemap":
+        """Typemap of *count* copies of this map placed every
+        *stride_bytes* bytes — the core of the vector constructor."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        out: list[TypeSegment] = []
+        for k in range(count):
+            delta = k * stride_bytes
+            out.extend(seg.shifted(delta) for seg in self.segments)
+        return Typemap(out)
+
+    def shifted(self, delta: int) -> "Typemap":
+        """The whole map displaced by *delta* bytes."""
+        return Typemap(seg.shifted(delta) for seg in self.segments)
+
+    def merged(self, other: "Typemap") -> "Typemap":
+        """Union of two non-overlapping maps (struct constructor)."""
+        return Typemap((*self.segments, *other.segments))
+
+    def byte_offsets(self) -> Sequence[int]:
+        """Every true-data byte offset of one element, ascending.
+
+        Used by the pack engine to build gather indices; O(size).
+        """
+        out: list[int] = []
+        for seg in self.segments:
+            out.extend(range(seg.offset, seg.end))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"({s.offset},{s.length})" for s in self.segments)
+        return f"Typemap[{inner}]"

@@ -1,0 +1,128 @@
+"""MPI error classes.
+
+The hierarchy follows the MPI-3.1 error *classes* (MPI_ERR_ARG,
+MPI_ERR_COMM, ...).  Whether these checks run at all is a build-time
+decision in this reproduction, exactly as in the paper: the Figure 2
+"no-err" build compiles the checks out, which here means the validation
+functions are never invoked and hence never charge instructions.
+"""
+
+from __future__ import annotations
+
+
+class MPIError(Exception):
+    """Base class for all MPI errors raised by the runtime.
+
+    Attributes
+    ----------
+    error_class:
+        Symbolic name of the MPI error class (e.g. ``"MPI_ERR_RANK"``).
+    """
+
+    error_class = "MPI_ERR_OTHER"
+
+    def __init__(self, message: str = ""):
+        super().__init__(f"{self.error_class}: {message}" if message else self.error_class)
+        self.message = message
+
+
+class MPIErrArg(MPIError):
+    """Invalid argument of some other kind (MPI_ERR_ARG)."""
+
+    error_class = "MPI_ERR_ARG"
+
+
+class MPIErrBuffer(MPIError):
+    """Invalid buffer pointer (MPI_ERR_BUFFER)."""
+
+    error_class = "MPI_ERR_BUFFER"
+
+
+class MPIErrCount(MPIError):
+    """Invalid count argument (MPI_ERR_COUNT)."""
+
+    error_class = "MPI_ERR_COUNT"
+
+
+class MPIErrDatatype(MPIError):
+    """Invalid datatype argument, e.g. uncommitted (MPI_ERR_TYPE)."""
+
+    error_class = "MPI_ERR_TYPE"
+
+
+class MPIErrTag(MPIError):
+    """Invalid tag argument (MPI_ERR_TAG)."""
+
+    error_class = "MPI_ERR_TAG"
+
+
+class MPIErrComm(MPIError):
+    """Invalid communicator (MPI_ERR_COMM)."""
+
+    error_class = "MPI_ERR_COMM"
+
+
+class MPIErrRank(MPIError):
+    """Invalid rank (MPI_ERR_RANK)."""
+
+    error_class = "MPI_ERR_RANK"
+
+
+class MPIErrRequest(MPIError):
+    """Invalid request handle (MPI_ERR_REQUEST)."""
+
+    error_class = "MPI_ERR_REQUEST"
+
+
+class MPIErrTruncate(MPIError):
+    """Message truncated on receive (MPI_ERR_TRUNCATE)."""
+
+    error_class = "MPI_ERR_TRUNCATE"
+
+
+class MPIErrWin(MPIError):
+    """Invalid window argument (MPI_ERR_WIN)."""
+
+    error_class = "MPI_ERR_WIN"
+
+
+class MPIErrRMARange(MPIError):
+    """Target memory is not within the exposed window (MPI_ERR_RMA_RANGE)."""
+
+    error_class = "MPI_ERR_RMA_RANGE"
+
+
+class MPIErrRMASync(MPIError):
+    """Wrong synchronization of RMA calls (MPI_ERR_RMA_SYNC)."""
+
+    error_class = "MPI_ERR_RMA_SYNC"
+
+
+class MPIErrGroup(MPIError):
+    """Invalid group argument (MPI_ERR_GROUP)."""
+
+    error_class = "MPI_ERR_GROUP"
+
+
+class MPIErrOp(MPIError):
+    """Invalid reduction operation (MPI_ERR_OP)."""
+
+    error_class = "MPI_ERR_OP"
+
+
+class MPIErrInfo(MPIError):
+    """Invalid info argument (MPI_ERR_INFO)."""
+
+    error_class = "MPI_ERR_INFO"
+
+
+class MPIErrPending(MPIError):
+    """Operation still pending when completion was required."""
+
+    error_class = "MPI_ERR_PENDING"
+
+
+class MPIErrInternal(MPIError):
+    """Internal runtime invariant violated — a bug in this library."""
+
+    error_class = "MPI_ERR_INTERN"

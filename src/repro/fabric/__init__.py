@@ -1,0 +1,38 @@
+"""Network fabric cost models and cluster topology.
+
+The paper evaluates on four platforms; this package models the three
+that matter for the message-rate experiments — the "IT" cluster's
+Omni-Path/PSM2, the "Gomez" cluster's Mellanox EDR, and the modified
+"infinitely fast network" build — plus the Blue Gene/Q interconnect
+used by the application experiments.
+"""
+
+from repro.fabric.model import (
+    FabricSpec,
+    OFI_PSM2,
+    UCX_EDR,
+    INFINITE,
+    BGQ_TORUS,
+    SHM_POSIX,
+    SHM_XPMEM,
+    FABRICS,
+    CPI,
+    fabric_by_name,
+)
+from repro.fabric.topology import Topology, TorusTopology, balanced_dims
+
+__all__ = [
+    "TorusTopology",
+    "balanced_dims",
+    "FabricSpec",
+    "OFI_PSM2",
+    "UCX_EDR",
+    "INFINITE",
+    "BGQ_TORUS",
+    "SHM_POSIX",
+    "SHM_XPMEM",
+    "FABRICS",
+    "CPI",
+    "fabric_by_name",
+    "Topology",
+]

@@ -1,0 +1,165 @@
+"""Cluster topology: rank-to-node placement and torus hop distances.
+
+The CH4 core's first act on every operation is a *locality check*
+(self / same node / remote) — this module answers it.  For the Blue
+Gene/Q application models, a 5-D torus hop-distance model (optionally
+backed by networkx for validation) refines the latency term.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Placement of ``nranks`` MPI ranks onto nodes.
+
+    Ranks are block-distributed: ranks ``[k*cores_per_node,
+    (k+1)*cores_per_node)`` live on node ``k`` — the default mapping of
+    most MPI launchers and the one the paper's runs use (BG/Q ``-c32``
+    mode, 16 ranks/node clusters).
+    """
+
+    nranks: int
+    cores_per_node: int = 16
+
+    def __post_init__(self):
+        if self.nranks <= 0:
+            raise ValueError(f"nranks must be positive, got {self.nranks}")
+        if self.cores_per_node <= 0:
+            raise ValueError(
+                f"cores_per_node must be positive, got {self.cores_per_node}")
+
+    @property
+    def nnodes(self) -> int:
+        """Number of nodes occupied (last node may be partial)."""
+        return -(-self.nranks // self.cores_per_node)
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting *rank*."""
+        if not 0 <= rank < self.nranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.nranks})")
+        return rank // self.cores_per_node
+
+    def core_of(self, rank: int) -> int:
+        """Core index of *rank* within its node."""
+        if not 0 <= rank < self.nranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.nranks})")
+        return rank % self.cores_per_node
+
+    def same_node(self, a: int, b: int) -> bool:
+        """True when ranks *a* and *b* share a node (shmmod territory)."""
+        return self.node_of(a) == self.node_of(b)
+
+    def ranks_on_node(self, node: int) -> range:
+        """The ranks hosted on *node*."""
+        lo = node * self.cores_per_node
+        hi = min(lo + self.cores_per_node, self.nranks)
+        if lo >= self.nranks:
+            raise ValueError(f"node {node} beyond occupied nodes")
+        return range(lo, hi)
+
+
+@dataclass(frozen=True)
+class TorusTopology(Topology):
+    """A k-dimensional torus of nodes (BG/Q is 5-D).
+
+    Dimensions are derived from the node count as a near-balanced
+    factorization unless given explicitly.
+    """
+
+    dims: tuple[int, ...] = field(default=())
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.dims:
+            prod = 1
+            for d in self.dims:
+                if d <= 0:
+                    raise ValueError(f"torus dims must be positive: {self.dims}")
+                prod *= d
+            if prod < self.nnodes:
+                raise ValueError(
+                    f"torus {self.dims} holds {prod} nodes < {self.nnodes}")
+        else:
+            object.__setattr__(self, "dims", balanced_dims(self.nnodes, 5))
+
+    def coords_of_node(self, node: int) -> tuple[int, ...]:
+        """Torus coordinates of *node* (row-major unfolding)."""
+        coords = []
+        for d in reversed(self.dims):
+            coords.append(node % d)
+            node //= d
+        return tuple(reversed(coords))
+
+    def hops(self, node_a: int, node_b: int) -> int:
+        """Minimal torus hop distance between two nodes."""
+        ca, cb = self.coords_of_node(node_a), self.coords_of_node(node_b)
+        total = 0
+        for x, y, d in zip(ca, cb, self.dims):
+            delta = abs(x - y)
+            total += min(delta, d - delta)
+        return total
+
+    def mean_neighbor_hops(self) -> float:
+        """Average hop count of a nearest-neighbor (±1 in one grid
+        dimension) exchange under block placement — close to 1 for
+        well-folded meshes, used by the application latency models."""
+        if self.nnodes == 1:
+            return 0.0
+        sample = min(self.nnodes, 64)
+        total = 0
+        for node in range(sample):
+            total += self.hops(node, (node + 1) % self.nnodes)
+        return total / sample
+
+    def to_networkx(self):
+        """Build the torus as a networkx graph (validation/analysis
+        only — never on the critical path).  Requires networkx."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        for node in range(self.nnodes):
+            graph.add_node(node, coords=self.coords_of_node(node))
+        for node in range(self.nnodes):
+            coords = self.coords_of_node(node)
+            for axis, d in enumerate(self.dims):
+                if d == 1:
+                    continue
+                nbr = list(coords)
+                nbr[axis] = (coords[axis] + 1) % d
+                nbr_node = 0
+                for c, dd in zip(nbr, self.dims):
+                    nbr_node = nbr_node * dd + c
+                if nbr_node < self.nnodes:
+                    graph.add_edge(node, nbr_node)
+        return graph
+
+
+def balanced_dims(n: int, ndims: int) -> tuple[int, ...]:
+    """Factor *n* nodes into *ndims* near-equal torus dimensions.
+
+    The product of the result is >= n (nodes beyond n are simply
+    unpopulated), and each dimension is within a factor ~2 of the
+    geometric mean — mirroring how BG/Q partitions are folded.
+    """
+    if n <= 0:
+        raise ValueError(f"node count must be positive, got {n}")
+    if ndims <= 0:
+        raise ValueError(f"ndims must be positive, got {ndims}")
+    dims = [1] * ndims
+    remaining = n
+    for i in range(ndims):
+        target = round(remaining ** (1.0 / (ndims - i)))
+        target = max(target, 1)
+        dims[i] = target
+        remaining = -(-remaining // target)
+    prod = math.prod(dims)
+    # Grow the smallest dimension until the torus is large enough.
+    while prod < n:
+        j = dims.index(min(dims))
+        dims[j] += 1
+        prod = math.prod(dims)
+    return tuple(dims)

@@ -1,0 +1,98 @@
+"""Instruction categories matching Table 1 of the paper.
+
+The five top-level categories are exactly the rows of Table 1
+("Instruction analysis for MPI calls").  ``MANDATORY`` is further
+subdivided by *which requirement of the MPI-3.1 standard causes it* —
+the paper's Section 3 enumerates those requirements (3.1 network
+address virtualization, 3.2 virtual-memory addressing, 3.3 object
+isolation, 3.4 MPI_PROC_NULL, 3.5 per-operation completion, 3.6
+matching bits) plus an irreducible residual (descriptor construction
+and the actual hand-off to the network API).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Category(enum.Enum):
+    """Top-level attribution buckets (rows of Table 1)."""
+
+    #: Argument/object validation — not mandated by the standard;
+    #: removable via a no-error-checking build (Figure 2 "no errors").
+    ERROR_CHECKING = "error_checking"
+
+    #: Runtime check for MPI_THREAD_MULTIPLE vs single-threaded path —
+    #: a software-distribution convenience, removable via a
+    #: single-threaded build (Figure 2 "no thread check").
+    THREAD_SAFETY = "thread_safety"
+
+    #: Stack/register setup for the (non-inlined) MPI function call —
+    #: removable with link-time inlining (Figure 2 "+ipo").
+    FUNCTION_CALL = "function_call"
+
+    #: Checks whose answers are compile-time constants for the actual
+    #: application (e.g. datatype size for MPI_DOUBLE) but must be
+    #: re-derived at runtime because the call is a black box —
+    #: removable with link-time inlining, *except* for "class 3"
+    #: datatype usage which needs whole-program inlining (Section 2.2).
+    REDUNDANT_CHECKS = "redundant_checks"
+
+    #: Everything that cannot be removed within MPI-3.1 (Section 3).
+    MANDATORY = "mandatory"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Subsystem(enum.Enum):
+    """Fine-grained attribution of :attr:`Category.MANDATORY` charges.
+
+    Each member maps to the paper section whose proposed standard
+    change removes (or shrinks) it.
+    """
+
+    #: Section 3.1 — communicator-rank -> network-address translation.
+    RANK_TRANSLATION = "rank_translation"
+
+    #: Section 3.2 — window offset -> virtual address translation
+    #: (one-sided operations only).
+    VM_ADDRESSING = "vm_addressing"
+
+    #: Section 3.3 — dereference into the dynamically allocated
+    #: communicator/window/file object.
+    OBJECT_LOOKUP = "object_lookup"
+
+    #: Section 3.4 — compare-and-branch for MPI_PROC_NULL.
+    PROC_NULL = "proc_null"
+
+    #: Section 3.5 — per-operation request allocation and management.
+    REQUEST_MGMT = "request_mgmt"
+
+    #: Section 3.6 — constructing (comm, source, tag) match bits.
+    MATCH_BITS = "match_bits"
+
+    #: Irreducible: fill the network descriptor and call the low-level
+    #: communication API.  Shrinks only through the fused-descriptor
+    #: synergy of the combined ``*_ALL_OPTS`` path (Section 3.7).
+    DESCRIPTOR = "descriptor"
+
+    #: CH3-only protocol machinery (virtual connections, eager /
+    #: rendezvous dispatch, queues) — implementation overhead, not a
+    #: standard requirement; the whole point of CH4 is its absence.
+    CH3_PROTOCOL = "ch3_protocol"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Subsystems whose charges the Section 3 proposals target, in the
+#: order the paper presents them.
+PROPOSAL_ORDER = (
+    Subsystem.RANK_TRANSLATION,
+    Subsystem.VM_ADDRESSING,
+    Subsystem.OBJECT_LOOKUP,
+    Subsystem.PROC_NULL,
+    Subsystem.REQUEST_MGMT,
+    Subsystem.MATCH_BITS,
+)

@@ -1,0 +1,136 @@
+"""Per-rank instruction counters.
+
+A counter is installed per thread (one rank of the
+:class:`~repro.runtime.world.World` runs per thread) and accumulates
+abstract-instruction charges by :class:`Category` and, for mandatory
+charges, by :class:`Subsystem`.  The hot-path entry point is
+:meth:`InstructionCounter.charge`; a module-level :func:`charge`
+convenience resolves the thread's installed counter first.
+
+The counter is deliberately dumb — plain integer accumulation — so the
+pytest-benchmark measurements of the real Python critical path are not
+distorted by the accounting itself.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.instrument.categories import Category, Subsystem
+
+_tls = threading.local()
+
+
+@dataclass
+class Snapshot:
+    """Immutable-by-convention copy of a counter's state at an instant."""
+
+    total: int
+    by_category: Mapping[Category, int]
+    by_subsystem: Mapping[Subsystem, int]
+
+    def delta(self, later: "Snapshot") -> "Snapshot":
+        """Counts accumulated between this snapshot and *later*."""
+        return Snapshot(
+            total=later.total - self.total,
+            by_category={c: later.by_category.get(c, 0) - self.by_category.get(c, 0)
+                         for c in Category},
+            by_subsystem={s: later.by_subsystem.get(s, 0) - self.by_subsystem.get(s, 0)
+                          for s in Subsystem},
+        )
+
+
+class InstructionCounter:
+    """Accumulates abstract-instruction charges for one rank.
+
+    Parameters
+    ----------
+    label:
+        Free-form identification (usually ``"rank <i>"``), used in
+        reports.
+    """
+
+    __slots__ = ("label", "total", "by_category", "by_subsystem")
+
+    def __init__(self, label: str = ""):
+        self.label = label
+        self.total = 0
+        self.by_category: dict[Category, int] = {c: 0 for c in Category}
+        self.by_subsystem: dict[Subsystem, int] = {s: 0 for s in Subsystem}
+
+    def charge(self, category: Category, n: int,
+               subsystem: Subsystem | None = None) -> None:
+        """Charge *n* abstract instructions to *category* (and optionally
+        attribute them to a mandatory *subsystem*)."""
+        self.total += n
+        self.by_category[category] += n
+        if subsystem is not None:
+            self.by_subsystem[subsystem] += n
+
+    def reset(self) -> None:
+        """Zero all accumulators."""
+        self.total = 0
+        for c in self.by_category:
+            self.by_category[c] = 0
+        for s in self.by_subsystem:
+            self.by_subsystem[s] = 0
+
+    def snapshot(self) -> Snapshot:
+        """Copy the current state (cheap: two small dict copies)."""
+        return Snapshot(total=self.total,
+                        by_category=dict(self.by_category),
+                        by_subsystem=dict(self.by_subsystem))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"InstructionCounter({self.label!r}, total={self.total})")
+
+
+def install_counter(counter: InstructionCounter) -> None:
+    """Make *counter* the active counter for the calling thread."""
+    _tls.counter = counter
+
+
+def uninstall_counter() -> None:
+    """Remove the calling thread's active counter, if any."""
+    _tls.counter = None
+
+
+def current_counter() -> InstructionCounter | None:
+    """Return the calling thread's active counter, or None."""
+    return getattr(_tls, "counter", None)
+
+
+def charge(category: Category, n: int,
+           subsystem: Subsystem | None = None) -> None:
+    """Charge against the calling thread's counter; no-op if none set.
+
+    Runtime-internal code holds a direct counter reference instead of
+    calling this — this helper exists for tests and ad-hoc probes.
+    """
+    counter = getattr(_tls, "counter", None)
+    if counter is not None:
+        counter.charge(category, n, subsystem)
+
+
+@contextmanager
+def scoped_counter(label: str = "scoped") -> Iterator[InstructionCounter]:
+    """Install a fresh counter for the duration of a ``with`` block.
+
+    >>> with scoped_counter() as c:
+    ...     charge(Category.MANDATORY, 5)
+    >>> c.total
+    5
+    """
+    prev = current_counter()
+    counter = InstructionCounter(label)
+    install_counter(counter)
+    try:
+        yield counter
+    finally:
+        if prev is None:
+            uninstall_counter()
+        else:
+            install_counter(prev)

@@ -1,0 +1,108 @@
+"""Plain-text rendering of instruction reports.
+
+The analysis harness (:mod:`repro.analysis`) prints the paper's tables
+and figure series as aligned text tables; the primitives live here so
+the benchmarks and the CLI share one renderer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.instrument.categories import Category, Subsystem
+from repro.instrument.trace import CallRecord
+
+#: Human-readable labels for Table 1 rows, in the paper's order.
+CATEGORY_LABELS: Mapping[Category, str] = {
+    Category.ERROR_CHECKING: "Error checking",
+    Category.THREAD_SAFETY: "Thread-safety check",
+    Category.FUNCTION_CALL: "MPI function call",
+    Category.REDUNDANT_CHECKS: "Redundant runtime checks",
+    Category.MANDATORY: "MPI mandatory overheads",
+}
+
+#: Human-readable labels for mandatory subsystems (Section 3 order).
+SUBSYSTEM_LABELS: Mapping[Subsystem, str] = {
+    Subsystem.RANK_TRANSLATION: "Rank->address translation (S3.1)",
+    Subsystem.VM_ADDRESSING: "Offset->virtual address (S3.2)",
+    Subsystem.OBJECT_LOOKUP: "Comm/win object lookup (S3.3)",
+    Subsystem.PROC_NULL: "MPI_PROC_NULL check (S3.4)",
+    Subsystem.REQUEST_MGMT: "Request management (S3.5)",
+    Subsystem.MATCH_BITS: "Match-bit construction (S3.6)",
+    Subsystem.DESCRIPTOR: "Descriptor fill + network API",
+    Subsystem.CH3_PROTOCOL: "CH3 protocol machinery",
+}
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an aligned plain-text table.
+
+    Numeric cells are right-aligned; everything else left-aligned.
+    """
+    str_rows = [[_fmt_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if _is_numeric(cell):
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def _fmt_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def _is_numeric(cell: str) -> bool:
+    stripped = cell.replace(",", "").replace(".", "").replace("-", "")
+    return stripped.isdigit() and bool(stripped)
+
+
+def category_table(records: Mapping[str, CallRecord],
+                   title: str = "Instruction analysis for MPI calls") -> str:
+    """Render Table 1: one column per traced call, one row per category.
+
+    Parameters
+    ----------
+    records:
+        Mapping from column header (e.g. ``"MPI_ISEND"``) to the traced
+        call record providing that column.
+    """
+    headers = ["Reason", *records.keys()]
+    rows: list[list[object]] = []
+    for cat in Category:
+        rows.append([CATEGORY_LABELS[cat],
+                     *(rec.category(cat) for rec in records.values())])
+    rows.append(["Total", *(rec.total for rec in records.values())])
+    return format_table(headers, rows, title=title)
+
+
+def breakdown_lines(record: CallRecord) -> list[str]:
+    """Mandatory-subsystem breakdown of one call, one line per subsystem."""
+    lines = [f"{record.name}: {record.total} instructions"]
+    for sub in Subsystem:
+        n = record.subsystem(sub)
+        if n:
+            lines.append(f"  {SUBSYSTEM_LABELS[sub]:<40s} {n:>6d}")
+    return lines

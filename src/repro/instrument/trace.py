@@ -1,0 +1,86 @@
+"""Per-call instruction tracing (the "SDE trace" equivalent).
+
+A :class:`CallTracer` wraps an :class:`InstructionCounter` and records,
+for each traced MPI call, the instructions it contributed broken down
+by category and mandatory subsystem — the same information the paper
+extracts from Intel SDE traces to build Table 1 and Figure 2.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.instrument.categories import Category, Subsystem
+from repro.instrument.counter import InstructionCounter
+
+
+@dataclass(frozen=True)
+class CallRecord:
+    """One traced MPI call's instruction contribution."""
+
+    name: str
+    total: int
+    by_category: Mapping[Category, int]
+    by_subsystem: Mapping[Subsystem, int]
+
+    def category(self, cat: Category) -> int:
+        """Instructions attributed to *cat* in this call."""
+        return self.by_category.get(cat, 0)
+
+    def subsystem(self, sub: Subsystem) -> int:
+        """Instructions attributed to mandatory subsystem *sub*."""
+        return self.by_subsystem.get(sub, 0)
+
+
+class CallTracer:
+    """Records per-call instruction deltas from a counter.
+
+    Usage::
+
+        tracer = CallTracer(counter)
+        with tracer.call("MPI_Isend"):
+            comm.isend(...)
+        rec = tracer.records[-1]
+        assert rec.total == 221
+    """
+
+    def __init__(self, counter: InstructionCounter):
+        self.counter = counter
+        self.records: list[CallRecord] = []
+
+    @contextmanager
+    def call(self, name: str) -> Iterator[None]:
+        """Trace the instructions charged while the block executes."""
+        before = self.counter.snapshot()
+        try:
+            yield
+        finally:
+            delta = before.delta(self.counter.snapshot())
+            self.records.append(CallRecord(
+                name=name,
+                total=delta.total,
+                by_category=delta.by_category,
+                by_subsystem=delta.by_subsystem,
+            ))
+
+    def last(self, name: str | None = None) -> CallRecord:
+        """Most recent record, optionally filtered by call name."""
+        if name is None:
+            return self.records[-1]
+        for rec in reversed(self.records):
+            if rec.name == name:
+                return rec
+        raise KeyError(f"no traced call named {name!r}")
+
+    def mean_total(self, name: str) -> float:
+        """Mean instruction total across all records for *name*."""
+        totals = [r.total for r in self.records if r.name == name]
+        if not totals:
+            raise KeyError(f"no traced call named {name!r}")
+        return sum(totals) / len(totals)
+
+    def clear(self) -> None:
+        """Drop all recorded calls."""
+        self.records.clear()

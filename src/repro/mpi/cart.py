@@ -1,0 +1,272 @@
+"""Cartesian process topologies (MPI_CART_*).
+
+The paper's §3.1 example — "a five-point stencil computation on a
+Cartesian grid where the application could simply store the
+MPI_COMM_WORLD ranks of its north, south, east, and west neighbors" —
+is exactly what :meth:`CartComm.shift` plus
+:meth:`CartComm.shift_global` provide: the former returns communicator
+ranks (with MPI_PROC_NULL at non-periodic boundaries, §3.4), the
+latter returns pre-translated world ranks for the ``isend_global``
+fast path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.consts import PROC_NULL
+from repro.errors import MPIErrArg
+from repro.mpi.comm import Communicator
+from repro.mpi.group import Group
+
+
+def dims_create(nnodes: int, ndims: int,
+                dims: Optional[Sequence[int]] = None) -> list[int]:
+    """MPI_DIMS_CREATE: balanced factorization of *nnodes* over *ndims*
+    dimensions; nonzero entries of *dims* are fixed constraints."""
+    if nnodes <= 0:
+        raise MPIErrArg(f"nnodes must be positive, got {nnodes}")
+    if ndims <= 0:
+        raise MPIErrArg(f"ndims must be positive, got {ndims}")
+    fixed = list(dims) if dims is not None else [0] * ndims
+    if len(fixed) != ndims:
+        raise MPIErrArg(f"dims has {len(fixed)} entries, ndims={ndims}")
+    remaining = nnodes
+    for d in fixed:
+        if d < 0:
+            raise MPIErrArg(f"dims entries must be >= 0, got {d}")
+        if d > 0:
+            if remaining % d:
+                raise MPIErrArg(
+                    f"fixed dims {fixed} do not divide {nnodes}")
+            remaining //= d
+    free = [i for i, d in enumerate(fixed) if d == 0]
+    # Greedy: repeatedly give the largest prime factor to the smallest
+    # current dimension.
+    factors = _prime_factors(remaining)
+    sizes = {i: 1 for i in free}
+    for f in sorted(factors, reverse=True):
+        smallest = min(free, key=lambda i: sizes[i]) if free else None
+        if smallest is None:
+            break
+        sizes[smallest] *= f
+    out = list(fixed)
+    for i in free:
+        out[i] = sizes[i]
+    prod = 1
+    for d in out:
+        prod *= d
+    if prod != nnodes:
+        raise MPIErrArg(
+            f"cannot factor {nnodes} into {ndims} dims with {fixed}")
+    return out
+
+
+def _prime_factors(n: int) -> list[int]:
+    out = []
+    f = 2
+    while f * f <= n:
+        while n % f == 0:
+            out.append(f)
+            n //= f
+        f += 1
+    if n > 1:
+        out.append(n)
+    return out
+
+
+class CartComm(Communicator):
+    """A communicator with Cartesian topology attached."""
+
+    def __init__(self, proc, group: Group, ctx: int,
+                 dims: Sequence[int], periods: Sequence[bool],
+                 name: str = "cart"):
+        super().__init__(proc, group, ctx, name=name)
+        self.dims = tuple(int(d) for d in dims)
+        self.periods = tuple(bool(p) for p in periods)
+        if len(self.dims) != len(self.periods):
+            raise MPIErrArg("dims and periods length mismatch")
+        prod = 1
+        for d in self.dims:
+            if d <= 0:
+                raise MPIErrArg(f"cart dims must be positive: {self.dims}")
+            prod *= d
+        if prod != self.size:
+            raise MPIErrArg(
+                f"cart grid {self.dims} holds {prod} ranks, "
+                f"communicator has {self.size}")
+
+    # -- coordinate mapping (row-major, last dim fastest: MPI order) -----
+
+    @property
+    def ndims(self) -> int:
+        """MPI_CARTDIM_GET."""
+        return len(self.dims)
+
+    def coords(self, rank: Optional[int] = None) -> tuple[int, ...]:
+        """MPI_CART_COORDS of *rank* (default: this rank)."""
+        r = self.rank if rank is None else rank
+        if not 0 <= r < self.size:
+            from repro.errors import MPIErrRank
+            raise MPIErrRank(f"rank {r} outside [0, {self.size})")
+        out = []
+        for d in reversed(self.dims):
+            out.append(r % d)
+            r //= d
+        return tuple(reversed(out))
+
+    def cart_rank(self, coords: Sequence[int]) -> int:
+        """MPI_CART_RANK: coordinates to rank, wrapping periodic
+        dimensions; PROC_NULL for out-of-range non-periodic ones."""
+        if len(coords) != self.ndims:
+            raise MPIErrArg(
+                f"expected {self.ndims} coordinates, got {len(coords)}")
+        rank = 0
+        for c, d, periodic in zip(coords, self.dims, self.periods):
+            if periodic:
+                c %= d
+            elif not 0 <= c < d:
+                return PROC_NULL
+            rank = rank * d + c
+        return rank
+
+    # -- neighbor queries ----------------------------------------------------
+
+    def shift(self, direction: int, disp: int = 1) -> tuple[int, int]:
+        """MPI_CART_SHIFT: ``(source, dest)`` communicator ranks for a
+        displacement *disp* along *direction* (PROC_NULL at non-
+        periodic edges — §3.4's convenience)."""
+        if not 0 <= direction < self.ndims:
+            raise MPIErrArg(
+                f"direction {direction} outside [0, {self.ndims})")
+        me = list(self.coords())
+        up = list(me)
+        up[direction] += disp
+        down = list(me)
+        down[direction] -= disp
+        return self.cart_rank(down), self.cart_rank(up)
+
+    def shift_global(self, direction: int,
+                     disp: int = 1) -> tuple[int, int]:
+        """The §3.1 recipe in one call: :meth:`shift` results
+        pre-translated to MPI_COMM_WORLD ranks (PROC_NULL preserved),
+        ready to store "in four separate variables" and use with
+        ``isend_global``."""
+        src, dest = self.shift(direction, disp)
+        to_world = (lambda r: PROC_NULL if r == PROC_NULL
+                    else self.world_rank_of(r))
+        return to_world(src), to_world(dest)
+
+    def neighbors(self) -> list[tuple[int, int]]:
+        """(source, dest) pairs for every dimension, unit displacement."""
+        return [self.shift(d, 1) for d in range(self.ndims)]
+
+    # -- neighborhood collectives (MPI_NEIGHBOR_*) -------------------------------
+
+    _NEIGHBOR_TAG = (1 << 19) + 51
+
+    def _neighbor_list(self) -> list[int]:
+        """Neighbor order per the standard: for each dimension, the
+        negative-displacement neighbor then the positive one."""
+        out = []
+        for d in range(self.ndims):
+            src, dest = self.shift(d, 1)
+            out.extend((src, dest))
+        return out
+
+    def neighbor_allgather(self, obj) -> list:
+        """MPI_NEIGHBOR_ALLGATHER: send *obj* to every neighbor,
+        collect one object per neighbor (None across PROC_NULL)."""
+        import pickle
+        neighbors = self._neighbor_list()
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        reqs = []
+        for nbr in neighbors:
+            if nbr != PROC_NULL:
+                reqs.append(self._isend_bytes(payload, nbr,
+                                              self._NEIGHBOR_TAG))
+        out = []
+        for nbr in neighbors:
+            if nbr == PROC_NULL:
+                out.append(None)
+            else:
+                out.append(pickle.loads(
+                    self._recv_bytes(nbr, self._NEIGHBOR_TAG)))
+        for req in reqs:
+            req.wait()
+        return out
+
+    def neighbor_alltoall(self, objs: Sequence) -> list:
+        """MPI_NEIGHBOR_ALLTOALL: personalized exchange with each
+        neighbor (objs in standard neighbor order)."""
+        import pickle
+        neighbors = self._neighbor_list()
+        if len(objs) != len(neighbors):
+            raise MPIErrArg(
+                f"need {len(neighbors)} objects (one per neighbor), "
+                f"got {len(objs)}")
+        reqs = []
+        for nbr, obj in zip(neighbors, objs):
+            if nbr != PROC_NULL:
+                reqs.append(self._isend_bytes(
+                    pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL),
+                    nbr, self._NEIGHBOR_TAG + 1))
+        out = []
+        for nbr in neighbors:
+            if nbr == PROC_NULL:
+                out.append(None)
+            else:
+                out.append(pickle.loads(
+                    self._recv_bytes(nbr, self._NEIGHBOR_TAG + 1)))
+        for req in reqs:
+            req.wait()
+        return out
+
+    # -- sub-grids --------------------------------------------------------------
+
+    def sub(self, remain_dims: Sequence[bool]) -> "CartComm":
+        """MPI_CART_SUB: split into sub-grids keeping the dimensions
+        flagged in *remain_dims*."""
+        if len(remain_dims) != self.ndims:
+            raise MPIErrArg(
+                f"remain_dims needs {self.ndims} entries")
+        me = self.coords()
+        color = 0
+        for c, d, keep in zip(me, self.dims, remain_dims):
+            if not keep:
+                color = color * d + c
+        key = 0
+        for c, d, keep in zip(me, self.dims, remain_dims):
+            if keep:
+                key = key * d + c
+        flat = self.split(color=color, key=key)
+        sub_dims = [d for d, keep in zip(self.dims, remain_dims) if keep]
+        sub_periods = [p for p, keep in zip(self.periods, remain_dims)
+                       if keep]
+        if not sub_dims:
+            sub_dims, sub_periods = [1], [False]
+        return CartComm(self.proc, flat.group, flat.ctx, sub_dims,
+                        sub_periods, name=f"{self.name}.sub")
+
+
+def cart_create(comm: Communicator, dims: Sequence[int],
+                periods: Sequence[bool],
+                reorder: bool = False) -> Optional[CartComm]:
+    """MPI_CART_CREATE (collective): attach a Cartesian topology.
+
+    Ranks beyond ``prod(dims)`` receive None, per the standard.
+    *reorder* is accepted but ignored (rank order is already optimal
+    for the block placement the runtime uses).
+    """
+    prod = 1
+    for d in dims:
+        prod *= d
+    if prod > comm.size:
+        raise MPIErrArg(
+            f"cart grid {tuple(dims)} needs {prod} ranks, "
+            f"communicator has {comm.size}")
+    sub = comm.split(color=0 if comm.rank < prod else 1, key=comm.rank)
+    if comm.rank >= prod:
+        return None
+    return CartComm(comm.proc, sub.group, sub.ctx, dims, periods,
+                    name=f"{comm.name}.cart")

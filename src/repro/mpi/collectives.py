@@ -1,0 +1,640 @@
+"""Machine-independent collectives (MPICH's topmost-layer algorithms).
+
+Built on the device's point-to-point path, exactly as MPICH's
+machine-independent collectives are: a binomial tree for
+broadcast/reduce/gather, dissemination for barrier, a ring for
+allgather, pairwise exchange for alltoall, and a linear chain for
+scans.  Every internal message traverses the device critical path, so
+collective timings inherit the per-build instruction overheads — the
+mechanism behind the Nek5000 allreduce sensitivity in Figure 7.
+
+Internal messages use tags above the user tag space (>= 1 << 20 within
+the reserved range), relying on MPI's non-overtaking guarantee for
+correctness across back-to-back collectives of the same kind.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import MPIErrArg, MPIErrRank
+from repro.mpi import reduceops
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.comm import Communicator
+
+#: Internal tag block (kept below consts.TAG_UB so device-level checks
+#: stay uniform; user code conventionally stays far below this).
+_TAG_BASE = 1 << 20
+TAG_BARRIER = _TAG_BASE + 1
+TAG_BCAST = _TAG_BASE + 2
+TAG_REDUCE = _TAG_BASE + 3
+TAG_GATHER = _TAG_BASE + 4
+TAG_ALLGATHER = _TAG_BASE + 5
+TAG_SCATTER = _TAG_BASE + 6
+TAG_ALLTOALL = _TAG_BASE + 7
+TAG_SCAN = _TAG_BASE + 8
+TAG_REDSCAT = _TAG_BASE + 9
+TAG_RECDOUBLE = _TAG_BASE + 10
+
+#: Payload size above which buffer allreduce switches from
+#: recursive doubling (latency-optimal: log P rounds) to
+#: reduce+broadcast (bandwidth-friendlier trees) — MPICH-style
+#: algorithm selection.
+ALLREDUCE_RECDOUBLE_MAX_BYTES = 64 * 1024
+
+#: Payload size above which buffer bcast switches from the binomial
+#: tree (latency-optimal) to scatter + ring allgather (van de Geijn —
+#: each byte crosses each link once instead of log P times).
+BCAST_BINOMIAL_MAX_BYTES = 128 * 1024
+
+
+def _check_root(comm: "Communicator", root: int) -> None:
+    if not 0 <= root < comm.size:
+        raise MPIErrRank(f"root {root} outside [0, {comm.size})")
+
+
+def _op_or_sum(op) -> reduceops.Op:
+    return op if op is not None else reduceops.SUM
+
+
+# ---------------------------------------------------------------------------
+# byte-level algorithms
+# ---------------------------------------------------------------------------
+
+def barrier(comm: "Communicator") -> None:
+    """Dissemination barrier: ceil(log2(P)) rounds of sendrecv."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    k = 1
+    while k < size:
+        dest = (rank + k) % size
+        src = (rank - k) % size
+        rreq = comm._irecv_bytes(src, TAG_BARRIER)
+        comm._send_bytes(b"", dest, TAG_BARRIER)
+        rreq.wait()
+        k <<= 1
+
+
+def bcast_bytes(comm: "Communicator", data: Optional[bytes],
+                root: int) -> bytes:
+    """Binomial-tree broadcast of a byte string."""
+    _check_root(comm, root)
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return data if data is not None else b""
+    vrank = (rank - root) % size
+
+    # Receive phase: a non-root rank receives from the rank that differs
+    # in its lowest set bit; the loop leaves `mask` at that bit (or at
+    # the first power of two >= size for the root, which receives from
+    # nobody).
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            src = (rank - mask) % size
+            data = comm._recv_bytes(src, TAG_BCAST)
+            break
+        mask <<= 1
+
+    # Send phase: forward to every lower bit position.
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < size:
+            dest = (rank + mask) % size
+            comm._send_bytes(data if data is not None else b"",
+                             dest, TAG_BCAST)
+        mask >>= 1
+    return data if data is not None else b""
+
+
+def bcast_scatter_allgather(comm: "Communicator", data: Optional[bytes],
+                            root: int) -> bytes:
+    """Van de Geijn broadcast: scatter P near-equal chunks from the
+    root, then ring-allgather them — the bandwidth-optimal large-
+    message algorithm MPICH selects above its binomial threshold."""
+    _check_root(comm, root)
+    size = comm.size
+    if size == 1:
+        return data if data is not None else b""
+    # Everyone needs the total length to size the chunks; ship it on
+    # the binomial tree (one tiny message per edge).
+    nbytes = bcast_bytes(
+        comm, str(len(data)).encode() if comm.rank == root else None,
+        root)
+    total = int(nbytes)
+    chunk = -(-total // size) if total else 0
+
+    chunks = None
+    if comm.rank == root:
+        chunks = [data[i * chunk:(i + 1) * chunk] for i in range(size)]
+    mine = scatter_bytes(comm, chunks, root)
+    # Ring allgather of the chunks, then reassemble in rank order.
+    pieces = allgather_bytes(comm, mine)
+    return b"".join(pieces)[:total]
+
+
+def reduce_pairs(comm: "Communicator", payload: bytes, root: int,
+                 combine) -> Optional[bytes]:
+    """Binomial-tree reduction of byte payloads.
+
+    *combine(lower, higher)* merges two payloads, with *lower* coming
+    from the smaller virtual rank — giving canonical rank ordering so
+    non-commutative combines behave deterministically.
+    """
+    _check_root(comm, root)
+    size, rank = comm.size, comm.rank
+    vrank = (rank - root) % size
+    result = payload
+    mask = 1
+    while mask < size:
+        if vrank & mask == 0:
+            src_v = vrank | mask
+            if src_v < size:
+                src = (src_v + root) % size
+                incoming = comm._recv_bytes(src, TAG_REDUCE)
+                result = combine(result, incoming)
+        else:
+            dest_v = vrank & ~mask
+            dest = (dest_v + root) % size
+            comm._send_bytes(result, dest, TAG_REDUCE)
+            return None
+        mask <<= 1
+    return result
+
+
+def allreduce_recursive_doubling(comm: "Communicator", payload: bytes,
+                                 combine) -> bytes:
+    """Recursive-doubling allreduce: ceil(log2 P) rounds, every rank
+    finishing with the full reduction — the latency-optimal algorithm
+    MPICH selects for small messages.
+
+    Non-power-of-two sizes use the standard fold: the first ``2r``
+    ranks (P = 2^k + r) pre-combine pairwise so a power-of-two core
+    runs the doubling, then results fan back out.
+
+    *combine(lower, higher)* must be associative and commutative over
+    payload bytes (true for all the numpy elementwise ops used here).
+    """
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return payload
+
+    pof2 = 1
+    while pof2 * 2 <= size:
+        pof2 *= 2
+    rem = size - pof2
+
+    result = payload
+    # Fold phase: ranks [0, 2*rem) pair up; odd partners send their
+    # contribution to the even partner and drop out of the core.
+    if rank < 2 * rem:
+        if rank % 2:   # odd: contribute and wait for the final result
+            comm._send_bytes(result, rank - 1, TAG_RECDOUBLE)
+            result = comm._recv_bytes(rank - 1, TAG_RECDOUBLE)
+            return result
+        incoming = comm._recv_bytes(rank + 1, TAG_RECDOUBLE)
+        result = combine(result, incoming)
+        core_rank = rank // 2
+    else:
+        core_rank = rank - rem
+
+    # Doubling phase over the power-of-two core.
+    mask = 1
+    while mask < pof2:
+        partner_core = core_rank ^ mask
+        partner = (partner_core * 2 if partner_core < rem
+                   else partner_core + rem)
+        rreq = comm._irecv_bytes(partner, TAG_RECDOUBLE)
+        comm._send_bytes(result, partner, TAG_RECDOUBLE)
+        rreq.wait()
+        incoming = rreq.payload if rreq.payload is not None else b""
+        # Canonical ordering keeps non-commutative combines sane.
+        if partner_core > core_rank:
+            result = combine(result, incoming)
+        else:
+            result = combine(incoming, result)
+        mask <<= 1
+
+    # Unfold: send the total back to the folded-out odd ranks.
+    if rank < 2 * rem:
+        comm._send_bytes(result, rank + 1, TAG_RECDOUBLE)
+    return result
+
+
+def gather_bytes(comm: "Communicator", data: bytes,
+                 root: int) -> Optional[list[bytes]]:
+    """Linear gather of per-rank byte strings (root receives P-1)."""
+    _check_root(comm, root)
+    size, rank = comm.size, comm.rank
+    if rank != root:
+        comm._send_bytes(data, root, TAG_GATHER)
+        return None
+    out: list[Optional[bytes]] = [None] * size
+    out[root] = data
+    for src in range(size):
+        if src != root:
+            out[src] = comm._recv_bytes(src, TAG_GATHER)
+    return out  # type: ignore[return-value]
+
+
+def allgather_bytes(comm: "Communicator", data: bytes) -> list[bytes]:
+    """Ring allgather: P-1 steps, each forwarding one block."""
+    size, rank = comm.size, comm.rank
+    blocks: list[Optional[bytes]] = [None] * size
+    blocks[rank] = data
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    send_idx = rank
+    for _ in range(size - 1):
+        rreq = comm._irecv_bytes(left, TAG_ALLGATHER)
+        comm._send_bytes(blocks[send_idx], right, TAG_ALLGATHER)
+        rreq.wait()
+        send_idx = (send_idx - 1) % size
+        blocks[send_idx] = rreq.payload if rreq.payload is not None else b""
+    return blocks  # type: ignore[return-value]
+
+
+def scatter_bytes(comm: "Communicator", chunks: Optional[Sequence[bytes]],
+                  root: int) -> bytes:
+    """Linear scatter of per-rank byte strings from the root."""
+    _check_root(comm, root)
+    size, rank = comm.size, comm.rank
+    if rank == root:
+        if chunks is None or len(chunks) != size:
+            raise MPIErrArg(
+                f"scatter root needs exactly {size} chunks, got "
+                f"{None if chunks is None else len(chunks)}")
+        for dest in range(size):
+            if dest != root:
+                comm._send_bytes(chunks[dest], dest, TAG_SCATTER)
+        return chunks[root]
+    return comm._recv_bytes(root, TAG_SCATTER)
+
+
+def alltoall_bytes(comm: "Communicator",
+                   chunks: Sequence[bytes]) -> list[bytes]:
+    """Pairwise-exchange alltoall (P-1 sendrecv rounds)."""
+    size, rank = comm.size, comm.rank
+    if len(chunks) != size:
+        raise MPIErrArg(
+            f"alltoall needs exactly {size} chunks, got {len(chunks)}")
+    out: list[Optional[bytes]] = [None] * size
+    out[rank] = chunks[rank]
+    for step in range(1, size):
+        dest = (rank + step) % size
+        src = (rank - step) % size
+        rreq = comm._irecv_bytes(src, TAG_ALLTOALL)
+        comm._send_bytes(chunks[dest], dest, TAG_ALLTOALL)
+        rreq.wait()
+        out[src] = rreq.payload if rreq.payload is not None else b""
+    return out  # type: ignore[return-value]
+
+
+def scan_bytes(comm: "Communicator", payload: bytes, combine,
+               inclusive: bool = True) -> Optional[bytes]:
+    """Linear-chain prefix reduction.
+
+    Inclusive: rank i returns combine(payload_0..i).  Exclusive:
+    rank i returns combine(payload_0..i-1); rank 0 returns None.
+    """
+    size, rank = comm.size, comm.rank
+    prefix_below: Optional[bytes] = None
+    if rank > 0:
+        prefix_below = comm._recv_bytes(rank - 1, TAG_SCAN)
+    running = payload if prefix_below is None \
+        else combine(prefix_below, payload)
+    if rank < size - 1:
+        comm._send_bytes(running, rank + 1, TAG_SCAN)
+    if inclusive:
+        return running
+    return prefix_below
+
+
+# ---------------------------------------------------------------------------
+# lowercase: pickled Python objects
+# ---------------------------------------------------------------------------
+
+def _dumps(obj: Any) -> bytes:
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def bcast_obj(comm: "Communicator", obj: Any, root: int) -> Any:
+    """Broadcast a Python object from *root*."""
+    data = bcast_bytes(comm, _dumps(obj) if comm.rank == root else None,
+                       root)
+    return pickle.loads(data)
+
+
+def reduce_obj(comm: "Communicator", obj: Any, op, root: int) -> Any:
+    """Reduce Python objects to *root* (None elsewhere)."""
+    the_op = _op_or_sum(op)
+
+    def combine(lower: bytes, higher: bytes) -> bytes:
+        return _dumps(the_op.combine_py(pickle.loads(lower),
+                                        pickle.loads(higher)))
+
+    result = reduce_pairs(comm, _dumps(obj), root, combine)
+    return pickle.loads(result) if result is not None else None
+
+
+def allreduce_obj(comm: "Communicator", obj: Any, op) -> Any:
+    """Allreduce Python objects (reduce to 0, then broadcast)."""
+    partial = reduce_obj(comm, obj, op, 0)
+    return bcast_obj(comm, partial, 0)
+
+
+def gather_obj(comm: "Communicator", obj: Any,
+               root: int) -> Optional[list]:
+    """Gather Python objects to *root*."""
+    chunks = gather_bytes(comm, _dumps(obj), root)
+    if chunks is None:
+        return None
+    return [pickle.loads(c) for c in chunks]
+
+
+def allgather_obj(comm: "Communicator", obj: Any) -> list:
+    """Allgather Python objects."""
+    return [pickle.loads(c) for c in allgather_bytes(comm, _dumps(obj))]
+
+
+def scatter_obj(comm: "Communicator", objs: Optional[Sequence],
+                root: int) -> Any:
+    """Scatter a per-rank list of Python objects from *root*."""
+    chunks = None
+    if comm.rank == root:
+        if objs is None:
+            raise MPIErrArg("scatter root must supply the object list")
+        chunks = [_dumps(o) for o in objs]
+    return pickle.loads(scatter_bytes(comm, chunks, root))
+
+
+def alltoall_obj(comm: "Communicator", objs: Sequence) -> list:
+    """All-to-all personalized exchange of Python objects."""
+    chunks = alltoall_bytes(comm, [_dumps(o) for o in objs])
+    return [pickle.loads(c) for c in chunks]
+
+
+def reduce_scatter_block_obj(comm: "Communicator", objs: Sequence,
+                             op) -> Any:
+    """MPI_REDUCE_SCATTER_BLOCK over Python objects: each rank supplies
+    one object per destination rank; rank i receives the op-reduction
+    of everyone's i-th object."""
+    if len(objs) != comm.size:
+        raise MPIErrArg(
+            f"reduce_scatter needs exactly {comm.size} objects, "
+            f"got {len(objs)}")
+    the_op = _op_or_sum(op)
+
+    def combine(lower: bytes, higher: bytes) -> bytes:
+        a, b = pickle.loads(lower), pickle.loads(higher)
+        return _dumps([the_op.combine_py(x, y) for x, y in zip(a, b)])
+
+    reduced = reduce_pairs(comm, _dumps(list(objs)), 0, combine)
+    chunks = None
+    if comm.rank == 0:
+        chunks = [_dumps(item) for item in pickle.loads(reduced)]
+    return pickle.loads(scatter_bytes(comm, chunks, 0))
+
+
+def scan_obj(comm: "Communicator", obj: Any, op) -> Any:
+    """Inclusive prefix reduction of Python objects."""
+    the_op = _op_or_sum(op)
+
+    def combine(lower: bytes, higher: bytes) -> bytes:
+        return _dumps(the_op.combine_py(pickle.loads(lower),
+                                        pickle.loads(higher)))
+
+    return pickle.loads(scan_bytes(comm, _dumps(obj), combine))
+
+
+def exscan_obj(comm: "Communicator", obj: Any, op) -> Any:
+    """Exclusive prefix reduction (None on rank 0)."""
+    the_op = _op_or_sum(op)
+
+    def combine(lower: bytes, higher: bytes) -> bytes:
+        return _dumps(the_op.combine_py(pickle.loads(lower),
+                                        pickle.loads(higher)))
+
+    result = scan_bytes(comm, _dumps(obj), combine, inclusive=False)
+    return pickle.loads(result) if result is not None else None
+
+
+# ---------------------------------------------------------------------------
+# capitalized: numpy buffers
+# ---------------------------------------------------------------------------
+
+def _as_contig(array: np.ndarray, what: str) -> np.ndarray:
+    if not isinstance(array, np.ndarray):
+        raise MPIErrArg(f"{what} must be a numpy array")
+    if not array.flags.c_contiguous:
+        raise MPIErrArg(f"{what} must be C-contiguous")
+    return array
+
+
+def bcast_buf(comm: "Communicator", array: np.ndarray, root: int,
+              algorithm: Optional[str] = None) -> None:
+    """Broadcast a numpy buffer in place, selecting the binomial tree
+    for small payloads and scatter+allgather (van de Geijn) beyond
+    :data:`BCAST_BINOMIAL_MAX_BYTES`; *algorithm* forces
+    ``"binomial"`` or ``"scatter_allgather"``."""
+    arr = _as_contig(array, "bcast buffer")
+    if algorithm is None:
+        algorithm = ("binomial" if arr.nbytes <= BCAST_BINOMIAL_MAX_BYTES
+                     else "scatter_allgather")
+    payload = arr.tobytes() if comm.rank == root else None
+    if algorithm == "binomial":
+        data = bcast_bytes(comm, payload, root)
+    elif algorithm == "scatter_allgather":
+        data = bcast_scatter_allgather(comm, payload, root)
+    else:
+        raise MPIErrArg(f"unknown bcast algorithm {algorithm!r}")
+    if comm.rank != root:
+        if len(data) != arr.nbytes:
+            raise MPIErrArg(
+                f"bcast buffer is {arr.nbytes} bytes on rank {comm.rank} "
+                f"but the root sent {len(data)}")
+        arr.view(np.uint8).reshape(-1)[:] = np.frombuffer(data, np.uint8)
+
+
+def reduce_buf(comm: "Communicator", sendbuf: np.ndarray,
+               recvbuf: Optional[np.ndarray], op, root: int) -> None:
+    """Reduce numpy buffers elementwise into *recvbuf* at *root*."""
+    send = _as_contig(sendbuf, "reduce sendbuf")
+    the_op = _op_or_sum(op)
+
+    def combine(lower: bytes, higher: bytes) -> bytes:
+        a = np.frombuffer(lower, dtype=send.dtype)
+        b = np.frombuffer(higher, dtype=send.dtype)
+        return the_op.combine_arrays(a, b).tobytes()
+
+    result = reduce_pairs(comm, send.tobytes(), root, combine)
+    if comm.rank == root:
+        if recvbuf is None:
+            raise MPIErrArg("reduce root needs a recvbuf")
+        recv = _as_contig(recvbuf, "reduce recvbuf")
+        if recv.nbytes != len(result):
+            raise MPIErrArg(
+                f"recvbuf holds {recv.nbytes} bytes, reduction produced "
+                f"{len(result)}")
+        recv.view(np.uint8).reshape(-1)[:] = np.frombuffer(result, np.uint8)
+
+
+def allreduce_buf(comm: "Communicator", sendbuf: np.ndarray,
+                  recvbuf: np.ndarray, op,
+                  algorithm: Optional[str] = None) -> None:
+    """Allreduce numpy buffers with MPICH-style algorithm selection:
+    recursive doubling for small payloads, reduce+broadcast beyond
+    :data:`ALLREDUCE_RECDOUBLE_MAX_BYTES`.  *algorithm* forces
+    ``"recursive_doubling"`` or ``"reduce_bcast"`` (ablations)."""
+    send = _as_contig(sendbuf, "allreduce sendbuf")
+    recv = _as_contig(recvbuf, "allreduce recvbuf")
+    if recv.nbytes != send.nbytes:
+        raise MPIErrArg("allreduce buffers must have equal byte size")
+    if algorithm is None:
+        algorithm = ("recursive_doubling"
+                     if send.nbytes <= ALLREDUCE_RECDOUBLE_MAX_BYTES
+                     else "reduce_bcast")
+    if algorithm == "recursive_doubling":
+        the_op = _op_or_sum(op)
+
+        def combine(lower: bytes, higher: bytes) -> bytes:
+            a = np.frombuffer(lower, dtype=send.dtype)
+            b = np.frombuffer(higher, dtype=send.dtype)
+            return the_op.combine_arrays(a, b).tobytes()
+
+        result = allreduce_recursive_doubling(comm, send.tobytes(),
+                                              combine)
+        recv.view(np.uint8).reshape(-1)[:] = np.frombuffer(result,
+                                                           np.uint8)
+    elif algorithm == "reduce_bcast":
+        reduce_buf(comm, send, recv, op, 0)
+        bcast_buf(comm, recv, 0)
+    else:
+        raise MPIErrArg(f"unknown allreduce algorithm {algorithm!r}")
+
+
+def allgather_buf(comm: "Communicator", sendbuf: np.ndarray,
+                  recvbuf: np.ndarray) -> None:
+    """Allgather equal-size blocks: recvbuf holds P x sendbuf."""
+    send = _as_contig(sendbuf, "allgather sendbuf")
+    recv = _as_contig(recvbuf, "allgather recvbuf")
+    if recv.nbytes != send.nbytes * comm.size:
+        raise MPIErrArg(
+            f"allgather recvbuf must hold {comm.size} blocks of "
+            f"{send.nbytes} bytes, has {recv.nbytes}")
+    blocks = allgather_bytes(comm, send.tobytes())
+    flat = recv.view(np.uint8).reshape(-1)
+    for i, block in enumerate(blocks):
+        flat[i * send.nbytes:(i + 1) * send.nbytes] = \
+            np.frombuffer(block, np.uint8)
+
+
+def gather_buf(comm: "Communicator", sendbuf: np.ndarray,
+               recvbuf: Optional[np.ndarray], root: int) -> None:
+    """MPI_GATHER of equal-size numpy blocks into *recvbuf* at root."""
+    send = _as_contig(sendbuf, "gather sendbuf")
+    chunks = gather_bytes(comm, send.tobytes(), root)
+    if comm.rank != root:
+        return
+    if recvbuf is None:
+        raise MPIErrArg("gather root needs a recvbuf")
+    recv = _as_contig(recvbuf, "gather recvbuf")
+    if recv.nbytes != send.nbytes * comm.size:
+        raise MPIErrArg(
+            f"gather recvbuf must hold {comm.size} blocks of "
+            f"{send.nbytes} bytes, has {recv.nbytes}")
+    flat = recv.view(np.uint8).reshape(-1)
+    for i, block in enumerate(chunks):
+        flat[i * send.nbytes:(i + 1) * send.nbytes] = \
+            np.frombuffer(block, np.uint8)
+
+
+def scatter_buf(comm: "Communicator", sendbuf: Optional[np.ndarray],
+                recvbuf: np.ndarray, root: int) -> None:
+    """MPI_SCATTER of equal-size numpy blocks from *sendbuf* at root."""
+    recv = _as_contig(recvbuf, "scatter recvbuf")
+    chunks = None
+    if comm.rank == root:
+        if sendbuf is None:
+            raise MPIErrArg("scatter root needs a sendbuf")
+        send = _as_contig(sendbuf, "scatter sendbuf")
+        if send.nbytes != recv.nbytes * comm.size:
+            raise MPIErrArg(
+                f"scatter sendbuf must hold {comm.size} blocks of "
+                f"{recv.nbytes} bytes, has {send.nbytes}")
+        raw = send.view(np.uint8).reshape(-1)
+        chunks = [raw[i * recv.nbytes:(i + 1) * recv.nbytes].tobytes()
+                  for i in range(comm.size)]
+    block = scatter_bytes(comm, chunks, root)
+    recv.view(np.uint8).reshape(-1)[:] = np.frombuffer(block, np.uint8)
+
+
+def reduce_scatter_block_buf(comm: "Communicator", sendbuf: np.ndarray,
+                             recvbuf: np.ndarray, op) -> None:
+    """MPI_REDUCE_SCATTER_BLOCK: reduce P equal blocks elementwise and
+    scatter block i to rank i (reduce-to-root + scatter)."""
+    send = _as_contig(sendbuf, "reduce_scatter sendbuf")
+    recv = _as_contig(recvbuf, "reduce_scatter recvbuf")
+    if send.nbytes != recv.nbytes * comm.size:
+        raise MPIErrArg(
+            f"reduce_scatter sendbuf must hold {comm.size} blocks of "
+            f"{recv.nbytes} bytes, has {send.nbytes}")
+    the_op = _op_or_sum(op)
+
+    def combine(lower: bytes, higher: bytes) -> bytes:
+        a = np.frombuffer(lower, dtype=send.dtype)
+        b = np.frombuffer(higher, dtype=send.dtype)
+        return the_op.combine_arrays(a, b).tobytes()
+
+    reduced = reduce_pairs(comm, send.tobytes(), 0, combine)
+    chunks = None
+    if comm.rank == 0:
+        raw = np.frombuffer(reduced, np.uint8)
+        chunks = [raw[i * recv.nbytes:(i + 1) * recv.nbytes].tobytes()
+                  for i in range(comm.size)]
+    block = scatter_bytes(comm, chunks, 0)
+    recv.view(np.uint8).reshape(-1)[:] = np.frombuffer(block, np.uint8)
+
+
+def scan_buf(comm: "Communicator", sendbuf: np.ndarray,
+             recvbuf: np.ndarray, op) -> None:
+    """MPI_SCAN of numpy buffers (inclusive prefix)."""
+    send = _as_contig(sendbuf, "scan sendbuf")
+    recv = _as_contig(recvbuf, "scan recvbuf")
+    if send.nbytes != recv.nbytes:
+        raise MPIErrArg("scan buffers must match in size")
+    the_op = _op_or_sum(op)
+
+    def combine(lower: bytes, higher: bytes) -> bytes:
+        a = np.frombuffer(lower, dtype=send.dtype)
+        b = np.frombuffer(higher, dtype=send.dtype)
+        return the_op.combine_arrays(a, b).tobytes()
+
+    result = scan_bytes(comm, send.tobytes(), combine)
+    recv.view(np.uint8).reshape(-1)[:] = np.frombuffer(result, np.uint8)
+
+
+def alltoall_buf(comm: "Communicator", sendbuf: np.ndarray,
+                 recvbuf: np.ndarray) -> None:
+    """Alltoall of equal-size blocks (sendbuf/recvbuf hold P blocks)."""
+    send = _as_contig(sendbuf, "alltoall sendbuf")
+    recv = _as_contig(recvbuf, "alltoall recvbuf")
+    if send.nbytes != recv.nbytes:
+        raise MPIErrArg("alltoall buffers must have equal byte size")
+    if send.nbytes % comm.size:
+        raise MPIErrArg(
+            f"alltoall buffer of {send.nbytes} bytes does not split into "
+            f"{comm.size} blocks")
+    blk = send.nbytes // comm.size
+    raw = send.view(np.uint8).reshape(-1)
+    chunks = [raw[i * blk:(i + 1) * blk].tobytes()
+              for i in range(comm.size)]
+    out = alltoall_bytes(comm, chunks)
+    flat = recv.view(np.uint8).reshape(-1)
+    for i, block in enumerate(out):
+        flat[i * blk:(i + 1) * blk] = np.frombuffer(block, np.uint8)

@@ -1,0 +1,132 @@
+"""MPI groups: ordered sets of world ranks.
+
+Groups are the value type behind communicators, and
+``translate_ranks`` is the paper's Section 3.1 vehicle: the
+application pre-translates its neighbors' communicator ranks to
+MPI_COMM_WORLD ranks once, then uses the ``*_global`` fast-path calls.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.consts import UNDEFINED
+from repro.errors import MPIErrGroup, MPIErrRank
+
+#: MPI_IDENT / MPI_SIMILAR / MPI_UNEQUAL comparison results.
+IDENT = "ident"
+SIMILAR = "similar"
+UNEQUAL = "unequal"
+
+
+class Group:
+    """An immutable ordered set of world ranks."""
+
+    __slots__ = ("_ranks", "_index")
+
+    def __init__(self, world_ranks: Iterable[int]):
+        ranks = tuple(world_ranks)
+        if len(set(ranks)) != len(ranks):
+            raise MPIErrGroup(f"duplicate ranks in group: {ranks}")
+        for r in ranks:
+            if r < 0:
+                raise MPIErrRank(f"negative world rank {r}")
+        self._ranks = ranks
+        self._index = {wr: i for i, wr in enumerate(ranks)}
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """MPI_GROUP_SIZE."""
+        return len(self._ranks)
+
+    @property
+    def world_ranks(self) -> tuple[int, ...]:
+        """The underlying world ranks, group order."""
+        return self._ranks
+
+    def rank_of_world(self, world_rank: int) -> int:
+        """Group rank of *world_rank*, or UNDEFINED if absent
+        (MPI_GROUP_RANK semantics)."""
+        return self._index.get(world_rank, UNDEFINED)
+
+    def world_rank(self, group_rank: int) -> int:
+        """World rank at position *group_rank*."""
+        if not 0 <= group_rank < len(self._ranks):
+            raise MPIErrRank(
+                f"group rank {group_rank} out of range [0, {self.size})")
+        return self._ranks[group_rank]
+
+    def __contains__(self, world_rank: int) -> bool:
+        return world_rank in self._index
+
+    def __len__(self) -> int:
+        return len(self._ranks)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Group) and self._ranks == other._ranks
+
+    def __hash__(self) -> int:
+        return hash(self._ranks)
+
+    # -- set operations (MPI_GROUP_UNION etc.) ------------------------------
+
+    def union(self, other: "Group") -> "Group":
+        """Ranks of self, then ranks of other not in self (MPI order)."""
+        extra = [r for r in other._ranks if r not in self._index]
+        return Group((*self._ranks, *extra))
+
+    def intersection(self, other: "Group") -> "Group":
+        """Ranks of self that are also in other, self's order."""
+        return Group(r for r in self._ranks if r in other._index)
+
+    def difference(self, other: "Group") -> "Group":
+        """Ranks of self not in other, self's order."""
+        return Group(r for r in self._ranks if r not in other._index)
+
+    def incl(self, group_ranks: Sequence[int]) -> "Group":
+        """MPI_GROUP_INCL: subgroup at the given positions, that order."""
+        return Group(self.world_rank(r) for r in group_ranks)
+
+    def excl(self, group_ranks: Sequence[int]) -> "Group":
+        """MPI_GROUP_EXCL: subgroup without the given positions."""
+        drop = set(group_ranks)
+        for r in drop:
+            self.world_rank(r)  # validates range
+        return Group(wr for i, wr in enumerate(self._ranks) if i not in drop)
+
+    def range_incl(self, triplets: Sequence[tuple[int, int, int]]) -> "Group":
+        """MPI_GROUP_RANGE_INCL over (first, last, stride) triplets."""
+        picked: list[int] = []
+        for first, last, stride in triplets:
+            if stride == 0:
+                raise MPIErrGroup("zero stride in range_incl")
+            step = stride
+            stop = last + (1 if step > 0 else -1)
+            picked.extend(range(first, stop, step))
+        return self.incl(picked)
+
+    # -- comparison and translation ------------------------------------------
+
+    def compare(self, other: "Group") -> str:
+        """MPI_GROUP_COMPARE: IDENT, SIMILAR, or UNEQUAL."""
+        if self._ranks == other._ranks:
+            return IDENT
+        if set(self._ranks) == set(other._ranks):
+            return SIMILAR
+        return UNEQUAL
+
+    def translate_ranks(self, ranks: Sequence[int],
+                        other: "Group") -> list[int]:
+        """MPI_GROUP_TRANSLATE_RANKS: map positions in self to positions
+        in *other* (UNDEFINED where absent).
+
+        This is the first step of the paper's Section 3.1 recipe: an
+        application translates its communicator-ranked neighbors to
+        MPI_COMM_WORLD ranks, then communicates with
+        ``isend_global``."""
+        return [other.rank_of_world(self.world_rank(r)) for r in ranks]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Group({list(self._ranks)!r})"

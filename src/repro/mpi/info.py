@@ -1,0 +1,78 @@
+"""MPI_Info: string key/value hints attached to comms, windows, files.
+
+Section 3.6 of the paper discusses (and rejects) an info-hint
+alternative to ``isend_nomatch``; the hint machinery itself is part of
+the MPI-3.1 surface, so it exists here with full set/get/dup/delete
+semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import MPIErrInfo
+
+#: Maximum key length per the standard (MPI_MAX_INFO_KEY).
+MAX_INFO_KEY = 255
+#: Maximum value length per the standard (MPI_MAX_INFO_VAL).
+MAX_INFO_VAL = 1024
+
+
+class Info:
+    """A mutable ordered mapping of string hints."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self, initial: Optional[dict[str, str]] = None):
+        self._data: dict[str, str] = {}
+        if initial:
+            for key, value in initial.items():
+                self.set(key, value)
+
+    def set(self, key: str, value: str) -> None:
+        """MPI_INFO_SET with standard length limits."""
+        if not isinstance(key, str) or not key:
+            raise MPIErrInfo("info key must be a nonempty string")
+        if len(key) > MAX_INFO_KEY:
+            raise MPIErrInfo(f"info key exceeds {MAX_INFO_KEY} chars")
+        if not isinstance(value, str):
+            raise MPIErrInfo("info value must be a string")
+        if len(value) > MAX_INFO_VAL:
+            raise MPIErrInfo(f"info value exceeds {MAX_INFO_VAL} chars")
+        self._data[key] = value
+
+    def get(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        """MPI_INFO_GET; returns *default* when the key is absent."""
+        return self._data.get(key, default)
+
+    def delete(self, key: str) -> None:
+        """MPI_INFO_DELETE; missing keys are an error per the standard."""
+        if key not in self._data:
+            raise MPIErrInfo(f"info key {key!r} not set")
+        del self._data[key]
+
+    def dup(self) -> "Info":
+        """MPI_INFO_DUP."""
+        return Info(dict(self._data))
+
+    @property
+    def nkeys(self) -> int:
+        """MPI_INFO_GET_NKEYS."""
+        return len(self._data)
+
+    def keys(self) -> Iterator[str]:
+        """Keys in insertion order (MPI_INFO_GET_NTHKEY ordering)."""
+        return iter(self._data.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Info) and self._data == other._data
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Info({self._data!r})"
+
+
+#: The standard's MPI_INFO_NULL.
+INFO_NULL: Optional[Info] = None

@@ -1,0 +1,342 @@
+"""Nonblocking collectives (MPI_IBARRIER / IBCAST / IALLREDUCE / ...).
+
+Implemented the way MPICH implements them: each operation builds a
+*schedule* — an ordered list of send / receive / compute steps — and a
+request whose ``test``/``wait`` calls drive the schedule forward.
+Receives are posted as soon as the schedule reaches them; ``test``
+advances through every step that can complete without blocking and
+returns whether the schedule finished; ``wait`` blocks step by step.
+This is the classic *weak progress* model (progress happens inside MPI
+calls), which MPI-3.1 permits.
+
+Concurrent nonblocking collectives on one communicator are isolated by
+a per-communicator sequence number folded into the message tags —
+correct because the standard requires all ranks to issue their
+nonblocking collectives in the same order.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.mpi import reduceops
+from repro.runtime.request import Request, RequestKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.comm import Communicator
+
+#: Tag block for nonblocking collectives (distinct from the blocking
+#: collectives' block); K concurrent outstanding NBCs are isolated.
+_NBC_TAG_BASE = 1 << 21
+_NBC_TAG_MOD = 4096
+
+
+def _dumps(obj: Any) -> bytes:
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+class Step:
+    """One schedule entry."""
+
+    __slots__ = ()
+
+
+class SendStep(Step):
+    """Send bytes produced by *data_fn(state)* to *peer*."""
+
+    __slots__ = ("peer", "tag", "data_fn")
+
+    def __init__(self, peer: int, tag: int,
+                 data_fn: Callable[[dict], bytes]):
+        self.peer = peer
+        self.tag = tag
+        self.data_fn = data_fn
+
+
+class RecvStep(Step):
+    """Receive from *peer*; *consume(state, data)* runs on arrival."""
+
+    __slots__ = ("peer", "tag", "consume", "request")
+
+    def __init__(self, peer: int, tag: int,
+                 consume: Callable[[dict, bytes], None]):
+        self.peer = peer
+        self.tag = tag
+        self.consume = consume
+        self.request: Optional[Request] = None
+
+
+class ComputeStep(Step):
+    """Local work: *fn(state)*."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[dict], None]):
+        self.fn = fn
+
+
+class NBCRequest(Request):
+    """The request driving one nonblocking collective's schedule."""
+
+    __slots__ = ("comm", "steps", "_pc", "state")
+
+    def __init__(self, comm: "Communicator", steps: list[Step],
+                 state: Optional[dict] = None):
+        super().__init__(RequestKind.GENERALIZED, comm.proc,
+                         comm.world.abort_event)
+        self.comm = comm
+        self.steps = steps
+        self.state = state if state is not None else {}
+        self._pc = 0
+        # Kick the schedule as far as it goes without blocking, so
+        # receives are pre-posted and early sends overlap user compute.
+        self._advance(blocking=False)
+
+    # -- schedule engine -----------------------------------------------------
+
+    def _advance(self, blocking: bool) -> bool:
+        """Run steps until done or until a receive would block
+        (non-blocking mode).  Returns completion."""
+        while self._pc < len(self.steps):
+            step = self.steps[self._pc]
+            if isinstance(step, SendStep):
+                self.comm._isend_bytes(step.data_fn(self.state),
+                                       step.peer, step.tag)
+                self._pc += 1
+            elif isinstance(step, ComputeStep):
+                step.fn(self.state)
+                self._pc += 1
+            else:   # RecvStep
+                if step.request is None:
+                    step.request = self.comm._irecv_bytes(step.peer,
+                                                          step.tag)
+                if step.request.is_complete():
+                    step.request.wait()
+                    step.consume(self.state,
+                                 step.request.payload or b"")
+                    self._pc += 1
+                elif blocking:
+                    step.request.wait()
+                    step.consume(self.state,
+                                 step.request.payload or b"")
+                    self._pc += 1
+                else:
+                    return False
+        if not self.is_complete():
+            self.complete(self.comm.proc.vclock.now)
+        return True
+
+    # -- Request interface ---------------------------------------------------
+
+    def test(self) -> bool:
+        """Drive the schedule without blocking; True when finished."""
+        if self.is_complete():
+            return super().test()
+        if self._advance(blocking=False):
+            return super().test()
+        return False
+
+    def wait(self) -> "NBCRequest":
+        """Drive the schedule to completion."""
+        if not self.is_complete():
+            self._advance(blocking=True)
+        super().wait()
+        return self
+
+    @property
+    def result(self) -> Any:
+        """The collective's result (after wait)."""
+        return self.state.get("result")
+
+
+# ---------------------------------------------------------------------------
+# schedule builders
+# ---------------------------------------------------------------------------
+
+def _nbc_tag(comm: "Communicator", offset: int = 0) -> int:
+    seq = getattr(comm, "_nbc_seq", 0)
+    comm._nbc_seq = seq + 1
+    return _NBC_TAG_BASE + (seq % _NBC_TAG_MOD) * 8 + offset
+
+
+def ibarrier(comm: "Communicator") -> NBCRequest:
+    """MPI_IBARRIER: dissemination rounds as a schedule."""
+    size, rank = comm.size, comm.rank
+    tag = _nbc_tag(comm)
+    steps: list[Step] = []
+    k = 1
+    while k < size:
+        dest = (rank + k) % size
+        src = (rank - k) % size
+        steps.append(SendStep(dest, tag, lambda s: b""))
+        steps.append(RecvStep(src, tag, lambda s, d: None))
+        k <<= 1
+    return NBCRequest(comm, steps)
+
+
+def ibcast(comm: "Communicator", obj: Any = None,
+           root: int = 0) -> NBCRequest:
+    """MPI_IBCAST of a pickled object; ``request.result`` after wait."""
+    size, rank = comm.size, comm.rank
+    tag = _nbc_tag(comm)
+    vrank = (rank - root) % size
+    steps: list[Step] = []
+    state = {"data": _dumps(obj) if rank == root else None}
+
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            src = (rank - mask) % size
+
+            def consume(s, d):
+                s["data"] = d
+
+            steps.append(RecvStep(src, tag, consume))
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < size:
+            dest = (rank + mask) % size
+            steps.append(SendStep(dest, tag, lambda s: s["data"]))
+        mask >>= 1
+    steps.append(ComputeStep(
+        lambda s: s.__setitem__("result", pickle.loads(s["data"]))))
+    return NBCRequest(comm, steps, state)
+
+
+def iallreduce(comm: "Communicator", obj: Any,
+               op: Optional[reduceops.Op] = None) -> NBCRequest:
+    """MPI_IALLREDUCE of pickled objects (recursive-doubling-free
+    binomial reduce to 0 + binomial bcast, as one schedule)."""
+    the_op = op if op is not None else reduceops.SUM
+    size, rank = comm.size, comm.rank
+    tag_r = _nbc_tag(comm, 0)
+    tag_b = tag_r + 1
+    steps: list[Step] = []
+    state = {"acc": obj}
+
+    # Phase 1: binomial reduction toward rank 0 (canonical order:
+    # lower-vrank partial on the left).
+    mask = 1
+    while mask < size:
+        if rank & mask == 0:
+            src = rank | mask
+            if src < size:
+                def consume(s, d, combine=the_op.combine_py):
+                    s["acc"] = combine(s["acc"], pickle.loads(d))
+
+                steps.append(RecvStep(src, tag_r, consume))
+        else:
+            dest = rank & ~mask
+            steps.append(SendStep(dest, tag_r,
+                                  lambda s: _dumps(s["acc"])))
+            break
+        mask <<= 1
+
+    # Phase 2: binomial broadcast of the total from rank 0.
+    mask = 1
+    while mask < size:
+        if rank & mask:
+            src = rank - mask
+
+            def consume_b(s, d):
+                s["acc"] = pickle.loads(d)
+
+            steps.append(RecvStep(src, tag_b, consume_b))
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if rank + mask < size:
+            steps.append(SendStep(rank + mask, tag_b,
+                                  lambda s: _dumps(s["acc"])))
+        mask >>= 1
+
+    steps.append(ComputeStep(
+        lambda s: s.__setitem__("result", s["acc"])))
+    return NBCRequest(comm, steps, state)
+
+
+def igather(comm: "Communicator", obj: Any, root: int = 0) -> NBCRequest:
+    """MPI_IGATHER (linear) of pickled objects; the root's
+    ``request.result`` is the rank-ordered list, None elsewhere."""
+    size, rank = comm.size, comm.rank
+    tag = _nbc_tag(comm)
+    steps: list[Step] = []
+    state: dict = {"blocks": {root: None}}
+    if rank != root:
+        steps.append(SendStep(root, tag, lambda s, o=obj: _dumps(o)))
+        steps.append(ComputeStep(lambda s: s.__setitem__("result", None)))
+        return NBCRequest(comm, steps, state)
+
+    state["blocks"][root] = _dumps(obj)
+
+    def make_consume(src):
+        def consume(s, d):
+            s["blocks"][src] = d
+        return consume
+
+    for src in range(size):
+        if src != root:
+            steps.append(RecvStep(src, tag, make_consume(src)))
+    steps.append(ComputeStep(lambda s: s.__setitem__(
+        "result", [pickle.loads(s["blocks"][i]) for i in range(size)])))
+    return NBCRequest(comm, steps, state)
+
+
+def iscatter(comm: "Communicator", objs: Optional[list] = None,
+             root: int = 0) -> NBCRequest:
+    """MPI_ISCATTER (linear) of pickled objects; every rank's
+    ``request.result`` is its piece."""
+    size, rank = comm.size, comm.rank
+    tag = _nbc_tag(comm)
+    steps: list[Step] = []
+    state: dict = {}
+    if rank == root:
+        if objs is None or len(objs) != size:
+            from repro.errors import MPIErrArg
+            raise MPIErrArg(
+                f"iscatter root needs exactly {size} objects")
+        for dest in range(size):
+            if dest != root:
+                steps.append(SendStep(
+                    dest, tag, lambda s, o=objs[dest]: _dumps(o)))
+        steps.append(ComputeStep(
+            lambda s, o=objs[root]: s.__setitem__("result", o)))
+    else:
+        def consume(s, d):
+            s["result"] = pickle.loads(d)
+
+        steps.append(RecvStep(root, tag, consume))
+    return NBCRequest(comm, steps, state)
+
+
+def iallgather(comm: "Communicator", obj: Any) -> NBCRequest:
+    """MPI_IALLGATHER (ring) of pickled objects; result is the list."""
+    size, rank = comm.size, comm.rank
+    tag = _nbc_tag(comm)
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    steps: list[Step] = []
+    state = {"blocks": {rank: _dumps(obj)}, "send_idx": rank}
+
+    def make_send(step_idx):
+        def data_fn(s):
+            return s["blocks"][s["send_idx"]]
+        return data_fn
+
+    def make_consume(k):
+        def consume(s, d):
+            s["send_idx"] = (s["send_idx"] - 1) % size
+            s["blocks"][s["send_idx"]] = d
+        return consume
+
+    for k in range(size - 1):
+        steps.append(SendStep(right, tag, make_send(k)))
+        steps.append(RecvStep(left, tag, make_consume(k)))
+
+    steps.append(ComputeStep(lambda s: s.__setitem__(
+        "result", [pickle.loads(s["blocks"][i]) for i in range(size)])))
+    return NBCRequest(comm, steps, state)

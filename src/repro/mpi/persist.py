@@ -1,0 +1,191 @@
+"""Persistent communication requests (MPI_SEND_INIT / MPI_START).
+
+MPI-3.1's own answer to repeated identical transfers: validate and
+set up once, then ``start()`` each iteration.  The CH4 start path
+charges only request-reuse plus the descriptor fill (the arguments
+were frozen at init, so error checking, datatype derivation, rank
+translation, object lookup, PROC_NULL and match-bit work are all
+amortized away) — an in-standard cousin of the paper's Section 3
+proposals, and a useful baseline for them.  CH3 has no optimized
+persistent path: start re-runs its full device machinery, mirroring
+the historically unoptimized persistent path of MPICH/CH3.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.consts import PROC_NULL
+from repro.core.config import Device
+from repro.core.ops import RecvOp, SendOp
+from repro.datatypes.pack import pack
+from repro.errors import MPIErrRequest
+from repro.instrument.categories import Category, Subsystem
+from repro.instrument.costs import COSTS
+from repro.mpi.pt2pt import mpi_entry, normalize_buffer, validate_recv, \
+    validate_send
+from repro.runtime.matching import PostedRecv
+from repro.runtime.message import Envelope, Message
+from repro.runtime.request import Request, RequestKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.comm import Communicator
+
+
+class PersistentRequest:
+    """A reusable operation handle: ``start()`` then ``wait()``, repeat."""
+
+    def __init__(self, comm: "Communicator"):
+        self.comm = comm
+        self.active: Optional[Request] = None
+        self.freed = False
+
+    def start(self) -> Request:
+        """MPI_START: launch one instance of the operation."""
+        if self.freed:
+            raise MPIErrRequest("start on a freed persistent request")
+        if self.active is not None and not self.active.is_complete():
+            raise MPIErrRequest(
+                "start while the previous instance is still active")
+        self.active = self._launch()
+        return self.active
+
+    def wait(self) -> Request:
+        """Wait for the active instance."""
+        if self.active is None:
+            raise MPIErrRequest("wait without start")
+        self.active.wait()
+        return self.active
+
+    def free(self) -> None:
+        """MPI_REQUEST_FREE for persistent handles."""
+        self.freed = True
+
+    def _launch(self) -> Request:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class PersistentSend(PersistentRequest):
+    """MPI_SEND_INIT product: everything resolved once, at init."""
+
+    def __init__(self, comm: "Communicator", buf, dest: int, tag: int):
+        super().__init__(comm)
+        proc, c = comm.proc, COSTS
+        data, count, dtref = normalize_buffer(buf)
+        # Init pays the full MPI-layer cost once.
+        with mpi_entry(proc, c.isend_function_call, c.isend_thread_check):
+            if proc.config.error_checking:
+                validate_send(proc, c.isend_error, comm, data, count,
+                              dtref, dest, tag)
+        self.buf, self.count, self.dtref = data, count, dtref
+        self.dest, self.tag = dest, tag
+        self.is_null = dest == PROC_NULL
+        if not self.is_null:
+            #: Pre-resolved at init — the amortization persistent
+            #: requests exist for.
+            self.dest_world = comm.translation.world_rank(dest)
+            self.env = Envelope(ctx=comm.ctx, src=comm.rank, tag=tag)
+
+    def _launch(self) -> Request:
+        proc, comm = self.comm.proc, self.comm
+        request = Request(RequestKind.SEND, proc,
+                          proc.world.abort_event)
+        if self.is_null:
+            request.complete(proc.vclock.now)
+            return request
+        with proc.timed_call():
+            if not proc.config.ipo:
+                proc.charge(Category.FUNCTION_CALL,
+                            COSTS.isend_function_call)
+            if proc.config.device is Device.CH4:
+                # Reuse + descriptor only: the persistent fast start.
+                proc.charge(Category.MANDATORY, COSTS.noreq_counter_inc,
+                            Subsystem.REQUEST_MGMT)
+                proc.charge(Category.MANDATORY,
+                            COSTS.isend_mandatory.descriptor,
+                            Subsystem.DESCRIPTOR)
+                device = proc.device
+                payload = pack(self.buf, self.count, self.dtref.datatype)
+                transport = device._transport_for(self.dest_world)
+                native = (not device.force_am and transport.send_is_native(
+                    self.dtref.datatype.contig))
+                result = transport.issue(len(payload), native)
+                proc.deliver(self.dest_world,
+                             Message(env=self.env, data=payload,
+                                     arrive_s=result.arrive_s))
+                request.complete(result.complete_s)
+            else:
+                # CH3 never specialized persistent ops: full path.
+                op = SendOp(buf=self.buf, count=self.count,
+                            dtref=self.dtref, dest=self.dest,
+                            tag=self.tag, comm=comm,
+                            mpi_name="MPI_Start")
+                inner = proc.device.isend(op)
+                inner.wait()
+                request.complete(inner.complete_s)
+        return request
+
+
+class PersistentRecv(PersistentRequest):
+    """MPI_RECV_INIT product."""
+
+    def __init__(self, comm: "Communicator", buf, source: int, tag: int):
+        super().__init__(comm)
+        proc, c = comm.proc, COSTS
+        data, count, dtref = normalize_buffer(buf)
+        with mpi_entry(proc, c.isend_function_call, c.isend_thread_check):
+            if proc.config.error_checking:
+                validate_recv(proc, c.isend_error, comm, count, dtref,
+                              source, tag)
+        self.buf, self.count, self.dtref = data, count, dtref
+        self.source, self.tag = source, tag
+
+    def _launch(self) -> Request:
+        proc, comm = self.comm.proc, self.comm
+        if self.source == PROC_NULL:
+            request = Request(RequestKind.RECV, proc,
+                              proc.world.abort_event)
+            request.complete(proc.vclock.now, source=PROC_NULL, tag=-1)
+            return request
+        with proc.timed_call():
+            if not proc.config.ipo:
+                proc.charge(Category.FUNCTION_CALL,
+                            COSTS.isend_function_call)
+            if proc.config.device is Device.CH4:
+                proc.charge(Category.MANDATORY, COSTS.noreq_counter_inc,
+                            Subsystem.REQUEST_MGMT)
+                proc.charge(Category.MANDATORY,
+                            COSTS.isend_mandatory.descriptor,
+                            Subsystem.DESCRIPTOR)
+                request = Request(RequestKind.RECV, proc,
+                                  proc.world.abort_event)
+                buf, count, datatype = self.buf, self.count, \
+                    self.dtref.datatype
+
+                def on_match(msg: Message) -> None:
+                    try:
+                        from repro.datatypes.pack import unpack
+                        unpack(msg.data, buf, count, datatype)
+                        request.complete(msg.arrive_s, source=msg.env.src,
+                                         tag=msg.env.tag,
+                                         count_bytes=len(msg.data))
+                    except BaseException as exc:  # noqa: BLE001
+                        request.complete(msg.arrive_s,
+                                         source=msg.env.src,
+                                         tag=msg.env.tag, error=exc)
+
+                proc.engine.post(
+                    PostedRecv(ctx=comm.ctx, src=self.source,
+                               tag=self.tag, nomatch=False,
+                               request=request, on_match=on_match),
+                    now_s=proc.vclock.now)
+                return request
+            op = RecvOp(buf=self.buf, count=self.count, dtref=self.dtref,
+                        source=self.source, tag=self.tag, comm=comm,
+                        mpi_name="MPI_Start")
+            return proc.device.irecv(op)
+
+
+def startall(requests: list[PersistentRequest]) -> list[Request]:
+    """MPI_STARTALL."""
+    return [r.start() for r in requests]

@@ -1,0 +1,169 @@
+"""MPI-layer point-to-point machinery: validation, entry charging.
+
+This module is the paper's "MPI layer" for sends/receives: the
+function-call overhead, the (optional) error checking, and the
+(optional) thread-safety gate all live here, each charging its Table 1
+cost only when the build actually performs it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Optional, Union
+
+import numpy as np
+
+from repro.consts import ANY_SOURCE, ANY_TAG, PROC_NULL, TAG_UB
+from repro.datatypes.pack import Buffer
+from repro.datatypes.predefined import BYTE, from_numpy_dtype
+from repro.datatypes.usage import DatatypeRef, classify, compile_time
+from repro.errors import (
+    MPIErrBuffer,
+    MPIErrComm,
+    MPIErrCount,
+    MPIErrDatatype,
+    MPIErrRank,
+    MPIErrTag,
+)
+from repro.instrument.categories import Category
+from repro.instrument.costs import ErrorCheckCosts
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.comm import Communicator
+    from repro.runtime.proc import Proc
+
+#: Reference used for the internal byte-stream sends of collectives
+#: and the pickled-object API (a Class-2 compile-time-constant usage).
+BYTE_REF = compile_time(BYTE)
+
+
+@contextmanager
+def mpi_entry(proc: "Proc", function_call_cost: int,
+              thread_check_cost: int,
+              name: Optional[str] = None) -> Iterator[None]:
+    """One MPI API entry: function-call prologue charge (unless inlined
+    away by ipo), thread-safety charge + critical section (unless a
+    single-threaded build).  When the rank's timeline is enabled and a
+    *name* is given, the call's virtual-time span is recorded."""
+    config = proc.config
+    t0 = proc.vclock.now if proc.timeline is not None else 0.0
+    try:
+        with proc.timed_call():
+            if not config.ipo:
+                proc.charge(Category.FUNCTION_CALL, function_call_cost)
+            if config.thread_safety:
+                proc.charge(Category.THREAD_SAFETY, thread_check_cost)
+                with proc.cs_lock:
+                    yield
+            else:
+                yield
+    finally:
+        if proc.timeline is not None and name is not None:
+            from repro.analysis.timeline import TimelineEvent
+            proc.timeline.append(
+                TimelineEvent(name=name, t0=t0, t1=proc.vclock.now))
+
+
+# ---------------------------------------------------------------------------
+# buffer normalization
+# ---------------------------------------------------------------------------
+
+BufArg = Union[np.ndarray, tuple]
+
+
+def normalize_buffer(arg: BufArg) -> tuple[Buffer, int, DatatypeRef]:
+    """Normalize a user buffer argument.
+
+    Accepted forms (mpi4py-flavoured):
+
+    * a numpy array — count and datatype inferred (Class-2 usage);
+    * ``(buf, count, datatype_or_ref)`` — explicit triple, where the
+      datatype slot takes a :class:`Datatype` or a classified
+      :class:`DatatypeRef` (Class-3 / derived usage).
+    * ``(buf, datatype_or_ref)`` — count inferred from the buffer.
+    """
+    if isinstance(arg, np.ndarray):
+        return arg, arg.size, compile_time(from_numpy_dtype(arg.dtype))
+    if isinstance(arg, tuple):
+        if len(arg) == 3:
+            buf, count, dt = arg
+            return buf, count, classify(dt) if not isinstance(dt, DatatypeRef) else dt
+        if len(arg) == 2:
+            buf, dt = arg
+            dtref = classify(dt) if not isinstance(dt, DatatypeRef) else dt
+            nbytes = _buffer_nbytes(buf)
+            if nbytes % dtref.datatype.extent:
+                raise MPIErrBuffer(
+                    f"buffer of {nbytes} bytes is not a whole number of "
+                    f"{dtref.datatype.name} extents")
+            return buf, nbytes // dtref.datatype.extent, dtref
+    raise MPIErrBuffer(
+        "buffer argument must be a numpy array or a (buf, count, datatype) "
+        f"tuple, got {type(arg).__name__}")
+
+
+def _buffer_nbytes(buf: Buffer) -> int:
+    if isinstance(buf, np.ndarray):
+        return buf.nbytes
+    if isinstance(buf, (bytes, bytearray, memoryview)):
+        return len(buf)
+    raise MPIErrBuffer(f"unsupported buffer type {type(buf).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# error checking (Table 1 row 1 — removable, hence behind the config flag)
+# ---------------------------------------------------------------------------
+
+def validate_send(proc: "Proc", err: ErrorCheckCosts, comm: "Communicator",
+                  buf: Optional[Buffer], count: int, dtref: DatatypeRef,
+                  dest: int, tag: int, global_rank: bool = False) -> None:
+    """Send-side argument validation, charging per Table 1's
+    error-checking decomposition."""
+    proc.charge(Category.ERROR_CHECKING, err.args_basic)
+    if count < 0:
+        raise MPIErrCount(f"count must be >= 0, got {count}")
+    if not 0 <= tag <= TAG_UB:
+        raise MPIErrTag(f"tag must be in [0, {TAG_UB}], got {tag}")
+    if buf is None and count > 0:
+        raise MPIErrBuffer("NULL buffer with nonzero count")
+
+    proc.charge(Category.ERROR_CHECKING, err.datatype_committed)
+    if not dtref.datatype.committed:
+        raise MPIErrDatatype(
+            f"datatype {dtref.datatype.name} used before commit")
+
+    proc.charge(Category.ERROR_CHECKING, err.object_valid)
+    if comm.freed:
+        raise MPIErrComm("operation on a freed communicator")
+
+    proc.charge(Category.ERROR_CHECKING, err.rank_range)
+    limit = comm.world_size if global_rank else comm.size
+    if dest != PROC_NULL and not 0 <= dest < limit:
+        raise MPIErrRank(
+            f"destination {dest} outside [0, {limit}) "
+            f"({'world' if global_rank else 'communicator'} ranks)")
+
+
+def validate_recv(proc: "Proc", err: ErrorCheckCosts, comm: "Communicator",
+                  count: int, dtref: DatatypeRef, source: int,
+                  tag: int) -> None:
+    """Receive-side argument validation."""
+    proc.charge(Category.ERROR_CHECKING, err.args_basic)
+    if count < 0:
+        raise MPIErrCount(f"count must be >= 0, got {count}")
+    if tag != ANY_TAG and not 0 <= tag <= TAG_UB:
+        raise MPIErrTag(f"tag must be ANY_TAG or in [0, {TAG_UB}], got {tag}")
+
+    proc.charge(Category.ERROR_CHECKING, err.datatype_committed)
+    if not dtref.datatype.committed:
+        raise MPIErrDatatype(
+            f"datatype {dtref.datatype.name} used before commit")
+
+    proc.charge(Category.ERROR_CHECKING, err.object_valid)
+    if comm.freed:
+        raise MPIErrComm("operation on a freed communicator")
+
+    proc.charge(Category.ERROR_CHECKING, err.rank_range)
+    if source not in (ANY_SOURCE, PROC_NULL) and not 0 <= source < comm.size:
+        raise MPIErrRank(
+            f"source {source} outside [0, {comm.size}) and not a wildcard")

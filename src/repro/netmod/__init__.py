@@ -1,0 +1,37 @@
+"""Network modules (netmods) and shared-memory modules (shmmods).
+
+In the CH4 architecture (Figure 1 of the paper) the netmod/shmmod is
+the layer that owns the low-level communication API.  Because the MPI
+operation flows through intact, the module can decide per operation
+whether its hardware supports it *natively* (the fast path) or whether
+to fall back to the active-message implementation in the CH4 core.
+
+Each module here models one of the paper's targets:
+
+* :class:`~repro.netmod.ofi.OFINetmod` — libfabric/PSM2 on Omni-Path;
+* :class:`~repro.netmod.ucx.UCXNetmod` — UCX on Mellanox EDR;
+* :class:`~repro.netmod.infinite.InfiniteNetmod` — the modified
+  "infinitely fast network" build;
+* :class:`~repro.netmod.shm.PosixShmmod` /
+  :class:`~repro.netmod.shm.XpmemShmmod` — intra-node transports.
+"""
+
+from repro.netmod.base import Netmod, IssueResult
+from repro.netmod.ofi import OFINetmod
+from repro.netmod.ucx import UCXNetmod
+from repro.netmod.infinite import InfiniteNetmod
+from repro.netmod.shm import PosixShmmod, XpmemShmmod, build_shmmod
+from repro.netmod.registry import build_netmod, NETMODS
+
+__all__ = [
+    "Netmod",
+    "IssueResult",
+    "OFINetmod",
+    "UCXNetmod",
+    "InfiniteNetmod",
+    "PosixShmmod",
+    "XpmemShmmod",
+    "build_netmod",
+    "build_shmmod",
+    "NETMODS",
+]

@@ -1,0 +1,23 @@
+"""The "infinitely fast network" netmod (paper Section 4.2, Figure 5).
+
+The paper modified the MPI library "to perform all the relevant
+operations except the actual network communication", so the software
+stack is fully exercised while the wire costs nothing.  Here that is a
+netmod whose fabric has zero injection cost, zero latency, and infinite
+bandwidth — and which accepts every operation natively, so no AM
+fallback noise enters the software-limited measurements.
+"""
+
+from __future__ import annotations
+
+from repro.netmod.base import Netmod
+
+
+class InfiniteNetmod(Netmod):
+    """Everything native, nothing costs wire time."""
+
+    name = "infinite"
+    native_noncontig_send = True
+    native_rma_contig = True
+    native_rma_noncontig = True
+    native_atomics = True

@@ -1,0 +1,21 @@
+"""OFI netmod: libfabric over PSM2 on Intel Omni-Path (the IT cluster).
+
+Models PSM2's matched-queue hardware: tagged sends are native, RDMA
+put/get works for contiguous layouts, non-contiguous layouts and
+atomics fall back to the CH4 active-message path — the exact example
+the paper's Section 2 walks through for MPI_PUT.
+"""
+
+from __future__ import annotations
+
+from repro.netmod.base import Netmod
+
+
+class OFINetmod(Netmod):
+    """Omni-Path/PSM2 capabilities."""
+
+    name = "ofi"
+    native_noncontig_send = False
+    native_rma_contig = True
+    native_rma_noncontig = False
+    native_atomics = True   # PSM2 exposes a small native atomic set

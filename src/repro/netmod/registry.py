@@ -1,0 +1,36 @@
+"""Netmod registry: name -> class, plus the builder the device uses."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Type
+
+from repro.fabric.model import FabricSpec, fabric_by_name
+from repro.netmod.base import Netmod
+from repro.netmod.infinite import InfiniteNetmod
+from repro.netmod.ofi import OFINetmod
+from repro.netmod.ucx import UCXNetmod
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.proc import Proc
+
+#: Netmods by fabric name.  BG/Q's MU interface behaves like the OFI
+#: model for capability purposes (native contiguous, AM for the rest).
+NETMODS: dict[str, Type[Netmod]] = {
+    "ofi": OFINetmod,
+    "ucx": UCXNetmod,
+    "infinite": InfiniteNetmod,
+    "bgq": OFINetmod,
+    "aries": OFINetmod,   # uGNI/FMA: capability profile matches OFI's
+}
+
+
+def build_netmod(proc: "Proc", fabric_name: str,
+                 spec: FabricSpec | None = None) -> Netmod:
+    """Construct the netmod registered for *fabric_name*."""
+    try:
+        cls = NETMODS[fabric_name]
+    except KeyError:
+        raise KeyError(
+            f"no netmod registered for fabric {fabric_name!r}; "
+            f"choose from {sorted(NETMODS)}") from None
+    return cls(proc, spec if spec is not None else fabric_by_name(fabric_name))

@@ -1,0 +1,54 @@
+"""Shared-memory modules (Figure 1's POSIX and XPMEM shmmods).
+
+Intra-node communication bypasses the network entirely.  The POSIX
+shmmod models the classic double-copy through a shared ring; the XPMEM
+shmmod models single-copy cross-mapping (lower latency, higher
+bandwidth, and native handling of every layout since the copy engine
+is just memcpy on mapped pages).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.fabric.model import SHM_POSIX, SHM_XPMEM, FabricSpec
+from repro.netmod.base import Netmod
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.proc import Proc
+
+
+class PosixShmmod(Netmod):
+    """Double-copy POSIX shared-memory transport."""
+
+    name = "posix"
+    native_noncontig_send = True
+    native_rma_contig = True
+    native_rma_noncontig = True
+    native_atomics = True
+
+
+class XpmemShmmod(Netmod):
+    """Single-copy XPMEM cross-mapping transport."""
+
+    name = "xpmem"
+    native_noncontig_send = True
+    native_rma_contig = True
+    native_rma_noncontig = True
+    native_atomics = True
+
+
+_SHMMODS = {"posix": (PosixShmmod, SHM_POSIX),
+            "xpmem": (XpmemShmmod, SHM_XPMEM)}
+
+
+def build_shmmod(proc: "Proc", name: str,
+                 spec: FabricSpec | None = None) -> Netmod:
+    """Construct the named shmmod for *proc*."""
+    try:
+        cls, default_spec = _SHMMODS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown shmmod {name!r}; choose from {sorted(_SHMMODS)}"
+        ) from None
+    return cls(proc, spec if spec is not None else default_spec)

@@ -1,0 +1,21 @@
+"""UCX netmod: Mellanox EDR InfiniBand (the Gomez cluster).
+
+Models Verbs-style RDMA: contiguous put/get native, tag matching in
+software (still native from the netmod's viewpoint — no AM needed),
+iovec support allows short non-contiguous sends natively, atomics are
+native for word sizes.
+"""
+
+from __future__ import annotations
+
+from repro.netmod.base import Netmod
+
+
+class UCXNetmod(Netmod):
+    """Mellanox EDR / UCX capabilities."""
+
+    name = "ucx"
+    native_noncontig_send = True   # UCX iovec datatypes
+    native_rma_contig = True
+    native_rma_noncontig = False
+    native_atomics = True

@@ -1,0 +1,37 @@
+"""Performance harness: microbenchmarks and analytic models.
+
+* :mod:`repro.perf.msgrate` — the Section 4.2 message-rate
+  microbenchmark (single-core injection of 1-byte messages) in two
+  modes: *modeled* rates from measured instruction counts through the
+  fabric model (what Figures 3–6 plot) and *wall-clock* pumping of the
+  real Python runtime (what pytest-benchmark measures).
+* :mod:`repro.perf.models` — the Amdahl-style overhead/parallel-work
+  model of Section 4.3 (Figure 7 right panel) and helpers shared by
+  the application performance models.
+"""
+
+from repro.perf.msgrate import (
+    MsgRateResult,
+    measure_instructions,
+    modeled_rate,
+    rate_sweep,
+    extension_chain_rates,
+    pump_messages,
+)
+from repro.perf.models import (
+    AmdahlModel,
+    efficiency,
+    per_message_overhead_s,
+)
+
+__all__ = [
+    "MsgRateResult",
+    "measure_instructions",
+    "modeled_rate",
+    "rate_sweep",
+    "extension_chain_rates",
+    "pump_messages",
+    "AmdahlModel",
+    "efficiency",
+    "per_message_overhead_s",
+]

@@ -1,0 +1,74 @@
+"""Message-size sweeps: throughput and the overhead crossover.
+
+Complements the 1-byte rate benchmark: as messages grow, wire costs
+swamp the software overhead the paper analyzes, which is exactly why
+the paper evaluates "applications close to their strong-scaling limit"
+where messages are small.  The sweep quantifies where that crossover
+sits per fabric and build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import BuildConfig
+from repro.fabric.model import FabricSpec, fabric_by_name
+from repro.perf.msgrate import measure_instructions
+
+#: Default sweep sizes (bytes), 1B to 1MiB.
+DEFAULT_SIZES = tuple(4 ** k for k in range(11))
+
+
+@dataclass(frozen=True)
+class BandwidthPoint:
+    """One (build, size) sample."""
+
+    label: str
+    nbytes: int
+    time_s: float           #: end-to-end one-message time
+    throughput_Bps: float
+    sw_fraction: float      #: share of time spent in MPI software
+
+
+def message_time_s(instructions: float, nbytes: int,
+                   spec: FabricSpec) -> float:
+    """End-to-end time of one message: software + injection + wire."""
+    return (spec.cycles_to_seconds(spec.sw_cycles(instructions)
+                                   + spec.inject_cycles)
+            + spec.transfer_seconds(nbytes))
+
+
+def bandwidth_sweep(config: BuildConfig,
+                    sizes: tuple[int, ...] = DEFAULT_SIZES,
+                    fabric: FabricSpec | None = None
+                    ) -> list[BandwidthPoint]:
+    """Modeled throughput curve for one build."""
+    spec = fabric if fabric is not None else fabric_by_name(config.fabric)
+    instructions = measure_instructions(config, "isend")
+    sw = spec.cycles_to_seconds(spec.sw_cycles(instructions)
+                                + spec.inject_cycles)
+    out = []
+    for nbytes in sizes:
+        t = message_time_s(instructions, nbytes, spec)
+        out.append(BandwidthPoint(
+            label=config.label(), nbytes=nbytes, time_s=t,
+            throughput_Bps=nbytes / t if t > 0 else float("inf"),
+            sw_fraction=sw / t if t > 0 else 1.0))
+    return out
+
+
+def software_crossover_bytes(config_a: BuildConfig, config_b: BuildConfig,
+                             fabric_name: str,
+                             threshold: float = 0.05) -> int:
+    """Smallest swept message size at which the two builds' one-message
+    times differ by less than *threshold* (relative) — where the
+    software-overhead advantage stops mattering."""
+    spec = fabric_by_name(fabric_name)
+    ia = measure_instructions(config_a, "isend")
+    ib = measure_instructions(config_b, "isend")
+    for nbytes in DEFAULT_SIZES:
+        ta = message_time_s(ia, nbytes, spec)
+        tb = message_time_s(ib, nbytes, spec)
+        if abs(ta - tb) / max(ta, tb) < threshold:
+            return nbytes
+    return DEFAULT_SIZES[-1]

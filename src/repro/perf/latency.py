@@ -1,0 +1,76 @@
+"""Ping-pong latency microbenchmark (companion to the message-rate one).
+
+Half round-trip time of small messages per build and fabric — the
+quantity LAMMPS's strong scaling is sensitive to ("making the latency
+of MPI much more apparent", §4.4).  Like the rate benchmark, it has a
+modeled face (from measured instruction counts through the fabric
+model) and a functional face (virtual-time ping-pong on the runtime).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import BuildConfig, named_builds
+from repro.datatypes.predefined import BYTE
+from repro.fabric.model import FabricSpec, fabric_by_name
+from repro.fabric.topology import Topology
+from repro.perf.msgrate import measure_instructions
+from repro.runtime.world import World
+
+
+@dataclass(frozen=True)
+class LatencyResult:
+    """One build's small-message latency."""
+
+    label: str
+    instructions: int
+    latency_s: float
+
+    @property
+    def latency_us(self) -> float:
+        """Latency in microseconds."""
+        return self.latency_s * 1e6
+
+
+def modeled_latency(config: BuildConfig, nbytes: int = 1,
+                    fabric: FabricSpec | None = None) -> LatencyResult:
+    """Half round trip: send software path + wire + receive software
+    path (receive modeled at the send path's cost, per the paper)."""
+    spec = fabric if fabric is not None else fabric_by_name(config.fabric)
+    instructions = measure_instructions(config, "isend")
+    sw = spec.cycles_to_seconds(spec.sw_cycles(2 * instructions)
+                                + spec.inject_cycles)
+    return LatencyResult(label=config.label(), instructions=instructions,
+                         latency_s=sw + spec.transfer_seconds(nbytes))
+
+
+def latency_sweep(fabric_name: str, nbytes: int = 1) -> list[LatencyResult]:
+    """Every build's modeled latency on one fabric."""
+    return [modeled_latency(cfg, nbytes)
+            for cfg in named_builds(fabric=fabric_name).values()]
+
+
+def pingpong_vtime(config: BuildConfig, iterations: int = 50,
+                   nbytes: int = 8) -> float:
+    """Functional ping-pong: virtual seconds per half round trip,
+    measured on a 2-rank inter-node world."""
+    world = World(2, config, topology=Topology(nranks=2,
+                                               cores_per_node=1))
+
+    def main(comm):
+        buf = np.zeros(nbytes, dtype=np.uint8)
+        t0 = comm.proc.vclock.now
+        for _ in range(iterations):
+            if comm.rank == 0:
+                comm.Isend((buf, nbytes, BYTE), dest=1, tag=0).wait()
+                comm.Recv((buf, nbytes, BYTE), source=1, tag=0)
+            else:
+                comm.Recv((buf, nbytes, BYTE), source=0, tag=0)
+                comm.Isend((buf, nbytes, BYTE), dest=0, tag=0).wait()
+        return comm.proc.vclock.now - t0
+
+    elapsed = world.run(main)[0]
+    return elapsed / (2 * iterations)

@@ -1,0 +1,92 @@
+"""Analytic performance models (paper Section 4.3).
+
+The paper's Figure 7 (right) plots "a standard (Amdahl) parallel
+complexity estimate with runtime on P processors modeled as
+``TP = O + W/P``, where O represents overhead and W is the parallel
+work" — energy at fixed cost scales as ``E_P = c(PO + W)``, so halving
+O lets P double at fixed cost and halves the solve time at the
+strong-scale limit.  :class:`AmdahlModel` is that estimate, and
+:func:`per_message_overhead_s` is the bridge from this library's
+instruction accounting to the per-message O used by the application
+models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fabric.model import FabricSpec
+
+
+@dataclass(frozen=True)
+class AmdahlModel:
+    """``T_P = O + W / P`` with per-iteration overhead O and work W.
+
+    Units are arbitrary but consistent (seconds and core-seconds in the
+    application models).
+    """
+
+    overhead_s: float      #: O — fixed (communication) overhead per step
+    work_core_s: float     #: W — total parallel work per step
+
+    def time(self, nprocs: int) -> float:
+        """Runtime on *nprocs* processors."""
+        if nprocs <= 0:
+            raise ValueError(f"nprocs must be positive, got {nprocs}")
+        return self.overhead_s + self.work_core_s / nprocs
+
+    def efficiency(self, nprocs: int) -> float:
+        """Parallel efficiency = T_1 / (P * T_P) for work-only T_1."""
+        return (self.work_core_s / nprocs) / self.time(nprocs)
+
+    def energy(self, nprocs: int, c: float = 1.0) -> float:
+        """E_P = c * P * T_P = c (P O + W)."""
+        return c * nprocs * self.time(nprocs)
+
+    def fixed_cost_speedup(self, overhead_reduction: float) -> float:
+        """Paper's §4.3 argument: with O' = O/r, the same energy buys
+        r*P processors and the time at that fixed cost drops by r
+        (exact in the strong-scale limit).  Returns r."""
+        if overhead_reduction <= 0:
+            raise ValueError("overhead reduction factor must be positive")
+        return overhead_reduction
+
+
+def efficiency(work_s: float, comm_s: float) -> float:
+    """Plain efficiency of one step: work / (work + comm)."""
+    total = work_s + comm_s
+    if total <= 0:
+        raise ValueError("step with no time")
+    return work_s / total
+
+
+def per_message_overhead_s(issue_instructions: float,
+                           spec: FabricSpec,
+                           recv_instructions: float | None = None,
+                           progress_instructions: float = 0.0) -> float:
+    """Per-message software overhead in seconds on *spec*'s platform.
+
+    The instruction analysis of Section 2 covers the *issue* path
+    (application -> network API).  A full message additionally pays the
+    receive-side path (defaults to the issue count, per the paper's
+    "largely identical" remark) and the progress-engine work needed to
+    complete it — small for CH4's inline completion, large for CH3's
+    request/queue machinery.  The application models pass
+    device-appropriate progress counts.
+    """
+    recv = issue_instructions if recv_instructions is None \
+        else recv_instructions
+    total_instr = issue_instructions + recv + progress_instructions
+    return spec.cycles_to_seconds(spec.sw_cycles(total_instr)
+                                  + spec.inject_cycles)
+
+
+#: Progress-engine instruction counts per message, by device.  CH4
+#: completes most operations inline in the issue/receive path; CH3
+#: walks its request and queue machinery on every completion.  These
+#: are calibration constants of the *application* models (documented
+#: in EXPERIMENTS.md), not paper-published counts.
+PROGRESS_INSTRUCTIONS = {
+    "ch4": 150.0,
+    "ch3": 700.0,
+}

@@ -1,0 +1,60 @@
+"""Functional strong-scaling harness (laptop-scale sweeps).
+
+The application models cover the paper's 16384-rank regimes; this
+harness sweeps the *functional* runtime across small rank counts and
+reports virtual-time speedups — the cross-check that the runtime's
+timing machinery produces sane scaling curves at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.config import BuildConfig
+from repro.fabric.topology import Topology
+from repro.runtime.world import World
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One rank-count sample of a strong-scaling sweep."""
+
+    nranks: int
+    vtime_s: float
+    speedup: float
+    efficiency: float
+    instructions: int
+
+
+def strong_scaling_sweep(app: Callable, rank_counts: Sequence[int],
+                         config: BuildConfig | None = None,
+                         ranks_per_node: int = 16,
+                         timeout: float = 300.0) -> list[ScalingPoint]:
+    """Run ``app(comm)`` (fixed total problem) at each rank count.
+
+    The app must size its local share from ``comm.size`` (strong
+    scaling).  Returns per-point virtual makespans, speedups relative
+    to the smallest run, and aggregate instruction counts.
+    """
+    if not rank_counts:
+        raise ValueError("need at least one rank count")
+    cfg = config if config is not None else BuildConfig()
+    points: list[ScalingPoint] = []
+    base_time = None
+    base_ranks = None
+    for nranks in rank_counts:
+        world = World(nranks, cfg,
+                      topology=Topology(nranks=nranks,
+                                        cores_per_node=ranks_per_node))
+        world.run(app, timeout=timeout)
+        vtime = world.max_vtime()
+        if base_time is None:
+            base_time, base_ranks = vtime, nranks
+        speedup = base_time / vtime if vtime > 0 else float("inf")
+        efficiency = speedup * base_ranks / nranks
+        points.append(ScalingPoint(
+            nranks=nranks, vtime_s=vtime, speedup=speedup,
+            efficiency=efficiency,
+            instructions=world.total_instructions()))
+    return points

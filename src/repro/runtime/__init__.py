@@ -1,0 +1,60 @@
+"""Virtual-time message-passing runtime.
+
+One OS thread per MPI rank; ranks exchange messages by depositing into
+each other's matching engines under per-rank locks.  Time is *virtual*:
+each rank owns a :class:`~repro.runtime.vclock.VClock` advanced by the
+instruction charges of the accounting engine (converted through the
+active fabric model) and by fabric transfer costs; a receive completes
+at ``max(receiver clock, message arrival time)``, the standard
+conservative rule of distributed simulation.
+
+This gives the library both faces the paper needs: functionally real
+MPI semantics (matching, wildcards, datatypes, collectives, RMA) for
+tests and examples, and fabric-calibrated timings for the evaluation
+figures.
+"""
+
+from repro.runtime.vclock import VClock
+from repro.runtime.message import Message, Envelope
+from repro.runtime.request import (
+    Request,
+    RequestKind,
+    waitall,
+    waitany,
+    waitsome,
+    testall,
+    testany,
+    testsome,
+)
+from repro.runtime.matching import MatchingEngine, PostedRecv
+from repro.runtime.ranktrans import (
+    RankTranslation,
+    DirectTableTranslation,
+    CompressedTranslation,
+    build_translation,
+)
+from repro.runtime.proc import Proc
+from repro.runtime.world import World, WorldAborted
+
+__all__ = [
+    "VClock",
+    "Message",
+    "Envelope",
+    "Request",
+    "RequestKind",
+    "waitall",
+    "waitany",
+    "waitsome",
+    "testall",
+    "testany",
+    "testsome",
+    "MatchingEngine",
+    "PostedRecv",
+    "RankTranslation",
+    "DirectTableTranslation",
+    "CompressedTranslation",
+    "build_translation",
+    "Proc",
+    "World",
+    "WorldAborted",
+]

@@ -1,0 +1,164 @@
+"""The receive-side matching engine.
+
+Implements MPI-3.1 matching semantics — the (context, source, tag)
+triplet with ANY_SOURCE/ANY_TAG wildcards over posted-receive and
+unexpected-message queues — plus the arrival-order matching of the
+paper's ``MPI_ISEND_NOMATCH`` proposal (Section 3.6), under which
+source and tag are ignored and only communicator-context isolation
+remains.
+
+One engine exists per rank.  Senders deposit under the engine's lock;
+the owning rank posts receives and probes under the same lock.  Queue
+order is arrival order, which preserves MPI's non-overtaking guarantee
+because each sender deposits in program order.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.consts import ANY_SOURCE, ANY_TAG
+from repro.runtime.message import Envelope, Message
+from repro.runtime.request import Request
+
+
+@dataclass
+class PostedRecv:
+    """A receive waiting for its message.
+
+    ``on_match`` runs in the *depositing* thread with the matched
+    message; it unpacks into the user buffer and completes ``request``.
+    """
+
+    ctx: int
+    src: int
+    tag: int
+    nomatch: bool
+    request: Request
+    on_match: Callable[[Message], None]
+
+    def matches(self, env: Envelope) -> bool:
+        """MPI-3.1 matching rule (or arrival-order rule when nomatch)."""
+        if env.ctx != self.ctx or env.nomatch != self.nomatch:
+            return False
+        if self.nomatch:
+            return True
+        if self.src != ANY_SOURCE and self.src != env.src:
+            return False
+        if self.tag != ANY_TAG and self.tag != env.tag:
+            return False
+        return True
+
+
+class MatchingEngine:
+    """Posted-receive and unexpected-message queues for one rank."""
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self._lock = threading.Condition()
+        self._posted: list[PostedRecv] = []
+        self._unexpected: list[Message] = []
+        #: Monotone counters for introspection and tests.
+        self.n_deposited = 0
+        self.n_matched_posted = 0
+        self.n_matched_unexpected = 0
+
+    # -- sender side --------------------------------------------------------
+
+    def deposit(self, msg: Message) -> None:
+        """Deliver *msg*: match a posted receive or queue as unexpected.
+
+        Runs in the sender's thread; the matched receive's ``on_match``
+        callback (buffer unpack + request completion) therefore also
+        runs here, mirroring how a real netmod completes a receive from
+        its progress context.
+        """
+        with self._lock:
+            self.n_deposited += 1
+            for i, posted in enumerate(self._posted):
+                if posted.matches(msg.env):
+                    del self._posted[i]
+                    self.n_matched_posted += 1
+                    posted.on_match(msg)
+                    self._fire_sync(msg, msg.arrive_s)
+                    self._lock.notify_all()
+                    return
+            self._unexpected.append(msg)
+            self._lock.notify_all()
+
+    @staticmethod
+    def _fire_sync(msg: Message, match_time_s: float) -> None:
+        """Complete a synchronous-send handshake at *match_time_s*."""
+        sync = msg.sync
+        if sync is not None:
+            sync.match_time_s = match_time_s
+            if sync.request is not None:
+                sync.request.complete(match_time_s + sync.ack_latency_s)
+            sync.event.set()
+
+    # -- receiver side -------------------------------------------------------
+
+    def post(self, posted: PostedRecv, now_s: float = 0.0) -> None:
+        """Post a receive: match the oldest unexpected message first
+        (MPI requires unexpected-queue order), else enqueue.
+
+        *now_s* is the posting rank's virtual time, used as the match
+        time of any synchronous sender found in the unexpected queue.
+        """
+        with self._lock:
+            for i, msg in enumerate(self._unexpected):
+                if posted.matches(msg.env):
+                    del self._unexpected[i]
+                    self.n_matched_unexpected += 1
+                    posted.on_match(msg)
+                    self._fire_sync(msg, max(now_s, msg.arrive_s))
+                    return
+            self._posted.append(posted)
+
+    def iprobe(self, ctx: int, src: int, tag: int,
+               nomatch: bool = False) -> Optional[tuple[Envelope, int]]:
+        """Nonblocking probe: ``(envelope, nbytes)`` of the first
+        matching unexpected message, or None."""
+        probe = PostedRecv(ctx=ctx, src=src, tag=tag, nomatch=nomatch,
+                           request=None, on_match=lambda m: None)
+        with self._lock:
+            for msg in self._unexpected:
+                if probe.matches(msg.env):
+                    return msg.env, msg.nbytes
+            return None
+
+    def probe(self, ctx: int, src: int, tag: int, nomatch: bool = False,
+              abort_event: threading.Event | None = None
+              ) -> tuple[Envelope, int]:
+        """Blocking probe (MPI_PROBE): wait for a matching unexpected
+        message without receiving it; returns ``(envelope, nbytes)``."""
+        probe = PostedRecv(ctx=ctx, src=src, tag=tag, nomatch=nomatch,
+                           request=None, on_match=lambda m: None)
+        with self._lock:
+            while True:
+                for msg in self._unexpected:
+                    if probe.matches(msg.env):
+                        return msg.env, msg.nbytes
+                if not self._lock.wait(timeout=0.05):
+                    if abort_event is not None and abort_event.is_set():
+                        from repro.runtime.world import WorldAborted
+                        raise WorldAborted("world aborted in probe")
+
+    def cancel_posted(self, request: Request) -> bool:
+        """Remove the posted receive owning *request*; True on success."""
+        with self._lock:
+            for i, posted in enumerate(self._posted):
+                if posted.request is request:
+                    del self._posted[i]
+                    request.cancel()
+                    return True
+            return False
+
+    # -- introspection --------------------------------------------------------
+
+    def pending_counts(self) -> tuple[int, int]:
+        """(posted, unexpected) queue depths — for tests and diagnostics."""
+        with self._lock:
+            return len(self._posted), len(self._unexpected)

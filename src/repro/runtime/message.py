@@ -1,0 +1,69 @@
+"""Message and envelope types.
+
+An :class:`Envelope` carries exactly the matching information MPI-3.1
+prescribes — the (communicator context, source, tag) triplet the paper's
+Section 3.6 analyzes — plus the ``nomatch`` flag of the proposed
+``MPI_ISEND_NOMATCH`` extension, under which source and tag bits are
+disabled and only communicator isolation remains.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+_seq = itertools.count()
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """Matching metadata of one message."""
+
+    ctx: int        #: communicator context id (isolation — never disabled)
+    src: int        #: sender's rank within the communicator
+    tag: int        #: user tag
+    nomatch: bool = False  #: sent via the no-match-bits extension
+
+
+@dataclass
+class Message:
+    """One in-flight point-to-point message (or AM fallback packet).
+
+    Attributes
+    ----------
+    env:
+        Matching envelope.
+    data:
+        Packed payload bytes.
+    arrive_s:
+        Virtual time at which the payload is available at the target
+        (sender clock at issue + fabric transfer time).
+    seq:
+        Global deposit sequence number; preserves MPI's non-overtaking
+        order for diagnostics (arrival order itself is queue order).
+    am_handler:
+        Non-None for active-message fallback packets: name of the CH4
+        core handler to run at the target (e.g. ``"put"``).
+    am_args:
+        Arguments for the AM handler.
+    """
+
+    env: Envelope
+    data: bytes
+    arrive_s: float
+    seq: int = field(default_factory=lambda: next(_seq))
+    am_handler: str | None = None
+    am_args: dict | None = None
+    #: Synchronous-send handshake (MPI_SSEND); the matching engine
+    #: records the match time and fires the event.
+    sync: "object | None" = None
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size in bytes."""
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = f"AM:{self.am_handler}" if self.am_handler else "pt2pt"
+        return (f"Message({kind}, ctx={self.env.ctx}, src={self.env.src}, "
+                f"tag={self.env.tag}, {self.nbytes}B, t={self.arrive_s:.3e})")

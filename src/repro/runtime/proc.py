@@ -1,0 +1,116 @@
+"""Per-rank runtime state: the hub every layer hangs off.
+
+A :class:`Proc` owns one rank's instruction counter, virtual clock,
+matching engine, device instance, and (when thread-safety is built in)
+the critical-section lock.  Devices, the MPI layer, and the application
+proxies all reach their world through it.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+from repro.core.config import BuildConfig, Device
+from repro.fabric.model import FabricSpec, fabric_by_name
+from repro.instrument.categories import Category, Subsystem
+from repro.instrument.counter import InstructionCounter
+from repro.instrument.trace import CallTracer
+from repro.runtime.matching import MatchingEngine
+from repro.runtime.message import Message
+from repro.runtime.vclock import VClock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.world import World
+
+
+class Proc:
+    """One MPI rank's runtime state.
+
+    Parameters
+    ----------
+    world:
+        The owning :class:`~repro.runtime.world.World`.
+    world_rank:
+        This rank's index in MPI_COMM_WORLD.
+    config:
+        The build configuration shared by the world.
+    """
+
+    def __init__(self, world: "World", world_rank: int, config: BuildConfig):
+        self.world = world
+        self.world_rank = world_rank
+        self.config = config
+        self.net_fabric: FabricSpec = fabric_by_name(config.fabric)
+        self.shm_fabric: FabricSpec = fabric_by_name(config.shm_fabric)
+        self.counter = InstructionCounter(label=f"rank {world_rank}")
+        self.tracer = CallTracer(self.counter)
+        self.vclock = VClock(self.net_fabric)
+        self.engine = MatchingEngine(world_rank)
+        #: Critical-section lock taken when thread_safety is built in.
+        self.cs_lock = threading.RLock()
+        self.node = world.topology.node_of(world_rank)
+        self.device = self._build_device()
+        #: Charged compute (non-MPI) seconds — application proxies use
+        #: this so figure timings separate work from overhead.
+        self.compute_seconds = 0.0
+        #: Optional event timeline (list of TimelineEvent); enabled by
+        #: :func:`repro.analysis.timeline.enable_timeline`.
+        self.timeline = None
+
+    def _build_device(self):
+        if self.config.device is Device.CH4:
+            from repro.core.ch4 import CH4Device
+            return CH4Device(self)
+        from repro.ch3.device import CH3Device
+        return CH3Device(self)
+
+    # -- accounting ----------------------------------------------------------
+
+    def charge(self, category: Category, n: int,
+               subsystem: Subsystem | None = None) -> None:
+        """Charge *n* abstract instructions on this rank.
+
+        The virtual clock advances immediately (charge-through), so any
+        arrival time computed later in the same call already includes
+        this work — the property that makes per-build software overhead
+        visible in end-to-end virtual timings.
+        """
+        self.counter.charge(category, n, subsystem)
+        self.vclock.advance_instructions(n)
+
+    @contextmanager
+    def timed_call(self) -> Iterator[None]:
+        """Marks one MPI-call region.  Clock advancement happens inside
+        :meth:`charge` (charge-through), so this is now only a
+        structural marker kept for call-site readability."""
+        yield
+
+    def charge_compute(self, seconds: float) -> None:
+        """Advance virtual time by *seconds* of application compute."""
+        if seconds < 0:
+            raise ValueError(f"negative compute time: {seconds}")
+        self.vclock.advance_seconds(seconds)
+        self.compute_seconds += seconds
+
+    # -- fabric selection ------------------------------------------------------
+
+    def fabric_to(self, dest_world_rank: int) -> FabricSpec:
+        """The fabric a message to *dest_world_rank* travels on —
+        the CH4 locality decision (self/node use the shm fabric)."""
+        if dest_world_rank == self.world_rank:
+            return self.shm_fabric
+        if self.world.topology.same_node(self.world_rank, dest_world_rank):
+            return self.shm_fabric
+        return self.net_fabric
+
+    # -- delivery ---------------------------------------------------------------
+
+    def deliver(self, dest_world_rank: int, msg: Message) -> None:
+        """Deposit *msg* into the destination rank's matching engine."""
+        self.world.proc(dest_world_rank).engine.deposit(msg)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Proc(rank={self.world_rank}/{self.world.nranks}, "
+                f"device={self.config.device.value})")

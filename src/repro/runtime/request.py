@@ -1,0 +1,171 @@
+"""Request objects and completion (MPI_WAIT/TEST families).
+
+Section 3.5 of the paper targets exactly this machinery: MPI-3.1
+forces the implementation to return a completable handle *per
+operation*.  The standard path here allocates a full :class:`Request`;
+the ``isend_noreq`` extension path instead bumps a per-communicator
+counter (see :meth:`repro.mpi.comm.Communicator.waitall_noreq`), which
+is where its 10-instruction saving comes from.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Optional, Sequence
+
+from repro.errors import MPIErrRequest
+
+#: Poll interval while blocked, so world aborts can interrupt waits.
+_WAIT_SLICE_S = 0.05
+
+
+class RequestKind(enum.Enum):
+    """What operation the request tracks."""
+
+    SEND = "send"
+    RECV = "recv"
+    RMA = "rma"
+    GENERALIZED = "generalized"
+
+
+class Request:
+    """A completable handle for one nonblocking operation.
+
+    Completion may happen on a *different* thread (the sender thread
+    completes a matched receive), so the done flag is an Event.
+    Completion carries the virtual time at which the operation finished
+    and, for receives, the message's source/tag/byte count — the
+    material MPI_STATUS is made of.
+    """
+
+    __slots__ = ("kind", "_done", "_abort", "complete_s", "source", "tag",
+                 "count_bytes", "error", "cancelled", "_proc", "payload")
+
+    def __init__(self, kind: RequestKind, proc=None, abort_event=None):
+        self.kind = kind
+        self._done = threading.Event()
+        self._abort = abort_event
+        self._proc = proc
+        self.complete_s: float = 0.0
+        self.source: int = -1
+        self.tag: int = -1
+        self.count_bytes: int = 0
+        self.error: Optional[BaseException] = None
+        self.cancelled = False
+        #: Raw received bytes for bufferless (generic-object) receives.
+        self.payload: Optional[bytes] = None
+
+    # -- completion-side API (called by whichever thread finishes the op)
+
+    def complete(self, complete_s: float, source: int = -1, tag: int = -1,
+                 count_bytes: int = 0,
+                 error: Optional[BaseException] = None) -> None:
+        """Mark the operation finished at virtual time *complete_s*."""
+        if self._done.is_set():
+            raise MPIErrRequest("request completed twice")
+        self.complete_s = complete_s
+        self.source = source
+        self.tag = tag
+        self.count_bytes = count_bytes
+        self.error = error
+        self._done.set()
+
+    def cancel(self) -> None:
+        """MPI_CANCEL (supported for unmatched receives only)."""
+        self.cancelled = True
+        if not self._done.is_set():
+            self._done.set()
+
+    # -- waiter-side API ---------------------------------------------------
+
+    def is_complete(self) -> bool:
+        """Nonblocking completion check (no clock merge)."""
+        return self._done.is_set()
+
+    def test(self) -> bool:
+        """MPI_TEST: nonblocking; merges the completion time into the
+        calling rank's clock when complete."""
+        if not self._done.is_set():
+            return False
+        self._finish()
+        return True
+
+    def wait(self) -> "Request":
+        """MPI_WAIT: block until complete, merge clocks, re-raise any
+        error captured by the completing thread."""
+        while not self._done.wait(_WAIT_SLICE_S):
+            if self._abort is not None and self._abort.is_set():
+                from repro.runtime.world import WorldAborted
+                raise WorldAborted("world aborted while waiting on request")
+        self._finish()
+        return self
+
+    def _finish(self) -> None:
+        if self._proc is not None:
+            self._proc.vclock.merge(self.complete_s)
+        if self.error is not None:
+            raise self.error
+
+
+def waitall(requests: Sequence[Request]) -> None:
+    """MPI_WAITALL over a request list."""
+    for req in requests:
+        req.wait()
+
+
+def waitany(requests: Sequence[Request]) -> int:
+    """MPI_WAITANY: block until one request completes; returns its index."""
+    if not requests:
+        raise MPIErrRequest("waitany on empty request list")
+    while True:
+        for i, req in enumerate(requests):
+            if req.is_complete():
+                req.wait()
+                return i
+        # Block briefly on the first incomplete request, then rescan.
+        for req in requests:
+            if not req.is_complete():
+                req._done.wait(_WAIT_SLICE_S)
+                if req._abort is not None and req._abort.is_set():
+                    from repro.runtime.world import WorldAborted
+                    raise WorldAborted("world aborted in waitany")
+                break
+
+
+def testany(requests: Sequence[Request]) -> Optional[int]:
+    """MPI_TESTANY: index of one completed request (merged), or None."""
+    for i, req in enumerate(requests):
+        if req.is_complete():
+            req.test()
+            return i
+    return None
+
+
+def waitsome(requests: Sequence[Request]) -> list[int]:
+    """MPI_WAITSOME: block until at least one completes; return the
+    indices of every completed request (all merged)."""
+    if not requests:
+        raise MPIErrRequest("waitsome on empty request list")
+    waitany(requests)
+    return testsome(requests)
+
+
+def testsome(requests: Sequence[Request]) -> list[int]:
+    """MPI_TESTSOME: indices of currently completed requests (merged)."""
+    done = []
+    for i, req in enumerate(requests):
+        if req.is_complete():
+            req.test()
+            done.append(i)
+    return done
+
+
+def testall(requests: Sequence[Request]) -> bool:
+    """MPI_TESTALL: True iff every request is complete (and then merges
+    all completion times)."""
+    if all(req.is_complete() for req in requests):
+        for req in requests:
+            req.test()
+        return True
+    return False

@@ -1,0 +1,178 @@
+"""The World: rank spawning, shared registries, and run orchestration.
+
+A :class:`World` is the moral equivalent of ``mpiexec -n <nranks>``: it
+owns one :class:`~repro.runtime.proc.Proc` per rank, the communicator
+context-id space, and the window registry, and it runs an application
+function on every rank concurrently (one OS thread per rank).
+
+The world is reusable: successive :meth:`World.run` calls continue the
+same virtual clocks and counters, which lets benchmark harnesses warm
+up and then measure.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.config import BuildConfig
+from repro.fabric.topology import Topology
+from repro.instrument.counter import install_counter, uninstall_counter
+
+
+class WorldAborted(RuntimeError):
+    """Raised in surviving ranks when another rank failed and the world
+    tore the run down."""
+
+
+class World:
+    """An MPI world of ``nranks`` ranks.
+
+    Parameters
+    ----------
+    nranks:
+        Number of ranks.  The thread-per-rank runtime is built for
+        correctness and calibration, not scale: worlds beyond ~64 ranks
+        work but are slow; the application *models* cover the paper's
+        16384-rank regimes.
+    config:
+        Build configuration shared by every rank.
+    topology:
+        Rank placement; defaults to 16 cores/node block placement
+        (the paper's cluster layout).
+    """
+
+    #: Context id of MPI_COMM_WORLD.
+    WORLD_CTX = 0
+
+    def __init__(self, nranks: int, config: Optional[BuildConfig] = None,
+                 topology: Optional[Topology] = None):
+        if nranks <= 0:
+            raise ValueError(f"nranks must be positive, got {nranks}")
+        self.nranks = nranks
+        self.config = config if config is not None else BuildConfig()
+        self.topology = topology if topology is not None \
+            else Topology(nranks=nranks)
+        if self.topology.nranks != nranks:
+            raise ValueError(
+                f"topology covers {self.topology.nranks} ranks, "
+                f"world has {nranks}")
+        self._procs = [None] * nranks
+        for r in range(nranks):
+            from repro.runtime.proc import Proc
+            self._procs[r] = Proc(self, r, self.config)
+
+        self._ctx_lock = threading.Lock()
+        self._next_ctx = World.WORLD_CTX + 1
+        self._win_lock = threading.Lock()
+        self._next_win = 0
+        #: win_id -> list of per-rank window states (set by mpi.rma).
+        self.windows: dict[int, list] = {}
+        #: Set when any rank raises; waiters poll it to unwedge.
+        self.abort_event = threading.Event()
+
+    # -- registries ---------------------------------------------------------
+
+    def proc(self, world_rank: int):
+        """The :class:`Proc` of *world_rank*."""
+        return self._procs[world_rank]
+
+    @property
+    def procs(self) -> Sequence:
+        """All procs, rank order."""
+        return tuple(self._procs)
+
+    def alloc_context_id(self) -> int:
+        """Allocate a fresh communicator context id (called by rank 0 of
+        the parent communicator during collective comm creation)."""
+        with self._ctx_lock:
+            ctx = self._next_ctx
+            self._next_ctx += 1
+            return ctx
+
+    def alloc_window_id(self) -> int:
+        """Allocate a fresh window id (collective, via rank 0)."""
+        with self._win_lock:
+            win = self._next_win
+            self._next_win += 1
+            return win
+
+    # -- run orchestration -----------------------------------------------------
+
+    def run(self, fn: Callable, args: tuple = (),
+            timeout: float = 300.0) -> list[Any]:
+        """Run ``fn(comm, *args)`` on every rank; return per-rank results.
+
+        ``comm`` is each rank's MPI_COMM_WORLD view.  If any rank
+        raises, every other rank is unblocked via the abort event and
+        the first failure (by rank order) propagates, with the failing
+        rank recorded in the exception notes.
+        """
+        from repro.mpi.comm import Communicator
+
+        self.abort_event.clear()
+        results: list[Any] = [None] * self.nranks
+        errors: list[Optional[BaseException]] = [None] * self.nranks
+
+        def entry(rank: int) -> None:
+            proc = self._procs[rank]
+            install_counter(proc.counter)
+            try:
+                comm = Communicator.world_view(proc)
+                results[rank] = fn(comm, *args)
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                errors[rank] = exc
+                self.abort_event.set()
+            finally:
+                uninstall_counter()
+
+        threads = [threading.Thread(target=entry, args=(r,),
+                                    name=f"mpi-rank-{r}", daemon=True)
+                   for r in range(self.nranks)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=timeout)
+        hung = [t.name for t in threads if t.is_alive()]
+        if hung:
+            self.abort_event.set()
+            for t in threads:
+                t.join(timeout=5.0)
+            raise TimeoutError(
+                f"ranks did not finish within {timeout}s: {hung} "
+                f"(likely deadlock in the application function)")
+
+        first_real = next(
+            (e for e in errors if e is not None
+             and not isinstance(e, WorldAborted)), None)
+        if first_real is not None:
+            rank = errors.index(first_real)
+            first_real.add_note(f"raised on MPI rank {rank}")
+            raise first_real
+        first = next((e for e in errors if e is not None), None)
+        if first is not None:
+            raise first
+        return results
+
+    # -- reporting -------------------------------------------------------------
+
+    def max_vtime(self) -> float:
+        """Latest virtual clock across ranks — the run's makespan."""
+        return max(p.vclock.now for p in self._procs)
+
+    def total_instructions(self) -> int:
+        """Sum of abstract instructions charged across all ranks."""
+        return sum(p.counter.total for p in self._procs)
+
+    def reset_accounting(self) -> None:
+        """Zero every rank's counter, tracer, and compute tally (clocks
+        keep their value: virtual time is monotone per world)."""
+        for p in self._procs:
+            p.counter.reset()
+            p.tracer.clear()
+            p.compute_seconds = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"World(nranks={self.nranks}, "
+                f"device={self.config.device.value}, "
+                f"fabric={self.config.fabric!r})")

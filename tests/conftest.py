@@ -1,0 +1,34 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import BuildConfig
+from repro.runtime.world import World
+
+
+def run_world(nranks: int, fn, config: BuildConfig | None = None,
+              args: tuple = (), timeout: float = 120.0):
+    """Run *fn(comm, *args)* on a fresh world; returns per-rank results."""
+    world = World(nranks, config if config is not None else BuildConfig())
+    return world.run(fn, args=args, timeout=timeout)
+
+
+@pytest.fixture
+def two_rank_world():
+    """A fresh default-build 2-rank world."""
+    return World(2, BuildConfig())
+
+
+@pytest.fixture
+def four_rank_world():
+    """A fresh default-build 4-rank world."""
+    return World(4, BuildConfig())
+
+
+@pytest.fixture
+def rng():
+    """Seeded numpy generator for reproducible randomized tests."""
+    return np.random.default_rng(20260707)

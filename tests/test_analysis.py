@@ -1,0 +1,93 @@
+"""Analysis harness: survey, figure data generators, CLI renderers."""
+
+import pytest
+
+from repro.analysis.figures import (fig2_data, fig6_data, proposals_data,
+                                    render_fig2, render_fig6, render_fig7,
+                                    render_fig8, render_proposals,
+                                    render_rate_figure)
+from repro.analysis.survey import (SURVEY_CORPUS, render_survey,
+                                   survey_class_counts,
+                                   survey_redundant_checks)
+from repro.datatypes.usage import UsageClass
+
+
+class TestSurvey:
+    def test_corpus_has_all_three_classes(self):
+        counts = survey_class_counts()
+        assert counts[UsageClass.DERIVED] == 2      # HACC and MCB only
+        assert counts[UsageClass.COMPILE_TIME] >= 5
+        assert counts[UsageClass.RUNTIME_CONST] == 5
+
+    def test_named_applications_present(self):
+        names = {app.name for app in SURVEY_CORPUS}
+        for expected in ("HACC", "MCB", "LULESH", "Nekbone", "QMCPACK",
+                         "LSMS", "miniFE"):
+            assert expected in names
+
+    def test_redundant_checks_by_class(self):
+        """The paper's §2.2 conclusion, executed: every class pays the
+        checks without ipo; MPI-only ipo fixes Class 2 only;
+        whole-program ipo additionally fixes Class 3; Class 1 keeps
+        its (genuinely needed) checks everywhere."""
+        rows = {r["app"]: r for r in survey_redundant_checks()}
+        for row in rows.values():
+            assert row["no_ipo"] == 59
+
+        class1 = rows["HACC"]
+        assert class1["mpi_only_ipo"] == 59
+        assert class1["whole_program_ipo"] == 59
+
+        class2 = rows["NAS-CG"]
+        assert class2["mpi_only_ipo"] == 0
+        assert class2["whole_program_ipo"] == 0
+
+        class3 = rows["LULESH"]
+        assert class3["mpi_only_ipo"] == 59
+        assert class3["whole_program_ipo"] == 0
+
+    def test_render(self):
+        text = render_survey()
+        assert "LULESH" in text
+        assert "whole-prog ipo" in text
+
+
+class TestFigureData:
+    def test_fig2_matches_published(self):
+        data = fig2_data()
+        assert data["mpich/original"] == {"isend": 253, "put": 1342}
+        assert data["mpich/ch4 (no-err-single-ipo)"] == \
+            {"isend": 59, "put": 44}
+
+    def test_fig6_chain(self):
+        results = fig6_data()
+        assert [r.label for r in results] == \
+            ["minimal_pt2pt", "no_req", "no_match", "glob_rank",
+             "no_proc_null"]
+        assert results[-1].rate_millions == pytest.approx(132.8)
+
+    def test_proposals_match_paper(self):
+        rows = {r["proposal"]: r for r in proposals_data()}
+        for label, row in rows.items():
+            assert row["saving"] == row["paper_saving"], label
+
+    def test_renderers_produce_text(self):
+        assert "1,342" in render_fig2()
+        assert "132.80" in render_fig6()
+        assert "Nek5000" in render_fig7()
+        assert "LAMMPS" in render_fig8()
+        assert "ALL_OPTS" in render_proposals()
+        from repro.analysis.figures import fig3_data
+        assert "OFI" in render_rate_figure(fig3_data(), "OFI test")
+
+
+class TestCLI:
+    def test_main_runs_single_artifact(self, capsys):
+        from repro.analysis.__main__ import main
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "132.80" in out
+
+    def test_main_rejects_unknown(self, capsys):
+        from repro.analysis.__main__ import main
+        assert main(["fig99"]) == 2

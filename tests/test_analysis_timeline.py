@@ -1,0 +1,117 @@
+"""Timeline tracer and application profile report."""
+
+import numpy as np
+
+from repro.analysis.appreport import profile_world, render_profile
+from repro.analysis.timeline import (TimelineEvent, disable_timeline,
+                                     enable_timeline, mark, render_gantt,
+                                     render_summary, summarize)
+from repro.core.config import BuildConfig
+from repro.instrument.categories import Category
+from repro.runtime.world import World
+
+
+def _pingpong(comm):
+    buf = np.zeros(4, dtype=np.float64)
+    if comm.rank == 0:
+        with mark(comm.proc, "compute"):
+            comm.proc.charge_compute(1e-6)
+        comm.Isend(buf, dest=1, tag=0).wait()
+        comm.Recv(buf, source=1, tag=0)
+    else:
+        comm.Recv(buf, source=0, tag=0)
+        comm.Isend(buf, dest=0, tag=0).wait()
+
+
+class TestTimeline:
+    def test_events_recorded_per_rank(self):
+        world = World(2, BuildConfig())
+        enable_timeline(world)
+        world.run(_pingpong)
+        names0 = [e.name for e in world.proc(0).timeline]
+        assert "MPI_Isend" in names0
+        assert "MPI_Irecv" in names0
+        assert "compute" in names0
+        assert all(isinstance(e, TimelineEvent)
+                   for e in world.proc(0).timeline)
+
+    def test_events_have_positive_spans_in_order(self):
+        world = World(2, BuildConfig())
+        enable_timeline(world)
+        world.run(_pingpong)
+        for proc in world.procs:
+            for event in proc.timeline:
+                assert event.t1 >= event.t0 >= 0.0
+            starts = [e.t0 for e in proc.timeline]
+            assert starts == sorted(starts)
+
+    def test_disable_stops_recording(self):
+        world = World(2, BuildConfig())
+        enable_timeline(world)
+        disable_timeline(world)
+        world.run(_pingpong)
+        assert world.proc(0).timeline is None
+
+    def test_mark_noop_when_disabled(self):
+        world = World(1, BuildConfig())
+        with mark(world.proc(0), "anything"):
+            pass   # must not raise
+
+    def test_summary_and_renderers(self):
+        world = World(2, BuildConfig())
+        enable_timeline(world)
+        world.run(_pingpong)
+        rows = summarize(world)
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["MPI_Isend"]["count"] == 2
+        assert by_name["MPI_Isend"]["total_us"] > 0
+        text = render_summary(world)
+        assert "MPI_Isend" in text
+        gantt = render_gantt(world, width=40)
+        assert "rank   0" in gantt
+        assert "legend:" in gantt
+
+    def test_gantt_empty(self):
+        world = World(1, BuildConfig())
+        enable_timeline(world)
+        assert render_gantt(world) == "(empty timeline)"
+
+    def test_rma_events_named(self):
+        def main(comm):
+            from repro.mpi.rma import Window
+            win, _ = Window.allocate(comm, nbytes=8, disp_unit=8)
+            win.fence()
+            win.put(np.zeros(1), target_rank=(comm.rank + 1) % comm.size)
+            win.fence()
+
+        world = World(2, BuildConfig())
+        enable_timeline(world)
+        world.run(main)
+        assert any(e.name == "MPI_Put" for e in world.proc(0).timeline)
+
+
+class TestAppProfile:
+    def test_profile_totals_match_counters(self):
+        world = World(2, BuildConfig())
+        world.run(_pingpong)
+        profile = profile_world(world)
+        assert profile.total == world.total_instructions()
+        assert profile.nranks == 2
+        assert profile.by_category[Category.ERROR_CHECKING] > 0
+        assert 0 < profile.mandatory_fraction < 1
+        assert profile.removable_fraction + profile.mandatory_fraction \
+            == 1.0
+
+    def test_ipo_build_profile_is_all_mandatory(self):
+        world = World(2, BuildConfig.ipo_build())
+        world.run(_pingpong)
+        profile = profile_world(world)
+        assert profile.removable_fraction == 0.0
+        assert profile.mandatory_fraction == 1.0
+
+    def test_render(self):
+        world = World(2, BuildConfig())
+        world.run(_pingpong)
+        text = render_profile(profile_world(world))
+        assert "Error checking" in text
+        assert "mandated by MPI-3.1" in text

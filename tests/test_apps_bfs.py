@@ -1,0 +1,134 @@
+"""Distributed BFS proxy: all exchange modes vs the serial reference."""
+
+import numpy as np
+import pytest
+
+from repro.apps.bfs import (MODES, DistributedBFS, random_graph_edges,
+                            run_bfs, serial_bfs_levels)
+from repro.core.config import BuildConfig
+from repro.errors import MPIErrArg
+from repro.instrument.categories import Subsystem
+from tests.conftest import run_world
+
+NV, DEG, SEED = 60, 3, 11
+
+
+def _gather_levels(comm, mode, nvertices=NV, degree=DEG, seed=SEED,
+                   root=0):
+    levels = run_bfs(comm, nvertices, degree, root=root, mode=mode,
+                     seed=seed)
+    return comm.gather(levels.tolist(), root=0)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("nranks", [1, 2, 4])
+    def test_matches_serial_reference(self, mode, nranks):
+        def main(comm):
+            return _gather_levels(comm, mode)
+
+        pieces = run_world(nranks, main)[0]
+        got = np.asarray([v for p in pieces for v in p])
+        expected = serial_bfs_levels(NV, random_graph_edges(NV, DEG,
+                                                            SEED), 0)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_all_modes_identical(self):
+        def main(comm, mode):
+            return _gather_levels(comm, mode)
+
+        reference = None
+        for mode in MODES:
+            out = run_world(4, main, args=(mode,))[0]
+            if reference is None:
+                reference = out
+            assert out == reference, mode
+
+    def test_nonzero_root(self):
+        def main(comm):
+            return _gather_levels(comm, "alltoall", root=17)
+
+        pieces = run_world(2, main)[0]
+        got = np.asarray([v for p in pieces for v in p])
+        expected = serial_bfs_levels(NV, random_graph_edges(NV, DEG,
+                                                            SEED), 17)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        edges = random_graph_edges(40, 2, seed=3)
+        graph = nx.Graph()
+        graph.add_nodes_from(range(40))
+        graph.add_edges_from(map(tuple, edges))
+        nx_levels = nx.single_source_shortest_path_length(graph, 0)
+
+        def main(comm):
+            bfs = DistributedBFS(comm, 40, edges, mode="isend")
+            return comm.gather(bfs.run(0).tolist(), root=0)
+
+        pieces = run_world(2, main)[0]
+        got = [v for p in pieces for v in p]
+        for vertex in range(40):
+            expected = nx_levels.get(vertex, -1)
+            assert got[vertex] == expected, vertex
+
+    def test_more_ranks_than_vertices(self):
+        def main(comm):
+            return _gather_levels(comm, "alltoall", nvertices=5,
+                                  degree=2)
+
+        pieces = run_world(8, main)[0]
+        got = np.asarray([v for p in pieces for v in p])
+        expected = serial_bfs_levels(5, random_graph_edges(5, 2, SEED), 0)
+        np.testing.assert_array_equal(got, expected)
+
+
+class TestValidation:
+    def test_bad_mode(self):
+        def main(comm):
+            with pytest.raises(MPIErrArg):
+                DistributedBFS(comm, 10, random_graph_edges(10, 2),
+                               mode="psychic")
+            return "ok"
+
+        run_world(1, main)
+
+    def test_bad_root(self):
+        def main(comm):
+            bfs = DistributedBFS(comm, 10, random_graph_edges(10, 2))
+            with pytest.raises(MPIErrArg):
+                bfs.run(10)
+            return "ok"
+
+        run_world(1, main)
+
+    def test_bad_graph_args(self):
+        with pytest.raises(MPIErrArg):
+            random_graph_edges(0, 2)
+        with pytest.raises(MPIErrArg):
+            random_graph_edges(4, 0)
+
+
+class TestSection36Accounting:
+    def test_nomatch_mode_spends_fewer_match_instructions(self):
+        """§3.6 in an application: the nomatch frontier exchange
+        charges fewer match-bit instructions per message."""
+        def main(comm, mode):
+            run_bfs(comm, NV, DEG, mode=mode, seed=SEED)
+            return comm.proc.counter.by_subsystem[Subsystem.MATCH_BITS]
+
+        cfg = BuildConfig.ipo_build()
+        standard = sum(run_world(4, main, cfg, args=("isend",)))
+        nomatch = sum(run_world(4, main, cfg, args=("nomatch",)))
+        assert nomatch < standard
+
+    def test_message_modes_count_messages(self):
+        def main(comm, mode):
+            edges = random_graph_edges(NV, DEG, SEED)
+            bfs = DistributedBFS(comm, NV, edges, mode=mode)
+            bfs.run(0)
+            return bfs.messages_sent
+
+        isend_msgs = sum(run_world(4, main, args=("isend",)))
+        nomatch_msgs = sum(run_world(4, main, args=("nomatch",)))
+        assert isend_msgs == nomatch_msgs > 0

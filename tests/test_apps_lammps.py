@@ -1,0 +1,227 @@
+"""LAMMPS proxy: lattice, LJ kernels, distributed MD, scaling model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.lammps.lattice import (LJ_DENSITY, fcc_cell_size,
+                                       fcc_lattice, initial_velocities)
+from repro.apps.lammps.lj import (lj_forces_bruteforce, lj_forces_celllist,
+                                  lj_potential_energy, pair_count_estimate)
+from repro.apps.lammps.md import LJSimulation
+from repro.apps.lammps.model import (NODE_COUNTS, LammpsModel,
+                                     figure8_series)
+from repro.core.config import BuildConfig
+from tests.conftest import run_world
+
+
+class TestLattice:
+    def test_atom_count(self):
+        pos, box = fcc_lattice((3, 4, 5))
+        assert len(pos) == 4 * 3 * 4 * 5
+
+    def test_density(self):
+        pos, box = fcc_lattice((4, 4, 4))
+        assert len(pos) / np.prod(box) == pytest.approx(LJ_DENSITY)
+
+    def test_atoms_inside_box(self):
+        pos, box = fcc_lattice((3, 3, 3))
+        assert np.all(pos >= 0)
+        assert np.all(pos < box)
+
+    def test_no_duplicate_positions(self):
+        pos, _ = fcc_lattice((3, 3, 3))
+        rounded = {tuple(np.round(p, 9)) for p in pos}
+        assert len(rounded) == len(pos)
+
+    def test_cell_size_positive_and_validated(self):
+        assert fcc_cell_size() > 0
+        with pytest.raises(ValueError):
+            fcc_cell_size(0)
+        with pytest.raises(ValueError):
+            fcc_lattice((0, 1, 1))
+
+    def test_velocities_zero_momentum(self):
+        vel = initial_velocities(500, temperature=1.44)
+        np.testing.assert_allclose(vel.mean(axis=0), 0.0, atol=1e-12)
+
+    def test_velocities_temperature(self):
+        vel = initial_velocities(20000, temperature=1.44)
+        measured = np.mean(vel ** 2)   # per-component variance ~ T
+        assert measured == pytest.approx(1.44, rel=0.05)
+
+
+class TestLJKernels:
+    def test_celllist_matches_bruteforce(self, rng):
+        pos = rng.uniform(0, 10, size=(200, 3))
+        ref = lj_forces_bruteforce(pos, pos)
+        fast = lj_forces_celllist(pos, pos)
+        np.testing.assert_allclose(fast, ref, rtol=1e-10, atol=1e-9)
+
+    def test_ghost_separation(self, rng):
+        """Forces on a local subset from local + ghost atoms."""
+        pos = rng.uniform(0, 8, size=(100, 3))
+        local, ghosts = pos[:60], pos[60:]
+        allpos = np.concatenate([local, ghosts])
+        ref = lj_forces_bruteforce(local, allpos)
+        fast = lj_forces_celllist(local, allpos)
+        np.testing.assert_allclose(fast, ref, rtol=1e-10, atol=1e-9)
+
+    def test_newton_third_law(self, rng):
+        """Total force on an isolated system is zero."""
+        pos = rng.uniform(0, 6, size=(50, 3))
+        forces = lj_forces_bruteforce(pos, pos)
+        np.testing.assert_allclose(forces.sum(axis=0), 0.0, atol=1e-9)
+
+    def test_two_atoms_at_minimum(self):
+        """At r = 2^(1/6) sigma the LJ force vanishes."""
+        r_min = 2.0 ** (1.0 / 6.0)
+        pos = np.array([[0.0, 0.0, 0.0], [r_min, 0.0, 0.0]])
+        forces = lj_forces_bruteforce(pos, pos)
+        np.testing.assert_allclose(forces, 0.0, atol=1e-12)
+
+    def test_repulsive_inside_minimum(self):
+        pos = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        forces = lj_forces_bruteforce(pos, pos)
+        assert forces[0, 0] < 0 < forces[1, 0]
+
+    def test_cutoff_respected(self):
+        pos = np.array([[0.0, 0.0, 0.0], [3.0, 0.0, 0.0]])
+        forces = lj_forces_bruteforce(pos, pos, cutoff=2.5)
+        np.testing.assert_allclose(forces, 0.0)
+
+    def test_potential_energy_pair(self):
+        pos = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        # U(1) = 4(1 - 1) = 0; both halves sum to the pair energy.
+        assert lj_potential_energy(pos, pos) == pytest.approx(0.0)
+        pos2 = np.array([[0.0, 0.0, 0.0], [2.0 ** (1 / 6), 0.0, 0.0]])
+        assert lj_potential_energy(pos2, pos2) == pytest.approx(-1.0)
+
+    def test_empty_local(self):
+        out = lj_forces_celllist(np.zeros((0, 3)), np.zeros((5, 3)))
+        assert out.shape == (0, 3)
+
+    def test_pair_count_estimate_scales_with_density(self):
+        assert pair_count_estimate(10, 0.8) > pair_count_estimate(10, 0.4)
+
+    @given(st.integers(10, 60), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_celllist_equals_bruteforce_random(self, n, seed):
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0, 7, size=(n, 3))
+        np.testing.assert_allclose(
+            lj_forces_celllist(pos, pos),
+            lj_forces_bruteforce(pos, pos), rtol=1e-9, atol=1e-8)
+
+
+class TestDistributedMD:
+    def test_decompositions_agree(self):
+        def main(comm):
+            sim = LJSimulation(comm, cells=(3, 3, 3), dt=0.002)
+            return [sim.step().total_energy for _ in range(4)]
+
+        serial = run_world(1, main)[0]
+        parallel = run_world(8, main)[0]
+        np.testing.assert_allclose(parallel, serial, rtol=1e-10)
+
+    def test_energy_conservation(self):
+        def main(comm):
+            sim = LJSimulation(comm, cells=(3, 3, 3), dt=0.001)
+            energies = [sim.step().total_energy for _ in range(20)]
+            return energies
+
+        energies = run_world(8, main)[0]
+        drift = abs(energies[-1] - energies[0]) / abs(energies[0])
+        assert drift < 1e-4
+
+    def test_atom_conservation_under_migration(self):
+        def main(comm):
+            sim = LJSimulation(comm, cells=(3, 3, 3), dt=0.005,
+                               temperature=3.0)   # hot: lots of motion
+            n0 = sim.natoms_global()
+            for _ in range(10):
+                sim.step()
+            return n0, sim.natoms_global()
+
+        for n0, n1 in run_world(8, main):
+            assert n0 == n1 == 4 * 27
+
+    def test_temperature_positive_and_equilibrating(self):
+        def main(comm):
+            sim = LJSimulation(comm, cells=(3, 3, 3), dt=0.002)
+            stats = [sim.step() for _ in range(5)]
+            return [s.temperature for s in stats]
+
+        temps = run_world(4, main)[0]
+        assert all(t > 0 for t in temps)
+
+    def test_too_many_ranks_rejected(self):
+        def main(comm):
+            with pytest.raises(ValueError):
+                LJSimulation(comm, cells=(2, 2, 2))
+            return "ok"
+
+        # 2x2x2 cells -> box edge ~3.36 sigma; 8 ranks -> 1.68 < rc.
+        assert run_world(8, main) == ["ok"] * 8
+
+    def test_thermo_identical_on_all_ranks(self):
+        def main(comm):
+            sim = LJSimulation(comm, cells=(3, 3, 3), dt=0.002)
+            s = sim.step()
+            return (s.kinetic, s.potential, s.temperature)
+
+        results = run_world(4, main)
+        assert all(r == results[0] for r in results)
+
+
+class TestScalingModel:
+    def test_atoms_per_core_matches_figure8_axis(self):
+        m = LammpsModel()
+        expected = {512: 368, 1024: 184, 2048: 92, 4096: 46, 8192: 23}
+        for nodes, apc in expected.items():
+            assert m.atoms_per_core(nodes) == pytest.approx(apc, rel=0.01)
+
+    def test_ch4_faster_everywhere(self):
+        m = LammpsModel()
+        for nodes in NODE_COUNTS:
+            assert m.timesteps_per_second(nodes, "ch4") > \
+                m.timesteps_per_second(nodes, "ch3")
+
+    def test_speedup_grows_with_scale(self):
+        m = LammpsModel()
+        speedups = [m.speedup_percent(n) for n in NODE_COUNTS]
+        assert speedups == sorted(speedups)
+        assert speedups[0] < 5
+        assert speedups[-1] > 50
+
+    def test_original_stops_scaling_at_8192(self):
+        """The paper's headline: Original's step rate barely moves from
+        4096 to 8192 nodes while CH4 keeps scaling."""
+        m = LammpsModel()
+        ch3_gain = (m.timesteps_per_second(8192, "ch3")
+                    / m.timesteps_per_second(4096, "ch3"))
+        ch4_gain = (m.timesteps_per_second(8192, "ch4")
+                    / m.timesteps_per_second(4096, "ch4"))
+        assert ch3_gain < 1.10      # "completely stops scaling"
+        assert ch4_gain > 1.25
+
+    def test_ch4_keeps_scaling_monotonically(self):
+        m = LammpsModel()
+        rates = [m.timesteps_per_second(n, "ch4") for n in NODE_COUNTS]
+        assert rates == sorted(rates)
+
+    def test_ghost_pressure_grows_at_strong_scaling_limit(self):
+        m = LammpsModel()
+        pressures = [m.ghost_pressure(n) for n in NODE_COUNTS]
+        assert pressures == sorted(pressures)
+        assert pressures[-1] > 4 * pressures[0]
+
+    def test_efficiency_reference_point(self):
+        m = LammpsModel()
+        assert m.efficiency(512, "ch4") == pytest.approx(1.0)
+        assert m.efficiency(8192, "ch3") < m.efficiency(8192, "ch4")
+
+    def test_figure8_series_rows(self):
+        rows = figure8_series()["rows"]
+        assert [r["nodes"] for r in rows] == list(NODE_COUNTS)
+        assert all(r["speedup_percent"] > 0 for r in rows)

@@ -1,0 +1,282 @@
+"""Nek5000 proxy: GLL quadrature, mesh, gather-scatter, CG, model."""
+
+import numpy as np
+import pytest
+
+from repro.apps.nek.cg import MassMatrixProblem, cg_solve, run_nek_cg
+from repro.apps.nek.mesh import BoxDecomposition, RankPatch, factor3
+from repro.apps.nek.model import NekModel, figure7_series
+from repro.apps.nek.sem import (element_flops_per_point, element_mass_diag,
+                                gll_points_weights)
+from repro.core.config import BuildConfig
+from tests.conftest import run_world
+
+
+class TestGLL:
+    @pytest.mark.parametrize("order", [1, 2, 3, 5, 7, 10])
+    def test_weights_sum_to_two(self, order):
+        _, w = gll_points_weights(order)
+        assert w.sum() == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("order", [3, 5, 7])
+    def test_endpoints_included_and_sorted(self, order):
+        x, _ = gll_points_weights(order)
+        assert x[0] == -1.0 and x[-1] == 1.0
+        assert np.all(np.diff(x) > 0)
+        assert len(x) == order + 1
+
+    @pytest.mark.parametrize("degree", range(8))
+    def test_quadrature_exact_for_low_degree(self, degree):
+        """GLL with N+1 points integrates degree <= 2N-1 exactly."""
+        order = 5
+        x, w = gll_points_weights(order)
+        numeric = float(np.sum(w * x ** degree))
+        exact = 0.0 if degree % 2 else 2.0 / (degree + 1)
+        assert numeric == pytest.approx(exact, abs=1e-12)
+
+    def test_symmetry(self):
+        x, w = gll_points_weights(6)
+        np.testing.assert_allclose(x, -x[::-1], atol=1e-13)
+        np.testing.assert_allclose(w, w[::-1], atol=1e-13)
+
+    def test_mass_diag_volume(self):
+        """Sum of the element mass diagonal = element volume."""
+        diag = element_mass_diag(4, h=0.5)
+        assert diag.sum() == pytest.approx(0.5 ** 3)
+
+    def test_flops_per_point_penalizes_small_n(self):
+        assert element_flops_per_point(3) > element_flops_per_point(7)
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            gll_points_weights(0)
+
+
+class TestMesh:
+    def test_factor3(self):
+        for n in (1, 8, 12, 64, 100, 16384):
+            a, b, c = factor3(n)
+            assert a * b * c == n
+            assert a >= b >= c
+
+    def test_decomposition_counts(self):
+        d = BoxDecomposition.balanced(64, 8, 3)
+        assert d.nelems == 64
+        assert d.nranks == 8
+        assert d.npoints_global == (4 * 3 + 1) ** 3
+
+    def test_patch_shapes_tile_the_grid(self):
+        d = BoxDecomposition.balanced(27, 8, 2)
+        total_elems = sum(RankPatch(d, r).nelems for r in range(8))
+        assert total_elems == 27
+
+    def test_patch_point_ranges(self):
+        d = BoxDecomposition((2, 2, 2), (2, 1, 1), order=3)
+        p0, p1 = RankPatch(d, 0), RankPatch(d, 1)
+        assert p0.point_lo == (0, 0, 0)
+        assert p0.point_hi == (3, 6, 6)
+        assert p1.point_lo == (3, 0, 0)      # shared boundary plane
+        assert p1.point_hi == (6, 6, 6)
+
+    def test_shared_region_is_symmetric_plane(self):
+        d = BoxDecomposition((2, 2, 2), (2, 1, 1), order=3)
+        p0, p1 = RankPatch(d, 0), RankPatch(d, 1)
+        r01 = p0.shared_region(1)
+        r10 = p1.shared_region(0)
+        assert r01 == (slice(3, 4), slice(0, 7), slice(0, 7))
+        assert r10 == (slice(0, 1), slice(0, 7), slice(0, 7))
+        assert p0.shared_region(0) is not None   # self overlaps fully
+
+    def test_neighbors_complete(self):
+        d = BoxDecomposition((4, 4, 4), (2, 2, 2), order=2)
+        corner = RankPatch(d, 0)
+        assert len(corner.neighbor_ranks()) == 7   # 2x2x2 grid corner
+
+    def test_element_slices_cover_patch(self):
+        d = BoxDecomposition((2, 2, 2), (1, 1, 1), order=2)
+        patch = RankPatch(d, 0)
+        field = patch.alloc()
+        for slices in patch.element_slices():
+            field[slices] += 1.0
+        assert field.min() >= 1.0   # every point covered
+        assert field.max() == 8.0   # center point shared by 8 elements
+
+    def test_invalid_decomposition_rejected(self):
+        with pytest.raises(ValueError):
+            BoxDecomposition((1, 1, 1), (2, 1, 1), order=2)
+        with pytest.raises(ValueError):
+            BoxDecomposition((2, 2, 2), (1, 1, 1), order=0)
+
+
+class TestGatherScatter:
+    @pytest.mark.parametrize("nranks", [1, 2, 4, 8])
+    def test_multiplicity_counts_sharing_ranks(self, nranks):
+        def main(comm):
+            from repro.apps.nek.gs import GatherScatter
+            d = BoxDecomposition.balanced(8, comm.size, 2)
+            patch = RankPatch(d, comm.rank)
+            gs = GatherScatter(comm, patch)
+            mult = gs.multiplicity()
+            return float(mult.min()), float(mult.max())
+
+        results = run_world(nranks, main)
+        for lo, hi in results:
+            assert lo == 1.0
+            assert hi == float(min(nranks, 8))
+
+    def test_gs_sums_match_serial(self):
+        """Distributed gs(u) must equal the serial assembly of the same
+        global field."""
+        def main(comm):
+            from repro.apps.nek.gs import GatherScatter
+            d = BoxDecomposition.balanced(8, comm.size, 3)
+            patch = RankPatch(d, comm.rank)
+            gs = GatherScatter(comm, patch)
+            # A field whose value is a function of the GLOBAL point
+            # coordinates, so every copy starts identical.
+            u = patch.alloc()
+            for i in range(patch.shape[0]):
+                for j in range(patch.shape[1]):
+                    for k in range(patch.shape[2]):
+                        gx, gy, gz = patch.global_coords((i, j, k))
+                        u[i, j, k] = gx + 10 * gy + 100 * gz
+            summed = gs(u.copy())
+            mult = gs.multiplicity()
+            np.testing.assert_allclose(summed, u * mult, rtol=1e-12)
+            return True
+
+        assert all(run_world(8, main))
+
+    def test_global_ranks_mode_identical_result(self):
+        def main(comm, use_global):
+            from repro.apps.nek.gs import GatherScatter
+            d = BoxDecomposition.balanced(8, comm.size, 2)
+            patch = RankPatch(d, comm.rank)
+            gs = GatherScatter(comm, patch, use_global_ranks=use_global)
+            u = np.ones(patch.shape)
+            return gs(u).sum()
+
+        cfg = BuildConfig.ipo_build()
+        standard = run_world(4, main, cfg, args=(False,))
+        glob = run_world(4, main, cfg, args=(True,))
+        assert standard == glob
+
+
+class TestCG:
+    @pytest.mark.parametrize("nranks,nelems,order",
+                             [(1, 8, 3), (2, 8, 2), (4, 16, 3), (8, 27, 2)])
+    def test_solution_matches_exact_diagonal_solve(self, nranks, nelems,
+                                                   order):
+        def main(comm):
+            d = BoxDecomposition.balanced(nelems, comm.size, order)
+            problem = MassMatrixProblem(comm, d)
+            f = problem.mass_diag * 3.0
+            result = cg_solve(problem, f, tol=1e-13)
+            exact = problem.exact_solution(f)
+            return (result.converged,
+                    float(np.max(np.abs(result.solution - exact))))
+
+        for converged, err in run_world(nranks, main):
+            assert converged
+            assert err < 1e-10
+
+    def test_matvec_equals_assembled_diagonal(self):
+        def main(comm):
+            d = BoxDecomposition.balanced(8, comm.size, 3)
+            problem = MassMatrixProblem(comm, d)
+            u = np.full(problem.patch.shape, 2.0)
+            w = problem.matvec(u)
+            np.testing.assert_allclose(w, problem.mass_diag * 2.0,
+                                       rtol=1e-12)
+            return True
+
+        assert all(run_world(4, main))
+
+    def test_driver_converges(self):
+        def main(comm):
+            res = run_nek_cg(comm, nelems=8, order=3, tol=1e-11)
+            return res.converged, res.iterations
+
+        for converged, iters in run_world(2, main):
+            assert converged
+            assert 1 <= iters <= 60
+
+    def test_dot_is_globally_consistent(self):
+        def main(comm):
+            d = BoxDecomposition.balanced(8, comm.size, 2)
+            problem = MassMatrixProblem(comm, d)
+            ones = np.ones(problem.patch.shape)
+            return problem.dot(ones, ones)
+
+        results = run_world(8, main)
+        d = BoxDecomposition.balanced(8, 8, 2)
+        assert all(r == pytest.approx(d.npoints_global) for r in results)
+
+    def test_serial_equals_parallel(self):
+        def main(comm):
+            res = run_nek_cg(comm, nelems=8, order=3, tol=1e-12)
+            return res.iterations, res.residual_norm
+
+        serial = run_world(1, main)[0]
+        parallel = run_world(8, main)[0]
+        assert serial[0] == parallel[0]
+        assert serial[1] == pytest.approx(parallel[1], rel=1e-6)
+
+
+class TestModel:
+    def test_n_over_p_span_matches_paper(self):
+        m = NekModel()
+        assert m.n_over_p(2 ** 14, 3) == pytest.approx(27, rel=0.01)
+        assert m.n_over_p(2 ** 21, 7) == pytest.approx(43904, rel=0.01)
+
+    def test_ratio_band_at_operating_point(self):
+        """§4.3: 1.2-1.25 gain for n/P ~ 100-1000 (checked at the
+        sampled element counts that land in the band)."""
+        m = NekModel()
+        for order in (3, 5, 7):
+            in_band = [m.ratio(e, order)
+                       for e in (2 ** k for k in range(14, 22))
+                       if 100 <= m.n_over_p(e, order) <= 1000]
+            assert in_band, f"no sample in band for N={order}"
+            assert max(in_band) <= 1.30
+            assert max(in_band) >= 1.18
+
+    def test_ratio_converges_at_large_n_over_p(self):
+        m = NekModel()
+        assert m.ratio(2 ** 21, 7) < 1.05
+
+    def test_ep1_downturn(self):
+        """§4.3: the ratio drops moving from E/P = 2 to E/P = 1."""
+        m = NekModel()
+        for order in (3, 5, 7):
+            assert m.ratio(2 ** 14, order) < m.ratio(2 ** 15, order)
+
+    def test_ch4_always_at_least_as_fast(self):
+        m = NekModel()
+        for order in (3, 5, 7):
+            for k in range(14, 22):
+                assert m.ratio(2 ** k, order) >= 1.0
+
+    def test_efficiency_monotone_in_n_over_p(self):
+        m = NekModel()
+        effs = [m.efficiency(2 ** k, 5, "ch4") for k in range(14, 22)]
+        assert effs == sorted(effs)
+        assert 0 < effs[0] < effs[-1] <= 1.0
+
+    def test_small_n_perf_penalty(self):
+        """The N=3 curves sit below N=7 at matched n/P (caching +
+        interpolation overhead)."""
+        m = NekModel()
+        # E chosen so n/P ~ 432 for N=3 and ~343 for N=7.
+        perf3 = m.performance(2 ** 18, 3, "ch4") / m.n_over_p(2 ** 18, 3)
+        perf7 = m.performance(2 ** 14, 7, "ch4") / m.n_over_p(2 ** 14, 7)
+        assert perf3 < perf7
+
+    def test_figure7_series_structure(self):
+        data = figure7_series()
+        assert set(data) == {"left", "center", "right"}
+        assert (3, "ch4") in data["left"]
+        assert 5 in data["center"]
+        assert (5, "ch7") not in data["right"]
+        assert (3, "ch4") not in data["right"]    # right panel: N=5,7 only
+        assert len(data["center"][3]) == 8

@@ -1,0 +1,96 @@
+"""Five-point stencil: mode equivalence and physics vs a numpy reference."""
+
+import numpy as np
+import pytest
+
+from repro.apps.stencil import MODES, StencilGrid
+from repro.core.config import BuildConfig
+from repro.errors import MPIErrArg
+from tests.conftest import run_world
+
+
+def numpy_jacobi(py, px, ny, nx, iterations, top=1.0):
+    """Serial reference of the same global problem."""
+    u = np.zeros((py * ny + 2, px * nx + 2))
+    u[0, :] = top
+    for _ in range(iterations):
+        u[1:-1, 1:-1] = 0.25 * (u[:-2, 1:-1] + u[2:, 1:-1]
+                                + u[1:-1, :-2] + u[1:-1, 2:])
+    return u[1:-1, 1:-1]
+
+
+def run_stencil(nranks, rank_dims, mode, iterations=40,
+                local_shape=(8, 8)):
+    def main(comm):
+        grid = StencilGrid(comm, rank_dims, local_shape, mode=mode)
+        grid.set_dirichlet(top=1.0)
+        for _ in range(iterations):
+            grid.jacobi_step()
+        return grid.gather_global()
+
+    return run_world(nranks, main, BuildConfig.ipo_build())[0]
+
+
+class TestPhysics:
+    @pytest.mark.parametrize("rank_dims", [(1, 1), (2, 1), (2, 2)])
+    def test_matches_numpy_reference(self, rank_dims):
+        px, py = rank_dims
+        got = run_stencil(px * py, rank_dims, "standard")
+        ref = numpy_jacobi(py, px, 8, 8, 40)
+        np.testing.assert_allclose(got, ref, rtol=1e-12, atol=1e-14)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_all_modes_agree(self, mode):
+        got = run_stencil(4, (2, 2), mode)
+        ref = run_stencil(4, (2, 2), "standard")
+        np.testing.assert_array_equal(got, ref)
+
+    def test_heat_diffuses_from_top(self):
+        got = run_stencil(4, (2, 2), "standard", iterations=100)
+        assert got[0].mean() > got[-1].mean() > 0.0
+
+    def test_solve_with_tolerance_stops_early(self):
+        def main(comm):
+            grid = StencilGrid(comm, (2, 2), (6, 6), mode="standard")
+            grid.set_dirichlet(top=1.0)
+            iters, delta = grid.solve(iterations=5000, tol=1e-9)
+            return iters, delta
+
+        iters, delta = run_world(4, main)[0]
+        assert iters < 5000
+        assert delta < 1e-9
+
+
+class TestConfigurationErrors:
+    def test_rank_grid_must_match_comm(self):
+        def main(comm):
+            with pytest.raises(MPIErrArg):
+                StencilGrid(comm, (3, 3))
+            return "ok"
+
+        run_world(4, main)
+
+    def test_bad_mode_rejected(self):
+        def main(comm):
+            with pytest.raises(MPIErrArg):
+                StencilGrid(comm, (1, 1), mode="telepathy")
+            return "ok"
+
+        run_world(1, main)
+
+
+class TestInstructionOrdering:
+    def test_extension_modes_spend_fewer_instructions(self):
+        """§3.1/§3.4: npn beats standard, global beats npn."""
+        def main(comm, mode):
+            grid = StencilGrid(comm, (2, 2), (6, 6), mode=mode)
+            grid.set_dirichlet(top=1.0)
+            for _ in range(10):
+                grid.jacobi_step()
+            return comm.proc.counter.total
+
+        cfg = BuildConfig.ipo_build()
+        totals = {mode: sum(run_world(4, main, cfg, args=(mode,)))
+                  for mode in MODES}
+        assert totals["npn"] < totals["standard"]
+        assert totals["global"] < totals["npn"]

@@ -1,0 +1,126 @@
+"""End-to-end calibration: the paper's published numbers, measured by
+executing the runtime (Table 1, Figure 2, Figure 6, Section 3 savings,
+and the 132.8 Mmsg/s peak)."""
+
+import pytest
+
+from repro.core.config import BuildConfig, named_builds
+from repro.analysis.table1 import render_table1, table1_records
+from repro.instrument.categories import Category, Subsystem
+from repro.perf.msgrate import (extension_chain_rates,
+                                measure_instructions, modeled_rate)
+
+#: Figure 2 bars: build label -> (isend, put).
+FIGURE2 = {
+    "mpich/original": (253, 1342),
+    "mpich/ch4 (default)": (221, 215),
+    "mpich/ch4 (no-err)": (147, 143),
+    "mpich/ch4 (no-err-single)": (141, 129),
+    "mpich/ch4 (no-err-single-ipo)": (59, 44),
+}
+
+
+class TestFigure2:
+    @pytest.mark.parametrize("label,expected", FIGURE2.items())
+    def test_build_counts(self, label, expected):
+        config = named_builds()[label]
+        isend, put = expected
+        assert measure_instructions(config, "isend") == isend
+        assert measure_instructions(config, "put") == put
+
+
+class TestTable1:
+    def test_isend_column(self):
+        rec = table1_records()["MPI_ISEND"]
+        assert rec.category(Category.ERROR_CHECKING) == 74
+        assert rec.category(Category.THREAD_SAFETY) == 6
+        assert rec.category(Category.FUNCTION_CALL) == 23
+        assert rec.category(Category.REDUNDANT_CHECKS) == 59
+        assert rec.category(Category.MANDATORY) == 59
+        assert rec.total == 221
+
+    def test_put_column(self):
+        rec = table1_records()["MPI_PUT"]
+        assert rec.category(Category.ERROR_CHECKING) == 72
+        assert rec.category(Category.THREAD_SAFETY) == 14
+        assert rec.category(Category.FUNCTION_CALL) == 25
+        assert rec.category(Category.REDUNDANT_CHECKS) == 60
+        assert rec.category(Category.MANDATORY) == 44
+        assert rec.total == 215
+
+    def test_isend_mandatory_subsystems(self):
+        rec = table1_records()["MPI_ISEND"]
+        assert rec.subsystem(Subsystem.RANK_TRANSLATION) == 11
+        assert rec.subsystem(Subsystem.OBJECT_LOOKUP) == 9
+        assert rec.subsystem(Subsystem.PROC_NULL) == 3
+        assert rec.subsystem(Subsystem.REQUEST_MGMT) == 13
+        assert rec.subsystem(Subsystem.MATCH_BITS) == 7
+        assert rec.subsystem(Subsystem.DESCRIPTOR) == 16
+
+    def test_put_mandatory_subsystems(self):
+        rec = table1_records()["MPI_PUT"]
+        assert rec.subsystem(Subsystem.VM_ADDRESSING) == 4
+        assert rec.subsystem(Subsystem.REQUEST_MGMT) == 0
+        assert rec.subsystem(Subsystem.MATCH_BITS) == 0
+
+    def test_render_contains_totals(self):
+        text = render_table1()
+        assert "221" in text and "215" in text
+
+
+class TestFigure6:
+    def test_chain_instruction_counts(self):
+        results = extension_chain_rates()
+        assert [r.instructions for r in results] == [59, 49, 44, 25, 16]
+
+    def test_peak_is_132_8_million(self):
+        results = extension_chain_rates()
+        assert results[-1].rate_millions == pytest.approx(132.8, rel=1e-9)
+
+    def test_rates_monotone_increasing(self):
+        rates = [r.rate_msgs_per_s for r in extension_chain_rates()]
+        assert rates == sorted(rates)
+
+
+class TestHeadlineReductions:
+    def test_isend_reduction_77_percent(self):
+        """§2.3: 59 vs the 253 of MPICH/Original default: 77%."""
+        assert 1 - 59 / 253 == pytest.approx(0.77, abs=0.01)
+
+    def test_put_reduction_97_percent(self):
+        assert 1 - 44 / 1342 == pytest.approx(0.97, abs=0.01)
+
+    def test_ch3_put_to_ch4_default_84_percent(self):
+        """§2.1: CH4 default put is an 84% reduction from CH3."""
+        assert 1 - 215 / 1342 == pytest.approx(0.84, abs=0.01)
+
+    def test_all_opts_94_percent_vs_original(self):
+        """§3.7: 16 vs 253 is a 94% reduction."""
+        assert 1 - 16 / 253 == pytest.approx(0.94, abs=0.01)
+
+    def test_all_opts_73_percent_vs_ch4_ipo(self):
+        """§3.7: 16 vs 59 is a 73% reduction."""
+        assert 1 - 16 / 59 == pytest.approx(0.73, abs=0.01)
+
+
+class TestRateFigures:
+    def test_fig3_isend_gain_about_50_percent(self):
+        ipo = modeled_rate(BuildConfig.ipo_build(fabric="ofi"), "isend")
+        orig = modeled_rate(BuildConfig.original(fabric="ofi"), "isend")
+        assert ipo.rate_msgs_per_s / orig.rate_msgs_per_s == \
+            pytest.approx(1.5, abs=0.05)
+
+    def test_fig3_put_gain_about_fourfold(self):
+        ipo = modeled_rate(BuildConfig.ipo_build(fabric="ofi"), "put")
+        orig = modeled_rate(BuildConfig.original(fabric="ofi"), "put")
+        assert 4.0 < ipo.rate_msgs_per_s / orig.rate_msgs_per_s < 5.0
+
+    def test_fig5_spread_is_much_larger_than_real_networks(self):
+        """On the infinite network the software limit dominates: the
+        put spread (original vs ipo) is an order of magnitude larger
+        than on OFI."""
+        inf_gain = (modeled_rate(BuildConfig.ipo_build(), "put").rate_msgs_per_s
+                    / modeled_rate(BuildConfig.original(), "put").rate_msgs_per_s)
+        ofi_gain = (modeled_rate(BuildConfig.ipo_build(fabric="ofi"), "put").rate_msgs_per_s
+                    / modeled_rate(BuildConfig.original(fabric="ofi"), "put").rate_msgs_per_s)
+        assert inf_gain > 5 * ofi_gain

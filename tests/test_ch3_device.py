@@ -1,0 +1,168 @@
+"""The CH3 ("MPICH/Original") device: functional parity, its heavier
+critical path, protocol selection, and extension rejection."""
+
+import numpy as np
+import pytest
+
+from repro.ch3.protocol import Protocol, choose_protocol, wire_overhead_s
+from repro.core.config import BuildConfig
+from repro.datatypes.predefined import DOUBLE
+from repro.errors import MPIErrArg
+from repro.fabric.model import BGQ_TORUS, OFI_PSM2
+from tests.conftest import run_world
+
+CH3 = BuildConfig.original
+
+
+class TestFunctionalParity:
+    """Everything that works on CH4 must work identically on CH3."""
+
+    def test_pt2pt(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send([1, 2, 3], dest=1, tag=0)
+                return None
+            return comm.recv(source=0, tag=0)
+
+        assert run_world(2, main, CH3())[1] == [1, 2, 3]
+
+    def test_collectives(self):
+        def main(comm):
+            return comm.allreduce(comm.rank), comm.allgather(comm.rank)
+
+        results = run_world(4, main, CH3())
+        assert all(r == (6, [0, 1, 2, 3]) for r in results)
+
+    def test_rma(self):
+        def main(comm):
+            mem = np.zeros(2, dtype=np.float64)
+            from repro.mpi.rma import Window
+            win = Window.create(comm, mem, disp_unit=8)
+            win.fence()
+            if comm.rank == 0:
+                win.put(np.array([1.5, 2.5]), target_rank=1)
+            win.fence()
+            out = np.zeros(2)
+            if comm.rank == 0:
+                win.get(out, target_rank=1)
+                win.flush(1)
+            win.fence()
+            return mem.tolist(), out.tolist()
+
+        results = run_world(2, main, CH3())
+        assert results[1][0] == [1.5, 2.5]
+        assert results[0][1] == [1.5, 2.5]
+
+    def test_ssend(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.ssend("sync", dest=1, tag=0)
+                return "done"
+            return comm.recv(source=0, tag=0)
+
+        assert run_world(2, main, CH3()) == ["done", "sync"]
+
+    def test_proc_null(self):
+        from repro.consts import PROC_NULL
+
+        def main(comm):
+            comm.send("x", dest=PROC_NULL)
+            return comm.recv(source=PROC_NULL)
+
+        assert run_world(1, main, CH3()) == [None]
+
+
+class TestCriticalPath:
+    def test_isend_253_instructions(self):
+        from repro.perf.msgrate import measure_instructions
+        assert measure_instructions(CH3(), "isend") == 253
+
+    def test_put_1342_instructions(self):
+        from repro.perf.msgrate import measure_instructions
+        assert measure_instructions(CH3(), "put") == 1342
+
+    def test_no_error_build_drops_error_charges(self):
+        from repro.perf.msgrate import measure_instructions
+        cfg = BuildConfig.original(error_checking=False)
+        assert measure_instructions(cfg, "isend") == 253 - 74
+
+    def test_extensions_rejected(self):
+        from repro.core import extensions as ext
+
+        def main(comm):
+            with pytest.raises(MPIErrArg):
+                comm.isend_global(np.zeros(1), 0)
+            with pytest.raises(MPIErrArg):
+                comm.isend_noreq(np.zeros(1), 0)
+            with pytest.raises(MPIErrArg):
+                comm.isend_nomatch(np.zeros(1), 0)
+            return "ok"
+
+        run_world(1, main, CH3())
+
+
+class TestProtocol:
+    def test_threshold_selection(self):
+        assert choose_protocol(100, OFI_PSM2) is Protocol.EAGER
+        assert choose_protocol(OFI_PSM2.rendezvous_threshold,
+                               OFI_PSM2) is Protocol.EAGER
+        assert choose_protocol(OFI_PSM2.rendezvous_threshold + 1,
+                               OFI_PSM2) is Protocol.RENDEZVOUS
+
+    def test_override(self):
+        assert choose_protocol(100, OFI_PSM2,
+                               threshold_override=50) \
+            is Protocol.RENDEZVOUS
+
+    def test_wire_overhead(self):
+        assert wire_overhead_s(Protocol.EAGER, OFI_PSM2) == 0.0
+        assert wire_overhead_s(Protocol.RENDEZVOUS, OFI_PSM2) == \
+            pytest.approx(2 * OFI_PSM2.latency_s)
+
+    def test_device_counts_protocols(self):
+        cfg = CH3(fabric="bgq", eager_threshold=1024)
+
+        def main(comm):
+            small = np.zeros(64, dtype=np.float64)     # 512 B: eager
+            large = np.zeros(1024, dtype=np.float64)   # 8 KiB: rndv
+            if comm.rank == 0:
+                comm.Isend(small, dest=1, tag=0).wait()
+                comm.Isend(large, dest=1, tag=1).wait()
+                dev = comm.proc.device
+                return dev.n_eager, dev.n_rendezvous
+            comm.Recv(np.zeros(64, dtype=np.float64), source=0, tag=0)
+            comm.Recv(np.zeros(1024, dtype=np.float64), source=0, tag=1)
+            return None
+
+        # Use distinct nodes so traffic crosses the "network", where
+        # the BGQ threshold applies.
+        from repro.fabric.topology import Topology
+        from repro.runtime.world import World
+        world = World(2, cfg, topology=Topology(nranks=2,
+                                                cores_per_node=1))
+        assert world.run(main)[0] == (1, 1)
+
+    def test_rendezvous_costs_extra_latency(self):
+        from repro.fabric.topology import Topology
+        from repro.runtime.world import World
+
+        def main(comm, nbytes):
+            data = np.zeros(nbytes // 8, dtype=np.float64)
+            if comm.rank == 0:
+                t0 = comm.proc.vclock.now
+                comm.Isend(data, dest=1, tag=0).wait()
+                return comm.proc.vclock.now - t0
+            comm.Recv(np.zeros(nbytes // 8, dtype=np.float64),
+                      source=0, tag=0)
+            return None
+
+        def elapsed(nbytes):
+            world = World(2, CH3(fabric="bgq"),
+                          topology=Topology(nranks=2, cores_per_node=1))
+            return world.run(main, args=(nbytes,))[0]
+
+        just_under = elapsed(BGQ_TORUS.rendezvous_threshold - 8)
+        just_over = elapsed(BGQ_TORUS.rendezvous_threshold + 8)
+        # The sender's completion jumps by the RTS/CTS round trip
+        # (minus the small payload-size difference in injection cost).
+        assert just_over - just_under >= 1.8 * BGQ_TORUS.latency_s

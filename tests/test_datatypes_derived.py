@@ -1,0 +1,175 @@
+"""Derived datatype constructors."""
+
+import numpy as np
+import pytest
+
+from repro.datatypes import (contiguous, hindexed, hvector, indexed,
+                             indexed_block, resized, struct, subarray,
+                             vector)
+from repro.datatypes.predefined import (BYTE, DOUBLE, FLOAT, INT,
+                                        from_numpy_dtype)
+from repro.errors import MPIErrArg, MPIErrDatatype
+
+
+class TestPredefined:
+    def test_sizes(self):
+        assert DOUBLE.size == 8
+        assert FLOAT.size == 4
+        assert INT.size == 4
+        assert BYTE.size == 1
+
+    def test_predefined_committed_and_contig(self):
+        assert DOUBLE.committed
+        assert DOUBLE.contig
+        assert DOUBLE.predefined
+
+    def test_free_predefined_rejected(self):
+        with pytest.raises(MPIErrDatatype):
+            DOUBLE.free()
+
+    def test_from_numpy_dtype(self):
+        assert from_numpy_dtype(np.float64) is DOUBLE
+        assert from_numpy_dtype("int32").size == 4
+        with pytest.raises(KeyError):
+            from_numpy_dtype(np.dtype([("a", "f8")]))
+
+
+class TestContiguous:
+    def test_layout(self):
+        dt = contiguous(4, DOUBLE)
+        assert dt.size == 32
+        assert dt.extent == 32
+        assert dt.contig
+        assert not dt.committed
+
+    def test_commit_cycle(self):
+        dt = contiguous(2, INT).commit()
+        assert dt.committed
+        dt.free()
+        assert not dt.committed
+
+    def test_nested(self):
+        inner = contiguous(2, DOUBLE)
+        outer = contiguous(3, inner)
+        assert outer.size == 48
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(MPIErrArg):
+            contiguous(0, DOUBLE)
+
+
+class TestVector:
+    def test_strided_layout(self):
+        dt = vector(count=3, blocklength=2, stride=4, base=DOUBLE)
+        assert dt.size == 3 * 2 * 8
+        assert not dt.contig
+        assert dt.extent == (2 * 4 + 2) * 8
+        offsets = dt.typemap.byte_offsets()
+        assert offsets[0] == 0
+        assert offsets[16] == 32 * 1   # second block starts at stride*8
+
+    def test_dense_vector_is_contiguous(self):
+        dt = vector(count=3, blocklength=2, stride=2, base=DOUBLE)
+        assert dt.contig
+
+    def test_negative_stride_normalized(self):
+        dt = hvector(count=2, blocklength=1, stride_bytes=-16, base=DOUBLE)
+        assert dt.typemap.lb == 0
+        assert dt.size == 16
+
+    def test_zero_stride_rejected(self):
+        with pytest.raises(MPIErrArg):
+            vector(count=2, blocklength=1, stride=0, base=DOUBLE)
+
+
+class TestIndexed:
+    def test_layout(self):
+        dt = indexed([2, 1], [0, 4], DOUBLE)
+        assert dt.size == 24
+        assert dt.typemap.ub == 5 * 8
+
+    def test_indexed_block(self):
+        dt = indexed_block(2, [0, 4], INT)
+        assert dt.size == 4 * 4
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(MPIErrArg):
+            indexed([1, 2], [0], DOUBLE)
+
+    def test_negative_displacement_rejected(self):
+        with pytest.raises(MPIErrArg):
+            hindexed([1], [-8], DOUBLE)
+
+    def test_empty_rejected(self):
+        with pytest.raises(MPIErrArg):
+            indexed([], [], DOUBLE)
+
+
+class TestStruct:
+    def test_heterogeneous_layout(self):
+        dt = struct([1, 2], [0, 8], [INT, DOUBLE])
+        assert dt.size == 4 + 16
+        assert dt.typemap.ub == 24
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(MPIErrArg):
+            struct([1], [0, 8], [INT])
+
+
+class TestSubarray:
+    def test_2d_interior_block(self):
+        dt = subarray(sizes=[4, 4], subsizes=[2, 2], starts=[1, 1],
+                      base=DOUBLE)
+        assert dt.size == 4 * 8
+        offs = dt.typemap.byte_offsets()
+        # Elements (1,1), (1,2), (2,1), (2,2) of a 4x4 row-major array.
+        elements = sorted({o // 8 for o in offs})
+        assert elements == [5, 6, 9, 10]
+
+    def test_full_array_is_contiguous(self):
+        dt = subarray(sizes=[3, 3], subsizes=[3, 3], starts=[0, 0],
+                      base=DOUBLE)
+        assert dt.contig
+
+    def test_fortran_order(self):
+        c_dt = subarray([4, 6], [2, 3], [1, 2], DOUBLE, order="C")
+        f_dt = subarray([6, 4], [3, 2], [2, 1], DOUBLE, order="F")
+        assert c_dt.typemap == f_dt.typemap
+
+    def test_3d_face(self):
+        dt = subarray(sizes=[4, 4, 4], subsizes=[4, 4, 1], starts=[0, 0, 3],
+                      base=DOUBLE)
+        assert dt.size == 16 * 8
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(MPIErrArg):
+            subarray([4, 4], [2, 2], [3, 3], DOUBLE)
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(MPIErrArg):
+            subarray([4], [2], [0], DOUBLE, order="X")
+
+
+class TestResized:
+    def test_extent_override(self):
+        dt = resized(DOUBLE, lb=0, extent=16)
+        assert dt.size == 8
+        assert dt.extent == 16
+        assert not dt.contig
+
+    def test_rejects_nonpositive_extent(self):
+        with pytest.raises(MPIErrArg):
+            resized(DOUBLE, lb=0, extent=0)
+
+
+class TestEnvelope:
+    def test_dup(self):
+        dt = contiguous(2, DOUBLE).commit()
+        copy = dt.dup()
+        assert copy.typemap == dt.typemap
+        assert not copy.committed
+
+    def test_construction_args_recorded(self):
+        dt = vector(3, 2, 4, DOUBLE)
+        assert dt.combiner == "hvector"
+        assert dt.construction_args["count"] == 3

@@ -1,0 +1,186 @@
+"""Pack/unpack engines, including hypothesis round-trip properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datatypes import (contiguous, indexed, pack, packed_size,
+                             resized, struct, subarray, unpack, vector)
+from repro.datatypes.pack import as_bytes
+from repro.datatypes.predefined import BYTE, DOUBLE, INT
+from repro.errors import MPIErrBuffer, MPIErrCount, MPIErrTruncate
+
+
+class TestAsBytes:
+    def test_ndarray_view(self):
+        arr = np.arange(4, dtype=np.float64)
+        raw = as_bytes(arr)
+        assert raw.size == 32
+        raw[0] = 255   # view, not copy
+        assert arr.view(np.uint8)[0] == 255
+
+    def test_bytes_and_bytearray(self):
+        assert as_bytes(b"abc").tolist() == [97, 98, 99]
+        assert as_bytes(bytearray(b"xy")).size == 2
+
+    def test_noncontiguous_rejected(self):
+        arr = np.arange(16, dtype=np.float64)[::2]
+        with pytest.raises(MPIErrBuffer):
+            as_bytes(arr)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(MPIErrBuffer):
+            as_bytes([1, 2, 3])
+
+
+class TestPackContiguous:
+    def test_whole_array(self):
+        arr = np.arange(5, dtype=np.float64)
+        data = pack(arr, 5, DOUBLE)
+        assert np.frombuffer(data, np.float64).tolist() == arr.tolist()
+
+    def test_prefix(self):
+        arr = np.arange(5, dtype=np.int32)
+        data = pack(arr, 2, INT)
+        assert np.frombuffer(data, np.int32).tolist() == [0, 1]
+
+    def test_zero_count(self):
+        assert pack(np.zeros(1), 0, DOUBLE) == b""
+
+    def test_count_beyond_buffer_rejected(self):
+        with pytest.raises(MPIErrBuffer):
+            pack(np.zeros(2, dtype=np.float64), 3, DOUBLE)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(MPIErrCount):
+            pack(np.zeros(2), -1, DOUBLE)
+        with pytest.raises(MPIErrCount):
+            packed_size(-1, DOUBLE)
+
+
+class TestPackDerived:
+    def test_vector_gathers_strided(self):
+        arr = np.arange(8, dtype=np.float64)
+        dt = vector(count=2, blocklength=1, stride=2, base=DOUBLE).commit()
+        data = pack(arr, 2, dt)   # two vector elements, extent 3*8? no:
+        vals = np.frombuffer(data, np.float64)
+        # element 0 gathers arr[0], arr[2]; element 1 starts at extent.
+        assert vals[0] == arr[0]
+        assert vals[1] == arr[2]
+
+    def test_indexed_pack(self):
+        arr = np.arange(6, dtype=np.float64)
+        dt = indexed([1, 2], [0, 3], DOUBLE).commit()
+        vals = np.frombuffer(pack(arr, 1, dt), np.float64)
+        assert vals.tolist() == [0.0, 3.0, 4.0]
+
+    def test_subarray_pack_matches_numpy_slice(self):
+        arr = np.arange(16, dtype=np.float64).reshape(4, 4)
+        dt = subarray([4, 4], [2, 3], [1, 0], DOUBLE).commit()
+        vals = np.frombuffer(pack(np.ascontiguousarray(arr), 1, dt),
+                             np.float64)
+        assert vals.tolist() == arr[1:3, 0:3].reshape(-1).tolist()
+
+    def test_struct_pack(self):
+        raw = np.zeros(24, dtype=np.uint8)
+        raw[:4].view(np.int32)[0] = 7
+        raw[8:24].view(np.float64)[:] = [1.5, 2.5]
+        dt = struct([1, 2], [0, 8], [INT, DOUBLE]).commit()
+        data = pack(raw, 1, dt)
+        assert len(data) == 20
+        assert np.frombuffer(data[:4], np.int32)[0] == 7
+        assert np.frombuffer(data[4:], np.float64).tolist() == [1.5, 2.5]
+
+
+class TestUnpack:
+    def test_roundtrip_contiguous(self):
+        arr = np.arange(4, dtype=np.float64)
+        out = np.zeros_like(arr)
+        n = unpack(pack(arr, 4, DOUBLE), out, 4, DOUBLE)
+        assert n == 4
+        assert out.tolist() == arr.tolist()
+
+    def test_short_message_allowed(self):
+        out = np.zeros(4, dtype=np.float64)
+        n = unpack(pack(np.ones(2), 2, DOUBLE), out, 4, DOUBLE)
+        assert n == 2
+        assert out.tolist() == [1.0, 1.0, 0.0, 0.0]
+
+    def test_oversized_message_truncates(self):
+        out = np.zeros(1, dtype=np.float64)
+        with pytest.raises(MPIErrTruncate):
+            unpack(pack(np.ones(2), 2, DOUBLE), out, 1, DOUBLE)
+
+    def test_partial_element_rejected(self):
+        out = np.zeros(2, dtype=np.float64)
+        with pytest.raises(MPIErrTruncate):
+            unpack(b"\x00" * 12, out, 2, DOUBLE)
+
+    def test_readonly_target_rejected(self):
+        with pytest.raises(MPIErrBuffer):
+            unpack(b"\x00" * 8, b"\x00" * 8, 1, DOUBLE)
+
+    def test_zero_bytes(self):
+        out = np.ones(2, dtype=np.float64)
+        assert unpack(b"", out, 2, DOUBLE) == 0
+        assert out.tolist() == [1.0, 1.0]
+
+
+# ---------------------------------------------------------------------------
+# property-based round trips
+# ---------------------------------------------------------------------------
+
+_derived_strategy = st.one_of(
+    st.builds(lambda c: contiguous(c, DOUBLE), st.integers(1, 5)),
+    st.builds(lambda c, b, s: vector(c, b, b + s, DOUBLE),
+              st.integers(1, 4), st.integers(1, 3), st.integers(0, 3)),
+    st.builds(lambda lens: indexed(
+        lens, list(np.cumsum([0] + [ln + 1 for ln in lens[:-1]])), DOUBLE),
+        st.lists(st.integers(1, 3), min_size=1, max_size=4)),
+    st.builds(lambda: resized(DOUBLE, 0, 24)),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(dt=_derived_strategy, count=st.integers(1, 4), data=st.data())
+def test_pack_unpack_roundtrip_any_derived_type(dt, count, data):
+    """unpack(pack(x)) == x on the packed positions, for any layout."""
+    dt.commit()
+    span = int((count - 1) * dt.extent + dt.typemap.ub)
+    nvals = span // 8 + 1
+    values = data.draw(st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        min_size=nvals, max_size=nvals))
+    src = np.asarray(values, dtype=np.float64)
+    packed = pack(src, count, dt)
+    assert len(packed) == packed_size(count, dt)
+
+    dst = np.full_like(src, -999.0)
+    n = unpack(packed, dst, count, dt)
+    assert n == count
+
+    # The gathered byte positions must round-trip exactly; the rest of
+    # the destination must be untouched.
+    idx = set()
+    for k in range(count):
+        for off in dt.typemap.byte_offsets():
+            idx.add(k * dt.extent + off)
+    src_raw = src.view(np.uint8).reshape(-1)
+    dst_raw = dst.view(np.uint8).reshape(-1)
+    for byte in range(src_raw.size):
+        if byte in idx:
+            assert dst_raw[byte] == src_raw[byte]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(min_size=0, max_size=200))
+def test_byte_pack_roundtrip(payload):
+    """BYTE pack/unpack is the identity on raw bytes."""
+    out = bytearray(len(payload))
+    packed = pack(np.frombuffer(payload, np.uint8)
+                  if payload else np.empty(0, np.uint8),
+                  len(payload), BYTE)
+    assert packed == payload
+    n = unpack(packed, out, len(payload), BYTE)
+    assert n == len(payload)
+    assert bytes(out) == payload

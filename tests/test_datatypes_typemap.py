@@ -1,0 +1,113 @@
+"""Typemap flattening: segments, coalescing, replication."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datatypes.typemap import TypeSegment, Typemap
+
+
+class TestTypeSegment:
+    def test_basic_fields(self):
+        seg = TypeSegment(4, 8)
+        assert seg.end == 12
+        assert seg.shifted(10) == TypeSegment(14, 8)
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            TypeSegment(0, 0)
+        with pytest.raises(ValueError):
+            TypeSegment(0, -3)
+
+    def test_rejects_negative_offset(self):
+        with pytest.raises(ValueError):
+            TypeSegment(-1, 4)
+
+
+class TestTypemap:
+    def test_single_segment(self):
+        tm = Typemap((TypeSegment(0, 8),))
+        assert tm.size == 8
+        assert tm.lb == 0
+        assert tm.ub == 8
+        assert tm.span == 8
+        assert tm.is_contiguous()
+
+    def test_sorting_and_coalescing(self):
+        tm = Typemap((TypeSegment(8, 4), TypeSegment(0, 4),
+                      TypeSegment(4, 4)))
+        assert len(tm) == 1
+        assert tm.segments[0] == TypeSegment(0, 12)
+
+    def test_gap_not_coalesced(self):
+        tm = Typemap((TypeSegment(0, 4), TypeSegment(8, 4)))
+        assert len(tm) == 2
+        assert tm.size == 8
+        assert tm.span == 12
+        assert not tm.is_contiguous()
+
+    def test_offset_start_not_contiguous(self):
+        tm = Typemap((TypeSegment(4, 8),))
+        assert not tm.is_contiguous()
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            Typemap((TypeSegment(0, 8), TypeSegment(4, 8)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Typemap(())
+
+    def test_replicate_dense(self):
+        base = Typemap((TypeSegment(0, 4),))
+        tm = base.replicate(3, 4)
+        assert len(tm) == 1
+        assert tm.size == 12
+
+    def test_replicate_strided(self):
+        base = Typemap((TypeSegment(0, 4),))
+        tm = base.replicate(3, 8)
+        assert len(tm) == 3
+        assert tm.size == 12
+        assert tm.ub == 20
+
+    def test_replicate_rejects_bad_count(self):
+        base = Typemap((TypeSegment(0, 4),))
+        with pytest.raises(ValueError):
+            base.replicate(0, 8)
+
+    def test_byte_offsets(self):
+        tm = Typemap((TypeSegment(0, 2), TypeSegment(6, 2)))
+        assert list(tm.byte_offsets()) == [0, 1, 6, 7]
+
+    def test_merged(self):
+        a = Typemap((TypeSegment(0, 4),))
+        b = Typemap((TypeSegment(8, 4),))
+        assert a.merged(b).size == 8
+
+    def test_equality_and_hash(self):
+        a = Typemap((TypeSegment(0, 4), TypeSegment(8, 4)))
+        b = Typemap((TypeSegment(8, 4), TypeSegment(0, 4)))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+@given(st.lists(
+    st.tuples(st.integers(0, 50), st.integers(1, 8)),
+    min_size=1, max_size=8))
+def test_typemap_invariants_hold_for_any_disjoint_input(pairs):
+    """size == len(byte_offsets), segments sorted and disjoint."""
+    # Space the segments out so they never overlap: place each at
+    # offset_i = running position + requested gap.
+    segs = []
+    pos = 0
+    for gap, length in pairs:
+        segs.append(TypeSegment(pos + gap, length))
+        pos += gap + length
+    tm = Typemap(segs)
+    offs = tm.byte_offsets()
+    assert len(offs) == tm.size
+    assert list(offs) == sorted(offs)
+    assert tm.lb == offs[0]
+    assert tm.ub == offs[-1] + 1
+    for earlier, later in zip(tm.segments, tm.segments[1:]):
+        assert earlier.end < later.offset or earlier.end <= later.offset

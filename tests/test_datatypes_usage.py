@@ -1,0 +1,38 @@
+"""Section 2.2 usage classes and their classification rules."""
+
+import pytest
+
+from repro.datatypes import contiguous
+from repro.datatypes.predefined import DOUBLE, INT
+from repro.datatypes.usage import (DatatypeRef, UsageClass, classify,
+                                   compile_time, runtime_constant)
+
+
+class TestClassification:
+    def test_bare_predefined_is_class2(self):
+        ref = classify(DOUBLE)
+        assert ref.usage is UsageClass.COMPILE_TIME
+        assert ref.datatype is DOUBLE
+
+    def test_bare_derived_is_class1(self):
+        dt = contiguous(3, DOUBLE).commit()
+        assert classify(dt).usage is UsageClass.DERIVED
+
+    def test_explicit_ref_passes_through(self):
+        ref = runtime_constant(INT)
+        assert classify(ref) is ref
+
+    def test_runtime_constant_is_class3(self):
+        assert runtime_constant(DOUBLE).usage is UsageClass.RUNTIME_CONST
+
+    def test_compile_time_helper(self):
+        assert compile_time(DOUBLE).usage is UsageClass.COMPILE_TIME
+
+    def test_wrapping_derived_demotes_to_class1(self):
+        dt = contiguous(2, DOUBLE).commit()
+        assert runtime_constant(dt).usage is UsageClass.DERIVED
+        assert compile_time(dt).usage is UsageClass.DERIVED
+
+    def test_derived_marker_requires_derived_type(self):
+        with pytest.raises(ValueError):
+            DatatypeRef(DOUBLE, UsageClass.DERIVED)

@@ -1,0 +1,21 @@
+"""Smoke tests: every shipped example must run clean."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples")
+    .glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True,
+        timeout=600)
+    assert result.returncode == 0, \
+        f"{script.name} failed:\n{result.stdout}\n{result.stderr}"
+    assert result.stdout.strip(), f"{script.name} printed nothing"

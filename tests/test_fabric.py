@@ -1,0 +1,121 @@
+"""Fabric cost models and topology."""
+
+import math
+
+import pytest
+
+from repro.fabric.model import (CPI, FABRICS, INFINITE, OFI_PSM2, UCX_EDR,
+                                fabric_by_name)
+from repro.fabric.topology import Topology, TorusTopology, balanced_dims
+
+
+class TestCalibration:
+    def test_cpi_pins_the_132_8M_peak(self):
+        """Section 3.7 / Figure 6: 16 instructions at 2.2 GHz must give
+        exactly 132.8 million messages per second."""
+        rate = INFINITE.message_rate(16)
+        assert rate == pytest.approx(132.8e6, rel=1e-12)
+        assert CPI == pytest.approx(2.2e9 / (16 * 132.8e6))
+
+    def test_ofi_isend_gain_is_fifty_percent(self):
+        """Figure 3: Original (253) -> ipo (59) is ~1.5x on OFI."""
+        gain = OFI_PSM2.message_rate(59) / OFI_PSM2.message_rate(253)
+        assert gain == pytest.approx(1.5, abs=0.02)
+
+    def test_ofi_put_gain_is_about_fourfold(self):
+        """Figure 3: Original put (1342) -> ipo put (44) ~ 4x."""
+        gain = OFI_PSM2.message_rate(44) / OFI_PSM2.message_rate(1342)
+        assert 4.0 < gain < 5.0
+
+    def test_infinite_fabric_is_software_limited(self):
+        assert INFINITE.inject_cycles == 0
+        assert INFINITE.latency_s == 0
+        assert INFINITE.transfer_seconds(10**6) == 0
+
+
+class TestFabricSpec:
+    def test_conversions_are_inverse(self):
+        for spec in FABRICS.values():
+            assert spec.cycles_to_seconds(
+                spec.seconds_to_cycles(1e-6)) == pytest.approx(1e-6)
+
+    def test_issue_cycles_includes_payload_on_finite_bw(self):
+        small = OFI_PSM2.issue_cycles(100, 0)
+        large = OFI_PSM2.issue_cycles(100, 10**6)
+        assert large > small
+
+    def test_pt2pt_rendezvous_adds_round_trip(self):
+        eager = OFI_PSM2.pt2pt_seconds(100, 1024, rendezvous=False)
+        rndv = OFI_PSM2.pt2pt_seconds(100, 1024, rendezvous=True)
+        assert rndv == pytest.approx(eager + 2 * OFI_PSM2.latency_s)
+
+    def test_rate_monotone_in_instructions(self):
+        rates = [UCX_EDR.message_rate(n) for n in (44, 129, 253, 1342)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_lookup(self):
+        assert fabric_by_name("ofi") is OFI_PSM2
+        with pytest.raises(KeyError):
+            fabric_by_name("myrinet")
+
+
+class TestTopology:
+    def test_block_placement(self):
+        topo = Topology(nranks=40, cores_per_node=16)
+        assert topo.nnodes == 3
+        assert topo.node_of(0) == 0
+        assert topo.node_of(15) == 0
+        assert topo.node_of(16) == 1
+        assert topo.core_of(17) == 1
+        assert topo.same_node(0, 15)
+        assert not topo.same_node(15, 16)
+
+    def test_ranks_on_node_partial_last(self):
+        topo = Topology(nranks=20, cores_per_node=16)
+        assert list(topo.ranks_on_node(1)) == list(range(16, 20))
+        with pytest.raises(ValueError):
+            topo.ranks_on_node(2)
+
+    def test_rank_bounds_checked(self):
+        topo = Topology(nranks=4)
+        with pytest.raises(ValueError):
+            topo.node_of(4)
+        with pytest.raises(ValueError):
+            topo.core_of(-1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Topology(nranks=0)
+        with pytest.raises(ValueError):
+            Topology(nranks=4, cores_per_node=0)
+
+
+class TestTorus:
+    def test_balanced_dims_cover(self):
+        for n in (1, 7, 64, 100, 512):
+            dims = balanced_dims(n, 5)
+            assert math.prod(dims) >= n
+            assert len(dims) == 5
+
+    def test_hops_symmetric_and_wrapping(self):
+        topo = TorusTopology(nranks=64, cores_per_node=1, dims=(4, 4, 4))
+        assert topo.hops(0, 0) == 0
+        assert topo.hops(0, 1) == topo.hops(1, 0)
+        # coordinate (0,0,0) to (0,0,3): wraps to 1 hop on a size-4 ring.
+        assert topo.hops(0, 3) == 1
+
+    def test_torus_rejects_too_small_dims(self):
+        with pytest.raises(ValueError):
+            TorusTopology(nranks=64, cores_per_node=1, dims=(2, 2, 2))
+
+    def test_mean_neighbor_hops_small(self):
+        topo = TorusTopology(nranks=64, cores_per_node=1, dims=(4, 4, 4))
+        assert 0 < topo.mean_neighbor_hops() <= 4
+
+    def test_networkx_graph_matches_hops(self):
+        nx = pytest.importorskip("networkx")
+        topo = TorusTopology(nranks=16, cores_per_node=1, dims=(4, 4))
+        graph = topo.to_networkx()
+        for a, b in ((0, 1), (0, 5), (2, 14)):
+            nx_dist = nx.shortest_path_length(graph, a, b)
+            assert nx_dist == topo.hops(a, b)

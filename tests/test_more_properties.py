@@ -1,0 +1,174 @@
+"""Additional property-based tests: cart topology, recursive doubling,
+subarray layouts, persistent gather-scatter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datatypes import pack, subarray, unpack
+from repro.datatypes.predefined import DOUBLE
+from repro.mpi import reduceops
+from repro.mpi.cart import dims_create
+from tests.conftest import run_world
+
+
+class TestCartProperties:
+    @given(st.integers(1, 360), st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_dims_create_product_is_exact(self, nnodes, ndims):
+        dims = dims_create(nnodes, ndims)
+        prod = 1
+        for d in dims:
+            prod *= d
+        assert prod == nnodes
+        assert len(dims) == ndims
+        assert all(d >= 1 for d in dims)
+
+    @given(st.integers(1, 20), st.integers(1, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_dims_create_balanced(self, a, b):
+        """For 2-D factorizations the spread is within the factor
+        structure of n (no worse than the most-balanced split)."""
+        n = a * b
+        dims = sorted(dims_create(n, 2))
+        best = min((max(n // d, d) for d in range(1, n + 1) if n % d == 0))
+        assert max(dims) == best or max(dims) >= best
+
+    @given(st.tuples(st.integers(1, 4), st.integers(1, 4)),
+           st.tuples(st.booleans(), st.booleans()))
+    @settings(max_examples=20, deadline=None)
+    def test_coords_rank_bijection(self, dims, periods):
+        nranks = dims[0] * dims[1]
+        if nranks > 8:
+            return
+
+        def main(comm, dims=dims, periods=periods):
+            cart = comm.create_cart(dims, periods)
+            seen = {cart.cart_rank(cart.coords(r))
+                    for r in range(cart.size)}
+            return seen == set(range(cart.size))
+
+        assert all(run_world(nranks, main))
+
+
+class TestRecursiveDoublingProperties:
+    @given(st.integers(1, 8), st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_matches_reference_for_random_inputs(self, size, data):
+        values = data.draw(st.lists(
+            st.integers(-10**6, 10**6), min_size=size, max_size=size))
+
+        def main(comm, vals=tuple(values)):
+            send = np.array([vals[comm.rank]], dtype=np.int64)
+            recv = np.zeros(1, dtype=np.int64)
+            comm.Allreduce(send, recv, op=reduceops.SUM,
+                           algorithm="recursive_doubling")
+            return int(recv[0])
+
+        assert run_world(size, main) == [sum(values)] * size
+
+    @pytest.mark.parametrize("op,reducer", [
+        (reduceops.MAX, max), (reduceops.MIN, min)])
+    def test_non_sum_ops(self, op, reducer):
+        def main(comm):
+            send = np.array([float((comm.rank * 7 + 3) % 11)])
+            recv = np.zeros(1)
+            comm.Allreduce(send, recv, op=op,
+                           algorithm="recursive_doubling")
+            return recv[0]
+
+        size = 5
+        expected = reducer(float((r * 7 + 3) % 11) for r in range(size))
+        assert run_world(size, main) == [expected] * size
+
+
+class TestSubarrayProperties:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_3d_subarray_pack_equals_numpy_slice(self, data):
+        sizes = [data.draw(st.integers(1, 5), label=f"size{d}")
+                 for d in range(3)]
+        subsizes = [data.draw(st.integers(1, sizes[d]), label=f"sub{d}")
+                    for d in range(3)]
+        starts = [data.draw(st.integers(0, sizes[d] - subsizes[d]),
+                            label=f"start{d}")
+                  for d in range(3)]
+        dt = subarray(sizes, subsizes, starts, DOUBLE).commit()
+        cube = np.arange(np.prod(sizes), dtype=np.float64).reshape(sizes)
+        packed = np.frombuffer(pack(np.ascontiguousarray(cube), 1, dt),
+                               np.float64)
+        ref = cube[tuple(slice(s, s + z)
+                         for s, z in zip(starts, subsizes))]
+        np.testing.assert_array_equal(packed, ref.reshape(-1))
+
+        # Scatter back into a fresh cube: only the block is written.
+        out = np.full(sizes, -1.0)
+        unpack(packed.tobytes(), out, 1, dt)
+        np.testing.assert_array_equal(
+            out[tuple(slice(s, s + z)
+                      for s, z in zip(starts, subsizes))], ref)
+        mask = np.full(sizes, True)
+        mask[tuple(slice(s, s + z)
+                   for s, z in zip(starts, subsizes))] = False
+        assert np.all(out[mask] == -1.0)
+
+
+class TestPersistentGS:
+    @pytest.mark.parametrize("nranks", [2, 4, 8])
+    def test_persistent_gs_matches_default(self, nranks):
+        def main(comm, use_persistent):
+            from repro.apps.nek.gs import GatherScatter
+            from repro.apps.nek.mesh import BoxDecomposition, RankPatch
+            d = BoxDecomposition.balanced(8, comm.size, 3)
+            patch = RankPatch(d, comm.rank)
+            gs = GatherScatter(comm, patch,
+                               use_persistent=use_persistent)
+            u = np.zeros(patch.shape)
+            for i in range(patch.shape[0]):
+                for j in range(patch.shape[1]):
+                    for k in range(patch.shape[2]):
+                        gx, gy, gz = patch.global_coords((i, j, k))
+                        u[i, j, k] = 3 * gx + 5 * gy + 2 * gz
+            # Two rounds, to prove the persistent set restarts cleanly.
+            gs(u)
+            gs(u)
+            return u.sum()
+
+        default = run_world(nranks, main, args=(False,))
+        persistent = run_world(nranks, main, args=(True,))
+        assert default == persistent
+
+    def test_persistent_gs_spends_fewer_instructions(self):
+        """The MPI_START fast path amortizes the per-send setup."""
+        from repro.core.config import BuildConfig
+
+        def main(comm, use_persistent):
+            from repro.apps.nek.gs import GatherScatter
+            from repro.apps.nek.mesh import BoxDecomposition, RankPatch
+            d = BoxDecomposition.balanced(8, comm.size, 2)
+            patch = RankPatch(d, comm.rank)
+            gs = GatherScatter(comm, patch,
+                               use_persistent=use_persistent)
+            before = comm.proc.counter.total   # exclude setup cost
+            u = np.ones(patch.shape)
+            for _ in range(10):
+                gs(u)
+            return comm.proc.counter.total - before
+
+        cfg = BuildConfig.ipo_build()
+        default = sum(run_world(8, main, cfg, args=(False,)))
+        persistent = sum(run_world(8, main, cfg, args=(True,)))
+        assert persistent < default
+
+    def test_persistent_datatypes_exclusive(self):
+        def main(comm):
+            from repro.apps.nek.gs import GatherScatter
+            from repro.apps.nek.mesh import BoxDecomposition, RankPatch
+            d = BoxDecomposition.balanced(8, comm.size, 2)
+            patch = RankPatch(d, comm.rank)
+            with pytest.raises(ValueError):
+                GatherScatter(comm, patch, use_datatypes=True,
+                              use_persistent=True)
+            return "ok"
+
+        run_world(8, main)

@@ -1,0 +1,139 @@
+"""Cartesian topologies: dims_create, coords, shift, sub-grids."""
+
+import pytest
+
+from repro.consts import PROC_NULL
+from repro.errors import MPIErrArg
+from repro.mpi.cart import CartComm, dims_create
+from tests.conftest import run_world
+
+
+class TestDimsCreate:
+    def test_balanced_factorization(self):
+        assert sorted(dims_create(12, 2)) == [3, 4]
+        assert sorted(dims_create(8, 3)) == [2, 2, 2]
+        assert dims_create(7, 1) == [7]
+
+    def test_respects_fixed_dims(self):
+        out = dims_create(12, 2, dims=[3, 0])
+        assert out == [3, 4]
+
+    def test_indivisible_fixed_rejected(self):
+        with pytest.raises(MPIErrArg):
+            dims_create(12, 2, dims=[5, 0])
+
+    def test_bad_args(self):
+        with pytest.raises(MPIErrArg):
+            dims_create(0, 2)
+        with pytest.raises(MPIErrArg):
+            dims_create(4, 0)
+        with pytest.raises(MPIErrArg):
+            dims_create(4, 2, dims=[0])
+
+
+class TestCartesian:
+    def test_coords_roundtrip(self):
+        def main(comm):
+            cart = comm.create_cart((2, 3), (False, False))
+            coords = cart.coords()
+            return coords, cart.cart_rank(coords)
+
+        results = run_world(6, main)
+        for rank, (coords, back) in enumerate(results):
+            assert back == rank
+        assert results[0][0] == (0, 0)
+        assert results[5][0] == (1, 2)
+
+    def test_shift_nonperiodic_gives_proc_null(self):
+        def main(comm):
+            cart = comm.create_cart((4,), (False,))
+            return cart.shift(0, 1)
+
+        results = run_world(4, main)
+        assert results[0] == (PROC_NULL, 1)
+        assert results[3] == (2, PROC_NULL)
+        assert results[1] == (0, 2)
+
+    def test_shift_periodic_wraps(self):
+        def main(comm):
+            cart = comm.create_cart((4,), (True,))
+            return cart.shift(0, 1)
+
+        results = run_world(4, main)
+        assert results[0] == (3, 1)
+        assert results[3] == (2, 0)
+
+    def test_shift_global_pretranslates(self):
+        """§3.1: shift_global returns world ranks ready for
+        isend_global, preserving PROC_NULL."""
+        def main(comm):
+            cart = comm.create_cart((2, 2), (False, True))
+            src_w, dest_w = cart.shift_global(1, 1)
+            src_c, dest_c = cart.shift(1, 1)
+            expect = (PROC_NULL if src_c == PROC_NULL
+                      else cart.world_rank_of(src_c),
+                      PROC_NULL if dest_c == PROC_NULL
+                      else cart.world_rank_of(dest_c))
+            return (src_w, dest_w) == expect
+
+        assert all(run_world(4, main))
+
+    def test_halo_over_cart_shift(self):
+        """A 1-D periodic ring exchange through shift results."""
+        def main(comm):
+            cart = comm.create_cart((comm.size,), (True,))
+            src, dest = cart.shift(0, 1)
+            return cart.sendrecv(cart.rank, dest=dest, source=src,
+                                 sendtag=1, recvtag=1)
+
+        assert run_world(5, main) == [4, 0, 1, 2, 3]
+
+    def test_excess_ranks_get_none(self):
+        def main(comm):
+            cart = comm.create_cart((2,), (False,))
+            return None if cart is None else cart.size
+
+        assert run_world(3, main) == [2, 2, None]
+
+    def test_grid_too_large_rejected(self):
+        def main(comm):
+            with pytest.raises(MPIErrArg):
+                comm.create_cart((5,), (False,))
+            return "ok"
+
+        run_world(2, main)
+
+    def test_dims_size_mismatch_rejected(self):
+        def main(comm):
+            from repro.mpi.group import Group
+            with pytest.raises(MPIErrArg):
+                CartComm(comm.proc, Group(range(comm.size)), 99,
+                         dims=(3,), periods=(False,))
+            return "ok"
+
+        run_world(2, main)
+
+    def test_cart_sub_rows_and_columns(self):
+        def main(comm):
+            cart = comm.create_cart((2, 3), (False, False))
+            row = cart.sub([False, True])     # keep the length-3 dim
+            col = cart.sub([True, False])     # keep the length-2 dim
+            return (row.size, row.dims, col.size, col.dims,
+                    row.allreduce(comm.rank))
+
+        results = run_world(6, main)
+        for rank, (rsize, rdims, csize, cdims, rowsum) in \
+                enumerate(results):
+            assert rsize == 3 and rdims == (3,)
+            assert csize == 2 and cdims == (2,)
+        # Row sums: ranks (0,1,2) and (3,4,5).
+        assert results[0][4] == 3
+        assert results[3][4] == 12
+
+    def test_neighbors_list(self):
+        def main(comm):
+            cart = comm.create_cart((2, 2), (True, True))
+            return cart.neighbors()
+
+        results = run_world(4, main)
+        assert len(results[0]) == 2

@@ -1,0 +1,232 @@
+"""Collective operations against reference results."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MPIErrArg, MPIErrRank
+from repro.mpi import reduceops
+from tests.conftest import run_world
+
+SIZES = (1, 2, 3, 4, 5, 8)
+
+
+@pytest.mark.parametrize("size", SIZES)
+class TestObjectCollectivesAllSizes:
+    def test_barrier(self, size):
+        def main(comm):
+            for _ in range(3):
+                comm.barrier()
+            return "done"
+
+        assert run_world(size, main) == ["done"] * size
+
+    def test_bcast(self, size):
+        def main(comm):
+            return comm.bcast({"v": 42} if comm.rank == 0 else None, root=0)
+
+        assert run_world(size, main) == [{"v": 42}] * size
+
+    def test_bcast_nonzero_root(self, size):
+        root = size - 1
+
+        def main(comm):
+            return comm.bcast("payload" if comm.rank == root else None,
+                              root=root)
+
+        assert run_world(size, main) == ["payload"] * size
+
+    def test_reduce_sum(self, size):
+        def main(comm):
+            return comm.reduce(comm.rank + 1, op=reduceops.SUM, root=0)
+
+        expected = size * (size + 1) // 2
+        results = run_world(size, main)
+        assert results[0] == expected
+        assert all(r is None for r in results[1:])
+
+    def test_allreduce_max(self, size):
+        def main(comm):
+            return comm.allreduce(comm.rank * 7, op=reduceops.MAX)
+
+        assert run_world(size, main) == [(size - 1) * 7] * size
+
+    def test_gather(self, size):
+        def main(comm):
+            return comm.gather(chr(ord("a") + comm.rank), root=0)
+
+        results = run_world(size, main)
+        assert results[0] == [chr(ord("a") + i) for i in range(size)]
+
+    def test_allgather(self, size):
+        def main(comm):
+            return comm.allgather(comm.rank ** 2)
+
+        expected = [i ** 2 for i in range(size)]
+        assert run_world(size, main) == [expected] * size
+
+    def test_scatter(self, size):
+        def main(comm):
+            objs = [f"item{i}" for i in range(size)] \
+                if comm.rank == 0 else None
+            return comm.scatter(objs, root=0)
+
+        assert run_world(size, main) == [f"item{i}" for i in range(size)]
+
+    def test_alltoall(self, size):
+        def main(comm):
+            objs = [(comm.rank, dest) for dest in range(size)]
+            return comm.alltoall(objs)
+
+        results = run_world(size, main)
+        for rank, got in enumerate(results):
+            assert got == [(src, rank) for src in range(size)]
+
+    def test_scan(self, size):
+        def main(comm):
+            return comm.scan(comm.rank + 1, op=reduceops.SUM)
+
+        assert run_world(size, main) == \
+            [sum(range(1, i + 2)) for i in range(size)]
+
+    def test_exscan(self, size):
+        def main(comm):
+            return comm.exscan(comm.rank + 1, op=reduceops.SUM)
+
+        expected = [None] + [sum(range(1, i + 1)) for i in range(1, size)]
+        assert run_world(size, main) == expected
+
+
+class TestBufferCollectives:
+    def test_Bcast(self):
+        def main(comm):
+            buf = np.arange(8, dtype=np.float64) if comm.rank == 0 \
+                else np.zeros(8, dtype=np.float64)
+            comm.Bcast(buf, root=0)
+            return buf.tolist()
+
+        results = run_world(4, main)
+        assert all(r == list(np.arange(8.0)) for r in results)
+
+    def test_Reduce(self):
+        def main(comm):
+            send = np.full(4, float(comm.rank + 1))
+            recv = np.zeros(4) if comm.rank == 0 else None
+            comm.Reduce(send, recv, op=reduceops.SUM, root=0)
+            return recv.tolist() if comm.rank == 0 else None
+
+        assert run_world(4, main)[0] == [10.0] * 4
+
+    def test_Allreduce_matches_numpy(self):
+        def main(comm):
+            rng = np.random.default_rng(comm.rank)
+            send = rng.normal(size=16)
+            recv = np.zeros(16)
+            comm.Allreduce(send, recv, op=reduceops.SUM)
+            return send, recv
+
+        results = run_world(4, main)
+        expected = np.sum([s for s, _ in results], axis=0)
+        for _, recv in results:
+            np.testing.assert_allclose(recv, expected, rtol=1e-12)
+
+    def test_Allgather(self):
+        def main(comm):
+            send = np.full(2, float(comm.rank))
+            recv = np.zeros(2 * comm.size)
+            comm.Allgather(send, recv)
+            return recv.tolist()
+
+        expected = [0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0]
+        assert run_world(4, main) == [expected] * 4
+
+    def test_Alltoall(self):
+        def main(comm):
+            send = np.arange(comm.size, dtype=np.float64) \
+                + 100 * comm.rank
+            recv = np.zeros(comm.size)
+            comm.Alltoall(send, recv)
+            return recv.tolist()
+
+        results = run_world(3, main)
+        for rank, got in enumerate(results):
+            assert got == [100.0 * src + rank for src in range(3)]
+
+    def test_Alltoall_indivisible_rejected(self):
+        def main(comm):
+            with pytest.raises(MPIErrArg):
+                comm.Alltoall(np.zeros(5), np.zeros(5))
+            return "ok"
+
+        run_world(3, main)
+
+    def test_Bcast_size_mismatch_rejected(self):
+        def main(comm):
+            buf = np.zeros(4 if comm.rank == 0 else 6)
+            if comm.rank == 0:
+                comm.Bcast(buf, root=0)
+                return "root ok"
+            with pytest.raises(MPIErrArg):
+                comm.Bcast(buf, root=0)
+            return "caught"
+
+        results = run_world(2, main)
+        assert results == ["root ok", "caught"]
+
+    def test_bad_root_rejected(self):
+        def main(comm):
+            with pytest.raises(MPIErrRank):
+                comm.bcast("x", root=5)
+            return "ok"
+
+        run_world(2, main)
+
+
+class TestCollectiveProperties:
+    @given(values=st.lists(st.integers(-1000, 1000), min_size=4,
+                           max_size=4))
+    @settings(max_examples=15, deadline=None)
+    def test_allreduce_equals_python_sum(self, values):
+        def main(comm, vals):
+            return comm.allreduce(vals[comm.rank], op=reduceops.SUM)
+
+        results = run_world(4, main, args=(values,))
+        assert results == [sum(values)] * 4
+
+    @given(st.integers(0, 3), st.binary(min_size=0, max_size=64))
+    @settings(max_examples=15, deadline=None)
+    def test_bcast_arbitrary_payload(self, root, payload):
+        def main(comm):
+            return comm.bcast(payload if comm.rank == root else None,
+                              root=root)
+
+        assert run_world(4, main) == [payload] * 4
+
+    def test_nonuniform_payload_sizes(self):
+        def main(comm):
+            return comm.allgather(b"z" * (100 * comm.rank))
+
+        results = run_world(4, main)
+        assert results[0] == [b"", b"z" * 100, b"z" * 200, b"z" * 300]
+
+    def test_back_to_back_collectives_do_not_cross_talk(self):
+        def main(comm):
+            a = comm.allreduce(1, op=reduceops.SUM)
+            b = comm.allreduce(comm.rank, op=reduceops.MAX)
+            c = comm.allgather(comm.rank)
+            comm.barrier()
+            return a, b, c
+
+        results = run_world(5, main)
+        assert all(r == (5, 4, [0, 1, 2, 3, 4]) for r in results)
+
+    def test_collectives_on_subcommunicator(self):
+        def main(comm):
+            sub = comm.split(color=comm.rank % 2)
+            total = sub.allreduce(comm.rank, op=reduceops.SUM)
+            return sub.size, total
+
+        results = run_world(6, main)
+        # evens: 0+2+4 = 6; odds: 1+3+5 = 9
+        assert results[0] == (3, 6)
+        assert results[1] == (3, 9)

@@ -1,0 +1,167 @@
+"""Communicator management: dup, split, create, free, predefined handles."""
+
+import pytest
+
+from repro.consts import MAX_PREDEFINED_COMMS, UNDEFINED
+from repro.errors import MPIErrArg, MPIErrComm
+from repro.mpi.group import Group
+from tests.conftest import run_world
+
+
+class TestDup:
+    def test_dup_isolates_contexts(self):
+        """A message sent on the dup must not match a receive on the
+        parent — the communicator isolation of §3.3/§3.6."""
+        def main(comm):
+            dup = comm.dup()
+            assert dup.ctx != comm.ctx
+            if comm.rank == 0:
+                comm.send("parent", dest=1, tag=1)
+                dup.send("child", dest=1, tag=1)
+                return None
+            on_dup = dup.recv(source=0, tag=1)
+            on_parent = comm.recv(source=0, tag=1)
+            return on_parent, on_dup
+
+        assert run_world(2, main)[1] == ("parent", "child")
+
+    def test_dup_preserves_group(self):
+        def main(comm):
+            dup = comm.dup()
+            return dup.rank, dup.size
+
+        assert run_world(3, main) == [(0, 3), (1, 3), (2, 3)]
+
+    def test_contexts_unique_across_many_dups(self):
+        def main(comm):
+            ctxs = [comm.dup().ctx for _ in range(5)]
+            return ctxs
+
+        results = run_world(2, main)
+        assert results[0] == results[1]           # collectively agreed
+        assert len(set(results[0])) == 5          # all distinct
+
+
+class TestSplit:
+    def test_split_by_parity(self):
+        def main(comm):
+            sub = comm.split(color=comm.rank % 2, key=comm.rank)
+            return sub.rank, sub.size, sorted(
+                sub.group.world_ranks)
+
+        results = run_world(4, main)
+        assert results[0] == (0, 2, [0, 2])
+        assert results[1] == (0, 2, [1, 3])
+        assert results[2] == (1, 2, [0, 2])
+        assert results[3] == (1, 2, [1, 3])
+
+    def test_split_key_reorders(self):
+        def main(comm):
+            # Reverse ordering within one color.
+            sub = comm.split(color=0, key=-comm.rank)
+            return sub.rank
+
+        assert run_world(3, main) == [2, 1, 0]
+
+    def test_split_undefined_returns_none(self):
+        def main(comm):
+            sub = comm.split(color=UNDEFINED if comm.rank == 0 else 1)
+            return None if sub is None else sub.size
+
+        assert run_world(3, main) == [None, 2, 2]
+
+    def test_split_subcomm_isolated(self):
+        def main(comm):
+            sub = comm.split(color=comm.rank // 2)
+            partner = 1 - sub.rank
+            return sub.sendrecv(comm.rank, dest=partner, source=partner,
+                                sendtag=0, recvtag=0)
+
+        assert run_world(4, main) == [1, 0, 3, 2]
+
+
+class TestCreate:
+    def test_create_subset(self):
+        def main(comm):
+            group = Group([0, 2])
+            sub = comm.create(group)
+            if sub is None:
+                return None
+            return sub.rank, sub.size
+
+        assert run_world(3, main) == [(0, 2), None, (1, 2)]
+
+
+class TestPredefinedHandles:
+    def test_dup_predefined_flags_handle(self):
+        def main(comm):
+            pre = comm.dup_predefined(0)
+            assert pre.is_predefined_handle
+            assert pre.name == "MPI_COMM_1"
+            total = pre.allreduce(comm.rank)
+            return total
+
+        assert run_world(3, main) == [3, 3, 3]
+
+    def test_handle_range_checked(self):
+        def main(comm):
+            with pytest.raises(MPIErrArg):
+                comm.dup_predefined(MAX_PREDEFINED_COMMS)
+            with pytest.raises(MPIErrArg):
+                comm.dup_predefined(-1)
+            return "ok"
+
+        run_world(2, main)
+
+    def test_static_lookup_saves_instructions(self):
+        """§3.3: object lookup on a predefined handle is a static load
+        (9 -> 1 instructions on the send path)."""
+        import numpy as np
+        from repro.core.config import BuildConfig
+        from repro.datatypes.predefined import BYTE
+
+        def main(comm):
+            pre = comm.dup_predefined(1)
+            buf = np.zeros(1, dtype=np.uint8)
+            if comm.rank == 0:
+                with comm.proc.tracer.call("dynamic"):
+                    comm.Isend((buf, 1, BYTE), dest=1, tag=0).wait()
+                with comm.proc.tracer.call("static"):
+                    pre.Isend((buf, 1, BYTE), dest=1, tag=0).wait()
+                return (comm.proc.tracer.last("dynamic").total,
+                        comm.proc.tracer.last("static").total)
+            comm.Recv((buf, 1, BYTE), source=0, tag=0)
+            pre.Recv((buf, 1, BYTE), source=0, tag=0)
+            return None
+
+        dynamic, static = run_world(
+            2, main, BuildConfig.ipo_build())[0]
+        assert dynamic - static == 8
+
+
+class TestFree:
+    def test_freed_comm_rejected(self):
+        def main(comm):
+            dup = comm.dup()
+            dup.free()
+            with pytest.raises(MPIErrComm):
+                dup.send("x", dest=0, tag=0)
+            return "ok"
+
+        run_world(2, main)
+
+    def test_world_cannot_be_freed(self):
+        def main(comm):
+            with pytest.raises(MPIErrComm):
+                comm.free()
+            return "ok"
+
+        run_world(1, main)
+
+    def test_world_rank_of(self):
+        def main(comm):
+            sub = comm.split(color=0, key=-comm.rank)   # reversed
+            return [sub.world_rank_of(i) for i in range(sub.size)]
+
+        results = run_world(3, main)
+        assert results[0] == [2, 1, 0]

@@ -1,0 +1,273 @@
+"""Point-to-point semantics through the full MPI layer."""
+
+import numpy as np
+import pytest
+
+from repro.consts import ANY_SOURCE, ANY_TAG, PROC_NULL, TAG_UB
+from repro.core.config import BuildConfig
+from repro.datatypes import vector
+from repro.datatypes.predefined import BYTE, DOUBLE
+from repro.errors import (MPIErrBuffer, MPIErrCount, MPIErrDatatype,
+                          MPIErrRank, MPIErrTag, MPIErrTruncate)
+from tests.conftest import run_world
+
+
+class TestObjectAPI:
+    def test_send_recv_roundtrip(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send({"k": [1, 2, 3]}, dest=1, tag=5)
+                return None
+            return comm.recv(source=0, tag=5)
+
+        assert run_world(2, main)[1] == {"k": [1, 2, 3]}
+
+    def test_any_source_any_tag(self):
+        def main(comm):
+            if comm.rank == 0:
+                got = {comm.recv(source=ANY_SOURCE, tag=ANY_TAG)
+                       for _ in range(comm.size - 1)}
+                return got
+            comm.send(comm.rank * 10, dest=0, tag=comm.rank)
+            return None
+
+        assert run_world(4, main)[0] == {10, 20, 30}
+
+    def test_non_overtaking_order(self):
+        """Messages from one sender with the same envelope arrive in
+        program order (MPI non-overtaking guarantee)."""
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(20):
+                    comm.send(i, dest=1, tag=3)
+                return None
+            return [comm.recv(source=0, tag=3) for _ in range(20)]
+
+        assert run_world(2, main)[1] == list(range(20))
+
+    def test_tag_selectivity(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("a", dest=1, tag=1)
+                comm.send("b", dest=1, tag=2)
+                return None
+            second = comm.recv(source=0, tag=2)
+            first = comm.recv(source=0, tag=1)
+            return (first, second)
+
+        assert run_world(2, main)[1] == ("a", "b")
+
+    def test_sendrecv(self):
+        def main(comm):
+            partner = (comm.rank + 1) % comm.size
+            source = (comm.rank - 1) % comm.size
+            return comm.sendrecv(comm.rank, dest=partner, source=source,
+                                 sendtag=1, recvtag=1)
+
+        results = run_world(4, main)
+        assert results == [3, 0, 1, 2]
+
+    def test_ssend_completes_on_match(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.ssend("sync", dest=1, tag=1)
+                return "sender done"
+            return comm.recv(source=0, tag=1)
+
+        assert run_world(2, main) == ["sender done", "sync"]
+
+    def test_send_to_proc_null_is_discarded(self):
+        def main(comm):
+            comm.send("void", dest=PROC_NULL, tag=0)
+            return comm.recv(source=PROC_NULL, tag=0)
+
+        assert run_world(2, main) == [None, None]
+
+    def test_send_to_self(self):
+        def main(comm):
+            comm.send("me", dest=comm.rank, tag=9)
+            return comm.recv(source=comm.rank, tag=9)
+
+        assert run_world(2, main) == ["me", "me"]
+
+
+class TestBufferAPI:
+    def test_isend_irecv_numpy(self):
+        def main(comm):
+            if comm.rank == 0:
+                data = np.arange(16, dtype=np.float64)
+                comm.Isend(data, dest=1, tag=0).wait()
+                return None
+            buf = np.zeros(16, dtype=np.float64)
+            status = comm.Recv(buf, source=0, tag=0)
+            return buf.sum(), status.get_count(DOUBLE), status.source
+
+        assert run_world(2, main)[1] == (120.0, 16, 0)
+
+    def test_triple_form_with_derived_type(self):
+        def main(comm):
+            dt = vector(count=2, blocklength=2, stride=4,
+                        base=DOUBLE).commit()
+            if comm.rank == 0:
+                src = np.arange(12, dtype=np.float64)
+                comm.Send((src, 1, dt), dest=1, tag=0)
+                return None
+            dst = np.zeros(12, dtype=np.float64)
+            comm.Recv((dst, 1, dt), source=0, tag=0)
+            return dst.tolist()
+
+        out = run_world(2, main)[1]
+        assert out[0:2] == [0.0, 1.0]
+        assert out[4:6] == [4.0, 5.0]
+        assert out[2:4] == [0.0, 0.0]   # gap untouched
+
+    def test_truncation_error_on_recv(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(np.zeros(8, dtype=np.float64), dest=1, tag=0)
+                return None
+            buf = np.zeros(2, dtype=np.float64)
+            with pytest.raises(MPIErrTruncate):
+                comm.Recv(buf, source=0, tag=0)
+            return "caught"
+
+        assert run_world(2, main)[1] == "caught"
+
+    def test_short_recv_count(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(np.ones(2, dtype=np.float64), dest=1, tag=0)
+                return None
+            buf = np.zeros(8, dtype=np.float64)
+            status = comm.Recv(buf, source=0, tag=0)
+            return status.get_count(DOUBLE)
+
+        assert run_world(2, main)[1] == 2
+
+    def test_probe_then_sized_recv(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(np.arange(5, dtype=np.float64), dest=1, tag=4)
+                return None
+            status = comm.probe(source=0, tag=4)
+            n = status.get_count(DOUBLE)
+            buf = np.zeros(n, dtype=np.float64)
+            comm.Recv(buf, source=status.source, tag=status.tag)
+            return buf.tolist()
+
+        assert run_world(2, main)[1] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_iprobe(self):
+        def main(comm):
+            if comm.rank == 0:
+                assert comm.iprobe(source=1) is None or True
+                comm.send("x", dest=1, tag=2)
+                return None
+            while comm.iprobe(source=0, tag=2) is None:
+                pass
+            return comm.recv(source=0, tag=2)
+
+        assert run_world(2, main)[1] == "x"
+
+
+class TestValidation:
+    """Error checking runs only in error-checking builds (Table 1)."""
+
+    def test_bad_rank_rejected(self):
+        def main(comm):
+            if comm.rank == 0:
+                with pytest.raises(MPIErrRank):
+                    comm.send("x", dest=99, tag=0)
+            return "ok"
+
+        assert run_world(2, main)[0] == "ok"
+
+    def test_bad_tag_rejected(self):
+        def main(comm):
+            if comm.rank == 0:
+                with pytest.raises(MPIErrTag):
+                    comm.send("x", dest=1, tag=TAG_UB + 1)
+                with pytest.raises(MPIErrTag):
+                    comm.send("x", dest=1, tag=-5)
+            return "ok"
+
+        run_world(2, main)
+
+    def test_negative_count_rejected(self):
+        def main(comm):
+            if comm.rank == 0:
+                with pytest.raises(MPIErrCount):
+                    comm.Isend((np.zeros(1), -1, DOUBLE), dest=1, tag=0)
+            return "ok"
+
+        run_world(2, main)
+
+    def test_uncommitted_datatype_rejected(self):
+        def main(comm):
+            dt = vector(2, 1, 2, DOUBLE)   # never committed
+            if comm.rank == 0:
+                with pytest.raises(MPIErrDatatype):
+                    comm.Isend((np.zeros(8), 1, dt), dest=1, tag=0)
+            return "ok"
+
+        run_world(2, main)
+
+    def test_no_error_build_skips_validation(self):
+        """Without error checking, an in-range-but-wrong call is the
+        user's problem — the classic no-err build trade-off.  A bad
+        tag sails through the MPI layer (and still works, since our
+        matching accepts any integer tag)."""
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=1, tag=TAG_UB + 5)
+                return None
+            return comm.recv(source=0, tag=TAG_UB + 5)
+
+        cfg = BuildConfig.no_errors()
+        assert run_world(2, main, cfg)[1] == "x"
+
+    def test_bad_buffer_tuple_rejected(self):
+        def main(comm):
+            with pytest.raises(MPIErrBuffer):
+                comm.Isend("not a buffer", dest=0, tag=0)
+            return "ok"
+
+        run_world(1, main)
+
+
+class TestWorldMechanics:
+    def test_exception_aborts_world(self):
+        def main(comm):
+            if comm.rank == 0:
+                raise RuntimeError("deliberate")
+            # Rank 1 blocks forever; the abort must unwedge it.
+            comm.recv(source=0, tag=0)
+
+        with pytest.raises(RuntimeError, match="deliberate"):
+            run_world(2, main)
+
+    def test_results_in_rank_order(self):
+        assert run_world(4, lambda comm: comm.rank ** 2) == [0, 1, 4, 9]
+
+    def test_world_reusable(self):
+        from repro.runtime.world import World
+        world = World(2)
+        first = world.run(lambda comm: comm.rank)
+        second = world.run(lambda comm: comm.rank + 10)
+        assert first == [0, 1]
+        assert second == [10, 11]
+
+    def test_instruction_counts_accumulate_per_rank(self):
+        from repro.runtime.world import World
+        world = World(2)
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(b"x", dest=1, tag=0)
+            else:
+                comm.recv(source=0, tag=0)
+
+        world.run(main)
+        assert world.total_instructions() == 442   # 221 send + 221 recv
+        world.reset_accounting()
+        assert world.total_instructions() == 0

@@ -1,0 +1,361 @@
+"""One-sided communication: windows, sync, atomics, dynamic windows."""
+
+import numpy as np
+import pytest
+
+from repro.consts import PROC_NULL
+from repro.core.config import BuildConfig
+from repro.datatypes import subarray, vector
+from repro.datatypes.predefined import DOUBLE, INT64
+from repro.errors import (MPIErrArg, MPIErrRank, MPIErrRMARange,
+                          MPIErrRMASync, MPIErrWin)
+from repro.mpi import reduceops
+from repro.mpi.rma import (LOCK_EXCLUSIVE, LOCK_SHARED, RWLock, Window,
+                           WindowState)
+from tests.conftest import run_world
+
+
+class TestWindowState:
+    def test_static_view_bounds(self):
+        state = WindowState(np.zeros(16, dtype=np.uint8), disp_unit=1)
+        assert state.nbytes == 16
+        view = state.view(4, 8)
+        view[:] = 7
+        with pytest.raises(MPIErrRMARange):
+            state.view(10, 8)
+        with pytest.raises(MPIErrRMARange):
+            state.view(-1, 4)
+
+    def test_dynamic_attach_detach(self):
+        state = WindowState(None, disp_unit=1, dynamic=True)
+        arr = np.zeros(100, dtype=np.uint8)
+        base = state.attach(arr)
+        assert base >= WindowState.PAGE
+        view = state.view(base + 10, 5)
+        view[:] = 3
+        assert arr[10] == 3
+        state.detach(base)
+        with pytest.raises(MPIErrRMARange):
+            state.view(base, 1)
+        with pytest.raises(MPIErrWin):
+            state.detach(base)
+
+    def test_dynamic_rejects_initial_buffer(self):
+        with pytest.raises(MPIErrWin):
+            WindowState(np.zeros(4, dtype=np.uint8), 1, dynamic=True)
+
+    def test_bad_disp_unit(self):
+        with pytest.raises(MPIErrArg):
+            WindowState(np.zeros(4, dtype=np.uint8), 0)
+
+
+class TestRWLock:
+    def test_shared_readers_coexist(self):
+        lock = RWLock()
+        lock.acquire(LOCK_SHARED)
+        lock.acquire(LOCK_SHARED)
+        lock.release(LOCK_SHARED)
+        lock.release(LOCK_SHARED)
+
+    def test_unbalanced_release_rejected(self):
+        lock = RWLock()
+        with pytest.raises(MPIErrRMASync):
+            lock.release(LOCK_SHARED)
+        with pytest.raises(MPIErrRMASync):
+            lock.release(LOCK_EXCLUSIVE)
+
+
+class TestPutGet:
+    def test_put_with_fence(self):
+        def main(comm):
+            win, mem = Window.allocate(comm, nbytes=8 * comm.size,
+                                       disp_unit=8)
+            view = mem.view(np.float64)
+            win.fence()
+            src = np.array([float(comm.rank)], dtype=np.float64)
+            win.put(src, target_rank=(comm.rank + 1) % comm.size,
+                    target_disp=comm.rank)
+            win.fence()
+            left = (comm.rank - 1) % comm.size
+            return view[left]
+
+        assert run_world(4, main) == [3.0, 0.0, 1.0, 2.0]
+
+    def test_get(self):
+        def main(comm):
+            local = np.full(4, float(comm.rank * 100))
+            win = Window.create(comm, local, disp_unit=8)
+            win.fence()
+            out = np.zeros(4)
+            win.get(out, target_rank=(comm.rank + 1) % comm.size)
+            win.flush((comm.rank + 1) % comm.size)
+            win.fence()
+            return out[0]
+
+        assert run_world(3, main) == [100.0, 200.0, 0.0]
+
+    def test_put_derived_target_layout(self):
+        """Non-contiguous target layout exercises the AM fallback."""
+        def main(comm):
+            mem = np.zeros(12, dtype=np.float64)
+            win = Window.create(comm, mem, disp_unit=8)
+            win.fence()
+            if comm.rank == 0:
+                dt = vector(count=3, blocklength=1, stride=2,
+                            base=DOUBLE).commit()
+                src = np.array([1.0, 2.0, 3.0])
+                win.put((src, 3, DOUBLE), target_rank=1, target_disp=0,
+                        target=(1, dt))
+            win.fence()
+            return mem.tolist()
+
+        results = run_world(2, main)
+        assert results[1][:6] == [1.0, 0.0, 2.0, 0.0, 3.0, 0.0]
+
+    def test_put_size_mismatch_rejected(self):
+        def main(comm):
+            mem = np.zeros(8, dtype=np.float64)
+            win = Window.create(comm, mem, disp_unit=8)
+            win.fence()
+            with pytest.raises(MPIErrArg):
+                win.put((np.zeros(2), 2, DOUBLE), target_rank=0,
+                        target_disp=0, target=(3, DOUBLE))
+            win.fence()
+            return "ok"
+
+        run_world(2, main)
+
+    def test_put_out_of_window_rejected(self):
+        def main(comm):
+            mem = np.zeros(2, dtype=np.float64)
+            win = Window.create(comm, mem, disp_unit=8)
+            win.fence()
+            with pytest.raises(MPIErrRMARange):
+                win.put(np.zeros(4), target_rank=0, target_disp=0)
+            win.fence()
+            return "ok"
+
+        run_world(2, main)
+
+    def test_put_to_proc_null_is_noop(self):
+        def main(comm):
+            mem = np.ones(2, dtype=np.float64)
+            win = Window.create(comm, mem, disp_unit=8)
+            win.fence()
+            win.put(np.zeros(2), target_rank=PROC_NULL)
+            win.fence()
+            return mem.tolist()
+
+        assert run_world(2, main) == [[1.0, 1.0]] * 2
+
+    def test_bad_target_rank_rejected(self):
+        def main(comm):
+            win, _ = Window.allocate(comm, nbytes=8)
+            win.fence()
+            with pytest.raises(MPIErrRank):
+                win.put(np.zeros(1), target_rank=7)
+            win.fence()
+            return "ok"
+
+        run_world(2, main)
+
+    def test_disp_unit_scaling(self):
+        def main(comm):
+            mem = np.zeros(4, dtype=np.float64)
+            win = Window.create(comm, mem, disp_unit=8)
+            win.fence()
+            if comm.rank == 0:
+                win.put(np.array([5.0]), target_rank=1, target_disp=2)
+            win.fence()
+            return mem.tolist()
+
+        assert run_world(2, main)[1] == [0.0, 0.0, 5.0, 0.0]
+
+
+class TestAtomics:
+    def test_accumulate_sum(self):
+        def main(comm):
+            mem = np.zeros(2, dtype=np.float64)
+            win = Window.create(comm, mem, disp_unit=8)
+            win.fence()
+            win.accumulate(np.array([1.0, 2.0]), target_rank=0,
+                           op=reduceops.SUM)
+            win.fence()
+            return mem.tolist()
+
+        results = run_world(4, main)
+        assert results[0] == [4.0, 8.0]
+
+    def test_accumulate_replace(self):
+        def main(comm):
+            mem = np.full(1, -1.0)
+            win = Window.create(comm, mem, disp_unit=8)
+            win.fence()
+            if comm.rank == 1:
+                win.accumulate(np.array([9.0]), target_rank=0,
+                               op=reduceops.REPLACE)
+            win.fence()
+            return mem[0]
+
+        assert run_world(2, main)[0] == 9.0
+
+    def test_fetch_and_op_counter(self):
+        """All ranks atomically increment rank 0's counter; the fetched
+        pre-values must be a permutation of 0..size-1."""
+        def main(comm):
+            mem = np.zeros(1, dtype=np.int64)
+            win = Window.create(comm, mem, disp_unit=8)
+            win.fence()
+            got = np.zeros(1, dtype=np.int64)
+            win.lock(0, LOCK_EXCLUSIVE)
+            win.fetch_and_op(np.ones(1, dtype=np.int64), got,
+                             target_rank=0, op=reduceops.SUM)
+            win.unlock(0)
+            win.fence()
+            return int(got[0]), int(mem[0])
+
+        results = run_world(4, main)
+        fetched = sorted(r[0] for r in results)
+        assert fetched == [0, 1, 2, 3]
+        assert results[0][1] == 4
+
+    def test_get_accumulate_no_op_reads_atomically(self):
+        def main(comm):
+            mem = np.full(1, 42.0)
+            win = Window.create(comm, mem, disp_unit=8)
+            win.fence()
+            out = np.zeros(1)
+            win.get_accumulate(np.zeros(1), out, target_rank=0,
+                               op=reduceops.NO_OP)
+            win.fence()
+            return out[0]
+
+        assert run_world(3, main) == [42.0] * 3
+
+    def test_compare_and_swap(self):
+        def main(comm):
+            mem = np.zeros(1, dtype=np.int64)
+            win = Window.create(comm, mem, disp_unit=8)
+            win.fence()
+            old = np.full(1, -1, dtype=np.int64)
+            win.lock(0, LOCK_EXCLUSIVE)
+            win.compare_and_swap(
+                origin=np.full(1, comm.rank + 1, dtype=np.int64),
+                compare=np.zeros(1, dtype=np.int64),
+                result=old, target_rank=0)
+            win.unlock(0)
+            win.fence()
+            return int(old[0]), int(mem[0])
+
+        results = run_world(3, main)
+        winners = [r for r in results if r[0] == 0]
+        assert len(winners) == 1                 # exactly one CAS won
+        assert results[0][1] in (1, 2, 3)
+
+
+class TestSync:
+    def test_lock_unlock_require_pairing(self):
+        def main(comm):
+            win, _ = Window.allocate(comm, nbytes=8)
+            with pytest.raises(MPIErrRMASync):
+                win.unlock(0)
+            win.lock(0, LOCK_SHARED)
+            with pytest.raises(MPIErrRMASync):
+                win.lock(0, LOCK_SHARED)
+            win.unlock(0)
+            win.fence()
+            return "ok"
+
+        run_world(2, main)
+
+    def test_lock_all_unlock_all(self):
+        def main(comm):
+            win, mem = Window.allocate(comm, nbytes=8, disp_unit=8)
+            view = mem.view(np.float64)
+            win.fence()
+            win.lock_all()
+            win.put(np.array([float(comm.rank)]),
+                    target_rank=(comm.rank + 1) % comm.size)
+            win.flush_all()
+            win.unlock_all()
+            win.fence()
+            return view[0]
+
+        assert run_world(3, main) == [2.0, 0.0, 1.0]
+
+    def test_freed_window_rejected(self):
+        def main(comm):
+            win, _ = Window.allocate(comm, nbytes=8)
+            win.fence()
+            win.free()
+            with pytest.raises(MPIErrWin):
+                win.put(np.zeros(1), target_rank=0)
+            return "ok"
+
+        run_world(2, main)
+
+
+class TestDynamicWindow:
+    def test_put_by_virtual_address(self):
+        def main(comm):
+            win = Window.create_dynamic(comm)
+            region = np.zeros(4, dtype=np.float64)
+            base = win.local_state.attach(region)
+            bases = comm.allgather(base)
+            win.fence()
+            if comm.rank == 0:
+                win.put_virtual_addr(np.array([3.14]), target_rank=1,
+                                     vaddr=bases[1] + 8)
+            win.fence()
+            return region.tolist()
+
+        results = run_world(2, main)
+        assert results[1] == [0.0, 3.14, 0.0, 0.0]
+
+    def test_unattached_address_rejected(self):
+        def main(comm):
+            win = Window.create_dynamic(comm)
+            win.fence()
+            with pytest.raises(MPIErrRMARange):
+                win.put_virtual_addr(np.zeros(1), target_rank=0, vaddr=64)
+            win.fence()
+            return "ok"
+
+        run_world(2, main)
+
+
+class TestVirtualAddrExtension:
+    def test_matches_offset_put(self):
+        def main(comm):
+            mem = np.zeros(4, dtype=np.float64)
+            win = Window.create(comm, mem, disp_unit=8)
+            win.fence()
+            if comm.rank == 0:
+                vaddr = win.remote_addr(1, disp=2)
+                win.put_virtual_addr(np.array([7.0]), 1, vaddr)
+            win.fence()
+            return mem.tolist()
+
+        assert run_world(2, main)[1] == [0.0, 0.0, 7.0, 0.0]
+
+    def test_saves_four_instructions(self):
+        def main(comm):
+            mem = np.zeros(4, dtype=np.float64)
+            win = Window.create(comm, mem, disp_unit=8)
+            win.fence()
+            result = None
+            if comm.rank == 0:
+                src = np.array([1.0])
+                with comm.proc.tracer.call("offset"):
+                    win.put(src, target_rank=1, target_disp=0)
+                vaddr = win.remote_addr(1, disp=0)
+                with comm.proc.tracer.call("vaddr"):
+                    win.put_virtual_addr(src, 1, vaddr)
+                result = (comm.proc.tracer.last("offset").total,
+                          comm.proc.tracer.last("vaddr").total)
+            win.fence()
+            return result
+
+        offset, vaddr = run_world(2, main, BuildConfig.ipo_build())[0]
+        assert offset == 44                       # Figure 2 ipo PUT
+        assert offset - vaddr == 4                # §3.2 saving

@@ -1,0 +1,168 @@
+"""LAMMPS newton-on reverse communication, bcast algorithm selection,
+JSON export, and model sensitivity sweeps."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import collect_all, export_all
+from repro.analysis.sensitivity import (nek_band, sweep_lammps_match_penalty,
+                                        sweep_nek_progress)
+from repro.apps.lammps.md import LJSimulation
+from repro.apps.nek.model import NekModel
+from repro.core.config import BuildConfig
+from repro.errors import MPIErrArg
+from tests.conftest import run_world
+
+
+class TestNewtonOn:
+    @pytest.mark.parametrize("nranks", [1, 2, 8])
+    def test_matches_newton_off_physics(self, nranks):
+        def main(comm, newton):
+            sim = LJSimulation(comm, cells=(3, 3, 3), dt=0.002,
+                               newton=newton)
+            return [sim.step().total_energy for _ in range(3)]
+
+        off = run_world(nranks, main, args=(False,))[0]
+        on = run_world(nranks, main, args=(True,))[0]
+        np.testing.assert_allclose(on, off, rtol=1e-9)
+
+    def test_forces_match_directly(self):
+        def main(comm, newton):
+            sim = LJSimulation(comm, cells=(3, 3, 3), newton=newton)
+            sim.exchange_ghosts()
+            sim.compute_forces()
+            # Return owned forces keyed by position for comparison.
+            return {tuple(np.round(p, 9)): tuple(np.round(f, 7))
+                    for p, f in zip(sim.pos, sim.forces)}
+
+        off_maps = run_world(8, main, args=(False,))
+        on_maps = run_world(8, main, args=(True,))
+        off_all = {k: v for m in off_maps for k, v in m.items()}
+        on_all = {k: v for m in on_maps for k, v in m.items()}
+        assert off_all == on_all
+
+    def test_newton_charges_less_compute(self):
+        """Each pair computed once: half the modeled pair flops."""
+        def main(comm, newton):
+            sim = LJSimulation(comm, cells=(3, 3, 3), newton=newton)
+            sim.exchange_ghosts()
+            sim.compute_forces()
+            return comm.proc.compute_seconds
+
+        off = sum(run_world(8, main, args=(False,)))
+        on = sum(run_world(8, main, args=(True,)))
+        assert on == pytest.approx(off / 2)
+
+    def test_newton_sends_more_messages(self):
+        """The trade: reverse communication doubles the exchanges."""
+        def main(comm, newton):
+            sim = LJSimulation(comm, cells=(3, 3, 3), newton=newton)
+            before = comm.proc.engine.n_deposited
+            sim.step()
+            # Count messages deposited to THIS rank during the step.
+            return comm.proc.engine.n_deposited - before
+
+        off = sum(run_world(8, main, args=(False,)))
+        on = sum(run_world(8, main, args=(True,)))
+        assert on > off
+
+
+class TestBcastAlgorithms:
+    @pytest.mark.parametrize("algorithm", ["binomial",
+                                           "scatter_allgather"])
+    @pytest.mark.parametrize("size", [1, 2, 3, 5])
+    def test_both_algorithms_correct(self, algorithm, size):
+        def main(comm):
+            buf = (np.arange(50, dtype=np.float64) if comm.rank == 0
+                   else np.zeros(50))
+            comm.Bcast(buf, root=0, algorithm=algorithm)
+            return buf.sum()
+
+        expected = float(np.arange(50).sum())
+        assert run_world(size, main) == [expected] * size
+
+    def test_nonzero_root_scatter_allgather(self):
+        def main(comm):
+            buf = (np.full(33, 7.0) if comm.rank == 2
+                   else np.zeros(33))
+            comm.Bcast(buf, root=2, algorithm="scatter_allgather")
+            return buf.sum()
+
+        assert run_world(4, main) == [231.0] * 4
+
+    def test_large_payload_auto_selects_scatter(self):
+        """> 128 KiB payloads take the van de Geijn path; correctness
+        is the observable."""
+        def main(comm):
+            n = 20_000   # 160 KB
+            buf = (np.arange(n, dtype=np.float64) if comm.rank == 0
+                   else np.zeros(n))
+            comm.Bcast(buf, root=0)
+            return float(buf[-1])
+
+        assert run_world(3, main) == [19_999.0] * 3
+
+    def test_unknown_algorithm_rejected(self):
+        def main(comm):
+            with pytest.raises(MPIErrArg):
+                comm.Bcast(np.zeros(4), algorithm="smoke-signals")
+            return "ok"
+
+        run_world(1, main)
+
+    def test_scatter_allgather_fewer_root_bytes(self):
+        """The bandwidth argument: the root injects ~1/P of the payload
+        per link instead of the whole payload log P times."""
+        def main(comm, algorithm):
+            n = 100_000   # 800 KB: bandwidth-dominated
+            buf = (np.ones(n) if comm.rank == 0 else np.zeros(n))
+            t0 = comm.proc.vclock.now
+            comm.Bcast(buf, root=0, algorithm=algorithm)
+            comm.barrier()
+            return comm.proc.vclock.now - t0
+
+        # On a bandwidth-constrained fabric the van de Geijn path wins.
+        cfg = BuildConfig(fabric="bgq")
+        binomial = max(run_world(8, main, cfg, args=("binomial",)))
+        vdg = max(run_world(8, main, cfg,
+                            args=("scatter_allgather",)))
+        assert vdg < binomial
+
+
+class TestExport:
+    def test_collect_all_is_json_serializable(self):
+        data = collect_all()
+        text = json.dumps(data)
+        assert "table1" in data and "fig8" in data
+        assert json.loads(text)["table1"]["MPI_ISEND"]["total"] == 221
+
+    def test_export_writes_file(self, tmp_path):
+        path = tmp_path / "artifacts.json"
+        data = export_all(str(path))
+        on_disk = json.loads(path.read_text())
+        assert on_disk["fig2"]["mpich/original"]["put"] == 1342
+        assert on_disk == json.loads(json.dumps(data))
+
+
+class TestSensitivity:
+    def test_nek_band_holds_at_calibration(self):
+        peak, never_loses, converges = nek_band(NekModel())
+        assert 1.18 <= peak <= 1.30
+        assert never_loses and converges
+
+    def test_qualitative_claims_robust_quantitative_band_not(self):
+        """CH4-never-loses survives every progress scaling; the exact
+        1.2-1.25 band is calibration-dependent (EXPERIMENTS.md)."""
+        checks = sweep_nek_progress()
+        assert all(c.ch4_never_loses for c in checks)
+        at_calibration = next(c for c in checks if c.scale == 1.0)
+        assert at_calibration.in_paper_band
+        assert not all(c.in_paper_band for c in checks)
+
+    def test_lammps_stall_robust_to_penalty_scaling(self):
+        checks = sweep_lammps_match_penalty()
+        assert all(c.speedup_monotone for c in checks)
+        stalls = [c for c in checks if 0.75 <= c.scale <= 2.0]
+        assert all(c.ch3_stops_scaling for c in stalls)

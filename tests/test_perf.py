@@ -1,0 +1,110 @@
+"""Message-rate harness and analytic model helpers."""
+
+import pytest
+
+from repro.core import extensions as ext
+from repro.core.config import BuildConfig
+from repro.fabric.model import BGQ_TORUS, INFINITE, OFI_PSM2
+from repro.perf.models import (PROGRESS_INSTRUCTIONS, AmdahlModel,
+                               efficiency, per_message_overhead_s)
+from repro.perf.msgrate import (measure_instructions, modeled_rate,
+                                pump_messages, rate_sweep)
+from repro.runtime.world import World
+
+
+class TestMeasureInstructions:
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            measure_instructions(BuildConfig(), "bcast")
+
+    def test_stable_across_repeats(self):
+        cfg = BuildConfig.default()
+        a = measure_instructions(cfg, "isend")
+        b = measure_instructions(cfg, "isend")
+        assert a == b == 221
+
+
+class TestModeledRate:
+    def test_uses_config_fabric_by_default(self):
+        res = modeled_rate(BuildConfig.ipo_build(fabric="ofi"), "isend")
+        expected = OFI_PSM2.message_rate(59, 1)
+        assert res.rate_msgs_per_s == pytest.approx(expected)
+
+    def test_label_override(self):
+        res = modeled_rate(BuildConfig(), "isend", label="custom")
+        assert res.label == "custom"
+
+    def test_rate_sweep_orders_and_sizes(self):
+        results = rate_sweep("infinite")
+        assert len(results) == 10      # 5 builds x 2 ops
+        no_ipo = rate_sweep("ucx", include_ipo=False)
+        assert len(no_ipo) == 8
+        assert all("ipo" not in r.label for r in no_ipo)
+
+
+class TestPump:
+    def test_pump_virtual_time_scales_with_messages(self):
+        w1 = World(2, BuildConfig.ipo_build())
+        t_small = pump_messages(w1, 10)
+        w2 = World(2, BuildConfig.ipo_build())
+        t_large = pump_messages(w2, 100)
+        assert t_large == pytest.approx(10 * t_small, rel=0.05)
+
+    def test_pump_all_opts_faster_than_plain(self):
+        plain = pump_messages(World(2, BuildConfig.ipo_build()), 50)
+        fast = pump_messages(World(2, BuildConfig.ipo_build()), 50,
+                             flags=ext.ALL_OPTS_PT2PT)
+        assert fast < plain
+
+
+class TestAmdahl:
+    def test_time_and_efficiency(self):
+        m = AmdahlModel(overhead_s=1.0, work_core_s=100.0)
+        assert m.time(10) == pytest.approx(11.0)
+        assert m.efficiency(10) == pytest.approx(10.0 / 11.0)
+
+    def test_energy_is_p_o_plus_w(self):
+        m = AmdahlModel(overhead_s=2.0, work_core_s=50.0)
+        assert m.energy(10) == pytest.approx(10 * 2.0 + 50.0)
+
+    def test_fixed_cost_speedup_argument(self):
+        """§4.3: halving O doubles P at fixed cost and halves time.
+
+        E_P = c(PO + W); with O' = O/2 and P' = 2P the energy matches
+        and T' = O' + W/(2P) = (O + W/P)/2."""
+        m = AmdahlModel(overhead_s=4.0, work_core_s=64.0)
+        p = 8
+        half = AmdahlModel(overhead_s=2.0, work_core_s=64.0)
+        assert half.energy(2 * p) == pytest.approx(m.energy(p))
+        assert half.time(2 * p) == pytest.approx(m.time(p) / 2)
+
+    def test_validation(self):
+        m = AmdahlModel(1.0, 1.0)
+        with pytest.raises(ValueError):
+            m.time(0)
+        with pytest.raises(ValueError):
+            m.fixed_cost_speedup(0)
+        with pytest.raises(ValueError):
+            efficiency(0.0, 0.0)
+
+
+class TestPerMessageOverhead:
+    def test_receive_defaults_to_issue(self):
+        o_explicit = per_message_overhead_s(221, BGQ_TORUS,
+                                            recv_instructions=221)
+        o_default = per_message_overhead_s(221, BGQ_TORUS)
+        assert o_explicit == o_default
+
+    def test_ch3_progress_dominates(self):
+        o_ch4 = per_message_overhead_s(
+            221, BGQ_TORUS,
+            progress_instructions=PROGRESS_INSTRUCTIONS["ch4"])
+        o_ch3 = per_message_overhead_s(
+            253, BGQ_TORUS,
+            progress_instructions=PROGRESS_INSTRUCTIONS["ch3"])
+        assert o_ch3 > 1.3 * o_ch4
+
+    def test_zero_on_free_fabric_software_only(self):
+        o = per_message_overhead_s(100, INFINITE)
+        assert o == pytest.approx(
+            INFINITE.cycles_to_seconds(INFINITE.sw_cycles(200)))

@@ -1,0 +1,156 @@
+"""Concurrency stress: atomic RMA under contention, NBC edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BuildConfig
+from repro.errors import MPIErrRequest
+from repro.mpi import reduceops
+from repro.mpi.rma import LOCK_EXCLUSIVE, LOCK_SHARED, Window
+from tests.conftest import run_world
+
+
+class TestAtomicContention:
+    def test_concurrent_fetch_and_add_is_linearizable(self):
+        """8 ranks each perform 10 exclusive-locked fetch-and-adds on
+        one counter: the fetched values must be a permutation of
+        0..79 and the final count exact."""
+        def main(comm):
+            mem = np.zeros(1, dtype=np.int64)
+            win = Window.create(comm, mem, disp_unit=8)
+            win.fence()
+            got = []
+            one = np.ones(1, dtype=np.int64)
+            out = np.zeros(1, dtype=np.int64)
+            for _ in range(10):
+                win.lock(0, LOCK_EXCLUSIVE)
+                win.fetch_and_op(one, out, target_rank=0,
+                                 op=reduceops.SUM)
+                win.unlock(0)
+                got.append(int(out[0]))
+            win.fence()
+            return got, int(mem[0])
+
+        results = run_world(8, main)
+        fetched = sorted(v for got, _ in results for v in got)
+        assert fetched == list(range(80))
+        assert results[0][1] == 80
+
+    def test_concurrent_accumulates_sum_exactly(self):
+        """Shared-lock accumulates from all ranks must all land (the
+        AM handler serializes on the data lock)."""
+        def main(comm):
+            mem = np.zeros(4, dtype=np.float64)
+            win = Window.create(comm, mem, disp_unit=8)
+            win.fence()
+            win.lock(0, LOCK_SHARED)
+            for k in range(5):
+                win.accumulate(np.full(4, 1.0 + k), target_rank=0,
+                               op=reduceops.SUM)
+            win.unlock(0)
+            win.fence()
+            return mem.tolist()
+
+        results = run_world(6, main)
+        expected = 6 * sum(1.0 + k for k in range(5))
+        assert results[0] == [expected] * 4
+
+    def test_cas_exactly_one_winner_repeated(self):
+        def main(comm, round_no):
+            mem = np.zeros(1, dtype=np.int64)
+            win = Window.create(comm, mem, disp_unit=8)
+            win.fence()
+            old = np.zeros(1, dtype=np.int64)
+            win.lock(0, LOCK_EXCLUSIVE)
+            win.compare_and_swap(
+                origin=np.full(1, comm.rank + 100, dtype=np.int64),
+                compare=np.zeros(1, dtype=np.int64),
+                result=old, target_rank=0)
+            win.unlock(0)
+            win.fence()
+            return int(old[0])
+
+        for round_no in range(3):
+            results = run_world(6, main, args=(round_no,))
+            winners = [r for r in results if r == 0]
+            assert len(winners) == 1, results
+
+
+class TestManyMessagesStress:
+    def test_thousand_small_messages_all_delivered(self):
+        def main(comm):
+            n = 250
+            if comm.rank == 0:
+                reqs = [comm.Isend(np.full(1, float(i)), dest=1,
+                                   tag=i % 7) for i in range(n)]
+                for r in reqs:
+                    r.wait()
+                return None
+            got = []
+            buf = np.zeros(1)
+            for i in range(n):
+                comm.Recv(buf, source=0, tag=i % 7)
+                got.append(buf[0])
+            return got
+
+        got = run_world(2, main)[1]
+        assert got == [float(i) for i in range(250)]
+
+    def test_bidirectional_flood_no_deadlock(self):
+        def main(comm):
+            partner = 1 - comm.rank
+            n = 100
+            rreqs = [comm.Irecv(np.zeros(8), source=partner, tag=0)
+                     for _ in range(n)]
+            for i in range(n):
+                comm.Isend(np.full(8, float(i)), dest=partner,
+                           tag=0).wait()
+            for r in rreqs:
+                r.wait()
+            return "done"
+
+        assert run_world(2, main) == ["done", "done"]
+
+
+class TestNBCEdgeCases:
+    def test_result_none_before_completion(self):
+        def main(comm):
+            req = comm.ibcast("x" if comm.rank == 0 else None, root=0)
+            req.wait()
+            return req.result
+
+        assert run_world(2, main) == ["x", "x"]
+
+    def test_wait_idempotent(self):
+        def main(comm):
+            req = comm.ibarrier()
+            req.wait()
+            req.wait()          # second wait must be harmless
+            assert req.test()   # and test after completion is True
+            return "ok"
+
+        assert run_world(3, main) == ["ok"] * 3
+
+    def test_many_interleaved_nbcs(self):
+        def main(comm):
+            reqs = [comm.iallreduce(comm.rank + k) for k in range(8)]
+            # Complete in reverse order to stress tag isolation.
+            for req in reversed(reqs):
+                req.wait()
+            return [req.result for req in reqs]
+
+        size = 4
+        base = sum(range(size))
+        expected = [base + k * size for k in range(8)]
+        assert run_world(size, main) == [expected] * size
+
+    def test_nbc_with_single_rank(self):
+        def main(comm):
+            a = comm.ibarrier()
+            b = comm.iallreduce(41)
+            c = comm.iallgather("solo")
+            for req in (a, b, c):
+                req.wait()
+            return b.result, c.result
+
+        assert run_world(1, main) == [(41, ["solo"])]
