@@ -1,0 +1,142 @@
+"""Matching-engine + request-pool benchmark (emits BENCH_matching.json).
+
+Two measurements, before/after style:
+
+* **Queue-depth sweep** (engine-level): preload *d* posted receives,
+  then deposit messages that match the *last*-posted tag — the linear
+  engine scans the whole queue per deposit (O(d)), the bucketed engine
+  hashes straight to it (O(1)).  Reported as matches/second per depth.
+* **Real-path ping-pong** (whole runtime): 2-rank blocking ping-pong
+  under the *before* build (``matching_engine="linear"``,
+  ``request_pool=False`` — the seed configuration) and the *after*
+  build (defaults: bucketed engine + pool), reported as messages/second
+  of real wall-clock.
+
+Run standalone (writes ``BENCH_matching.json`` at the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_matching.py
+
+or through pytest (same JSON, plus assertions)::
+
+    pytest benchmarks/bench_matching.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import BuildConfig
+from repro.runtime.matching import PostedRecv, build_engine
+from repro.runtime.message import Envelope, Message
+from repro.runtime.request import Request, RequestKind
+from repro.runtime.world import World
+
+#: Posted-queue depths for the sweep (the acceptance bar is >= 64).
+DEPTHS = (1, 16, 64, 256)
+_SWEEP_MSGS = 3000
+_PINGPONG_MSGS = 400
+_OUT = Path(__file__).resolve().parent.parent / "BENCH_matching.json"
+
+
+def _posted(tag: int) -> PostedRecv:
+    return PostedRecv(ctx=0, src=0, tag=tag, nomatch=False,
+                      request=Request(RequestKind.RECV),
+                      on_match=lambda msg: None)
+
+
+def match_rate(kind: str, depth: int, nmsgs: int = _SWEEP_MSGS) -> float:
+    """Matches/second for *kind* at posted-queue depth *depth*.
+
+    The engine holds ``depth`` posted receives (tags 0..depth-1); each
+    deposited message matches the last tag and the receive is reposted,
+    keeping the depth constant — the linear engine's worst case.
+    """
+    engine = build_engine(0, kind)
+    for tag in range(depth):
+        engine.post(_posted(tag))
+    tag = depth - 1
+    env = Envelope(ctx=0, src=0, tag=tag)
+    start = time.perf_counter()
+    for _ in range(nmsgs):
+        engine.deposit(Message(env=env, data=b"", arrive_s=0.0))
+        engine.post(_posted(tag))
+    return nmsgs / (time.perf_counter() - start)
+
+
+def _pingpong(comm, nmsgs: int):
+    peer = 1 - comm.rank
+    buf = np.zeros(8)
+    payload = np.ones(8)
+    for _ in range(nmsgs):
+        if comm.rank == 0:
+            comm.Send(payload, dest=peer)
+            comm.Recv(buf, source=peer)
+        else:
+            comm.Recv(buf, source=peer)
+            comm.Send(buf, dest=peer)
+    return comm.proc.request_pool.n_reuse
+
+
+def pingpong_rate(config: BuildConfig,
+                  nmsgs: int = _PINGPONG_MSGS) -> float:
+    """Real wall-clock messages/second of a 2-rank blocking ping-pong
+    (best of 3 after a warm-up world)."""
+    World(2, config).run(_pingpong, args=(nmsgs // 4,))   # warm-up
+    best = 0.0
+    for _ in range(3):
+        world = World(2, config)
+        start = time.perf_counter()
+        world.run(_pingpong, args=(nmsgs,))
+        best = max(best, 2 * nmsgs / (time.perf_counter() - start))
+    return best
+
+
+def run_benchmark() -> dict:
+    """Run both measurements; returns (and writes) the JSON artifact."""
+    sweep = []
+    for depth in DEPTHS:
+        linear = match_rate("linear", depth)
+        bucket = match_rate("bucket", depth)
+        sweep.append({"depth": depth,
+                      "linear_msgs_per_s": round(linear),
+                      "bucket_msgs_per_s": round(bucket),
+                      "speedup": round(bucket / linear, 2)})
+
+    before_cfg = BuildConfig(matching_engine="linear", request_pool=False)
+    before = pingpong_rate(before_cfg)
+    after = pingpong_rate(BuildConfig())
+    result = {
+        "benchmark": "matching",
+        "queue_depth_sweep": sweep,
+        "pingpong": {
+            "before": {"config": "linear engine, pool off",
+                       "msgs_per_s": round(before)},
+            "after": {"config": "bucket engine, pool on",
+                      "msgs_per_s": round(after)},
+            "speedup": round(after / before, 2),
+        },
+    }
+    _OUT.write_text(json.dumps(result, indent=2) + "\n")
+    return result
+
+
+def test_bucket_engine_wins_at_depth(print_artifact):
+    """Acceptance: the bucketed engine beats the linear engine at queue
+    depth >= 64 and the JSON artifact is written."""
+    result = run_benchmark()
+    print_artifact("Matching benchmark (BENCH_matching.json)",
+                   json.dumps(result, indent=2))
+    deep = [row for row in result["queue_depth_sweep"]
+            if row["depth"] >= 64]
+    assert deep
+    for row in deep:
+        assert row["speedup"] > 1.0, row
+    assert _OUT.exists()
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_benchmark(), indent=2))

@@ -78,13 +78,13 @@ class CH3Device:
         self._charge_steps(self.costs.ch3_isend_steps)
 
         if op.dest == PROC_NULL:
-            request = Request(RequestKind.SEND, proc, proc.world.abort_event)
+            request = proc.request_pool.acquire(RequestKind.SEND)
             request.complete(proc.vclock.now)
             return request
 
         dest_world = op.comm.translation.world_rank(op.dest)
         env = Envelope(ctx=op.comm.ctx, src=op.comm.rank, tag=op.tag)
-        request = Request(RequestKind.SEND, proc, proc.world.abort_event)
+        request = proc.request_pool.acquire(RequestKind.SEND)
 
         payload = pack(op.buf, op.count, op.dtref.datatype)
         transport = self._transport_for(dest_world)
@@ -120,7 +120,7 @@ class CH3Device:
         proc = self.proc
         self._charge_steps(self.costs.ch3_isend_steps)
 
-        request = Request(RequestKind.RECV, proc, proc.world.abort_event)
+        request = proc.request_pool.acquire(RequestKind.RECV)
         if op.source == PROC_NULL:
             request.complete(proc.vclock.now, source=PROC_NULL, tag=-1,
                              count_bytes=0)

@@ -175,8 +175,7 @@ class CH4Device:
             request = None
         else:
             proc.charge(_MAND, man.request_mgmt, Subsystem.REQUEST_MGMT)
-            request = Request(RequestKind.SEND, proc,
-                              proc.world.abort_event)
+            request = proc.request_pool.acquire(RequestKind.SEND)
 
         # Descriptor fill (fused under the combined extensions, §3.7).
         desc = (c.fused_descriptor_isend if flags.fused_pt2pt
@@ -225,8 +224,7 @@ class CH4Device:
         if op.flags.noreq:
             op.comm.note_noreq_issue(self.proc.vclock.now)
             return None
-        request = Request(RequestKind.SEND, self.proc,
-                          self.proc.world.abort_event)
+        request = self.proc.request_pool.acquire(RequestKind.SEND)
         request.complete(self.proc.vclock.now)
         return request
 
@@ -245,7 +243,7 @@ class CH4Device:
         self._charge_object_lookup(flags, comm.is_predefined_handle, man)
         self._charge_redundant(op.dtref, c.isend_redundant)
 
-        request = Request(RequestKind.RECV, proc, proc.world.abort_event)
+        request = proc.request_pool.acquire(RequestKind.RECV)
 
         if flags.no_proc_null:
             if proc.config.error_checking and op.source == PROC_NULL:

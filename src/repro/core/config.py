@@ -73,6 +73,16 @@ class BuildConfig:
         Ablation switch: route every CH4 operation through the
         active-message fallback even when the netmod could do it
         natively (``benchmarks/bench_ablation_fastpath.py``).
+    matching_engine:
+        ``"bucket"`` (MPICH-style hash buckets, O(1) concrete matching
+        — the default) or ``"linear"`` (the seed's O(n) list scans,
+        kept as the reference and benchmark baseline).  Both charge
+        identical instruction counts; only real-Python wall-clock
+        behaviour differs (``benchmarks/bench_matching.py``).
+    request_pool:
+        Recycle request handles from a per-rank free-pool (§3.5)
+        instead of allocating one per operation.  Wall-clock only;
+        charged request-management costs are unchanged.
     """
 
     device: Device = Device.CH4
@@ -84,6 +94,8 @@ class BuildConfig:
     rank_translation: str = "compressed"
     eager_threshold: int | None = None
     force_am_fallback: bool = False
+    matching_engine: str = "bucket"
+    request_pool: bool = True
 
     @property
     def ipo(self) -> bool:

@@ -139,12 +139,16 @@ class Communicator:
         return self.proc.device.irecv(op)
 
     def _send_bytes(self, data: bytes, dest: int, tag: int) -> None:
-        self._isend_bytes(data, dest, tag).wait()
+        req = self._isend_bytes(data, dest, tag)
+        req.wait()
+        self.proc.request_pool.release(req)
 
     def _recv_bytes(self, source: int, tag: int) -> bytes:
         req = self._irecv_bytes(source, tag)
         req.wait()
-        return req.payload if req.payload is not None else b""
+        data = req.payload if req.payload is not None else b""
+        self.proc.request_pool.release(req)
+        return data
 
     # ------------------------------------------------------------------ #
     # lowercase: pickled Python objects                                   #
@@ -152,7 +156,9 @@ class Communicator:
 
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         """Blocking standard-mode send of a pickled object."""
-        self.isend(obj, dest, tag).wait()
+        req = self.isend(obj, dest, tag)
+        req.wait()
+        self.proc.request_pool.release(req)
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
         """Nonblocking send of a pickled object."""
@@ -160,7 +166,9 @@ class Communicator:
 
     def ssend(self, obj: Any, dest: int, tag: int = 0) -> None:
         """Blocking synchronous-mode send (completes on match)."""
-        self.issend(obj, dest, tag).wait()
+        req = self.issend(obj, dest, tag)
+        req.wait()
+        self.proc.request_pool.release(req)
 
     def issend(self, obj: Any, dest: int, tag: int = 0) -> Request:
         """Nonblocking synchronous-mode send."""
@@ -181,9 +189,11 @@ class Communicator:
         """Blocking receive of a pickled object."""
         req = self.irecv(source, tag)
         req.wait()
-        if req.source == PROC_NULL:
+        payload = None if req.source == PROC_NULL else req.payload
+        self.proc.request_pool.release(req)
+        if payload is None:
             return None
-        return pickle.loads(req.payload)
+        return pickle.loads(payload)
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
         """Nonblocking receive of a pickled object; ``request.wait()``
@@ -200,11 +210,15 @@ class Communicator:
                  sendtag: int = 0, recvtag: int = ANY_TAG) -> Any:
         """Combined send+receive (deadlock-free ordering)."""
         rreq = self.irecv(source, recvtag)
-        self.isend(obj, dest, sendtag).wait()
+        sreq = self.isend(obj, dest, sendtag)
+        sreq.wait()
+        self.proc.request_pool.release(sreq)
         rreq.wait()
-        if rreq.source == PROC_NULL:
+        payload = None if rreq.source == PROC_NULL else rreq.payload
+        self.proc.request_pool.release(rreq)
+        if payload is None:
             return None
-        return pickle.loads(rreq.payload)
+        return pickle.loads(payload)
 
     # ------------------------------------------------------------------ #
     # capitalized: buffer API                                             #
@@ -213,7 +227,9 @@ class Communicator:
     def Send(self, buf, dest: int, tag: int = 0) -> None:
         """Blocking buffer send; *buf* is an ndarray or (buf, count,
         datatype) tuple."""
-        self.Isend(buf, dest, tag).wait()
+        req = self.Isend(buf, dest, tag)
+        req.wait()
+        self.proc.request_pool.release(req)
 
     def Isend(self, buf, dest: int, tag: int = 0) -> Request:
         """Nonblocking buffer send — the paper's measured MPI_ISEND path."""
@@ -221,7 +237,9 @@ class Communicator:
 
     def Ssend(self, buf, dest: int, tag: int = 0) -> None:
         """Blocking synchronous buffer send."""
-        self.Issend(buf, dest, tag).wait()
+        req = self.Issend(buf, dest, tag)
+        req.wait()
+        self.proc.request_pool.release(req)
 
     def Issend(self, buf, dest: int, tag: int = 0) -> Request:
         """Nonblocking synchronous buffer send."""
@@ -245,7 +263,9 @@ class Communicator:
         """Blocking buffer receive; returns the :class:`Status`."""
         req = self.Irecv(buf, source, tag)
         req.wait()
-        return Status.from_request(req)
+        status = Status.from_request(req)
+        self.proc.request_pool.release(req)
+        return status
 
     def Irecv(self, buf, source: int = ANY_SOURCE,
               tag: int = ANY_TAG) -> Request:
@@ -269,9 +289,13 @@ class Communicator:
                  sendtag: int = 0, recvtag: int = ANY_TAG) -> Status:
         """Combined buffer send+receive."""
         rreq = self.Irecv(recvbuf, source, recvtag)
-        self.Isend(sendbuf, dest, sendtag).wait()
+        sreq = self.Isend(sendbuf, dest, sendtag)
+        sreq.wait()
+        self.proc.request_pool.release(sreq)
         rreq.wait()
-        return Status.from_request(rreq)
+        status = Status.from_request(rreq)
+        self.proc.request_pool.release(rreq)
+        return status
 
     # -- persistent operations ---------------------------------------------------
 

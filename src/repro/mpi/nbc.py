@@ -111,15 +111,14 @@ class NBCRequest(Request):
                 if step.request is None:
                     step.request = self.comm._irecv_bytes(step.peer,
                                                           step.tag)
-                if step.request.is_complete():
+                if blocking or step.request.is_complete():
                     step.request.wait()
                     step.consume(self.state,
                                  step.request.payload or b"")
-                    self._pc += 1
-                elif blocking:
-                    step.request.wait()
-                    step.consume(self.state,
-                                 step.request.payload or b"")
+                    # The inner handle never escapes the schedule —
+                    # recycle it.
+                    self.comm.proc.request_pool.release(step.request)
+                    step.request = None
                     self._pc += 1
                 else:
                     return False

@@ -88,8 +88,7 @@ class PersistentSend(PersistentRequest):
 
     def _launch(self) -> Request:
         proc, comm = self.comm.proc, self.comm
-        request = Request(RequestKind.SEND, proc,
-                          proc.world.abort_event)
+        request = proc.request_pool.acquire(RequestKind.SEND)
         if self.is_null:
             request.complete(proc.vclock.now)
             return request
@@ -123,6 +122,7 @@ class PersistentSend(PersistentRequest):
                 inner = proc.device.isend(op)
                 inner.wait()
                 request.complete(inner.complete_s)
+                proc.request_pool.release(inner)
         return request
 
 
@@ -143,8 +143,7 @@ class PersistentRecv(PersistentRequest):
     def _launch(self) -> Request:
         proc, comm = self.comm.proc, self.comm
         if self.source == PROC_NULL:
-            request = Request(RequestKind.RECV, proc,
-                              proc.world.abort_event)
+            request = proc.request_pool.acquire(RequestKind.RECV)
             request.complete(proc.vclock.now, source=PROC_NULL, tag=-1)
             return request
         with proc.timed_call():
@@ -157,8 +156,7 @@ class PersistentRecv(PersistentRequest):
                 proc.charge(Category.MANDATORY,
                             COSTS.isend_mandatory.descriptor,
                             Subsystem.DESCRIPTOR)
-                request = Request(RequestKind.RECV, proc,
-                                  proc.world.abort_event)
+                request = proc.request_pool.acquire(RequestKind.RECV)
                 buf, count, datatype = self.buf, self.count, \
                     self.dtref.datatype
 

@@ -57,20 +57,43 @@ class RWLock:
         self._writer = False
 
     def acquire(self, lock_type: str, abort_event=None) -> None:
-        """Acquire in *lock_type* mode, polling the abort event."""
-        with self._cond:
-            while True:
-                if lock_type == LOCK_SHARED and not self._writer:
-                    self._readers += 1
-                    return
-                if (lock_type == LOCK_EXCLUSIVE and not self._writer
-                        and self._readers == 0):
-                    self._writer = True
-                    return
-                if not self._cond.wait(timeout=0.05):
+        """Acquire in *lock_type* mode, interruptible by the abort event.
+
+        With a :class:`~repro.runtime.completion.NotifyingEvent` abort
+        flag the waiter subscribes a wake listener and blocks without a
+        timeout — a world abort interrupts it immediately.  A plain
+        ``threading.Event`` falls back to slice polling.
+        """
+        from repro.runtime.completion import (_ABORT_POLL_S,
+                                              add_abort_listener,
+                                              remove_abort_listener)
+
+        def wake() -> None:
+            with self._cond:
+                self._cond.notify_all()
+
+        listening = (abort_event is not None
+                     and add_abort_listener(abort_event, wake))
+        try:
+            with self._cond:
+                while True:
                     if abort_event is not None and abort_event.is_set():
                         from repro.runtime.world import WorldAborted
                         raise WorldAborted("world aborted acquiring win lock")
+                    if lock_type == LOCK_SHARED and not self._writer:
+                        self._readers += 1
+                        return
+                    if (lock_type == LOCK_EXCLUSIVE and not self._writer
+                            and self._readers == 0):
+                        self._writer = True
+                        return
+                    if listening or abort_event is None:
+                        self._cond.wait()
+                    else:
+                        self._cond.wait(timeout=_ABORT_POLL_S)
+        finally:
+            if listening:
+                remove_abort_listener(abort_event, wake)
 
     def release(self, lock_type: str) -> None:
         """Release a previously acquired mode."""

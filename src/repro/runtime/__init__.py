@@ -15,10 +15,12 @@ figures.
 """
 
 from repro.runtime.vclock import VClock
+from repro.runtime.completion import CompletionQueue, NotifyingEvent
 from repro.runtime.message import Message, Envelope
 from repro.runtime.request import (
     Request,
     RequestKind,
+    RequestPool,
     waitall,
     waitany,
     waitsome,
@@ -26,7 +28,13 @@ from repro.runtime.request import (
     testany,
     testsome,
 )
-from repro.runtime.matching import MatchingEngine, PostedRecv
+from repro.runtime.matching import (
+    BucketMatchingEngine,
+    LinearMatchingEngine,
+    MatchingEngine,
+    PostedRecv,
+    build_engine,
+)
 from repro.runtime.ranktrans import (
     RankTranslation,
     DirectTableTranslation,
@@ -42,6 +50,9 @@ __all__ = [
     "Envelope",
     "Request",
     "RequestKind",
+    "RequestPool",
+    "CompletionQueue",
+    "NotifyingEvent",
     "waitall",
     "waitany",
     "waitsome",
@@ -49,6 +60,9 @@ __all__ = [
     "testany",
     "testsome",
     "MatchingEngine",
+    "BucketMatchingEngine",
+    "LinearMatchingEngine",
+    "build_engine",
     "PostedRecv",
     "RankTranslation",
     "DirectTableTranslation",

@@ -1,0 +1,158 @@
+"""Event-driven completion plumbing.
+
+The seed runtime completed everything by polling: blocked waiters slept
+in 50 ms slices and re-checked the abort flag between slices.  That put
+a latency floor under ``MPI_WAITANY`` (head-of-line blocking on the
+first incomplete request) and made a world abort invisible to a blocked
+``MPI_PROBE`` until its current slice expired.
+
+This module replaces the polling with notification primitives:
+
+* :class:`NotifyingEvent` — a ``threading.Event`` that additionally
+  fires registered listener callbacks from :meth:`set`.  The world's
+  abort event is one of these, so any blocked wait can subscribe a
+  waker and be interrupted *immediately* on abort instead of at the
+  next poll boundary.
+* :class:`CompletionQueue` — a per-wait subscription queue.
+  ``waitany``/``waitsome`` subscribe every request and then block once;
+  whichever request completes first (or is cancelled) pushes its index
+  and wakes the waiter.  No rescanning, no head-of-line blocking.
+
+None of this charges instructions: completion machinery here models
+the *real-Python execution path* only; the paper-calibrated Section 3.5
+request-management costs are charged at issue time by the devices and
+are unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Optional
+
+#: Fallback poll interval used only when a waiter is given a foreign
+#: plain ``threading.Event`` as its abort flag (no listener support).
+_ABORT_POLL_S = 0.05
+
+
+class NotifyingEvent(threading.Event):
+    """A ``threading.Event`` whose ``set()`` also fires listeners.
+
+    Listeners are one-shot wake callbacks (they must not block and must
+    be safe to call from any thread).  ``add_listener`` on an
+    already-set event fires the callback immediately, so registration
+    has no lost-wakeup window: register first, then check ``is_set``.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._listeners: list[Callable[[], None]] = []
+        self._listeners_lock = threading.Lock()
+
+    def add_listener(self, callback: Callable[[], None]) -> None:
+        """Register *callback* to run when the event is set (now, if it
+        already is)."""
+        fire = False
+        with self._listeners_lock:
+            if self.is_set():
+                fire = True
+            else:
+                self._listeners.append(callback)
+        if fire:
+            callback()
+
+    def remove_listener(self, callback: Callable[[], None]) -> None:
+        """Unregister one occurrence of *callback* (no-op if absent)."""
+        with self._listeners_lock:
+            try:
+                self._listeners.remove(callback)
+            except ValueError:
+                pass
+
+    def set(self) -> None:
+        """Set the flag and fire (then drop) all registered listeners."""
+        super().set()
+        with self._listeners_lock:
+            listeners, self._listeners = self._listeners, []
+        for callback in listeners:
+            callback()
+
+
+def add_abort_listener(event, callback: Callable[[], None]) -> bool:
+    """Subscribe *callback* to *event* if it supports listeners.
+
+    Returns True when the registration took (the caller may then block
+    without a timeout); False for a plain ``threading.Event``, where
+    the caller must fall back to slice polling.
+    """
+    add = getattr(event, "add_listener", None)
+    if add is None:
+        return False
+    add(callback)
+    return True
+
+
+def remove_abort_listener(event, callback: Callable[[], None]) -> None:
+    """Undo :func:`add_abort_listener` (safe if it returned False)."""
+    remove = getattr(event, "remove_listener", None)
+    if remove is not None:
+        remove(callback)
+
+
+class CompletionQueue:
+    """A per-wait completion queue for ``waitany``/``waitsome``.
+
+    The waiter subscribes each request under a *key* (its index in the
+    user's list); completing threads push keys in completion order and
+    the waiter pops them without ever rescanning the request list.
+    Keys arrive at most once per ``watch`` call; a request that was
+    already complete at subscription time is pushed immediately.
+    """
+
+    def __init__(self, abort_event=None):
+        self._cond = threading.Condition()
+        self._ready: deque = deque()
+        self._abort = abort_event
+
+    def watch(self, key, request) -> None:
+        """Subscribe *request*; its *key* is pushed on completion."""
+        request.subscribe(lambda _req, key=key: self._push(key))
+
+    def _push(self, key) -> None:
+        with self._cond:
+            self._ready.append(key)
+            self._cond.notify_all()
+
+    def _wake(self) -> None:
+        with self._cond:
+            self._cond.notify_all()
+
+    def pop_ready(self) -> Optional[object]:
+        """Nonblocking: the next completed key, or None."""
+        with self._cond:
+            return self._ready.popleft() if self._ready else None
+
+    def wait_one(self):
+        """Block until some watched request completes; returns its key.
+
+        Raises :class:`~repro.runtime.world.WorldAborted` immediately
+        (not at a poll boundary) if the world aborts first.
+        """
+        abort = self._abort
+        listening = (abort is not None
+                     and add_abort_listener(abort, self._wake))
+        try:
+            with self._cond:
+                while not self._ready:
+                    if abort is not None and abort.is_set():
+                        from repro.runtime.world import WorldAborted
+                        raise WorldAborted(
+                            "world aborted while waiting for completion")
+                    if listening or abort is None:
+                        self._cond.wait()
+                    else:
+                        self._cond.wait(timeout=_ABORT_POLL_S)
+                return self._ready.popleft()
+        finally:
+            if listening:
+                remove_abort_listener(abort, self._wake)

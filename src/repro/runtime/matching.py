@@ -11,15 +11,36 @@ One engine exists per rank.  Senders deposit under the engine's lock;
 the owning rank posts receives and probes under the same lock.  Queue
 order is arrival order, which preserves MPI's non-overtaking guarantee
 because each sender deposits in program order.
+
+Two interchangeable implementations share that contract:
+
+* :class:`LinearMatchingEngine` — the seed's O(n) list scans, kept as
+  the reference implementation (``BuildConfig(matching_engine=
+  "linear")``) and the before-side of ``benchmarks/bench_matching.py``.
+* :class:`BucketMatchingEngine` — the default.  MPICH's bucketed-queue
+  design: posted and unexpected queues are hash buckets keyed on
+  ``(ctx, src, tag)`` (and per-context arrival-order queues for
+  nomatch traffic), so fully-concrete matching is O(1) at any queue
+  depth.  Receives using ``ANY_SOURCE``/``ANY_TAG`` fall back to an
+  ordered scan, and a global monotone sequence number arbitrates
+  between bucketed and wildcard candidates so the match order is
+  *identical* to the linear engine's (MPI's non-overtaking rule).
+
+Neither engine charges instructions — the paper-calibrated match-bit
+costs are charged at issue time by the devices; the engines differ
+only in real-Python wall-clock behaviour.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.consts import ANY_SOURCE, ANY_TAG
+from repro.runtime.completion import (_ABORT_POLL_S, add_abort_listener,
+                                      remove_abort_listener)
 from repro.runtime.message import Envelope, Message
 from repro.runtime.request import Request
 
@@ -51,19 +72,101 @@ class PostedRecv:
             return False
         return True
 
+    @property
+    def concrete(self) -> bool:
+        """True when the receive names an exact (src, tag) — the O(1)
+        bucketed path; wildcards take the ordered-scan fallback."""
+        return self.src != ANY_SOURCE and self.tag != ANY_TAG
 
-class MatchingEngine:
-    """Posted-receive and unexpected-message queues for one rank."""
+
+class _MatchingEngineBase:
+    """Shared lock, counters, sync-send handshake, and probe loop."""
 
     def __init__(self, rank: int):
         self.rank = rank
         self._lock = threading.Condition()
-        self._posted: list[PostedRecv] = []
-        self._unexpected: list[Message] = []
         #: Monotone counters for introspection and tests.
         self.n_deposited = 0
         self.n_matched_posted = 0
         self.n_matched_unexpected = 0
+
+    @staticmethod
+    def _fire_sync(msg: Message, match_time_s: float) -> None:
+        """Complete a synchronous-send handshake at *match_time_s*."""
+        sync = msg.sync
+        if sync is not None:
+            sync.match_time_s = match_time_s
+            if sync.request is not None:
+                sync.request.complete(match_time_s + sync.ack_latency_s)
+            sync.event.set()
+
+    def _find_unexpected(self, probe: PostedRecv
+                         ) -> Optional[tuple[Envelope, int]]:
+        """First matching unexpected message, without consuming it.
+        Called under the engine lock."""
+        raise NotImplementedError
+
+    def _abort_wake(self) -> None:
+        with self._lock:
+            self._lock.notify_all()
+
+    def iprobe(self, ctx: int, src: int, tag: int,
+               nomatch: bool = False) -> Optional[tuple[Envelope, int]]:
+        """Nonblocking probe: ``(envelope, nbytes)`` of the first
+        matching unexpected message, or None."""
+        probe = PostedRecv(ctx=ctx, src=src, tag=tag, nomatch=nomatch,
+                           request=None, on_match=lambda m: None)
+        with self._lock:
+            return self._find_unexpected(probe)
+
+    def probe(self, ctx: int, src: int, tag: int, nomatch: bool = False,
+              abort_event: threading.Event | None = None
+              ) -> tuple[Envelope, int]:
+        """Blocking probe (MPI_PROBE): wait for a matching unexpected
+        message without receiving it; returns ``(envelope, nbytes)``.
+
+        Deposits notify the engine condition, and a world abort wakes
+        the wait immediately through its listener hook — the seed's
+        behaviour of noticing the abort only after a 50 ms slice
+        expired is gone (slice polling remains only as a fallback for
+        plain-Event abort flags).
+        """
+        probe = PostedRecv(ctx=ctx, src=src, tag=tag, nomatch=nomatch,
+                           request=None, on_match=lambda m: None)
+        listening = (abort_event is not None
+                     and add_abort_listener(abort_event, self._abort_wake))
+        try:
+            with self._lock:
+                while True:
+                    hit = self._find_unexpected(probe)
+                    if hit is not None:
+                        return hit
+                    if abort_event is not None and abort_event.is_set():
+                        from repro.runtime.world import WorldAborted
+                        raise WorldAborted("world aborted in probe")
+                    if listening or abort_event is None:
+                        self._lock.wait()
+                    else:
+                        self._lock.wait(timeout=_ABORT_POLL_S)
+        finally:
+            if listening:
+                remove_abort_listener(abort_event, self._abort_wake)
+
+
+class LinearMatchingEngine(_MatchingEngineBase):
+    """The seed engine: posted/unexpected as plain lists, O(n) scans.
+
+    Kept as the executable reference the bucketed engine is verified
+    against (``tests/test_matching_properties.py`` runs both) and as
+    the before-side of the matching benchmark.
+    """
+
+    name = "linear"
+
+    def __init__(self, rank: int):
+        super().__init__(rank)
+        self._posted: list[PostedRecv] = []
+        self._unexpected: list[Message] = []
 
     # -- sender side --------------------------------------------------------
 
@@ -88,16 +191,6 @@ class MatchingEngine:
             self._unexpected.append(msg)
             self._lock.notify_all()
 
-    @staticmethod
-    def _fire_sync(msg: Message, match_time_s: float) -> None:
-        """Complete a synchronous-send handshake at *match_time_s*."""
-        sync = msg.sync
-        if sync is not None:
-            sync.match_time_s = match_time_s
-            if sync.request is not None:
-                sync.request.complete(match_time_s + sync.ack_latency_s)
-            sync.event.set()
-
     # -- receiver side -------------------------------------------------------
 
     def post(self, posted: PostedRecv, now_s: float = 0.0) -> None:
@@ -117,34 +210,12 @@ class MatchingEngine:
                     return
             self._posted.append(posted)
 
-    def iprobe(self, ctx: int, src: int, tag: int,
-               nomatch: bool = False) -> Optional[tuple[Envelope, int]]:
-        """Nonblocking probe: ``(envelope, nbytes)`` of the first
-        matching unexpected message, or None."""
-        probe = PostedRecv(ctx=ctx, src=src, tag=tag, nomatch=nomatch,
-                           request=None, on_match=lambda m: None)
-        with self._lock:
-            for msg in self._unexpected:
-                if probe.matches(msg.env):
-                    return msg.env, msg.nbytes
-            return None
-
-    def probe(self, ctx: int, src: int, tag: int, nomatch: bool = False,
-              abort_event: threading.Event | None = None
-              ) -> tuple[Envelope, int]:
-        """Blocking probe (MPI_PROBE): wait for a matching unexpected
-        message without receiving it; returns ``(envelope, nbytes)``."""
-        probe = PostedRecv(ctx=ctx, src=src, tag=tag, nomatch=nomatch,
-                           request=None, on_match=lambda m: None)
-        with self._lock:
-            while True:
-                for msg in self._unexpected:
-                    if probe.matches(msg.env):
-                        return msg.env, msg.nbytes
-                if not self._lock.wait(timeout=0.05):
-                    if abort_event is not None and abort_event.is_set():
-                        from repro.runtime.world import WorldAborted
-                        raise WorldAborted("world aborted in probe")
+    def _find_unexpected(self, probe: PostedRecv
+                         ) -> Optional[tuple[Envelope, int]]:
+        for msg in self._unexpected:
+            if probe.matches(msg.env):
+                return msg.env, msg.nbytes
+        return None
 
     def cancel_posted(self, request: Request) -> bool:
         """Remove the posted receive owning *request*; True on success."""
@@ -162,3 +233,282 @@ class MatchingEngine:
         """(posted, unexpected) queue depths — for tests and diagnostics."""
         with self._lock:
             return len(self._posted), len(self._unexpected)
+
+
+class _PostedEntry:
+    """One enqueued receive: sequence-stamped, lazily removable."""
+
+    __slots__ = ("seq", "posted", "removed", "wild")
+
+    def __init__(self, seq: int, posted: PostedRecv, wild: bool):
+        self.seq = seq
+        self.posted = posted
+        self.removed = False
+        self.wild = wild
+
+
+class _UxEntry:
+    """One unexpected message: sequence-stamped, lazily removable."""
+
+    __slots__ = ("seq", "msg", "removed")
+
+    def __init__(self, seq: int, msg: Message):
+        self.seq = seq
+        self.msg = msg
+        self.removed = False
+
+
+#: Lazy-deletion compaction threshold for the ordered fallback lists.
+_PRUNE_MIN = 32
+
+
+class BucketMatchingEngine(_MatchingEngineBase):
+    """MPICH-style bucketed queues: O(1) matching for concrete
+    (ctx, src, tag) traffic, ordered-scan fallback for wildcards.
+
+    Every posted receive and unexpected message carries a per-engine
+    monotone sequence number.  Concrete entries live in FIFO deques
+    hashed on their full match key; wildcard receives (and the global
+    arrival-order view of unexpected messages that they scan) live in
+    ordered lists with lazy deletion.  A match always takes the
+    lowest-sequence candidate across both structures, which reproduces
+    the linear engine's first-match-in-order semantics exactly.
+    Nomatch (§3.6) traffic is bucketed per context — arrival-order
+    matching is a single deque operation.
+    """
+
+    name = "bucket"
+
+    def __init__(self, rank: int):
+        super().__init__(rank)
+        self._seq = 0
+        # Posted receives.
+        self._posted_exact: dict[tuple[int, int, int],
+                                 deque[_PostedEntry]] = {}
+        self._posted_wild: list[_PostedEntry] = []
+        self._posted_wild_removed = 0
+        self._posted_nomatch: dict[int, deque[_PostedEntry]] = {}
+        self._posted_by_req: dict[Request, _PostedEntry] = {}
+        self._n_posted = 0
+        # Unexpected messages.
+        self._ux_exact: dict[tuple[int, int, int], deque[_UxEntry]] = {}
+        self._ux_all: list[_UxEntry] = []
+        self._ux_all_removed = 0
+        self._ux_nomatch: dict[int, deque[_UxEntry]] = {}
+        self._n_ux = 0
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    @staticmethod
+    def _bucket_head(q: Optional[deque]):
+        """First live entry of a bucket (dropping dead heads), or None."""
+        if not q:
+            return None
+        while q and q[0].removed:
+            q.popleft()
+        return q[0] if q else None
+
+    # -- sender side --------------------------------------------------------
+
+    def deposit(self, msg: Message) -> None:
+        """Deliver *msg*: match a posted receive or queue as unexpected.
+
+        Runs in the sender's thread; the matched receive's ``on_match``
+        callback (buffer unpack + request completion) therefore also
+        runs here, mirroring how a real netmod completes a receive from
+        its progress context.
+        """
+        with self._lock:
+            self.n_deposited += 1
+            posted = self._take_posted_match(msg.env)
+            if posted is not None:
+                self.n_matched_posted += 1
+                posted.on_match(msg)
+                self._fire_sync(msg, msg.arrive_s)
+                self._lock.notify_all()
+                return
+            self._add_unexpected(msg)
+            self._lock.notify_all()
+
+    def _take_posted_match(self, env: Envelope) -> Optional[PostedRecv]:
+        """Pop the first-posted receive matching *env* (lock held)."""
+        if env.nomatch:
+            q = self._posted_nomatch.get(env.ctx)
+            entry = self._bucket_head(q)
+            if entry is None:
+                return None
+            q.popleft()
+        else:
+            key = (env.ctx, env.src, env.tag)
+            exact_q = self._posted_exact.get(key)
+            exact = self._bucket_head(exact_q)
+            wild = None
+            for e in self._posted_wild:
+                if not e.removed and e.posted.matches(env):
+                    wild = e
+                    break
+            if exact is not None and (wild is None or exact.seq < wild.seq):
+                entry = exact
+                exact_q.popleft()
+                if not exact_q:
+                    del self._posted_exact[key]
+            elif wild is not None:
+                entry = wild
+                self._posted_wild_removed += 1
+                self._maybe_prune_wild()
+            else:
+                return None
+        entry.removed = True
+        self._n_posted -= 1
+        self._posted_by_req.pop(entry.posted.request, None)
+        return entry.posted
+
+    def _maybe_prune_wild(self) -> None:
+        if (self._posted_wild_removed > _PRUNE_MIN
+                and self._posted_wild_removed * 2 > len(self._posted_wild)):
+            self._posted_wild = [e for e in self._posted_wild
+                                 if not e.removed]
+            self._posted_wild_removed = 0
+
+    def _add_unexpected(self, msg: Message) -> None:
+        entry = _UxEntry(self._next_seq(), msg)
+        env = msg.env
+        if env.nomatch:
+            self._ux_nomatch.setdefault(env.ctx, deque()).append(entry)
+        else:
+            key = (env.ctx, env.src, env.tag)
+            self._ux_exact.setdefault(key, deque()).append(entry)
+            self._ux_all.append(entry)
+        self._n_ux += 1
+
+    # -- receiver side -------------------------------------------------------
+
+    def post(self, posted: PostedRecv, now_s: float = 0.0) -> None:
+        """Post a receive: match the oldest unexpected message first
+        (MPI requires unexpected-queue order), else enqueue.
+
+        *now_s* is the posting rank's virtual time, used as the match
+        time of any synchronous sender found in the unexpected queue.
+        """
+        with self._lock:
+            msg = self._take_unexpected_match(posted)
+            if msg is not None:
+                self.n_matched_unexpected += 1
+                posted.on_match(msg)
+                self._fire_sync(msg, max(now_s, msg.arrive_s))
+                return
+            self._enqueue_posted(posted)
+
+    def _take_unexpected_match(self, posted: PostedRecv
+                               ) -> Optional[Message]:
+        """Pop the earliest-arrived matching message (lock held)."""
+        if posted.nomatch:
+            q = self._ux_nomatch.get(posted.ctx)
+            entry = self._bucket_head(q)
+            if entry is None:
+                return None
+            q.popleft()
+        elif posted.concrete:
+            key = (posted.ctx, posted.src, posted.tag)
+            q = self._ux_exact.get(key)
+            entry = self._bucket_head(q)
+            if entry is None:
+                return None
+            q.popleft()
+            if not q:
+                del self._ux_exact[key]
+            self._ux_all_removed += 1
+            self._maybe_prune_ux_all()
+        else:
+            entry = None
+            for e in self._ux_all:
+                if not e.removed and posted.matches(e.msg.env):
+                    entry = e
+                    break
+            if entry is None:
+                return None
+            self._ux_all_removed += 1
+            self._maybe_prune_ux_all()
+        entry.removed = True
+        self._n_ux -= 1
+        return entry.msg
+
+    def _maybe_prune_ux_all(self) -> None:
+        if (self._ux_all_removed > _PRUNE_MIN
+                and self._ux_all_removed * 2 > len(self._ux_all)):
+            self._ux_all = [e for e in self._ux_all if not e.removed]
+            self._ux_all_removed = 0
+
+    def _enqueue_posted(self, posted: PostedRecv) -> None:
+        wild = not posted.nomatch and not posted.concrete
+        entry = _PostedEntry(self._next_seq(), posted, wild)
+        if posted.nomatch:
+            self._posted_nomatch.setdefault(posted.ctx,
+                                            deque()).append(entry)
+        elif wild:
+            self._posted_wild.append(entry)
+        else:
+            key = (posted.ctx, posted.src, posted.tag)
+            self._posted_exact.setdefault(key, deque()).append(entry)
+        if posted.request is not None:
+            self._posted_by_req[posted.request] = entry
+        self._n_posted += 1
+
+    def _find_unexpected(self, probe: PostedRecv
+                         ) -> Optional[tuple[Envelope, int]]:
+        if probe.nomatch:
+            entry = self._bucket_head(self._ux_nomatch.get(probe.ctx))
+        elif probe.concrete:
+            key = (probe.ctx, probe.src, probe.tag)
+            entry = self._bucket_head(self._ux_exact.get(key))
+        else:
+            entry = next((e for e in self._ux_all
+                          if not e.removed and probe.matches(e.msg.env)),
+                         None)
+        if entry is None:
+            return None
+        return entry.msg.env, entry.msg.nbytes
+
+    def cancel_posted(self, request: Request) -> bool:
+        """Remove the posted receive owning *request*; True on success.
+
+        O(1) through the request index (the linear engine scans)."""
+        with self._lock:
+            entry = self._posted_by_req.pop(request, None)
+            if entry is None or entry.removed:
+                return False
+            entry.removed = True
+            if entry.wild:
+                self._posted_wild_removed += 1
+                self._maybe_prune_wild()
+            self._n_posted -= 1
+            request.cancel()
+            return True
+
+    # -- introspection --------------------------------------------------------
+
+    def pending_counts(self) -> tuple[int, int]:
+        """(posted, unexpected) queue depths — for tests and diagnostics."""
+        with self._lock:
+            return self._n_posted, self._n_ux
+
+
+#: The default engine (MPICH bucketed-queue design).
+MatchingEngine = BucketMatchingEngine
+
+_ENGINES = {
+    "bucket": BucketMatchingEngine,
+    "linear": LinearMatchingEngine,
+}
+
+
+def build_engine(rank: int, kind: str = "bucket") -> _MatchingEngineBase:
+    """Engine factory for ``BuildConfig.matching_engine``."""
+    try:
+        return _ENGINES[kind](rank)
+    except KeyError:
+        raise ValueError(
+            f"unknown matching engine {kind!r}; "
+            f"expected one of {sorted(_ENGINES)}") from None

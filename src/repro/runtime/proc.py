@@ -17,8 +17,9 @@ from repro.fabric.model import FabricSpec, fabric_by_name
 from repro.instrument.categories import Category, Subsystem
 from repro.instrument.counter import InstructionCounter
 from repro.instrument.trace import CallTracer
-from repro.runtime.matching import MatchingEngine
+from repro.runtime.matching import build_engine
 from repro.runtime.message import Message
+from repro.runtime.request import RequestPool
 from repro.runtime.vclock import VClock
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -47,7 +48,11 @@ class Proc:
         self.counter = InstructionCounter(label=f"rank {world_rank}")
         self.tracer = CallTracer(self.counter)
         self.vclock = VClock(self.net_fabric)
-        self.engine = MatchingEngine(world_rank)
+        self.engine = build_engine(world_rank, config.matching_engine)
+        #: Per-rank §3.5 request free-pool (recycles handles on the
+        #: real-Python hot path; charged costs are unaffected).
+        self.request_pool = RequestPool(self, world.abort_event,
+                                        enabled=config.request_pool)
         #: Critical-section lock taken when thread_safety is built in.
         self.cs_lock = threading.RLock()
         self.node = world.topology.node_of(world_rank)

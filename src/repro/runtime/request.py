@@ -6,17 +6,29 @@ operation*.  The standard path here allocates a full :class:`Request`;
 the ``isend_noreq`` extension path instead bumps a per-communicator
 counter (see :meth:`repro.mpi.comm.Communicator.waitall_noreq`), which
 is where its 10-instruction saving comes from.
+
+Completion is event-driven: state transitions are guarded by a
+per-request lock (so a sender thread completing a receive cannot race
+the receiver cancelling it), and blocked waiters subscribe wake
+callbacks instead of polling — ``wait``/``waitany`` return the moment
+the completing thread (or a world abort) fires, not at the next 50 ms
+slice.  A per-rank :class:`RequestPool` recycles handles on the hot
+path; none of this changes charged instruction counts, which are
+calibrated at issue time in the devices.
 """
 
 from __future__ import annotations
 
 import enum
 import threading
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.errors import MPIErrRequest
+from repro.runtime.completion import (CompletionQueue, add_abort_listener,
+                                      remove_abort_listener)
 
-#: Poll interval while blocked, so world aborts can interrupt waits.
+#: Fallback poll interval, used only when waiting against a foreign
+#: plain ``threading.Event`` abort flag (no listener support).
 _WAIT_SLICE_S = 0.05
 
 
@@ -33,19 +45,23 @@ class Request:
     """A completable handle for one nonblocking operation.
 
     Completion may happen on a *different* thread (the sender thread
-    completes a matched receive), so the done flag is an Event.
-    Completion carries the virtual time at which the operation finished
-    and, for receives, the message's source/tag/byte count — the
-    material MPI_STATUS is made of.
+    completes a matched receive), so all state transitions — complete,
+    cancel — are serialized by a per-request lock.  Completion carries
+    the virtual time at which the operation finished and, for receives,
+    the message's source/tag/byte count — the material MPI_STATUS is
+    made of.
     """
 
-    __slots__ = ("kind", "_done", "_abort", "complete_s", "source", "tag",
-                 "count_bytes", "error", "cancelled", "_proc", "payload")
+    __slots__ = ("kind", "_done", "_abort", "_lock", "_waiters",
+                 "complete_s", "source", "tag", "count_bytes", "error",
+                 "cancelled", "_proc", "payload")
 
     def __init__(self, kind: RequestKind, proc=None, abort_event=None):
         self.kind = kind
         self._done = threading.Event()
         self._abort = abort_event
+        self._lock = threading.Lock()
+        self._waiters: list[Callable[["Request"], None]] = []
         self._proc = proc
         self.complete_s: float = 0.0
         self.source: int = -1
@@ -61,21 +77,56 @@ class Request:
     def complete(self, complete_s: float, source: int = -1, tag: int = -1,
                  count_bytes: int = 0,
                  error: Optional[BaseException] = None) -> None:
-        """Mark the operation finished at virtual time *complete_s*."""
-        if self._done.is_set():
-            raise MPIErrRequest("request completed twice")
-        self.complete_s = complete_s
-        self.source = source
-        self.tag = tag
-        self.count_bytes = count_bytes
-        self.error = error
-        self._done.set()
+        """Mark the operation finished at virtual time *complete_s*.
+
+        Completing a *cancelled* request is a documented no-op: the
+        receiver won the race and the late completion (e.g. a sender
+        thread matching a receive the receiver cancelled concurrently)
+        is discarded.  Completing an already-*completed* request is
+        still a program error.
+        """
+        with self._lock:
+            if self.cancelled:
+                return
+            if self._done.is_set():
+                raise MPIErrRequest("request completed twice")
+            self.complete_s = complete_s
+            self.source = source
+            self.tag = tag
+            self.count_bytes = count_bytes
+            self.error = error
+            self._done.set()
+            waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            callback(self)
 
     def cancel(self) -> None:
-        """MPI_CANCEL (supported for unmatched receives only)."""
-        self.cancelled = True
-        if not self._done.is_set():
+        """MPI_CANCEL (supported for unmatched receives only).
+
+        Cancelling an already-completed request is a no-op (the
+        operation won the race); otherwise the request transitions to
+        cancelled-and-done and any late ``complete`` is discarded.
+        """
+        with self._lock:
+            if self._done.is_set():
+                return
+            self.cancelled = True
             self._done.set()
+            waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            callback(self)
+
+    def subscribe(self, callback: Callable[["Request"], None]) -> None:
+        """Register *callback(request)* to run exactly once when this
+        request completes or is cancelled — immediately (in the calling
+        thread) if it already has, else in the completing thread.
+        This is the notification hook ``waitany``/``waitsome`` build
+        their completion queues on."""
+        with self._lock:
+            if not self._done.is_set():
+                self._waiters.append(callback)
+                return
+        callback(self)
 
     # -- waiter-side API ---------------------------------------------------
 
@@ -93,19 +144,104 @@ class Request:
 
     def wait(self) -> "Request":
         """MPI_WAIT: block until complete, merge clocks, re-raise any
-        error captured by the completing thread."""
-        while not self._done.wait(_WAIT_SLICE_S):
-            if self._abort is not None and self._abort.is_set():
-                from repro.runtime.world import WorldAborted
-                raise WorldAborted("world aborted while waiting on request")
+        error captured by the completing thread.  Event-driven: wakes
+        the instant the completing thread (or a world abort) fires."""
+        if not self._done.is_set():
+            abort = self._abort
+            if abort is None:
+                self._done.wait()
+            else:
+                self._wait_interruptible(abort)
         self._finish()
         return self
+
+    def _wait_interruptible(self, abort) -> None:
+        waker = threading.Event()
+        self.subscribe(lambda _req, set_=waker.set: set_())
+        if add_abort_listener(abort, waker.set):
+            try:
+                waker.wait()
+            finally:
+                remove_abort_listener(abort, waker.set)
+        else:
+            # Foreign plain Event: slice-poll the abort flag.
+            while not waker.wait(_WAIT_SLICE_S):
+                if abort.is_set():
+                    break
+        if not self._done.is_set() and abort.is_set():
+            from repro.runtime.world import WorldAborted
+            raise WorldAborted("world aborted while waiting on request")
 
     def _finish(self) -> None:
         if self._proc is not None:
             self._proc.vclock.merge(self.complete_s)
         if self.error is not None:
             raise self.error
+
+    # -- pool support ------------------------------------------------------
+
+    def _reset(self, kind: RequestKind) -> None:
+        """Reinitialize a recycled handle (RequestPool.acquire only)."""
+        self.kind = kind
+        self._done.clear()
+        self._waiters.clear()
+        self.complete_s = 0.0
+        self.source = -1
+        self.tag = -1
+        self.count_bytes = 0
+        self.error = None
+        self.cancelled = False
+        self.payload = None
+
+
+class RequestPool:
+    """A per-rank free-pool of :class:`Request` handles (§3.5).
+
+    The standard path must produce a completable handle per operation;
+    what it need not do is *allocate* one each time.  The pool recycles
+    handles the way MPICH recycles request objects from a freelist.
+    Acquire and release both happen on the owning rank's thread (MPI
+    calls are made by the rank thread; internal blocking wrappers
+    release after wait), so no lock is needed.
+
+    Only exact :class:`Request` instances are pooled — subclasses
+    (e.g. NBC schedule requests) are dropped on release.  Charged
+    instruction counts are untouched: the devices charge the calibrated
+    §3.5 request-management cost whether the handle is fresh or
+    recycled.
+    """
+
+    #: Upper bound on retained handles (a rank rarely has more
+    #: simultaneously live internal requests than this).
+    MAX_POOLED = 256
+
+    def __init__(self, proc=None, abort_event=None, enabled: bool = True):
+        self._proc = proc
+        self._abort = abort_event
+        self._free: list[Request] = []
+        self.enabled = enabled
+        #: Monotone counters for tests and the matching benchmark.
+        self.n_alloc = 0
+        self.n_reuse = 0
+
+    def acquire(self, kind: RequestKind) -> Request:
+        """A fresh-or-recycled request bound to the owning rank."""
+        if self.enabled and self._free:
+            req = self._free.pop()
+            req._reset(kind)
+            self.n_reuse += 1
+            return req
+        self.n_alloc += 1
+        return Request(kind, self._proc, self._abort)
+
+    def release(self, req: Optional[Request]) -> None:
+        """Return a handle whose lifetime is over (completed, waited,
+        and with no user-visible reference) to the pool."""
+        if (req is None or not self.enabled
+                or req.__class__ is not Request
+                or len(self._free) >= self.MAX_POOLED):
+            return
+        self._free.append(req)
 
 
 def waitall(requests: Sequence[Request]) -> None:
@@ -115,22 +251,27 @@ def waitall(requests: Sequence[Request]) -> None:
 
 
 def waitany(requests: Sequence[Request]) -> int:
-    """MPI_WAITANY: block until one request completes; returns its index."""
+    """MPI_WAITANY: block until one request completes; returns its index.
+
+    Subscribes every request to a :class:`CompletionQueue` and blocks
+    once — completion of *any* request (first-listed or last-listed)
+    wakes the waiter immediately.  The seed implementation instead
+    blocked on the first incomplete request in 50 ms slices, observing
+    other completions up to a slice late.
+    """
     if not requests:
         raise MPIErrRequest("waitany on empty request list")
-    while True:
-        for i, req in enumerate(requests):
-            if req.is_complete():
-                req.wait()
-                return i
-        # Block briefly on the first incomplete request, then rescan.
-        for req in requests:
-            if not req.is_complete():
-                req._done.wait(_WAIT_SLICE_S)
-                if req._abort is not None and req._abort.is_set():
-                    from repro.runtime.world import WorldAborted
-                    raise WorldAborted("world aborted in waitany")
-                break
+    for i, req in enumerate(requests):
+        if req.is_complete():
+            req.wait()
+            return i
+    abort = next((r._abort for r in requests if r._abort is not None), None)
+    queue = CompletionQueue(abort_event=abort)
+    for i, req in enumerate(requests):
+        queue.watch(i, req)
+    i = queue.wait_one()
+    requests[i].wait()
+    return i
 
 
 def testany(requests: Sequence[Request]) -> Optional[int]:

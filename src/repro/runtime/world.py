@@ -18,6 +18,7 @@ from typing import Any, Callable, Optional, Sequence
 from repro.core.config import BuildConfig
 from repro.fabric.topology import Topology
 from repro.instrument.counter import install_counter, uninstall_counter
+from repro.runtime.completion import NotifyingEvent
 
 
 class WorldAborted(RuntimeError):
@@ -57,6 +58,13 @@ class World:
             raise ValueError(
                 f"topology covers {self.topology.nranks} ranks, "
                 f"world has {nranks}")
+        #: Set when any rank raises.  A :class:`NotifyingEvent`:
+        #: blocked waits (requests, probes, window locks) subscribe
+        #: wake listeners, so an abort interrupts them immediately
+        #: instead of at the next poll slice.  Created before the
+        #: procs — each rank's request pool binds to it.
+        self.abort_event = NotifyingEvent()
+
         self._procs = [None] * nranks
         for r in range(nranks):
             from repro.runtime.proc import Proc
@@ -68,8 +76,6 @@ class World:
         self._next_win = 0
         #: win_id -> list of per-rank window states (set by mpi.rma).
         self.windows: dict[int, list] = {}
-        #: Set when any rank raises; waiters poll it to unwedge.
-        self.abort_event = threading.Event()
 
     # -- registries ---------------------------------------------------------
 

@@ -2,14 +2,19 @@
 matcher, plus randomized whole-runtime traffic (chaos) tests."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.consts import ANY_SOURCE, ANY_TAG
 from repro.mpi import reduceops
-from repro.runtime.matching import MatchingEngine, PostedRecv
+from repro.runtime.matching import (BucketMatchingEngine,
+                                    LinearMatchingEngine, PostedRecv)
 from repro.runtime.message import Envelope, Message
 from repro.runtime.request import Request, RequestKind
 from tests.conftest import run_world
+
+#: Both engine implementations must satisfy every matching property.
+ENGINES = [LinearMatchingEngine, BucketMatchingEngine]
 
 
 class ReferenceMatcher:
@@ -51,13 +56,14 @@ _event = st.tuples(st.integers(0, 1),
                    st.sampled_from([ANY_TAG, 0, 1, 2]))
 
 
+@pytest.mark.parametrize("engine_cls", ENGINES)
 @given(st.lists(_event, max_size=40))
 @settings(max_examples=120, deadline=None)
-def test_engine_matches_reference_for_any_sequence(events):
+def test_engine_matches_reference_for_any_sequence(engine_cls, events):
     """For any single-threaded post/deposit interleaving, the engine
     pairs exactly the same (receive, message) couples as the reference
     matcher, in the same order."""
-    engine = MatchingEngine(0)
+    engine = engine_cls(0)
     ref = ReferenceMatcher()
     engine_pairs = []
 
@@ -85,6 +91,54 @@ def test_engine_matches_reference_for_any_sequence(events):
     posted_n, unexpected_n = engine.pending_counts()
     assert posted_n == len(ref.posted)
     assert unexpected_n == len(ref.unexpected)
+
+
+# Events with cancels: kind 0 = post, 1 = deposit, 2 = cancel the
+# oldest still-pending posted receive (src/tag reused for 0/1).
+_event_with_cancel = st.tuples(st.integers(0, 2),
+                               st.sampled_from([ANY_SOURCE, 0, 1, 2]),
+                               st.sampled_from([ANY_TAG, 0, 1, 2]))
+
+
+@given(st.lists(_event_with_cancel, max_size=40))
+@settings(max_examples=120, deadline=None)
+def test_bucket_engine_equivalent_to_linear_with_cancels(events):
+    """Linear and bucketed engines are observationally equivalent under
+    any post/deposit/cancel interleaving: same match pairs in the same
+    order, same cancel outcomes, same queue depths."""
+    pairs = {"linear": [], "bucket": []}
+    cancels = {}
+
+    for label, engine in (("linear", LinearMatchingEngine(0)),
+                          ("bucket", BucketMatchingEngine(0))):
+        requests = []      # (event_id, request) of posts, oldest first
+        outcomes = []
+        for i, (kind, src, tag) in enumerate(events):
+            if kind == 0:
+                req = Request(RequestKind.RECV)
+
+                def on_match(msg, rid=i, out=pairs[label]):
+                    out.append((rid, msg.seq))
+
+                engine.post(PostedRecv(ctx=0, src=src, tag=tag,
+                                       nomatch=False, request=req,
+                                       on_match=on_match))
+                requests.append((i, req))
+            elif kind == 1:
+                msrc = 0 if src == ANY_SOURCE else src
+                mtag = 0 if tag == ANY_TAG else tag
+                engine.deposit(Message(
+                    env=Envelope(ctx=0, src=msrc, tag=mtag),
+                    data=b"", arrive_s=0.0, seq=i))
+            elif requests:
+                rid, req = requests.pop(0)
+                outcomes.append((rid, engine.cancel_posted(req),
+                                 req.cancelled))
+        outcomes.append(engine.pending_counts())
+        cancels[label] = outcomes
+
+    assert pairs["bucket"] == pairs["linear"]
+    assert cancels["bucket"] == cancels["linear"]
 
 
 class TestChaosTraffic:

@@ -112,6 +112,44 @@ class TestManyMessagesStress:
         assert run_world(2, main) == ["done", "done"]
 
 
+class TestCancelUnderFlood:
+    def test_cancel_races_flood_of_matching_sends(self):
+        """Rank 1 posts receives and cancels every other one while rank
+        0's matching sends flood in concurrently.  MPI's non-overtaking
+        rule must survive: successful receives see the payload sequence
+        in order, cancelled receives leave exactly their messages in
+        the unexpected queue, and a final drain recovers the tail."""
+        n = 80
+
+        def main(comm):
+            if comm.rank == 0:
+                reqs = [comm.Isend(np.full(2, float(i)), dest=1, tag=5)
+                        for i in range(n)]
+                for r in reqs:
+                    r.wait()
+                comm.barrier()
+                return None
+            buf = np.zeros(2)
+            values, cancelled = [], 0
+            for i in range(n):
+                req = comm.Irecv(buf, source=0, tag=5)
+                if i % 2 and comm.proc.engine.cancel_posted(req):
+                    assert req.cancelled
+                    cancelled += 1
+                    continue
+                req.wait()
+                values.append(buf[0])
+            comm.barrier()   # all sends deposited beyond this point
+            assert comm.proc.engine.pending_counts()[1] == cancelled
+            for _ in range(cancelled):
+                comm.Recv(buf, source=0, tag=5)
+                values.append(buf[0])
+            return values
+
+        values = run_world(2, main)[1]
+        assert values == [float(i) for i in range(n)]
+
+
 class TestNBCEdgeCases:
     def test_result_none_before_completion(self):
         def main(comm):
