@@ -1,0 +1,105 @@
+"""Sanitizer overhead benchmark (emits ``BENCH_sanitize.json``).
+
+Two claims, measured on the real runtime:
+
+* **Zero charged overhead when disabled** — and, stronger, even when
+  *enabled*: the sanitizer does bookkeeping in host Python outside the
+  instruction ledger, so the Figure 2 isend/put counts are identical
+  under ``sanitize=False`` and ``sanitize=True``.  Asserted exactly.
+* **Wall-clock overhead when enabled** — a 2-rank blocking ping-pong
+  timed under both configurations; the JSON reports messages/second
+  and the enabled/disabled ratio.  The static linter's throughput over
+  the shipped tree (files/second) is reported alongside.
+
+Run standalone (writes ``BENCH_sanitize.json`` at the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_sanitize.py
+
+or through pytest (same JSON, plus assertions)::
+
+    pytest benchmarks/bench_sanitize.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import BuildConfig
+from repro.perf.msgrate import measure_instructions
+from repro.runtime.world import World
+from repro.sanitize import lint_paths
+
+_ROOT = Path(__file__).resolve().parent.parent
+_OUT = _ROOT / "BENCH_sanitize.json"
+_PINGPONG_MSGS = 300
+
+
+def pingpong_rate(sanitize: bool, nmsgs: int = _PINGPONG_MSGS) -> float:
+    """Messages/second of a 2-rank blocking ping-pong."""
+    world = World(2, BuildConfig(sanitize=sanitize))
+    buf = np.zeros(8, dtype=np.int64)
+
+    def main(comm):
+        peer = 1 - comm.rank
+        for i in range(nmsgs):
+            if comm.rank == i % 2:
+                comm.Send(buf, dest=peer, tag=0)
+            else:
+                comm.Recv(buf, source=peer, tag=0)
+
+    t0 = time.perf_counter()
+    world.run(main)
+    return nmsgs / (time.perf_counter() - t0)
+
+
+def charged_counts(sanitize: bool) -> dict[str, int]:
+    """Figure 2 charged instruction counts for the default build."""
+    config = BuildConfig(sanitize=sanitize)
+    return {op: measure_instructions(config, op)
+            for op in ("isend", "put")}
+
+
+def lint_throughput() -> dict[str, float]:
+    """Static-lint throughput over the shipped examples and apps."""
+    paths = [str(_ROOT / "examples"), str(_ROOT / "src" / "repro" / "apps")]
+    t0 = time.perf_counter()
+    report = lint_paths(paths)
+    dt = time.perf_counter() - t0
+    return {"files": report.files_checked,
+            "findings": len(report.diagnostics),
+            "files_per_s": report.files_checked / dt}
+
+
+def run_benchmark() -> dict:
+    """Collect every measurement and write ``BENCH_sanitize.json``."""
+    counts_off = charged_counts(sanitize=False)
+    counts_on = charged_counts(sanitize=True)
+    rate_off = pingpong_rate(sanitize=False)
+    rate_on = pingpong_rate(sanitize=True)
+    data = {
+        "charged_instructions": {"disabled": counts_off,
+                                 "enabled": counts_on,
+                                 "identical": counts_off == counts_on},
+        "pingpong_msgs_per_s": {"disabled": rate_off, "enabled": rate_on,
+                                "enabled_over_disabled": rate_on / rate_off},
+        "static_lint": lint_throughput(),
+    }
+    _OUT.write_text(json.dumps(data, indent=2) + "\n")
+    return data
+
+
+def test_bench_sanitize(print_artifact):
+    """Charged counts identical; JSON artifact written."""
+    data = run_benchmark()
+    assert data["charged_instructions"]["identical"]
+    assert data["static_lint"]["findings"] == 0
+    print_artifact("Sanitizer overhead (BENCH_sanitize.json)",
+                   json.dumps(data, indent=2))
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_benchmark(), indent=2))

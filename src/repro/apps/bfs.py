@@ -171,6 +171,8 @@ class DistributedBFS:
                 pending_done -= 1
             else:
                 received.append(buf)
+        for req in reqs:
+            req.wait()
         return np.concatenate(received) if received \
             else np.empty(0, dtype=np.int64)
 

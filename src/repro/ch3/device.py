@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.ch3.protocol import Protocol, choose_protocol, wire_overhead_s
-from repro.consts import PROC_NULL
+from repro.consts import ANY_SOURCE, PROC_NULL
 from repro.core import am
 from repro.core.ops import AccOp, GetOp, PutOp, RecvOp, SendOp, SyncState
 from repro.datatypes.pack import pack, packed_size, unpack
@@ -87,6 +87,9 @@ class CH3Device:
         request = proc.request_pool.acquire(RequestKind.SEND)
 
         payload = pack(op.buf, op.count, op.dtref.datatype)
+        if proc.sanitizer is not None:
+            proc.sanitizer.note_send(request, dest_world, op.sync, payload,
+                                     (op.buf, op.count, op.dtref.datatype))
         transport = self._transport_for(dest_world)
         protocol = choose_protocol(len(payload), transport.spec,
                                    proc.config.eager_threshold)
@@ -141,6 +144,10 @@ class CH3Device:
                                  tag=msg.env.tag, count_bytes=len(msg.data),
                                  error=exc)
 
+        if proc.sanitizer is not None:
+            proc.sanitizer.note_recv(
+                request, None if op.source == ANY_SOURCE
+                else op.comm.translation.world_rank(op.source))
         posted = PostedRecv(ctx=op.comm.ctx, src=op.source, tag=op.tag,
                             nomatch=False, request=request,
                             on_match=on_match)

@@ -183,6 +183,9 @@ class CH4Device:
         proc.charge(_MAND, desc, Subsystem.DESCRIPTOR)
 
         payload = pack(op.buf, op.count, op.dtref.datatype)
+        if proc.sanitizer is not None and request is not None:
+            proc.sanitizer.note_send(request, dest_world, op.sync, payload,
+                                     (op.buf, op.count, op.dtref.datatype))
         transport = self._transport_for(dest_world)
         native = (not self.force_am
                   and transport.send_is_native(op.dtref.datatype.contig))
@@ -283,6 +286,10 @@ class CH4Device:
                                  tag=msg.env.tag, count_bytes=len(msg.data),
                                  error=exc)
 
+        if proc.sanitizer is not None:
+            proc.sanitizer.note_recv(
+                request, None if op.source == ANY_SOURCE
+                else comm.translation.world_rank(op.source))
         posted = PostedRecv(ctx=comm.ctx, src=op.source, tag=op.tag,
                             nomatch=flags.nomatch, request=request,
                             on_match=on_match)

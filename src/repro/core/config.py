@@ -83,6 +83,13 @@ class BuildConfig:
         Recycle request handles from a per-rank free-pool (§3.5)
         instead of allocating one per operation.  Wall-clock only;
         charged request-management costs are unchanged.
+    sanitize:
+        Enable the dynamic MPI-correctness sanitizer
+        (:mod:`repro.sanitize`): cross-rank deadlock detection,
+        request-leak reports at finalize, send-buffer ownership
+        checks, and RMA epoch validation.  Off by default; when off,
+        no sanitizer hook runs and charged instruction accounting is
+        byte-identical to a build without the sanitizer.
     """
 
     device: Device = Device.CH4
@@ -96,6 +103,7 @@ class BuildConfig:
     force_am_fallback: bool = False
     matching_engine: str = "bucket"
     request_pool: bool = True
+    sanitize: bool = False
 
     @property
     def ipo(self) -> bool:

@@ -358,8 +358,21 @@ class Communicator:
     def probe(self, source: int = ANY_SOURCE,
               tag: int = ANY_TAG) -> Status:
         """Blocking MPI_PROBE: status of the next matching message."""
-        env, nbytes = self.proc.engine.probe(
-            self.ctx, source, tag, abort_event=self.world.abort_event)
+        san = self.proc.sanitizer
+        if san is not None:
+            # Register the probe as a blocked OR-wait (concrete edge
+            # only for a concrete source) so deadlock detection covers
+            # probe loops; raises MSD201 instead of blocking forever.
+            san.note_block_probe(
+                self, source, tag,
+                None if source == ANY_SOURCE
+                else self.world_rank_of(source))
+        try:
+            env, nbytes = self.proc.engine.probe(
+                self.ctx, source, tag, abort_event=self.world.abort_event)
+        finally:
+            if san is not None:
+                san.note_unblock()
         return Status(source=env.src, tag=env.tag, count_bytes=nbytes)
 
     def iprobe(self, source: int = ANY_SOURCE,

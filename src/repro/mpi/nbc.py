@@ -85,6 +85,10 @@ class NBCRequest(Request):
                  state: Optional[dict] = None):
         super().__init__(RequestKind.GENERALIZED, comm.proc,
                          comm.world.abort_event)
+        san = comm.proc.sanitizer
+        if san is not None:
+            # Built directly (not via the pool), so register explicitly.
+            san.note_acquire(self, api="nonblocking collective")
         self.comm = comm
         self.steps = steps
         self.state = state if state is not None else {}

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from repro.consts import PROC_NULL
+from repro.consts import ANY_SOURCE, PROC_NULL
 from repro.core.config import Device
 from repro.core.ops import RecvOp, SendOp
 from repro.datatypes.pack import pack
@@ -105,6 +105,10 @@ class PersistentSend(PersistentRequest):
                             Subsystem.DESCRIPTOR)
                 device = proc.device
                 payload = pack(self.buf, self.count, self.dtref.datatype)
+                if proc.sanitizer is not None:
+                    proc.sanitizer.note_send(
+                        request, self.dest_world, False, payload,
+                        (self.buf, self.count, self.dtref.datatype))
                 transport = device._transport_for(self.dest_world)
                 native = (not device.force_am and transport.send_is_native(
                     self.dtref.datatype.contig))
@@ -172,6 +176,10 @@ class PersistentRecv(PersistentRequest):
                                          source=msg.env.src,
                                          tag=msg.env.tag, error=exc)
 
+                if proc.sanitizer is not None:
+                    proc.sanitizer.note_recv(
+                        request, None if self.source == ANY_SOURCE
+                        else comm.translation.world_rank(self.source))
                 proc.engine.post(
                     PostedRecv(ctx=comm.ctx, src=self.source,
                                tag=self.tag, nomatch=False,

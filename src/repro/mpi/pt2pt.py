@@ -47,6 +47,8 @@ def mpi_entry(proc: "Proc", function_call_cost: int,
     *name* is given, the call's virtual-time span is recorded."""
     config = proc.config
     t0 = proc.vclock.now if proc.timeline is not None else 0.0
+    if proc.sanitizer is not None and name is not None:
+        proc.sanitizer.note_api(name)   # labels leak/deadlock reports
     try:
         with proc.timed_call():
             if not config.ipo:

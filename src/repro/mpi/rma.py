@@ -308,6 +308,8 @@ class Window:
             if proc.config.error_checking:
                 self._validate_rma(buf, count, dtref, target_rank,
                                    flags.global_rank)
+            if proc.sanitizer is not None and target_rank != PROC_NULL:
+                proc.sanitizer.check_rma(self, target_rank)
             op = PutOp(origin_buf=buf, origin_count=count,
                        origin_dtref=dtref, target_rank=target_rank,
                        target_disp=target_disp, target_count=t_count,
@@ -326,6 +328,8 @@ class Window:
             if proc.config.error_checking:
                 self._validate_rma(buf, count, dtref, target_rank,
                                    flags.global_rank)
+            if proc.sanitizer is not None and target_rank != PROC_NULL:
+                proc.sanitizer.check_rma(self, target_rank)
             op = GetOp(origin_buf=buf, origin_count=count,
                        origin_dtref=dtref, target_rank=target_rank,
                        target_disp=target_disp, target_count=t_count,
@@ -346,6 +350,8 @@ class Window:
             if proc.config.error_checking:
                 self._validate_rma(buf, count, dtref, target_rank,
                                    flags.global_rank)
+            if proc.sanitizer is not None and target_rank != PROC_NULL:
+                proc.sanitizer.check_rma(self, target_rank)
             acc = AccOp(origin_buf=buf, origin_count=count,
                         origin_dtref=dtref, target_rank=target_rank,
                         target_disp=target_disp, target_count=t_count,
@@ -365,6 +371,8 @@ class Window:
             if proc.config.error_checking:
                 self._validate_rma(buf, count, dtref, target_rank,
                                    flags.global_rank)
+            if proc.sanitizer is not None and target_rank != PROC_NULL:
+                proc.sanitizer.check_rma(self, target_rank)
             acc = AccOp(origin_buf=buf, origin_count=count,
                         origin_dtref=dtref, target_rank=target_rank,
                         target_disp=target_disp, target_count=count,
@@ -390,6 +398,8 @@ class Window:
                        name="MPI_Compare_and_swap"):
             if proc.config.error_checking:
                 self._validate_rma(buf, count, dtref, target_rank, False)
+            if proc.sanitizer is not None and target_rank != PROC_NULL:
+                proc.sanitizer.check_rma(self, target_rank)
             target_world = self.comm.world_rank_of(target_rank)
             state = self.state_of(target_world)
             from repro.core import am
@@ -459,6 +469,8 @@ class Window:
         plus completion of all pending operations)."""
         self.flush_all()
         self.comm.barrier()
+        if self.proc.sanitizer is not None:
+            self.proc.sanitizer.note_fence(self)
 
     def lock(self, target_rank: int,
              lock_type: str = LOCK_EXCLUSIVE) -> None:
@@ -563,3 +575,5 @@ class Window:
         """MPI_WIN_FREE (collective): complete and drop the window."""
         self.fence()
         self.freed = True
+        if self.proc.sanitizer is not None:
+            self.proc.sanitizer.note_win_free(self)

@@ -89,6 +89,9 @@ def _trace_isend(comm, flags: ext.ExtFlags):
 def _trace_put(comm, flags: ext.ExtFlags):
     arr = np.zeros(64, dtype=np.uint8)
     win = Window.create(comm, arr, disp_unit=1)
+    # Open a fence epoch before tracing: the access itself must be
+    # MPI-legal, and the tracer window excludes the fence's charges.
+    win.fence()
     proc = comm.proc
     total = None
     if comm.rank == 0:

@@ -49,6 +49,11 @@ class Proc:
         self.tracer = CallTracer(self.counter)
         self.vclock = VClock(self.net_fabric)
         self.engine = build_engine(world_rank, config.matching_engine)
+        #: Per-rank dynamic-sanitizer view (None unless the world was
+        #: built with ``sanitize=True``); every hook site guards on it.
+        world_san = getattr(world, "sanitizer", None)
+        self.sanitizer = (world_san.rank_view(self)
+                          if world_san is not None else None)
         #: Per-rank §3.5 request free-pool (recycles handles on the
         #: real-Python hot path; charged costs are unaffected).
         self.request_pool = RequestPool(self, world.abort_event,

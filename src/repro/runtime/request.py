@@ -113,6 +113,9 @@ class Request:
             self.cancelled = True
             self._done.set()
             waiters, self._waiters = self._waiters, []
+        san = getattr(self._proc, "sanitizer", None)
+        if san is not None:
+            san.note_cancel(self)
         for callback in waiters:
             callback(self)
 
@@ -147,11 +150,20 @@ class Request:
         error captured by the completing thread.  Event-driven: wakes
         the instant the completing thread (or a world abort) fires."""
         if not self._done.is_set():
-            abort = self._abort
-            if abort is None:
-                self._done.wait()
-            else:
-                self._wait_interruptible(abort)
+            san = getattr(self._proc, "sanitizer", None)
+            if san is not None:
+                # Registers the wait-for edge; raises MSD201 instead of
+                # blocking when this wait completes a certain deadlock.
+                san.note_block_request(self)
+            try:
+                abort = self._abort
+                if abort is None:
+                    self._done.wait()
+                else:
+                    self._wait_interruptible(abort)
+            finally:
+                if san is not None:
+                    san.note_unblock()
         self._finish()
         return self
 
@@ -175,6 +187,9 @@ class Request:
     def _finish(self) -> None:
         if self._proc is not None:
             self._proc.vclock.merge(self.complete_s)
+            san = getattr(self._proc, "sanitizer", None)
+            if san is not None:
+                san.note_finish(self)   # closes the record; may raise MSD203
         if self.error is not None:
             raise self.error
 
@@ -230,13 +245,20 @@ class RequestPool:
             req = self._free.pop()
             req._reset(kind)
             self.n_reuse += 1
-            return req
-        self.n_alloc += 1
-        return Request(kind, self._proc, self._abort)
+        else:
+            self.n_alloc += 1
+            req = Request(kind, self._proc, self._abort)
+        san = getattr(self._proc, "sanitizer", None)
+        if san is not None:
+            san.note_acquire(req)   # opens the lifetime record
+        return req
 
     def release(self, req: Optional[Request]) -> None:
         """Return a handle whose lifetime is over (completed, waited,
         and with no user-visible reference) to the pool."""
+        san = getattr(self._proc, "sanitizer", None)
+        if san is not None and req is not None:
+            san.note_release(req)   # internal lifetime over
         if (req is None or not self.enabled
                 or req.__class__ is not Request
                 or len(self._free) >= self.MAX_POOLED):

@@ -65,6 +65,15 @@ class World:
         #: procs — each rank's request pool binds to it.
         self.abort_event = NotifyingEvent()
 
+        #: Dynamic correctness checker (``BuildConfig(sanitize=True)``
+        #: only) — created before the procs so each rank can bind its
+        #: per-rank view.  None in default builds: every hook site
+        #: guards on it, so disabled runs execute no sanitizer code.
+        self.sanitizer = None
+        if self.config.sanitize:
+            from repro.sanitize.runtime import WorldSanitizer
+            self.sanitizer = WorldSanitizer(self)
+
         self._procs = [None] * nranks
         for r in range(nranks):
             from repro.runtime.proc import Proc
@@ -117,6 +126,8 @@ class World:
         from repro.mpi.comm import Communicator
 
         self.abort_event.clear()
+        if self.sanitizer is not None:
+            self.sanitizer.begin_run()
         results: list[Any] = [None] * self.nranks
         errors: list[Optional[BaseException]] = [None] * self.nranks
 
@@ -126,6 +137,11 @@ class World:
             try:
                 comm = Communicator.world_view(proc)
                 results[rank] = fn(comm, *args)
+                if proc.sanitizer is not None:
+                    # MPI_Finalize semantics: report (MSD202) instead of
+                    # silently dropping still-pending requests, and
+                    # expose stalls this rank's exit makes certain.
+                    proc.sanitizer.finalize()
             except BaseException as exc:  # noqa: BLE001 - reported to caller
                 errors[rank] = exc
                 self.abort_event.set()
@@ -146,7 +162,8 @@ class World:
                 t.join(timeout=5.0)
             raise TimeoutError(
                 f"ranks did not finish within {timeout}s: {hung} "
-                f"(likely deadlock in the application function)")
+                f"(likely deadlock in the application function)\n"
+                + self._teardown_report())
 
         first_real = next(
             (e for e in errors if e is not None
@@ -161,6 +178,27 @@ class World:
         return results
 
     # -- reporting -------------------------------------------------------------
+
+    def _teardown_report(self) -> str:
+        """What was still in flight when the world tore down: per-rank
+        matching-queue depths always, plus per-request lifetimes when
+        the sanitizer is enabled — pending operations are reported, not
+        silently dropped."""
+        lines = []
+        for p in self._procs:
+            posted, unexpected = p.engine.pending_counts()
+            if posted or unexpected:
+                lines.append(f"rank {p.world_rank}: {posted} posted "
+                             f"receive(s), {unexpected} unexpected "
+                             "message(s) still queued")
+        if not lines:
+            lines.append("no receives or unexpected messages queued")
+        if self.sanitizer is not None:
+            lines.append(self.sanitizer.pending_summary())
+        else:
+            lines.append("(enable BuildConfig(sanitize=True) for "
+                         "per-request lifetimes and deadlock analysis)")
+        return "\n".join(lines)
 
     def max_vtime(self) -> float:
         """Latest virtual clock across ranks — the run's makespan."""

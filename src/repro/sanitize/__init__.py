@@ -1,0 +1,37 @@
+"""MPI-correctness sanitizer: static linter + dynamic runtime checker.
+
+Two cooperating halves share one rule catalog
+(:data:`repro.sanitize.diagnostics.RULES`):
+
+* the **static pass** (``python -m repro.sanitize <paths>``) lints
+  programs that use :mod:`repro.mpi` without running them — request
+  leaks, send-buffer reuse, wildcard-receive races, tag mismatches,
+  RMA accesses outside epochs, and extension-API misuse
+  (rules ``MS101``–``MS106``);
+* the **dynamic pass** (``BuildConfig(sanitize=True)``) checks real
+  executions — cross-rank deadlock detection with per-rank stacks,
+  request-leak reports at finalize, buffer-ownership validation, and
+  per-operation RMA epoch checks (rules ``MSD201``–``MSD204``).
+
+With ``sanitize=False`` (the default) no hook runs and charged
+instruction accounting is byte-identical to an unsanitized build.
+"""
+
+from repro.sanitize.astlint import (lint_file, lint_paths, lint_source)
+from repro.sanitize.diagnostics import (Diagnostic, Report, RULES,
+                                        SanitizerError,
+                                        render_rule_catalog)
+from repro.sanitize.runtime import RankSanitizer, WorldSanitizer
+
+__all__ = [
+    "Diagnostic",
+    "RULES",
+    "RankSanitizer",
+    "Report",
+    "SanitizerError",
+    "WorldSanitizer",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "render_rule_catalog",
+]

@@ -1,0 +1,11 @@
+"""``python -m repro.sanitize`` — run the static linter CLI."""
+
+import sys
+
+from repro.sanitize.cli import main
+
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # Output was piped to a consumer that stopped reading (e.g. head).
+    sys.exit(0)

@@ -1,0 +1,600 @@
+"""AST-based MPI-correctness linter over programs using ``repro.mpi``.
+
+Static counterpart of the dynamic sanitizer: six rule classes
+(``MS101`` .. ``MS106``, see :data:`repro.sanitize.diagnostics.RULES`)
+checked per *scope* (each function body, plus the module body) without
+executing the program.
+
+The rules are deliberately conservative — a diagnostic means the
+pattern is wrong on every execution path the linter can see, so the
+linter stays zero-false-positive on ``examples/`` and
+``src/repro/apps/`` (enforced by the lint tier in CI).  Findings can be
+suppressed line-by-line with ``# sanitize: ignore`` or
+``# sanitize: ignore[MS101,MS103]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.sanitize.diagnostics import Diagnostic, Report
+
+# ---------------------------------------------------------------------------
+# call classification tables
+# ---------------------------------------------------------------------------
+
+#: Nonblocking calls that return a Request the caller must complete.
+REQUEST_RETURNING = frozenset({
+    "isend", "issend", "Isend", "Issend", "irecv", "Irecv",
+    "isend_npn", "isend_global", "isend_nomatch",
+    "irecv_nomatch", "irecv_all_opts",
+    "ibarrier", "ibcast", "iallreduce", "iallgather", "igather",
+    "iscatter",
+})
+
+#: Buffer-API sends (the buffer argument must stay untouched until the
+#: operation completes; the lowercase object API pickles eagerly and is
+#: therefore exempt from MS102).
+BUFFER_SENDS = frozenset({
+    "Send", "Isend", "Ssend", "Issend",
+    "isend_npn", "isend_global", "isend_nomatch", "isend_noreq",
+    "isend_all_opts",
+})
+
+#: attr -> (dest positional index, tag positional index) for send-family
+#: calls that carry a destination and a tag.
+SEND_ARGS = {
+    "send": (1, 2), "isend": (1, 2), "ssend": (1, 2), "issend": (1, 2),
+    "Send": (1, 2), "Isend": (1, 2), "Ssend": (1, 2), "Issend": (1, 2),
+    "Send_init": (1, 2),
+    "isend_npn": (1, 2), "isend_global": (1, 2), "isend_nomatch": (1, 2),
+    "isend_noreq": (1, 2), "isend_all_opts": (1, 2),
+}
+
+#: attr -> (source positional index, tag positional index) for receive
+#: calls whose omitted source defaults to ANY_SOURCE.
+RECV_ARGS = {
+    "recv": (0, 1), "irecv": (0, 1),
+    "Recv": (1, 2), "Irecv": (1, 2), "Recv_init": (1, 2),
+}
+
+#: Arrival-order receives of the §3.6 extension (never wildcard *races*:
+#: arrival order IS their contract).
+NOMATCH_RECVS = frozenset({"recv_nomatch", "irecv_nomatch",
+                           "irecv_all_opts"})
+
+#: Sends that strip match bits (§3.6) — mixing them with plain wildcard
+#: receives on one communicator is the MS106 misuse.
+NOMATCH_SENDS = frozenset({"isend_nomatch", "isend_all_opts"})
+
+#: Window methods that perform remote memory access.
+RMA_ACCESSES = frozenset({
+    "put", "get", "accumulate", "get_accumulate", "fetch_and_op",
+    "compare_and_swap", "put_virtual_addr", "get_virtual_addr",
+    "put_all_opts",
+})
+
+#: Window methods that open an access epoch.
+EPOCH_OPENERS = frozenset({"fence", "lock", "lock_all", "start"})
+
+#: Window constructors recognized for in-function window tracking.
+WINDOW_CTORS = frozenset({"create", "allocate", "create_dynamic"})
+
+#: ndarray methods that mutate in place (for MS102).
+MUTATING_METHODS = frozenset({"fill", "sort", "resize", "itemset",
+                              "partition"})
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+# ---------------------------------------------------------------------------
+# scope model
+# ---------------------------------------------------------------------------
+
+@dataclass
+class MPICall:
+    """One MPI-looking method call inside a scope."""
+
+    node: ast.Call
+    recv_obj: str          #: unparsed receiver expression ("comm", "self.comm")
+    attr: str              #: method name ("Isend", "put", ...)
+    line: int
+    branch: tuple          #: (id(if-node), arm) path — sibling-branch test
+    rank_dependent: bool   #: nested under an `if` that tests a rank
+
+
+class Scope:
+    """One analysis scope: a function body or the module body."""
+
+    def __init__(self, name: str, body: list[ast.stmt],
+                 consts: dict[str, int]):
+        self.name = name
+        self.body = body
+        self.consts = consts
+        self.statements: list[ast.stmt] = []
+        self.calls: list[MPICall] = []
+        self.parents: dict[ast.AST, ast.AST] = {}
+        self.name_loads: dict[str, list[ast.Name]] = {}
+        self._collect()
+
+    # -- construction --------------------------------------------------------
+
+    def _collect(self) -> None:
+        for stmt in self.body:
+            self._walk(stmt, parent=None, branch=(), rankdep=False)
+
+    def _walk(self, node: ast.AST, parent: Optional[ast.AST],
+              branch: tuple, rankdep: bool) -> None:
+        if parent is not None:
+            self.parents[node] = parent
+        if isinstance(node, _SCOPE_NODES) or isinstance(node, ast.ClassDef):
+            return                      # nested scopes analyzed separately
+        if isinstance(node, ast.stmt):
+            self.statements.append(node)
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            self.name_loads.setdefault(node.id, []).append(node)
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute):
+            try:
+                recv_obj = ast.unparse(node.func.value)
+            except Exception:           # pragma: no cover - defensive
+                recv_obj = "<expr>"
+            self.calls.append(MPICall(node, recv_obj, node.func.attr,
+                                      node.lineno, branch, rankdep))
+
+        if isinstance(node, ast.If):
+            test_rankdep = rankdep or _mentions_rank(node.test)
+            self._walk(node.test, node, branch, rankdep)
+            for child in node.body:
+                self._walk(child, node, branch + ((id(node), 0),),
+                           test_rankdep)
+            for child in node.orelse:
+                self._walk(child, node, branch + ((id(node), 1),),
+                           test_rankdep)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, node, branch, rankdep)
+
+    # -- queries -------------------------------------------------------------
+
+    def statement_of(self, node: ast.AST) -> Optional[ast.stmt]:
+        """The innermost statement containing *node*."""
+        cur: Optional[ast.AST] = node
+        while cur is not None and not isinstance(cur, ast.stmt):
+            cur = self.parents.get(cur)
+        return cur
+
+    def loads_of(self, name: str) -> list[ast.Name]:
+        """Every Load of *name* in this scope."""
+        return self.name_loads.get(name, [])
+
+    def resolve_tag(self, node: Optional[ast.expr]) -> Union[int, str, None]:
+        """A tag expression as int, ``"ANY"``, or None (unresolvable)."""
+        if node is None:
+            return "ANY"
+        if isinstance(node, ast.Constant) and isinstance(node.value, int):
+            return node.value
+        if isinstance(node, ast.Name):
+            if node.id == "ANY_TAG":
+                return "ANY"
+            if node.id in self.consts:
+                return self.consts[node.id]
+        if isinstance(node, ast.Attribute) and node.attr == "ANY_TAG":
+            return "ANY"
+        return None
+
+
+def _mentions_rank(test: ast.expr) -> bool:
+    """Does an `if` test look at a rank (rank-asymmetric code)?"""
+    for sub in ast.walk(test):
+        if isinstance(sub, ast.Name) and "rank" in sub.id.lower():
+            return True
+        if isinstance(sub, ast.Attribute) and "rank" in sub.attr.lower():
+            return True
+    return False
+
+
+def _sibling_branches(a: tuple, b: tuple) -> bool:
+    """True when two branch paths are mutually exclusive arms of one If."""
+    for (ia, arm_a), (ib, arm_b) in zip(a, b):
+        if ia != ib:
+            return False
+        if arm_a != arm_b:
+            return True
+    return False
+
+
+def _arg(call: ast.Call, pos: int, kw: str) -> Optional[ast.expr]:
+    """Positional-or-keyword argument lookup."""
+    if len(call.args) > pos:
+        return call.args[pos]
+    for keyword in call.keywords:
+        if keyword.arg == kw:
+            return keyword.value
+    return None
+
+
+def _is_wildcard_source(scope: Scope, call: MPICall) -> bool:
+    """Is this receive's source ANY_SOURCE (explicitly or by default)?"""
+    spec = RECV_ARGS.get(call.attr)
+    if spec is None:
+        return False
+    src = _arg(call.node, spec[0], "source")
+    if src is None:
+        return True
+    if isinstance(src, ast.Name) and src.id == "ANY_SOURCE":
+        return True
+    if isinstance(src, ast.Attribute) and src.attr == "ANY_SOURCE":
+        return True
+    return False
+
+
+def _buffer_name(call: ast.Call) -> Optional[str]:
+    """The sent buffer's variable name, when it is a plain name (or the
+    first element of a ``(buf, count, datatype)`` tuple)."""
+    if not call.args:
+        return None
+    buf = call.args[0]
+    if isinstance(buf, ast.Tuple) and buf.elts:
+        buf = buf.elts[0]
+    return buf.id if isinstance(buf, ast.Name) else None
+
+
+# ---------------------------------------------------------------------------
+# the linter
+# ---------------------------------------------------------------------------
+
+class Linter:
+    """Applies the MS1xx rules to one parsed module."""
+
+    def __init__(self, tree: ast.Module, path: str, source: str):
+        self.tree = tree
+        self.path = path
+        self.lines = source.splitlines()
+        self.consts = self._module_consts(tree)
+        self.diagnostics: list[Diagnostic] = []
+
+    @staticmethod
+    def _module_consts(tree: ast.Module) -> dict[str, int]:
+        consts: dict[str, int] = {}
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                try:
+                    value = ast.literal_eval(stmt.value)
+                except (ValueError, SyntaxError):
+                    continue
+                if isinstance(value, int):
+                    consts[stmt.targets[0].id] = value
+        return consts
+
+    # -- entry ----------------------------------------------------------------
+
+    def run(self) -> list[Diagnostic]:
+        """Lint every scope; returns surviving (non-suppressed) findings."""
+        scopes = [Scope("<module>", self.tree.body, self.consts)]
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(Scope(node.name, node.body, self.consts))
+        for scope in scopes:
+            self._rule_request_leak(scope)
+            self._rule_buffer_mutation(scope)
+            self._rule_wildcard_race(scope)
+            self._rule_tag_mismatch(scope)
+            self._rule_rma_epoch(scope)
+            self._rule_nomatch_misuse(scope)
+        return [d for d in self.diagnostics if not self._suppressed(d)]
+
+    def _emit(self, rule_id: str, line: int, message: str) -> None:
+        self.diagnostics.append(
+            Diagnostic(rule_id, self.path, line, message))
+
+    def _suppressed(self, diag: Diagnostic) -> bool:
+        if not 1 <= diag.line <= len(self.lines):
+            return False
+        text = self.lines[diag.line - 1]
+        marker = "# sanitize: ignore"
+        idx = text.find(marker)
+        if idx < 0:
+            return False
+        rest = text[idx + len(marker):]
+        if rest.startswith("["):
+            listed = rest[1:rest.find("]")] if "]" in rest else rest[1:]
+            return diag.rule_id in {r.strip() for r in listed.split(",")}
+        return True
+
+    # -- MS101: request leak ---------------------------------------------------
+
+    def _rule_request_leak(self, scope: Scope) -> None:
+        for call in scope.calls:
+            if call.attr not in REQUEST_RETURNING:
+                continue
+            parent = scope.parents.get(call.node)
+            if isinstance(parent, ast.Expr):
+                self._emit("MS101", call.line,
+                           f"request returned by {call.attr}() is "
+                           "discarded — it is never waited or tested")
+            elif self._leaked_via_append(scope, call, parent):
+                self._emit("MS101", call.line,
+                           f"request from {call.attr}() is appended to a "
+                           "list that never reaches a wait/test call")
+            elif self._leaked_via_assign(scope, call):
+                self._emit("MS101", call.line,
+                           f"request from {call.attr}() is assigned but "
+                           "never used — it is never waited or tested")
+
+    @staticmethod
+    def _leaked_via_append(scope: Scope, call: MPICall,
+                           parent: Optional[ast.AST]) -> bool:
+        """``reqs.append(comm.Isend(...))`` where ``reqs`` is only ever
+        appended to — the collected requests can never be completed."""
+        if not (isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Attribute)
+                and parent.func.attr == "append"
+                and isinstance(parent.func.value, ast.Name)
+                and call.node in parent.args):
+            return False
+        list_name = parent.func.value.id
+        for load in scope.loads_of(list_name):
+            enclosing = scope.parents.get(load)
+            if isinstance(enclosing, ast.Attribute) \
+                    and enclosing.attr == "append":
+                continue            # another accumulation, not a use
+            return False            # the list escapes / is iterated
+        return True
+
+    @staticmethod
+    def _leaked_via_assign(scope: Scope, call: MPICall) -> bool:
+        """``r = comm.Isend(...)`` (or a list comprehension of sends)
+        where the bound name is never loaded again."""
+        stmt = scope.statement_of(call.node)
+        if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)):
+            return False
+        value = stmt.value
+        direct = value is call.node
+        via_comp = isinstance(value, ast.ListComp) and \
+            value.elt is call.node
+        if not (direct or via_comp):
+            return False
+        return not scope.loads_of(stmt.targets[0].id)
+
+    # -- MS102: send-buffer mutation before wait -------------------------------
+
+    def _rule_buffer_mutation(self, scope: Scope) -> None:
+        for call in scope.calls:
+            if call.attr not in BUFFER_SENDS:
+                continue
+            buf_name = _buffer_name(call.node)
+            if buf_name is None:
+                continue
+            stmt = scope.statement_of(call.node)
+            if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and stmt.value is call.node):
+                continue
+            req_name = stmt.targets[0].id
+            later = [n.lineno for n in scope.loads_of(req_name)
+                     if n.lineno > call.line]
+            wait_line = min(later) if later else float("inf")
+            for mut_line in self._mutations(scope, buf_name,
+                                            call.line, wait_line):
+                self._emit("MS102", mut_line,
+                           f"buffer {buf_name!r} is modified here but the "
+                           f"{call.attr}() posted on line {call.line} has "
+                           "not completed yet")
+
+    @staticmethod
+    def _mutations(scope: Scope, buf: str, after: float,
+                   before: float) -> Iterable[int]:
+        def targets_buf(target: ast.expr) -> bool:
+            if isinstance(target, ast.Name):
+                return target.id == buf
+            if isinstance(target, (ast.Subscript, ast.Starred)):
+                return isinstance(target.value, ast.Name) \
+                    and target.value.id == buf
+            return False
+
+        for stmt in scope.statements:
+            if not after < stmt.lineno < before:
+                continue
+            if isinstance(stmt, ast.Assign) and \
+                    any(targets_buf(t) for t in stmt.targets):
+                yield stmt.lineno
+            elif isinstance(stmt, ast.AugAssign) and \
+                    targets_buf(stmt.target):
+                yield stmt.lineno
+            elif isinstance(stmt, ast.Expr) \
+                    and isinstance(stmt.value, ast.Call) \
+                    and isinstance(stmt.value.func, ast.Attribute) \
+                    and stmt.value.func.attr in MUTATING_METHODS \
+                    and isinstance(stmt.value.func.value, ast.Name) \
+                    and stmt.value.func.value.id == buf:
+                yield stmt.lineno
+
+    # -- MS103: wildcard-receive race ------------------------------------------
+
+    def _rule_wildcard_race(self, scope: Scope) -> None:
+        groups: dict[tuple, list[MPICall]] = {}
+        for call in scope.calls:
+            if call.attr not in ("Irecv", "irecv"):
+                continue
+            if not _is_wildcard_source(scope, call):
+                continue
+            spec = RECV_ARGS[call.attr]
+            tag = scope.resolve_tag(_arg(call.node, spec[1], "tag"))
+            if tag is None:
+                continue            # unresolvable tag: stay conservative
+            groups.setdefault((call.recv_obj, tag), []).append(call)
+        for (recv_obj, tag), calls in groups.items():
+            if len(calls) < 2:
+                continue
+            first = calls[0]
+            for other in calls[1:]:
+                if _sibling_branches(first.branch, other.branch):
+                    continue        # mutually exclusive arms: no race
+                self._emit(
+                    "MS103", other.line,
+                    f"second ANY_SOURCE receive on {recv_obj!r} "
+                    f"tag={tag} (first on line {first.line}): completion "
+                    "order, and hence buffer contents, is nondeterministic")
+
+    # -- MS104: tag mismatch between literal send/recv pairs -------------------
+
+    def _rule_tag_mismatch(self, scope: Scope) -> None:
+        sends: dict[tuple, dict] = {}
+        recvs: dict[tuple, dict] = {}
+        for call in scope.calls:
+            if call.rank_dependent:
+                continue            # asymmetric roles pair across ranks
+            if call.attr in SEND_ARGS:
+                dest_pos, tag_pos = SEND_ARGS[call.attr]
+                peer = _arg(call.node, dest_pos, "dest")
+                tag = scope.resolve_tag(_arg(call.node, tag_pos, "tag"))
+                table = sends
+            elif call.attr in RECV_ARGS:
+                if _is_wildcard_source(scope, call):
+                    continue
+                src_pos, tag_pos = RECV_ARGS[call.attr]
+                peer = _arg(call.node, src_pos, "source")
+                tag = scope.resolve_tag(_arg(call.node, tag_pos, "tag"))
+                table = recvs
+            else:
+                continue
+            if peer is None:
+                continue
+            try:
+                peer_key = ast.unparse(peer)
+            except Exception:       # pragma: no cover - defensive
+                continue
+            entry = table.setdefault((call.recv_obj, peer_key),
+                                     {"tags": set(), "line": call.line,
+                                      "resolved": True})
+            entry["tags"].add(tag)
+            if tag is None:
+                entry["resolved"] = False
+
+        for key, recv_entry in recvs.items():
+            send_entry = sends.get(key)
+            if send_entry is None:
+                continue
+            if not (recv_entry["resolved"] and send_entry["resolved"]):
+                continue
+            stags = {t for t in send_entry["tags"] if t != "ANY"}
+            rtags = recv_entry["tags"]
+            if not stags or not rtags or "ANY" in rtags:
+                continue
+            if stags.isdisjoint(rtags):
+                comm_name, peer_key = key
+                self._emit(
+                    "MS104", recv_entry["line"],
+                    f"receive from {peer_key!r} on {comm_name!r} uses "
+                    f"tag(s) {sorted(rtags)} but every send to that peer "
+                    f"uses tag(s) {sorted(stags)} — these can never match")
+
+    # -- MS105: RMA access outside an epoch ------------------------------------
+
+    def _rule_rma_epoch(self, scope: Scope) -> None:
+        windows = self._windows_created(scope)
+        if not windows:
+            return
+        openers: dict[str, int] = {}
+        for call in scope.calls:
+            if call.recv_obj in windows and call.attr in EPOCH_OPENERS:
+                line = openers.get(call.recv_obj, call.line)
+                openers[call.recv_obj] = min(line, call.line)
+        for call in scope.calls:
+            if call.recv_obj not in windows \
+                    or call.attr not in RMA_ACCESSES:
+                continue
+            if call.line < windows[call.recv_obj]:
+                continue            # a different object before creation
+            opened = openers.get(call.recv_obj)
+            if opened is None or opened > call.line:
+                self._emit(
+                    "MS105", call.line,
+                    f"{call.attr}() on window {call.recv_obj!r} with no "
+                    "preceding fence/lock/lock_all/start — RMA access "
+                    "requires an open epoch")
+
+    @staticmethod
+    def _windows_created(scope: Scope) -> dict[str, int]:
+        """Window names created in this scope -> creation line."""
+        windows: dict[str, int] = {}
+        for stmt in scope.statements:
+            if not isinstance(stmt, ast.Assign):
+                continue
+            value = stmt.value
+            if not (isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Attribute)
+                    and value.func.attr in WINDOW_CTORS
+                    and isinstance(value.func.value, ast.Name)
+                    and value.func.value.id == "Window"):
+                continue
+            target = stmt.targets[0]
+            if isinstance(target, ast.Tuple) and target.elts:
+                target = target.elts[0]
+            if isinstance(target, ast.Name):
+                windows[target.id] = stmt.lineno
+        return windows
+
+    # -- MS106: nomatch-extension misuse ---------------------------------------
+
+    def _rule_nomatch_misuse(self, scope: Scope) -> None:
+        wildcard_recvs: dict[str, int] = {}
+        for call in scope.calls:
+            if call.attr in RECV_ARGS and call.attr not in NOMATCH_RECVS \
+                    and _is_wildcard_source(scope, call):
+                wildcard_recvs.setdefault(call.recv_obj, call.line)
+        if not wildcard_recvs:
+            return
+        for call in scope.calls:
+            if call.attr in NOMATCH_SENDS \
+                    and call.recv_obj in wildcard_recvs:
+                self._emit(
+                    "MS106", call.line,
+                    f"{call.attr}() on {call.recv_obj!r} while line "
+                    f"{wildcard_recvs[call.recv_obj]} posts a plain "
+                    "ANY_SOURCE receive on the same comm — nomatch "
+                    "traffic must be received with recv_nomatch/"
+                    "irecv_nomatch")
+
+
+# ---------------------------------------------------------------------------
+# public entry points
+# ---------------------------------------------------------------------------
+
+def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
+    """Lint one Python source string; returns its diagnostics."""
+    tree = ast.parse(source, filename=path)
+    return Linter(tree, path, source).run()
+
+
+def lint_file(path: Union[str, Path]) -> list[Diagnostic]:
+    """Lint one file on disk."""
+    p = Path(path)
+    return lint_source(p.read_text(), str(p))
+
+
+def iter_python_files(paths: Iterable[Union[str, Path]]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.update(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            out.add(p)
+    return sorted(out)
+
+
+def lint_paths(paths: Iterable[Union[str, Path]]) -> Report:
+    """Lint every ``.py`` file under *paths*; returns the full report."""
+    report = Report()
+    for file in iter_python_files(paths):
+        report.extend(lint_file(file))
+        report.files_checked += 1
+    return report

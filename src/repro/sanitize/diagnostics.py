@@ -1,0 +1,151 @@
+"""Diagnostics: rule catalog, diagnostic records, and report rendering.
+
+Every sanitizer finding — static (``MS1xx``, from the AST linter) or
+dynamic (``MSD2xx``, from the runtime checker) — carries a stable rule
+id from :data:`RULES`.  Tests assert on these ids, the CLI prints them,
+and ``# sanitize: ignore[MSxxx]`` pragmas suppress them by id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MPIError
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One entry of the rule catalog.
+
+    Attributes
+    ----------
+    rule_id:
+        Stable identifier (``MS101`` ... static, ``MSD201`` ... dynamic).
+    title:
+        One-line description of the defect class.
+    example:
+        A minimal trigger, as the user would write it.
+    fix:
+        The suggested remediation.
+    dynamic:
+        True for runtime-checker rules, False for AST-linter rules.
+    """
+
+    rule_id: str
+    title: str
+    example: str
+    fix: str
+    dynamic: bool = False
+
+
+#: The rule catalog, keyed by rule id (also rendered by ``--rules``
+#: and documented in README/EXPERIMENTS).
+RULES: dict[str, Rule] = {r.rule_id: r for r in (
+    Rule("MS101", "request leak: isend/irecv result never waited or tested",
+         "comm.Isend(buf, dest=1)          # request discarded",
+         "keep the request and wait()/test() it (or collect into a list "
+         "that reaches waitall)"),
+    Rule("MS102", "send buffer mutated between isend and its wait",
+         "r = comm.Isend(buf, 1); buf[0] = 9; r.wait()",
+         "complete the send before writing the buffer, or send a copy"),
+    Rule("MS103", "wildcard-receive race: concurrent ANY_SOURCE receives "
+         "on one comm/tag are filled in nondeterministic order",
+         "a = comm.Irecv(b1, tag=7); b = comm.Irecv(b2, tag=7)",
+         "use distinct tags, concrete sources, or a single receive loop "
+         "that dispatches on status.source"),
+    Rule("MS104", "tag mismatch: a function's literal send tags and "
+         "recv tags on one comm are disjoint — the pairs can never match",
+         "comm.Isend(buf, 1, tag=1) ... comm.Recv(buf, 0, tag=2)",
+         "make the send and receive tags agree (or receive with ANY_TAG)"),
+    Rule("MS105", "RMA access outside a lock/fence epoch",
+         "win, _ = Window.allocate(comm, 8); win.put(buf, 1)",
+         "open an epoch first: win.fence(), win.lock(target), "
+         "win.lock_all(), or win.start(group)"),
+    Rule("MS106", "extension misuse: isend_nomatch on a comm that also "
+         "posts plain wildcard receives",
+         "comm.isend_nomatch(buf, 1); comm.Irecv(b2)  # ANY_SOURCE",
+         "receive nomatch traffic with recv_nomatch/irecv_nomatch only, "
+         "or keep wildcard receivers on a separate communicator"),
+    Rule("MSD201", "deadlock: cyclic (or global) wait-for dependency "
+         "between blocked ranks", "rank 0: Ssend(1).wait() / rank 1: "
+         "Ssend(0).wait()",
+         "reorder the communication (odd/even phases, Sendrecv, or "
+         "nonblocking posts before waits)", dynamic=True),
+    Rule("MSD202", "request leak at finalize: requests still pending "
+         "when the rank function returned",
+         "comm.Isend(buf, 1)  # then return",
+         "wait/test every request before finalize (world teardown now "
+         "reports instead of silently dropping them)", dynamic=True),
+    Rule("MSD203", "send buffer modified between post and completion",
+         "r = comm.Isend(buf, 1); buf[:] = 0; r.wait()",
+         "the application owns the buffer only after wait()/test() "
+         "succeeds", dynamic=True),
+    Rule("MSD204", "RMA operation outside any open epoch on the window",
+         "win.put(buf, target_rank=1)  # no fence/lock/start before it",
+         "open a fence, passive lock, or PSCW access epoch before "
+         "put/get/accumulate", dynamic=True),
+)}
+
+
+class SanitizerError(MPIError):
+    """A dynamic sanitizer violation (error class MPI_ERR_SANITIZE).
+
+    ``code`` is the ``MSD2xx`` rule id; the message always starts with
+    the code so tests and logs can assert the exact diagnostic.
+    """
+
+    error_class = "MPI_ERR_SANITIZE"
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-linter finding."""
+
+    rule_id: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        """``file:line: [MSxxx] message`` — the CLI output format."""
+        return f"{self.path}:{self.line}: [{self.rule_id}] {self.message}"
+
+
+@dataclass
+class Report:
+    """A collection of diagnostics over one lint invocation."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+
+    def extend(self, diags: list[Diagnostic]) -> None:
+        """Append findings from one file."""
+        self.diagnostics.extend(diags)
+
+    @property
+    def clean(self) -> bool:
+        """True when no rule fired."""
+        return not self.diagnostics
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [d.render() for d in sorted(
+            self.diagnostics, key=lambda d: (d.path, d.line, d.rule_id))]
+        lines.append(f"{len(self.diagnostics)} finding(s) in "
+                     f"{self.files_checked} file(s)")
+        return "\n".join(lines)
+
+
+def render_rule_catalog() -> str:
+    """The ``--rules`` listing: id, title, example, fix per rule."""
+    out = []
+    for rule in RULES.values():
+        layer = "dynamic" if rule.dynamic else "static"
+        out.append(f"{rule.rule_id} ({layer}): {rule.title}\n"
+                   f"    example: {rule.example}\n"
+                   f"    fix:     {rule.fix}")
+    return "\n".join(out)

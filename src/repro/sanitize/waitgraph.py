@@ -1,0 +1,138 @@
+"""Cross-rank wait-for graph with deadlock detection (rule MSD201).
+
+Every rank registers a :class:`BlockEntry` just before it blocks (on a
+request wait or a blocking probe) and removes it when it wakes.  The
+graph then looks for two shapes of certain deadlock:
+
+* **cycle** — rank A blocked on an operation only rank B can complete,
+  B blocked on one only A can complete (generalized to any length).
+  Concrete edges exist for receives from a concrete source and for
+  synchronous-mode sends (completed only by the destination's match);
+  eager sends complete at issue and never produce an edge.
+* **global stall** — every rank is either finished or blocked, and all
+  blocked operations verify as still incomplete.  This covers shapes
+  with no concrete cycle: wildcard receives, probes, and ranks waiting
+  on a peer that already returned.
+
+Soundness rests on the runtime's synchronous delivery: messages are
+deposited by rank threads, so once every rank thread is verified
+blocked (or done) under the graph lock, nothing can complete the
+blocked operations.  Each entry carries a ``verify`` callable that is
+re-checked under the lock at detection time, so transient blocks
+(a completion racing the registration) never produce a false report.
+
+OR-waits (``waitany``/``waitsome``) do not register — a rank blocked
+there counts as runnable, which can only *suppress* a report, never
+fabricate one.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass
+class BlockEntry:
+    """One rank's currently-blocking operation."""
+
+    rank: int                      #: world rank of the blocked thread
+    desc: str                      #: human label ("MPI_Ssend to rank 1")
+    peer: Optional[int]            #: the only world rank able to complete
+    #: this operation, or None (wildcard / OR-shaped waits)
+    verify: Callable[[], bool]     #: still blocked? re-checked under lock
+    stack: str                     #: formatted stack captured at block time
+
+
+class WaitForGraph:
+    """The world's wait-for graph (one instance per sanitized world)."""
+
+    def __init__(self, nranks: int):
+        self.nranks = nranks
+        self._lock = threading.Lock()
+        self._blocked: dict[int, BlockEntry] = {}
+        self._done: set[int] = set()
+
+    def reset(self) -> None:
+        """Start of a :meth:`World.run`: forget the previous run."""
+        with self._lock:
+            self._blocked.clear()
+            self._done.clear()
+
+    # -- registration ----------------------------------------------------------
+
+    def block(self, entry: BlockEntry) -> Optional[str]:
+        """Register *entry* and look for a deadlock it completes.
+
+        Returns a report string when one is certain — the entry is then
+        already deregistered (the caller raises instead of blocking).
+        """
+        with self._lock:
+            self._blocked[entry.rank] = entry
+            report = self._detect(entry.rank)
+            if report is not None:
+                del self._blocked[entry.rank]
+            return report
+
+    def unblock(self, rank: int) -> None:
+        """The rank woke up (completion, abort, or error)."""
+        with self._lock:
+            self._blocked.pop(rank, None)
+
+    def mark_done(self, rank: int) -> Optional[str]:
+        """The rank's application function returned.
+
+        A finished rank can never complete a peer's operation, so this
+        may turn the remaining blocked ranks into a certain stall;
+        returns the report when it does.
+        """
+        with self._lock:
+            self._blocked.pop(rank, None)
+            self._done.add(rank)
+            return self._detect(start_rank=None)
+
+    # -- detection -------------------------------------------------------------
+
+    def _detect(self, start_rank: Optional[int]) -> Optional[str]:
+        """Find a verified cycle through *start_rank*, else a verified
+        global stall.  Lock held."""
+        if start_rank is not None:
+            cycle = self._find_cycle(start_rank)
+            if cycle is not None and all(e.verify() for e in cycle):
+                return self._render("cyclic wait", cycle)
+        if self._blocked and \
+                len(self._blocked) + len(self._done) == self.nranks:
+            entries = list(self._blocked.values())
+            if all(e.verify() for e in entries):
+                return self._render("global stall", entries)
+        return None
+
+    def _find_cycle(self, start: int) -> Optional[list[BlockEntry]]:
+        path: list[BlockEntry] = []
+        seen: set[int] = set()
+        current = start
+        while current in self._blocked and current not in seen:
+            seen.add(current)
+            entry = self._blocked[current]
+            path.append(entry)
+            if entry.peer is None:
+                return None
+            if entry.peer == start:
+                return path
+            current = entry.peer
+        return None
+
+    def _render(self, shape: str, entries: list[BlockEntry]) -> str:
+        lines = [f"deadlock ({shape}) across "
+                 f"{len(entries)} blocked rank(s)"]
+        for e in sorted(entries, key=lambda e: e.rank):
+            waits = ("waiting on any sender" if e.peer is None
+                     else f"waiting on rank {e.peer}")
+            lines.append(f"  rank {e.rank}: blocked in {e.desc}, {waits}")
+            for frame in e.stack.rstrip().splitlines():
+                lines.append(f"    {frame}")
+        done = sorted(self._done)
+        if done:
+            lines.append(f"  finished rank(s): {done}")
+        return "\n".join(lines)

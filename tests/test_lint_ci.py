@@ -1,0 +1,69 @@
+"""CI lint gate: the MPI-correctness linter and (if present) ruff.
+
+The MPI linter runs over every shipped program (``examples/`` and the
+mini-apps) exactly as the CI job would:
+``python -m repro.sanitize examples src/repro/apps``.  Ruff is optional
+tooling — the job skips cleanly when the binary is not installed.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    return env
+
+
+class TestSanitizeCLI:
+    """``python -m repro.sanitize`` as CI runs it."""
+
+    def test_tree_lints_clean(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.sanitize",
+             "examples", "src/repro/apps"],
+            cwd=ROOT, env=_env(), capture_output=True, text=True,
+            timeout=120)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 finding(s)" in proc.stdout
+
+    def test_findings_fail_the_gate(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(comm, buf):\n"
+                       "    comm.isend(buf, dest=1, tag=0)\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.sanitize", str(bad)],
+            cwd=ROOT, env=_env(), capture_output=True, text=True,
+            timeout=120)
+        assert proc.returncode == 1
+        assert "MS101" in proc.stdout
+
+    def test_rules_flag_prints_catalog(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.sanitize", "--rules"],
+            cwd=ROOT, env=_env(), capture_output=True, text=True,
+            timeout=120)
+        assert proc.returncode == 0
+        assert "MS101" in proc.stdout and "MSD204" in proc.stdout
+
+
+class TestRuff:
+    """Ruff gate — skipped when the binary is not installed."""
+
+    def test_ruff_clean_on_sanitize_package(self):
+        try:
+            proc = subprocess.run(
+                ["ruff", "check", "src/repro/sanitize"],
+                cwd=ROOT, capture_output=True, text=True, timeout=120)
+        except FileNotFoundError:
+            pytest.skip("ruff not installed in this environment")
+        assert proc.returncode == 0, proc.stdout + proc.stderr

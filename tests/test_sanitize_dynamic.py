@@ -1,0 +1,221 @@
+"""Dynamic sanitizer: deadlock, leak, buffer-reuse, and epoch checks.
+
+Every test asserts the exact diagnostic code carried by the raised
+:class:`~repro.sanitize.SanitizerError`, and the final class checks the
+no-observable-effect guarantee: enabling the sanitizer changes neither
+program results nor charged instruction counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import BuildConfig
+from repro.mpi.rma import Window
+from repro.perf.msgrate import measure_instructions
+from repro.runtime.world import World
+from repro.sanitize import SanitizerError
+
+SAN = BuildConfig(sanitize=True)
+
+
+def _run(nranks, fn, config=SAN, timeout=60.0):
+    return World(nranks, config).run(fn, timeout=timeout)
+
+
+class TestDeadlock:
+    """MSD201: cross-rank wait-for cycles and global stalls."""
+
+    def test_two_rank_ssend_ssend_cycle(self):
+        def main(comm):
+            buf = np.zeros(1, dtype=np.int64)
+            comm.Ssend(buf, dest=1 - comm.rank, tag=0)
+            comm.Recv(buf, source=1 - comm.rank, tag=0)
+
+        with pytest.raises(SanitizerError) as exc:
+            _run(2, main)
+        assert exc.value.code == "MSD201"
+        # The report names both ranks and their blocking calls.
+        assert "rank 0" in str(exc.value)
+        assert "rank 1" in str(exc.value)
+
+    def test_three_rank_recv_ring_cycle(self):
+        def main(comm):
+            buf = np.zeros(1, dtype=np.int64)
+            comm.Recv(buf, source=(comm.rank - 1) % comm.size, tag=0)
+            comm.Send(buf, dest=(comm.rank + 1) % comm.size, tag=0)
+
+        with pytest.raises(SanitizerError) as exc:
+            _run(3, main)
+        assert exc.value.code == "MSD201"
+        assert "rank 2" in str(exc.value)
+
+    def test_stall_when_peer_exits_early(self):
+        def main(comm):
+            if comm.rank == 0:
+                buf = np.zeros(1, dtype=np.int64)
+                comm.Recv(buf, source=1, tag=0)
+
+        with pytest.raises(SanitizerError) as exc:
+            _run(2, main)
+        assert exc.value.code == "MSD201"
+
+    def test_matched_exchange_is_clean(self):
+        def main(comm):
+            out = np.full(1, comm.rank, dtype=np.int64)
+            buf = np.zeros(1, dtype=np.int64)
+            comm.Sendrecv(out, 1 - comm.rank, buf,
+                          source=1 - comm.rank)
+            return int(buf[0])
+
+        assert _run(2, main) == [1, 0]
+
+
+class TestRequestLeak:
+    """MSD202: requests never waited/tested before rank exit."""
+
+    def test_isend_never_waited(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Isend(np.arange(4, dtype=np.int64), dest=1, tag=3)
+            else:
+                buf = np.zeros(4, dtype=np.int64)
+                comm.Recv(buf, source=0, tag=3)
+
+        with pytest.raises(SanitizerError) as exc:
+            _run(2, main)
+        assert exc.value.code == "MSD202"
+        assert "MPI_Isend" in str(exc.value)
+
+    def test_waited_request_is_clean(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Isend(np.arange(4, dtype=np.int64),
+                           dest=1, tag=3).wait()
+            else:
+                buf = np.zeros(4, dtype=np.int64)
+                comm.Recv(buf, source=0, tag=3)
+                return int(buf.sum())
+
+        assert _run(2, main) == [None, 6]
+
+
+class TestBufferReuse:
+    """MSD203: send buffer mutated before the operation completed."""
+
+    def test_mutation_between_issend_and_wait(self):
+        def main(comm):
+            if comm.rank == 0:
+                buf = np.arange(4, dtype=np.int64)
+                req = comm.Issend(buf, dest=1, tag=0)
+                buf[0] = 99   # illegal: Issend has not completed
+                comm.Send(np.zeros(1, dtype=np.int64), dest=1, tag=1)
+                req.wait()
+            else:
+                comm.Recv(np.zeros(1, dtype=np.int64), source=0, tag=1)
+                data = np.zeros(4, dtype=np.int64)
+                comm.Recv(data, source=0, tag=0)
+
+        with pytest.raises(SanitizerError) as exc:
+            _run(2, main)
+        assert exc.value.code == "MSD203"
+
+    def test_untouched_buffer_is_clean(self):
+        def main(comm):
+            if comm.rank == 0:
+                buf = np.arange(4, dtype=np.int64)
+                comm.Issend(buf, dest=1, tag=0).wait()
+            else:
+                data = np.zeros(4, dtype=np.int64)
+                comm.Recv(data, source=0, tag=0)
+                return int(data.sum())
+
+        assert _run(2, main) == [None, 6]
+
+
+class TestRMAEpoch:
+    """MSD204: one-sided access outside any epoch."""
+
+    def test_put_before_any_epoch(self):
+        def main(comm):
+            mem = np.zeros(4, dtype=np.float64)
+            win = Window.create(comm, mem, disp_unit=8)
+            if comm.rank == 0:
+                win.put(np.ones(1), target_rank=1)
+            win.fence()
+            win.free()
+
+        with pytest.raises(SanitizerError) as exc:
+            _run(2, main)
+        assert exc.value.code == "MSD204"
+
+    def test_put_inside_fence_epoch(self):
+        def main(comm):
+            mem = np.zeros(4, dtype=np.float64)
+            win = Window.create(comm, mem, disp_unit=8)
+            win.fence()
+            if comm.rank == 0:
+                win.put(np.ones(4), target_rank=1)
+            win.fence()
+            win.free()
+            return mem[0]
+
+        assert _run(2, main) == [0.0, 1.0]
+
+    def test_put_inside_lock_epoch(self):
+        def main(comm):
+            mem = np.zeros(4, dtype=np.float64)
+            win = Window.create(comm, mem, disp_unit=8)
+            comm.barrier()
+            if comm.rank == 0:
+                win.lock(1)
+                win.put(np.ones(4), target_rank=1)
+                win.unlock(1)
+            comm.barrier()
+            win.free()
+            return mem[0]
+
+        assert _run(2, main) == [0.0, 1.0]
+
+
+class TestNoObservableEffect:
+    """sanitize=True never changes results or charged instructions."""
+
+    @given(payload=st.integers(min_value=1, max_value=64),
+           tag=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=10, deadline=None)
+    def test_pingpong_results_identical(self, payload, tag):
+        def main(comm):
+            buf = np.zeros(payload, dtype=np.int64)
+            if comm.rank == 0:
+                comm.Send(np.arange(payload, dtype=np.int64),
+                          dest=1, tag=tag)
+            else:
+                comm.Recv(buf, source=0, tag=tag)
+            return int(buf.sum())
+
+        plain = World(2, BuildConfig()).run(main)
+        checked = World(2, SAN).run(main)
+        assert plain == checked
+
+    @pytest.mark.parametrize("op", ["isend", "put"])
+    def test_instruction_counts_identical(self, op):
+        base = BuildConfig()
+        assert measure_instructions(base, op) == \
+            measure_instructions(replace(base, sanitize=True), op)
+
+    def test_collective_results_identical(self):
+        def main(comm):
+            vec = np.full(8, float(comm.rank + 1))
+            out = np.zeros(8)
+            comm.Allreduce(vec, out)
+            return float(out[0])
+
+        plain = World(4, BuildConfig()).run(main)
+        checked = World(4, SAN).run(main)
+        assert plain == checked

@@ -1,0 +1,187 @@
+"""Static MPI-correctness linter: rule fixtures, pragmas, zero FPs."""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.sanitize import RULES, lint_paths, lint_source, render_rule_catalog
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _ids(source: str) -> list[str]:
+    return [d.rule_id for d in lint_source(source, "fixture.py")]
+
+
+class TestRuleFixtures:
+    """Each rule fires on its minimal fixture, with the exact ID."""
+
+    def test_ms101_request_discarded(self):
+        src = (
+            "def f(comm, buf):\n"
+            "    comm.isend(buf, dest=1, tag=0)\n"
+        )
+        assert _ids(src) == ["MS101"]
+
+    def test_ms101_request_assigned_never_waited(self):
+        src = (
+            "def f(comm, buf):\n"
+            "    req = comm.Isend(buf, dest=1, tag=0)\n"
+        )
+        assert _ids(src) == ["MS101"]
+
+    def test_ms101_list_never_drained(self):
+        src = (
+            "def f(comm, bufs):\n"
+            "    reqs = []\n"
+            "    for i, b in enumerate(bufs):\n"
+            "        reqs.append(comm.Isend(b, dest=i, tag=0))\n"
+        )
+        assert _ids(src) == ["MS101"]
+
+    def test_ms101_clean_when_waited(self):
+        src = (
+            "def f(comm, buf):\n"
+            "    req = comm.Isend(buf, dest=1, tag=0)\n"
+            "    req.wait()\n"
+        )
+        assert _ids(src) == []
+
+    def test_ms102_buffer_mutated_before_wait(self):
+        src = (
+            "def f(comm, buf):\n"
+            "    req = comm.Isend(buf, dest=1, tag=0)\n"
+            "    buf[0] = 5\n"
+            "    req.wait()\n"
+        )
+        assert "MS102" in _ids(src)
+
+    def test_ms102_clean_when_mutation_after_wait(self):
+        src = (
+            "def f(comm, buf):\n"
+            "    req = comm.Isend(buf, dest=1, tag=0)\n"
+            "    req.wait()\n"
+            "    buf[0] = 5\n"
+        )
+        assert _ids(src) == []
+
+    def test_ms103_two_wildcard_receives_race(self):
+        src = (
+            "from repro.consts import ANY_SOURCE\n"
+            "def f(comm, a, b):\n"
+            "    r1 = comm.Irecv(a, source=ANY_SOURCE, tag=3)\n"
+            "    r2 = comm.Irecv(b, source=ANY_SOURCE, tag=3)\n"
+            "    r1.wait()\n"
+            "    r2.wait()\n"
+        )
+        assert "MS103" in _ids(src)
+
+    def test_ms103_distinct_tags_clean(self):
+        src = (
+            "from repro.consts import ANY_SOURCE\n"
+            "def f(comm, a, b):\n"
+            "    r1 = comm.Irecv(a, source=ANY_SOURCE, tag=3)\n"
+            "    r2 = comm.Irecv(b, source=ANY_SOURCE, tag=4)\n"
+            "    r1.wait()\n"
+            "    r2.wait()\n"
+        )
+        assert _ids(src) == []
+
+    def test_ms104_literal_tag_mismatch(self):
+        src = (
+            "def f(comm, buf):\n"
+            "    comm.Send(buf, dest=1, tag=5)\n"
+            "    comm.Recv(buf, source=1, tag=6)\n"
+        )
+        assert "MS104" in _ids(src)
+
+    def test_ms104_rank_dependent_code_exempt(self):
+        src = (
+            "def f(comm, buf):\n"
+            "    if comm.rank == 0:\n"
+            "        comm.Send(buf, dest=1, tag=5)\n"
+            "    else:\n"
+            "        comm.Recv(buf, source=0, tag=5)\n"
+        )
+        assert _ids(src) == []
+
+    def test_ms105_rma_before_epoch(self):
+        src = (
+            "from repro.mpi.rma import Window\n"
+            "def f(comm, buf, data):\n"
+            "    win = Window.create(comm, buf)\n"
+            "    win.put(data, target_rank=1)\n"
+            "    win.fence()\n"
+        )
+        assert "MS105" in _ids(src)
+
+    def test_ms105_fence_first_clean(self):
+        src = (
+            "from repro.mpi.rma import Window\n"
+            "def f(comm, buf, data):\n"
+            "    win = Window.create(comm, buf)\n"
+            "    win.fence()\n"
+            "    win.put(data, target_rank=1)\n"
+            "    win.fence()\n"
+        )
+        assert _ids(src) == []
+
+    def test_ms106_nomatch_send_with_wildcard_recv(self):
+        src = (
+            "from repro.consts import ANY_SOURCE\n"
+            "def f(comm, buf, data):\n"
+            "    req = comm.isend_nomatch(data, dest=1, tag=0)\n"
+            "    req.wait()\n"
+            "    return comm.recv(source=ANY_SOURCE, tag=0)\n"
+        )
+        assert "MS106" in _ids(src)
+
+
+class TestPragmas:
+    """``# sanitize: ignore`` suppresses findings on that line."""
+
+    def test_blanket_ignore(self):
+        src = (
+            "def f(comm, buf):\n"
+            "    comm.isend(buf, dest=1, tag=0)  # sanitize: ignore\n"
+        )
+        assert _ids(src) == []
+
+    def test_rule_scoped_ignore(self):
+        src = (
+            "def f(comm, buf):\n"
+            "    comm.isend(buf, dest=1, tag=0)  # sanitize: ignore[MS101]\n"
+        )
+        assert _ids(src) == []
+
+    def test_other_rule_not_suppressed(self):
+        src = (
+            "def f(comm, buf):\n"
+            "    comm.isend(buf, dest=1, tag=0)  # sanitize: ignore[MS102]\n"
+        )
+        assert _ids(src) == ["MS101"]
+
+
+class TestZeroFalsePositives:
+    """The shipped examples and mini-apps lint clean."""
+
+    def test_examples_clean(self):
+        report = lint_paths([str(ROOT / "examples")])
+        assert report.files_checked > 0
+        assert report.clean, report.render()
+
+    def test_apps_clean(self):
+        report = lint_paths([str(ROOT / "src" / "repro" / "apps")])
+        assert report.files_checked > 0
+        assert report.clean, report.render()
+
+
+class TestCatalog:
+    """The rule catalog lists every rule with its documentation."""
+
+    def test_all_rules_present(self):
+        text = render_rule_catalog()
+        for rule_id in RULES:
+            assert rule_id in text
+        assert {"MS101", "MS102", "MS103", "MS104", "MS105", "MS106",
+                "MSD201", "MSD202", "MSD203", "MSD204"} <= set(RULES)
