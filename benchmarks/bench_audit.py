@@ -1,0 +1,88 @@
+"""Fast-path audit throughput benchmark (emits ``BENCH_audit.json``).
+
+Measures the static self-audit the CI gate runs
+(``python -m repro.audit src/repro``): wall time and files/second for
+the full three-family analysis (charge provenance over the entry-point
+call graph, purity lint, lockset lint), plus the index size it covers.
+The JSON also records the per-path Table 1 / Figure 2 totals the audit
+rederived, so the artifact is self-describing evidence that the gate
+checked the calibrated numbers.
+
+Run standalone (writes ``BENCH_audit.json`` at the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_audit.py
+
+or through pytest (same JSON, plus assertions)::
+
+    pytest benchmarks/bench_audit.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.audit import run_audit
+from repro.audit.callgraph import CodeIndex
+
+_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _ROOT / "src" / "repro"
+_OUT = _ROOT / "BENCH_audit.json"
+
+
+def audit_timing() -> tuple[dict, dict]:
+    """One timed end-to-end audit of the shipped tree."""
+    t0 = time.perf_counter()
+    report, snapshot = run_audit([str(_SRC)])
+    dt = time.perf_counter() - t0
+    timing = {
+        "seconds": dt,
+        "files": report.files_checked,
+        "files_per_s": report.files_checked / dt,
+        "findings": len(report.diagnostics),
+    }
+    return timing, snapshot
+
+
+def index_size() -> dict:
+    """How much source the call-graph index covers."""
+    index = CodeIndex.build([str(_SRC)])
+    return {
+        "modules": len(index.modules),
+        "functions": len(index.functions),
+        "classes": sum(len(v) for v in index.classes.values()),
+        "fastpath_functions": len(index.fastpath_functions()),
+    }
+
+
+def run_benchmark() -> dict:
+    """Collect every measurement and write ``BENCH_audit.json``."""
+    timing, snapshot = audit_timing()
+    data = {
+        "audit": timing,
+        "index": index_size(),
+        "findings_by_rule": snapshot["findings"]["by_rule"],
+        "path_totals": {name: p["total"]
+                        for name, p in snapshot["paths"].items()},
+        "registry_entries": snapshot["registry"]["entries"],
+    }
+    _OUT.write_text(json.dumps(data, indent=2) + "\n")
+    return data
+
+
+def test_bench_audit(print_artifact):
+    """Tree audits clean; rederived totals match the paper."""
+    data = run_benchmark()
+    assert data["audit"]["findings"] == 0
+    assert data["path_totals"]["ch4_isend_default"] == 221
+    assert data["path_totals"]["ch4_put_default"] == 215
+    assert data["path_totals"]["ch3_isend"] == 253
+    assert data["path_totals"]["ch3_put"] == 1342
+    assert data["index"]["fastpath_functions"] >= 15
+    print_artifact("Fast-path audit throughput (BENCH_audit.json)",
+                   json.dumps(data, indent=2))
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_benchmark(), indent=2))

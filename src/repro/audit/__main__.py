@@ -1,0 +1,7 @@
+"""Module entry point: ``python -m repro.audit <paths>``."""
+
+import sys
+
+from repro.audit.cli import main
+
+sys.exit(main())

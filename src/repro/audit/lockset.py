@@ -1,0 +1,351 @@
+"""Lockset and lock-order lint for the runtime core (FP301–FP302).
+
+Scope: classes defined in modules whose tree-relative path starts with
+``repro/runtime/`` (the audit CLI applies the filter; the functions
+here accept any module list so fixtures can exercise the rules).
+
+FP301 — *inconsistent lockset*: for each class, every ``self.<attr>``
+write site is labeled with the set of ``self.<lock>`` locks held.
+Lock-held status propagates intra-class: a helper only ever called
+with a lock held inherits that lock (fixpoint over call sites, using
+the intersection across sites).  An attribute written both with and
+without a given lock — outside ``__init__`` — is flagged at the bare
+write site.  Attributes never written under any lock are ignored
+(single-owner state is a legitimate design, e.g. the request pool).
+
+FP302 — *lock-order cycles*: nesting ``with self.a: ... with self.b:``
+adds a directed edge (Class.a -> Class.b); a lock-held call into a
+method (of any class, name-resolved) that acquires its own lock adds a
+one-level interprocedural edge.  Any cycle in the resulting digraph is
+reported once per participating edge set.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis_common import Finding, suppressed
+from repro.audit.callgraph import ClassInfo, CodeIndex, FunctionInfo
+from repro.audit.rules import PRAGMA_MARKER
+
+#: Method names treated as in-place mutations of ``self.<attr>``.
+MUTATOR_CALLS = frozenset({
+    "append", "appendleft", "clear", "pop", "popleft", "remove", "add",
+    "update", "setdefault", "extend", "insert", "discard", "set",
+})
+
+#: Lock-constructor names recognized in ``__init__``.
+LOCK_CTORS = frozenset({"Lock", "RLock", "Condition", "Semaphore",
+                        "BoundedSemaphore"})
+
+
+def _lock_attrs(cls: ClassInfo) -> frozenset[str]:
+    """Self-attributes holding locks: assigned a Lock/RLock/Condition/
+    Semaphore constructor result in ``__init__``."""
+    locks: set[str] = set()
+    init = cls.methods.get("__init__")
+    if init is not None:
+        for node in ast.walk(init.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Attribute) \
+                        and isinstance(target.value, ast.Name) \
+                        and target.value.id == "self":
+                    value = node.value
+                    ctor = None
+                    if isinstance(value, ast.Call):
+                        fn = value.func
+                        ctor = (fn.attr if isinstance(fn, ast.Attribute)
+                                else fn.id if isinstance(fn, ast.Name)
+                                else None)
+                    if ctor in LOCK_CTORS:
+                        locks.add(target.attr)
+    return frozenset(locks)
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name) \
+            and node.value.id == "self":
+        return node.attr
+    return None
+
+
+@dataclass
+class _Write:
+    attr: str
+    line: int
+    held: frozenset[str]
+    method: FunctionInfo
+
+
+@dataclass
+class _MethodFacts:
+    func: FunctionInfo
+    writes: list[_Write] = field(default_factory=list)
+    #: (callee-name, held-locks, line, receiver-is-self)
+    calls: list[tuple[str, frozenset[str], int, bool]] = field(
+        default_factory=list)
+    #: locks this method itself acquires at top level of its body
+    acquires: set[str] = field(default_factory=set)
+
+
+class _MethodScanner(ast.NodeVisitor):
+    """Collect writes/calls of one method with the held-lock set."""
+
+    def __init__(self, func: FunctionInfo, locks: frozenset[str]):
+        self.func = func
+        self.locks = locks
+        self.held: tuple[str, ...] = ()
+        self.facts = _MethodFacts(func=func)
+
+    def run(self) -> _MethodFacts:
+        for stmt in self.func.node.body:
+            self.visit(stmt)
+        return self.facts
+
+    # -- structure ---------------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return  # nested defs: separate (unaudited) execution context
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        return
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired: list[str] = []
+        for item in node.items:
+            attr = _self_attr(item.context_expr)
+            if attr is not None and attr in self.locks:
+                acquired.append(attr)
+                self.facts.acquires.add(attr)
+        self.held = self.held + tuple(acquired)
+        for stmt in node.body:
+            self.visit(stmt)
+        if acquired:
+            self.held = self.held[:len(self.held) - len(acquired)]
+
+    visit_AsyncWith = visit_With
+
+    # -- writes ------------------------------------------------------------
+
+    def _note_write(self, target: ast.expr, line: int) -> None:
+        attr = _self_attr(target)
+        if attr is not None and attr not in self.locks:
+            self.facts.writes.append(_Write(
+                attr=attr, line=line, held=frozenset(self.held),
+                method=self.func))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Tuple):
+                for elt in target.elts:
+                    self._note_write(elt, node.lineno)
+            else:
+                self._note_write(target, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._note_write(node.target, node.lineno)
+        self.generic_visit(node)
+
+    # -- calls -------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        fn = node.func
+        if isinstance(fn, ast.Attribute):
+            # self.attr.append(...) counts as writing self.attr.
+            owner = _self_attr(fn.value)
+            if owner is not None and fn.attr in MUTATOR_CALLS \
+                    and owner not in self.locks:
+                self.facts.writes.append(_Write(
+                    attr=owner, line=node.lineno,
+                    held=frozenset(self.held), method=self.func))
+            recv_is_self = (isinstance(fn.value, ast.Name)
+                            and fn.value.id == "self")
+            self.facts.calls.append((fn.attr, frozenset(self.held),
+                                     node.lineno, recv_is_self))
+        elif isinstance(fn, ast.Name):
+            self.facts.calls.append((fn.id, frozenset(self.held),
+                                     node.lineno, False))
+        self.generic_visit(node)
+
+
+def _class_facts(cls: ClassInfo, locks: frozenset[str],
+                 ) -> dict[str, _MethodFacts]:
+    return {name: _MethodScanner(func, locks).run()
+            for name, func in cls.methods.items()}
+
+
+def _propagate_held(facts: dict[str, _MethodFacts]) -> dict[str, frozenset[str]]:
+    """Locks guaranteed held on entry to each method: the intersection
+    of held-sets at every intra-class ``self.m()`` call site (fixpoint;
+    methods never called intra-class get the empty set — they are
+    external entry points)."""
+    entry: dict[str, frozenset[str]] = {name: frozenset()
+                                        for name in facts}
+    sites: dict[str, list[tuple[str, frozenset[str]]]] = {
+        name: [] for name in facts}
+    for caller, mf in facts.items():
+        for callee, held, _line, recv_is_self in mf.calls:
+            if recv_is_self and callee in facts:
+                sites[callee].append((caller, held))
+    changed = True
+    while changed:
+        changed = False
+        for name, call_sites in sites.items():
+            if not call_sites:
+                continue
+            candidate: Optional[frozenset[str]] = None
+            for caller, held in call_sites:
+                effective = held | entry[caller]
+                candidate = (effective if candidate is None
+                             else candidate & effective)
+            candidate = candidate or frozenset()
+            if candidate != entry[name]:
+                entry[name] = candidate
+                changed = True
+    return entry
+
+
+def scan_lockset(index: CodeIndex,
+                 path_filter: str = "repro/runtime/") -> list[Finding]:
+    """Run FP301 + FP302 over classes in modules matching *path_filter*."""
+    findings: list[Finding] = []
+    lock_graph: dict[tuple[str, str], set[tuple[str, str]]] = {}
+    edge_lines: dict[tuple[tuple[str, str], tuple[str, str]],
+                     tuple[FunctionInfo, int]] = {}
+    acquires_by_class: dict[str, set[str]] = {}
+    all_facts: list[tuple[ClassInfo, dict[str, _MethodFacts],
+                          dict[str, frozenset[str]]]] = []
+
+    for name, infos in sorted(index.classes.items()):
+        for cls in infos:
+            if path_filter and not cls.module.rel.startswith(path_filter):
+                continue
+            locks = _lock_attrs(cls)
+            if not locks:
+                continue
+            facts = _class_facts(cls, locks)
+            entry_locks = _propagate_held(facts)
+            all_facts.append((cls, facts, entry_locks))
+            acquires_by_class.setdefault(cls.name, set()).update(
+                lock for mf in facts.values() for lock in mf.acquires)
+
+    # FP301 — per (class, attr): guarded somewhere, bare elsewhere.
+    for cls, facts, entry_locks in all_facts:
+        guarded: dict[str, set[str]] = {}
+        for name, mf in facts.items():
+            for write in mf.writes:
+                held = write.held | entry_locks[name]
+                if held:
+                    guarded.setdefault(write.attr, set()).update(held)
+        for name, mf in facts.items():
+            if name == "__init__":
+                continue
+            for write in mf.writes:
+                held = write.held | entry_locks[name]
+                if write.attr in guarded and not held:
+                    if suppressed(cls.module.lines, write.line, "FP301",
+                                  PRAGMA_MARKER):
+                        continue
+                    locks_txt = "/".join(
+                        f"self.{lock}"
+                        for lock in sorted(guarded[write.attr]))
+                    findings.append(Finding(
+                        "FP301", str(cls.module.path), write.line,
+                        f"{cls.name}.{name} writes self.{write.attr} "
+                        f"without {locks_txt}, which guards the same "
+                        "attribute elsewhere in the class"))
+
+    # FP302 — build the lock-order digraph.
+    for cls, facts, entry_locks in all_facts:
+        for name, mf in facts.items():
+            base = entry_locks[name]
+            # Direct nesting inside this method.
+            _collect_nesting_edges(cls, facts[name].func, base,
+                                   lock_graph, edge_lines)
+            # One-level interprocedural edge: lock-held call into a
+            # method (any class) that itself acquires a lock.
+            for callee, held, line, _recv_self in mf.calls:
+                held = held | base
+                if not held:
+                    continue
+                for target in index.by_name.get(callee, []):
+                    if target.cls is None:
+                        continue
+                    for t_lock in acquires_by_class.get(target.cls, ()):
+                        for h_lock in held:
+                            src = (cls.name, h_lock)
+                            dst = (target.cls, t_lock)
+                            if src != dst:
+                                lock_graph.setdefault(src, set()).add(dst)
+                                edge_lines.setdefault(
+                                    (src, dst), (facts[name].func, line))
+
+    findings.extend(_report_cycles(lock_graph, edge_lines))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
+    return findings
+
+
+def _collect_nesting_edges(cls: ClassInfo, func: FunctionInfo,
+                           base: frozenset[str], graph, edge_lines) -> None:
+    locks = _lock_attrs(cls)
+
+    def walk(stmts, held: tuple[str, ...]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            inner_held = held
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                acquired = [attr for item in stmt.items
+                            if (attr := _self_attr(item.context_expr))
+                            is not None and attr in locks]
+                for new in acquired:
+                    for old in held:
+                        src, dst = (cls.name, old), (cls.name, new)
+                        if src != dst:
+                            graph.setdefault(src, set()).add(dst)
+                            edge_lines.setdefault((src, dst),
+                                                  (func, stmt.lineno))
+                inner_held = held + tuple(acquired)
+            for child_block in (getattr(stmt, "body", None),
+                                getattr(stmt, "orelse", None),
+                                getattr(stmt, "finalbody", None)):
+                if child_block:
+                    walk(child_block, inner_held)
+            for handler in getattr(stmt, "handlers", []) or []:
+                walk(handler.body, inner_held)
+
+    walk(func.node.body, tuple(base))
+
+
+def _report_cycles(graph, edge_lines) -> list[Finding]:
+    findings: list[Finding] = []
+    seen_cycles: set[frozenset] = set()
+    for start in sorted(graph):
+        stack = [(start, (start,))]
+        while stack:
+            node, path = stack.pop()
+            for succ in sorted(graph.get(node, ())):
+                if succ == path[0] and len(path) > 1:
+                    cycle = frozenset(path)
+                    if cycle in seen_cycles:
+                        continue
+                    seen_cycles.add(cycle)
+                    func, line = edge_lines.get(
+                        (node, succ), (None, 0))
+                    order = " -> ".join(f"{c}.{a}" for c, a in
+                                        path + (succ,))
+                    findings.append(Finding(
+                        "FP302",
+                        str(func.module.path) if func else "<lock-graph>",
+                        line,
+                        f"lock-order cycle: {order}"))
+                elif succ not in path and len(path) < 6:
+                    stack.append((succ, path + (succ,)))
+    return findings

@@ -1,0 +1,198 @@
+"""What the audit checks against: entry points, registry, path specs.
+
+The manifest binds the static analysis to the calibrated cost model:
+
+* **entry points** — the MPI-layer methods the paper measures (isend /
+  irecv / put / get, the Section 3 extension variants, persistent
+  starts, and the §3.5 bulk completion);
+* **registry** — every cost the runtime may legitimately charge: the
+  flattened :func:`repro.instrument.costs.cost_model_entries` plus the
+  few auxiliary constants charged outside the model (rank-translation
+  table lookups, AM-fallback overheads);
+* **path specs** — for each published build/extension variant, the
+  exact set of registry keys its default critical path charges, with
+  the Figure 2 / Table 1 total it must sum to (asserted at import).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping, Optional
+
+from repro.instrument.categories import Category, Subsystem
+from repro.instrument.costs import COSTS, CostEntry, cost_model_entries
+from repro.netmod.base import AM_HANDLER_OVERHEAD, AM_ORIGIN_OVERHEAD
+from repro.runtime.ranktrans import DirectTableTranslation
+
+#: Costs charged outside the CostModel dataclass, keyed like model
+#: entries.  The audit treats them as first-class registry entries.
+AUX_ENTRIES: Mapping[str, CostEntry] = MappingProxyType({
+    "translation.lookup_instructions": CostEntry(
+        "translation.lookup_instructions", Category.MANDATORY,
+        Subsystem.RANK_TRANSLATION,
+        DirectTableTranslation.lookup_instructions),
+    "am_origin_overhead": CostEntry(
+        "am_origin_overhead", Category.MANDATORY, Subsystem.DESCRIPTOR,
+        AM_ORIGIN_OVERHEAD),
+    "am_handler_overhead": CostEntry(
+        "am_handler_overhead", Category.MANDATORY, Subsystem.DESCRIPTOR,
+        AM_HANDLER_OVERHEAD),
+})
+
+#: Module-level constant names that resolve to auxiliary registry keys.
+AUX_NAME_KEYS: Mapping[str, str] = MappingProxyType({
+    "AM_ORIGIN_OVERHEAD": "am_origin_overhead",
+    "AM_HANDLER_OVERHEAD": "am_handler_overhead",
+})
+
+#: Attribute names that resolve to auxiliary registry keys regardless
+#: of their receiver (``comm.translation.lookup_instructions``).
+AUX_ATTR_KEYS: Mapping[str, str] = MappingProxyType({
+    "lookup_instructions": "translation.lookup_instructions",
+})
+
+#: (class, method) pairs the call-graph is rooted at.
+ENTRY_POINTS: tuple[tuple[str, str], ...] = (
+    ("Communicator", "Isend"),
+    ("Communicator", "Issend"),
+    ("Communicator", "Irecv"),
+    ("Communicator", "isend"),
+    ("Communicator", "issend"),
+    ("Communicator", "irecv"),
+    ("Communicator", "isend_global"),
+    ("Communicator", "isend_npn"),
+    ("Communicator", "isend_noreq"),
+    ("Communicator", "isend_nomatch"),
+    ("Communicator", "isend_all_opts"),
+    ("Communicator", "irecv_nomatch"),
+    ("Communicator", "irecv_all_opts"),
+    ("Communicator", "Send_init"),
+    ("Communicator", "Recv_init"),
+    ("Communicator", "waitall_noreq"),
+    ("Window", "put"),
+    ("Window", "get"),
+    ("Window", "accumulate"),
+    ("Window", "get_accumulate"),
+    ("Window", "fetch_and_op"),
+    ("Window", "compare_and_swap"),
+    ("Window", "put_virtual_addr"),
+    ("Window", "get_virtual_addr"),
+    ("Window", "put_all_opts"),
+    ("PersistentSend", "_launch"),
+    ("PersistentRecv", "_launch"),
+)
+
+
+@dataclass(frozen=True)
+class PathSpec:
+    """One published build/extension variant of one operation."""
+
+    name: str                     #: e.g. ``"ch4_isend_default"``
+    op: str                       #: ``"isend"`` or ``"put"``
+    entry: tuple[str, str]        #: (class, method) call-graph root
+    keys: frozenset[str]          #: registry keys its default path charges
+    expected_total: int           #: the paper's published aggregate
+
+
+def _keys(registry: Mapping[str, CostEntry], *prefixes: str,
+          names: tuple[str, ...] = ()) -> frozenset[str]:
+    picked = set(names)
+    for prefix in prefixes:
+        picked.update(k for k in registry if k.startswith(prefix + "."))
+    return frozenset(picked)
+
+
+def build_paths(registry: Optional[Mapping[str, CostEntry]] = None,
+                ) -> tuple[PathSpec, ...]:
+    """The calibrated path table (totals asserted against COSTS)."""
+    reg = registry if registry is not None else cost_model_entries()
+
+    isend_err = _keys(reg, "isend_error")
+    put_err = _keys(reg, "put_error")
+    isend_layer = isend_err | {"isend_thread_check", "isend_function_call"}
+    put_layer = put_err | {"put_thread_check", "put_function_call"}
+    isend_red = _keys(reg, "isend_redundant")
+    put_red = _keys(reg, "put_redundant")
+    # Default-path mandatory keys: zero-cost subsystems (no request /
+    # match bits for PUT, no VM addressing for ISEND) are excluded —
+    # the code genuinely never charges them.
+    isend_man = frozenset(
+        f"isend_mandatory.{s}" for s in
+        ("rank_translation", "object_lookup", "proc_null",
+         "request_mgmt", "match_bits", "descriptor"))
+    put_man = frozenset(
+        f"put_mandatory.{s}" for s in
+        ("rank_translation", "vm_addressing", "object_lookup",
+         "proc_null", "descriptor"))
+
+    isend_default = isend_layer | isend_red | isend_man
+    put_default = put_layer | put_red | put_man
+
+    isend_entry = ("Communicator", "Isend")
+    put_entry = ("Window", "put")
+
+    specs = (
+        PathSpec("ch4_isend_default", "isend", isend_entry, isend_default,
+                 COSTS.expected_ch4_default("isend")),
+        PathSpec("ch4_put_default", "put", put_entry, put_default,
+                 COSTS.expected_ch4_default("put")),
+        PathSpec("ch4_isend_noerr", "isend", isend_entry,
+                 isend_default - isend_err, COSTS.expected_ch4_noerr("isend")),
+        PathSpec("ch4_put_noerr", "put", put_entry,
+                 put_default - put_err, COSTS.expected_ch4_noerr("put")),
+        PathSpec("ch4_isend_nothread", "isend", isend_entry,
+                 isend_default - isend_err - {"isend_thread_check"},
+                 COSTS.expected_ch4_nothread("isend")),
+        PathSpec("ch4_put_nothread", "put", put_entry,
+                 put_default - put_err - {"put_thread_check"},
+                 COSTS.expected_ch4_nothread("put")),
+        PathSpec("ch4_isend_ipo", "isend", isend_entry, isend_man,
+                 COSTS.expected_ch4_ipo("isend")),
+        PathSpec("ch4_put_ipo", "put", put_entry, put_man,
+                 COSTS.expected_ch4_ipo("put")),
+        PathSpec("isend_all_opts", "isend",
+                 ("Communicator", "isend_all_opts"),
+                 frozenset({"global_rank_lookup", "predefined_object_lookup",
+                            "npn_proc_null", "noreq_counter_inc",
+                            "nomatch_bits_static", "fused_descriptor_isend"}),
+                 COSTS.expected_all_opts("isend")),
+        PathSpec("put_all_opts", "put", ("Window", "put_all_opts"),
+                 frozenset({"global_rank_lookup", "virtual_addr_lookup",
+                            "predefined_object_lookup", "npn_proc_null",
+                            "fused_descriptor_put"}),
+                 COSTS.expected_all_opts("put")),
+        PathSpec("ch3_isend", "isend", isend_entry,
+                 isend_layer | _keys(reg, "ch3_isend_steps"),
+                 COSTS.expected_ch3("isend")),
+        PathSpec("ch3_put", "put", put_entry,
+                 put_layer | _keys(reg, "ch3_put_steps"),
+                 COSTS.expected_ch3("put")),
+    )
+    for spec in specs:
+        total = sum(reg[k].cost for k in spec.keys)
+        assert total == spec.expected_total, \
+            f"{spec.name}: key sum {total} != published {spec.expected_total}"
+    return specs
+
+
+@dataclass(frozen=True)
+class AuditManifest:
+    """Everything the analyses need, bundled (tests build tiny ones)."""
+
+    registry: Mapping[str, CostEntry]
+    entry_points: tuple[tuple[str, str], ...]
+    paths: tuple[PathSpec, ...]
+    aux_name_keys: Mapping[str, str]
+    aux_attr_keys: Mapping[str, str]
+
+
+def default_manifest() -> AuditManifest:
+    """The manifest for auditing the repro tree itself."""
+    registry = dict(cost_model_entries())
+    registry.update(AUX_ENTRIES)
+    return AuditManifest(registry=MappingProxyType(registry),
+                         entry_points=ENTRY_POINTS,
+                         paths=build_paths(registry),
+                         aux_name_keys=AUX_NAME_KEYS,
+                         aux_attr_keys=AUX_ATTR_KEYS)

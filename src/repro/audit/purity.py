@@ -1,0 +1,135 @@
+"""Fast-path purity lint (rules FP201–FP205).
+
+Checks the *body* of every ``@fastpath``-marked function (nested
+function/class definitions are excluded — closures like receive
+completion callbacks run on the completion path, not the audited post
+path).  Each rule flags hidden host-Python work that the instruction
+accounting does not model; ``# audit: allow[FPxxx]`` on the offending
+line documents a deliberate exception.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis_common import Finding, suppressed
+from repro.audit.callgraph import CodeIndex, FunctionInfo
+from repro.audit.rules import PRAGMA_MARKER
+
+#: Builtin constructors that allocate containers.
+ALLOC_CALLS = frozenset({"list", "dict", "set", "bytearray", "deque"})
+#: Logging-ish callables.
+LOG_RECEIVERS = frozenset({"logging", "warnings"})
+LOG_METHODS = frozenset({"debug", "info", "warning", "exception", "log"})
+
+
+def scan_purity(index: CodeIndex) -> list[Finding]:
+    """Run FP201–FP205 over every ``@fastpath`` function in *index*."""
+    findings: list[Finding] = []
+    for func in index.fastpath_functions():
+        findings.extend(_scan_function(index, func))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
+    return findings
+
+
+def _scan_function(index: CodeIndex, func: FunctionInfo) -> list[Finding]:
+    raw: list[tuple[str, int, str]] = []
+
+    for node in index.walk_body(func):
+        raw.extend(_check_alloc(node))
+        raw.extend(_check_lock(node))
+        raw.extend(_check_try(node))
+        raw.extend(_check_log(node))
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            raw.extend(_check_loop_lookups(node))
+
+    findings = []
+    seen: set[tuple[str, int]] = set()
+    for rule_id, line, message in raw:
+        if (rule_id, line) in seen:
+            continue
+        seen.add((rule_id, line))
+        if suppressed(func.module.lines, line, rule_id, PRAGMA_MARKER):
+            continue
+        findings.append(Finding(rule_id, str(func.module.path), line,
+                                f"{func.short}: {message}"))
+    return findings
+
+
+def _check_alloc(node: ast.AST):
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)) \
+            and not isinstance(getattr(node, "ctx", ast.Load()), ast.Store):
+        kind = type(node).__name__.lower()
+        yield ("FP201", node.lineno,
+               f"{kind} display allocates on the fast path")
+    elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+        yield ("FP201", node.lineno,
+               "comprehension allocates on the fast path")
+    elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ALLOC_CALLS:
+        yield ("FP201", node.lineno,
+               f"{node.func.id}() allocates on the fast path")
+
+
+def _check_loop_lookups(loop: ast.AST):
+    # Only the repeated part of the loop: body and else, not the
+    # iterable/test (evaluated once / intrinsically repeated).
+    for stmt in list(loop.body) + list(loop.orelse):
+        yield from _loop_lookup_nodes(stmt)
+
+
+def _loop_lookup_nodes(root: ast.stmt):
+    for node in ast.walk(root):
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.value, ast.Attribute) \
+                and isinstance(node.ctx, ast.Load):
+            chain = ast.unparse(node)
+            yield ("FP202", node.lineno,
+                   f"'{chain}' re-resolved every loop iteration — hoist "
+                   "it into a local before the loop")
+        elif isinstance(node, ast.Subscript) \
+                and isinstance(node.ctx, ast.Load):
+            yield ("FP202", node.lineno,
+                   f"'{ast.unparse(node)}' subscript re-evaluated every "
+                   "loop iteration")
+
+
+def _looks_like_lock(text: str) -> bool:
+    lowered = text.lower()
+    return "lock" in lowered or "cond" in lowered
+
+
+def _check_lock(node: ast.AST):
+    if isinstance(node, (ast.With, ast.AsyncWith)):
+        for item in node.items:
+            expr = ast.unparse(item.context_expr)
+            if _looks_like_lock(expr):
+                yield ("FP203", item.context_expr.lineno,
+                       f"critical section 'with {expr}' on the fast path")
+    elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
+            and node.func.attr == "acquire" \
+            and _looks_like_lock(ast.unparse(node.func.value)):
+        yield ("FP203", node.lineno,
+               f"'{ast.unparse(node.func)}()' acquires a lock on the "
+               "fast path")
+
+
+def _check_try(node: ast.AST):
+    if isinstance(node, ast.Try):
+        yield ("FP204", node.lineno,
+               "try statement sets up exception handling on the fast path")
+
+
+def _check_log(node: ast.AST):
+    if not isinstance(node, ast.Call):
+        return
+    fn = node.func
+    if isinstance(fn, ast.Name) and fn.id == "print":
+        yield ("FP205", node.lineno, "print() on the fast path")
+    elif isinstance(fn, ast.Attribute):
+        recv = fn.value
+        recv_name = recv.id if isinstance(recv, ast.Name) else ""
+        if recv_name in LOG_RECEIVERS or (
+                fn.attr in LOG_METHODS and "log" in recv_name.lower()):
+            yield ("FP205", node.lineno,
+                   f"'{ast.unparse(fn)}()' logs on the fast path")

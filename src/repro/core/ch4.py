@@ -29,6 +29,7 @@ from repro.core.config import IpoScope
 from repro.errors import MPIErrArg, MPIErrRank
 from repro.instrument.categories import Category, Subsystem
 from repro.instrument.costs import COSTS, CostModel, MandatoryCosts, RedundantCheckCosts
+from repro.instrument.fastpath import fastpath
 from repro.netmod.base import Netmod
 from repro.netmod.registry import build_netmod
 from repro.netmod.shm import build_shmmod
@@ -73,6 +74,7 @@ class CH4Device:
             return self.shmmod
         return self.netmod
 
+    @fastpath
     def _charge_object_lookup(self, flags: ExtFlags, static_handle: bool,
                               mandatory: MandatoryCosts) -> None:
         """Section 3.3: dynamic-object dereference vs static-index load."""
@@ -95,6 +97,7 @@ class CH4Device:
             return False                    # Class 2: folded by MPI-only ipo
         return scope is not IpoScope.WHOLE_PROGRAM   # Class 3
 
+    @fastpath
     def _charge_redundant(self, dtref: DatatypeRef,
                           costs: RedundantCheckCosts) -> None:
         if self._redundant_checks_needed(dtref):
@@ -103,6 +106,7 @@ class CH4Device:
             self.proc.charge(_RED, costs.builtin_branch)
             self.proc.charge(_RED, costs.addr_arith)
 
+    @fastpath
     def _charge_rank_translation(self, comm, flags: ExtFlags,
                                  mandatory: MandatoryCosts) -> None:
         """Section 3.1: communicator-rank translation (or the global-rank
@@ -122,6 +126,7 @@ class CH4Device:
     def _resolve_dest(self, comm, dest: int, flags: ExtFlags) -> int:
         return dest if flags.global_rank else comm.translation.world_rank(dest)
 
+    @fastpath
     def _charge_match_bits(self, comm, flags: ExtFlags,
                            mandatory: MandatoryCosts) -> None:
         """Section 3.6: full match bits, arrival-order bits, or the
@@ -140,6 +145,7 @@ class CH4Device:
     # point-to-point                                                      #
     # ------------------------------------------------------------------ #
 
+    @fastpath
     def isend(self, op: SendOp) -> Optional[Request]:
         """Issue a send; returns None under the noreq extension."""
         proc, c = self.proc, self.costs
@@ -222,15 +228,29 @@ class CH4Device:
             request.complete(complete)
         return request
 
+    @fastpath
     def _null_send(self, op: SendOp) -> Optional[Request]:
-        """Communication to MPI_PROC_NULL 'succeeds immediately'."""
+        """Communication to MPI_PROC_NULL 'succeeds immediately'.
+
+        Immediate is not free: the standard path must still hand back a
+        completable handle (§3.5) — or bump the bulk counter under the
+        noreq extension — so request management is charged exactly as
+        on the wire-bound path.  (Found by the FP104 audit rule: this
+        acquired and completed a request without charging for it.)
+        """
+        c = self.costs
         if op.flags.noreq:
+            self.proc.charge(_MAND, c.noreq_counter_inc,
+                             Subsystem.REQUEST_MGMT)
             op.comm.note_noreq_issue(self.proc.vclock.now)
             return None
+        self.proc.charge(_MAND, c.isend_mandatory.request_mgmt,
+                         Subsystem.REQUEST_MGMT)
         request = self.proc.request_pool.acquire(RequestKind.SEND)
         request.complete(self.proc.vclock.now)
         return request
 
+    @fastpath
     def irecv(self, op: RecvOp) -> Request:
         """Post a receive.
 
@@ -246,6 +266,9 @@ class CH4Device:
         self._charge_object_lookup(flags, comm.is_predefined_handle, man)
         self._charge_redundant(op.dtref, c.isend_redundant)
 
+        # Charged at the acquire itself so the PROC_NULL early return
+        # below pays for the handle it hands back (audit rule FP104).
+        proc.charge(_MAND, man.request_mgmt, Subsystem.REQUEST_MGMT)
         request = proc.request_pool.acquire(RequestKind.RECV)
 
         if flags.no_proc_null:
@@ -264,7 +287,6 @@ class CH4Device:
         if op.source != ANY_SOURCE:
             self._charge_rank_translation(comm, flags, man)
         self._charge_match_bits(comm, flags, man)
-        proc.charge(_MAND, man.request_mgmt, Subsystem.REQUEST_MGMT)
         desc = (c.fused_descriptor_isend if flags.fused_pt2pt
                 else man.descriptor)
         proc.charge(_MAND, desc, Subsystem.DESCRIPTOR)
@@ -300,6 +322,7 @@ class CH4Device:
     # one-sided                                                           #
     # ------------------------------------------------------------------ #
 
+    @fastpath
     def _rma_prologue(self, op, mandatory: MandatoryCosts,
                       redundant: RedundantCheckCosts):
         """Shared RMA path: object lookup, PROC_NULL, rank translation,
@@ -337,12 +360,14 @@ class CH4Device:
             offset_bytes = op.target_disp * state.disp_unit
         return target_world, state, offset_bytes
 
+    @fastpath
     def _charge_rma_descriptor(self, flags: ExtFlags,
                                mandatory: MandatoryCosts) -> None:
         desc = (self.costs.fused_descriptor_put if flags.fused_rma
                 else mandatory.descriptor)
         self.proc.charge(_MAND, desc, Subsystem.DESCRIPTOR)
 
+    @fastpath
     def put(self, op: PutOp) -> None:
         """One-sided put: remote write into the target window."""
         c = self.costs
@@ -369,6 +394,7 @@ class CH4Device:
                        target_datatype=op.target_dtref.datatype)
         op.win.note_pending(target_world, result.arrive_s)
 
+    @fastpath
     def get(self, op: GetOp) -> None:
         """One-sided get: remote read from the target window."""
         c = self.costs
@@ -396,6 +422,7 @@ class CH4Device:
         unpack(data, op.origin_buf, op.origin_count, op.origin_dtref.datatype)
         op.win.note_pending(target_world, result.complete_s)
 
+    @fastpath
     def accumulate(self, op: AccOp) -> Optional[bytes]:
         """One-sided accumulate (and GET_ACCUMULATE when fetch_buf set)."""
         c = self.costs

@@ -17,8 +17,13 @@ so that the executed paths reproduce the paper's published aggregates
 instructions of ``MPI_ISEND_ALL_OPTS`` in Section 3.7).
 """
 
-from repro.instrument.categories import Category, Subsystem
-from repro.instrument.costs import CostModel, COSTS, CH3_ISEND_STEPS, CH3_PUT_STEPS
+from repro.instrument.categories import (Category, Subsystem,
+                                         category_metadata,
+                                         subsystem_metadata)
+from repro.instrument.costs import (CostModel, COSTS, CostEntry,
+                                    CH3_ISEND_STEPS, CH3_PUT_STEPS,
+                                    cost_model_entries)
+from repro.instrument.fastpath import fastpath, is_fastpath
 from repro.instrument.counter import (
     InstructionCounter,
     current_counter,
@@ -39,8 +44,14 @@ __all__ = [
     "Subsystem",
     "CostModel",
     "COSTS",
+    "CostEntry",
     "CH3_ISEND_STEPS",
     "CH3_PUT_STEPS",
+    "category_metadata",
+    "cost_model_entries",
+    "fastpath",
+    "is_fastpath",
+    "subsystem_metadata",
     "InstructionCounter",
     "current_counter",
     "install_counter",

@@ -13,6 +13,8 @@ and the actual hand-off to the network API).
 from __future__ import annotations
 
 import enum
+from types import MappingProxyType
+from typing import Mapping
 
 
 class Category(enum.Enum):
@@ -96,3 +98,48 @@ PROPOSAL_ORDER = (
     Subsystem.REQUEST_MGMT,
     Subsystem.MATCH_BITS,
 )
+
+
+def category_metadata() -> Mapping[Category, str]:
+    """One documented description per category (every member present).
+
+    The audit's charge-provenance verifier and the round-trip tests use
+    this as the authoritative "documented category" set: every cost-model
+    entry must map into exactly one of these, and every category here
+    must be reachable from some cost-model entry.
+    """
+    return MappingProxyType({
+        Category.ERROR_CHECKING:
+            "argument/object validation (Table 1 row; Figure 2 'no errors')",
+        Category.THREAD_SAFETY:
+            "MPI_THREAD_MULTIPLE runtime check (Figure 2 'no thread check')",
+        Category.FUNCTION_CALL:
+            "non-inlined MPI call prologue/epilogue (removed by +ipo)",
+        Category.REDUNDANT_CHECKS:
+            "application-constant checks re-derived at runtime "
+            "(removed by link-time/whole-program inlining)",
+        Category.MANDATORY:
+            "work required by MPI-3.1 semantics (Section 3 subsystems)",
+    })
+
+
+def subsystem_metadata() -> Mapping[Subsystem, str]:
+    """One documented description per MANDATORY subsystem."""
+    return MappingProxyType({
+        Subsystem.RANK_TRANSLATION:
+            "Section 3.1 — comm rank to network address translation",
+        Subsystem.VM_ADDRESSING:
+            "Section 3.2 — window offset to virtual address translation",
+        Subsystem.OBJECT_LOOKUP:
+            "Section 3.3 — dereference into the dynamic comm/window object",
+        Subsystem.PROC_NULL:
+            "Section 3.4 — MPI_PROC_NULL compare-and-branch",
+        Subsystem.REQUEST_MGMT:
+            "Section 3.5 — per-operation request allocation/management",
+        Subsystem.MATCH_BITS:
+            "Section 3.6 — (context, source, tag) match-bit construction",
+        Subsystem.DESCRIPTOR:
+            "irreducible descriptor fill and network-API hand-off",
+        Subsystem.CH3_PROTOCOL:
+            "CH3-only protocol machinery (not a standard requirement)",
+    })

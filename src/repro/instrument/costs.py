@@ -401,3 +401,86 @@ def validate(model: CostModel) -> None:
 COSTS = CostModel()
 
 validate(COSTS)
+
+
+# ---------------------------------------------------------------------------
+# Flat registry view (consumed by `python -m repro.audit`)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CostEntry:
+    """One flat cost-model entry: dotted key, attribution, and value."""
+
+    key: str                      #: e.g. ``"isend_mandatory.match_bits"``
+    category: Category
+    subsystem: Subsystem | None   #: set only for :attr:`Category.MANDATORY`
+    cost: int
+
+
+#: Attribution of each scalar CostModel field (group fields and the CH3
+#: step tables carry their attribution structurally).
+_SCALAR_ATTRIBUTION: Mapping[str, tuple[Category, Subsystem | None]] = \
+    MappingProxyType({
+        "isend_thread_check": (Category.THREAD_SAFETY, None),
+        "put_thread_check": (Category.THREAD_SAFETY, None),
+        "isend_function_call": (Category.FUNCTION_CALL, None),
+        "put_function_call": (Category.FUNCTION_CALL, None),
+        "global_rank_lookup": (Category.MANDATORY, Subsystem.RANK_TRANSLATION),
+        "virtual_addr_lookup": (Category.MANDATORY, Subsystem.VM_ADDRESSING),
+        "predefined_object_lookup": (Category.MANDATORY,
+                                     Subsystem.OBJECT_LOOKUP),
+        "npn_proc_null": (Category.MANDATORY, Subsystem.PROC_NULL),
+        "noreq_counter_inc": (Category.MANDATORY, Subsystem.REQUEST_MGMT),
+        "noreq_waitall": (Category.MANDATORY, Subsystem.REQUEST_MGMT),
+        "nomatch_bits": (Category.MANDATORY, Subsystem.MATCH_BITS),
+        "nomatch_bits_static": (Category.MANDATORY, Subsystem.MATCH_BITS),
+        "fused_descriptor_isend": (Category.MANDATORY, Subsystem.DESCRIPTOR),
+        "fused_descriptor_put": (Category.MANDATORY, Subsystem.DESCRIPTOR),
+    })
+
+#: Category of each grouped CostModel field (per-field subsystem for the
+#: mandatory groups comes from :meth:`MandatoryCosts.as_mapping`).
+_GROUP_CATEGORY: Mapping[str, Category] = MappingProxyType({
+    "isend_error": Category.ERROR_CHECKING,
+    "put_error": Category.ERROR_CHECKING,
+    "isend_redundant": Category.REDUNDANT_CHECKS,
+    "put_redundant": Category.REDUNDANT_CHECKS,
+    "isend_mandatory": Category.MANDATORY,
+    "put_mandatory": Category.MANDATORY,
+})
+
+
+def cost_model_entries(model: CostModel = COSTS) -> Mapping[str, CostEntry]:
+    """Flatten *model* into dotted-key :class:`CostEntry` records.
+
+    Keys follow the attribute paths the runtime uses at charge sites
+    (``isend_error.args_basic``, ``noreq_waitall``,
+    ``ch3_put_steps.segment_engine``), which is what lets the static
+    audit tie each reachable ``proc.charge(...)`` call back to exactly
+    one registry entry.
+    """
+    entries: dict[str, CostEntry] = {}
+
+    def add(key: str, category: Category,
+            subsystem: Subsystem | None, cost: int) -> None:
+        assert key not in entries, f"duplicate cost key {key!r}"
+        entries[key] = CostEntry(key, category, subsystem, cost)
+
+    for group, category in _GROUP_CATEGORY.items():
+        costs = getattr(model, group)
+        if isinstance(costs, MandatoryCosts):
+            for subsystem, cost in costs.as_mapping().items():
+                add(f"{group}.{subsystem.value}", category, subsystem, cost)
+        else:
+            for field_name in type(costs).__dataclass_fields__:
+                add(f"{group}.{field_name}", category, None,
+                    getattr(costs, field_name))
+
+    for name, (category, subsystem) in _SCALAR_ATTRIBUTION.items():
+        add(name, category, subsystem, getattr(model, name))
+
+    for table in ("ch3_isend_steps", "ch3_put_steps"):
+        for step, (category, subsystem, cost) in getattr(model, table).items():
+            add(f"{table}.{step}", category, subsystem, cost)
+
+    return MappingProxyType(entries)

@@ -27,6 +27,7 @@ from repro.core.ops import RecvOp, SendOp
 from repro.errors import MPIErrArg, MPIErrComm
 from repro.instrument.categories import Category, Subsystem
 from repro.instrument.costs import COSTS
+from repro.instrument.fastpath import fastpath
 from repro.mpi import collectives as coll
 from repro.mpi.group import Group
 from repro.mpi.info import Info
@@ -453,6 +454,7 @@ class Communicator:
         """Requestless operations issued since the last waitall_noreq."""
         return self._noreq_count
 
+    @fastpath
     def waitall_noreq(self) -> int:
         """§3.5 MPI_COMM_WAITALL: complete every requestless operation
         on this communicator; returns how many were completed."""

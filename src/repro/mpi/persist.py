@@ -22,6 +22,7 @@ from repro.datatypes.pack import pack
 from repro.errors import MPIErrRequest
 from repro.instrument.categories import Category, Subsystem
 from repro.instrument.costs import COSTS
+from repro.instrument.fastpath import fastpath
 from repro.mpi.pt2pt import mpi_entry, normalize_buffer, validate_recv, \
     validate_send
 from repro.runtime.matching import PostedRecv
@@ -86,6 +87,7 @@ class PersistentSend(PersistentRequest):
             self.dest_world = comm.translation.world_rank(dest)
             self.env = Envelope(ctx=comm.ctx, src=comm.rank, tag=tag)
 
+    @fastpath
     def _launch(self) -> Request:
         proc, comm = self.comm.proc, self.comm
         request = proc.request_pool.acquire(RequestKind.SEND)
@@ -144,6 +146,7 @@ class PersistentRecv(PersistentRequest):
         self.buf, self.count, self.dtref = data, count, dtref
         self.source, self.tag = source, tag
 
+    @fastpath
     def _launch(self) -> Request:
         proc, comm = self.comm.proc, self.comm
         if self.source == PROC_NULL:

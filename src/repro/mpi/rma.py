@@ -33,6 +33,7 @@ from repro.errors import (MPIErrArg, MPIErrRank, MPIErrRMARange,
 from repro.instrument.costs import COSTS
 from repro.mpi import reduceops
 from repro.mpi.info import Info
+from repro.instrument.fastpath import fastpath
 from repro.mpi.pt2pt import mpi_entry, normalize_buffer
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -440,6 +441,7 @@ class Window:
 
     # -- validation ----------------------------------------------------------------
 
+    @fastpath
     def _validate_rma(self, buf, count, dtref, target_rank: int,
                       global_rank: bool) -> None:
         from repro.instrument.categories import Category

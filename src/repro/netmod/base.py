@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING
 
 from repro.fabric.model import FabricSpec
 from repro.instrument.categories import Category, Subsystem
+from repro.instrument.fastpath import fastpath
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.proc import Proc
@@ -83,12 +84,16 @@ class Netmod:
 
     # -- issue -------------------------------------------------------------------
 
+    @fastpath
+
     def charge_am_fallback(self) -> None:
         """Charge the active-message fallback overhead (origin side)."""
         self.proc.charge(Category.MANDATORY, AM_ORIGIN_OVERHEAD,
                          Subsystem.DESCRIPTOR)
         self.proc.charge(Category.MANDATORY, AM_HANDLER_OVERHEAD,
                          Subsystem.DESCRIPTOR)
+
+    @fastpath
 
     def issue(self, nbytes: int, native: bool,
               round_trip: bool = False) -> IssueResult:

@@ -196,17 +196,25 @@ class Request:
     # -- pool support ------------------------------------------------------
 
     def _reset(self, kind: RequestKind) -> None:
-        """Reinitialize a recycled handle (RequestPool.acquire only)."""
-        self.kind = kind
-        self._done.clear()
-        self._waiters.clear()
-        self.complete_s = 0.0
-        self.source = -1
-        self.tag = -1
-        self.count_bytes = 0
-        self.error = None
-        self.cancelled = False
-        self.payload = None
+        """Reinitialize a recycled handle (RequestPool.acquire only).
+
+        Takes the state lock like every other transition: release
+        happens strictly after completion, but a stale waiter callback
+        from the handle's previous life may still be running on the
+        completing thread, and its reads must not interleave with the
+        reinitialization.  (Found by the FP301 lockset audit rule.)
+        """
+        with self._lock:
+            self.kind = kind
+            self._done.clear()
+            self._waiters.clear()
+            self.complete_s = 0.0
+            self.source = -1
+            self.tag = -1
+            self.count_bytes = 0
+            self.error = None
+            self.cancelled = False
+            self.payload = None
 
 
 class RequestPool:

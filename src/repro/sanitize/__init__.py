@@ -6,8 +6,8 @@ Two cooperating halves share one rule catalog
 * the **static pass** (``python -m repro.sanitize <paths>``) lints
   programs that use :mod:`repro.mpi` without running them — request
   leaks, send-buffer reuse, wildcard-receive races, tag mismatches,
-  RMA accesses outside epochs, and extension-API misuse
-  (rules ``MS101``–``MS106``);
+  RMA accesses outside epochs, extension-API misuse, and persistent
+  double-starts (rules ``MS101``–``MS107``);
 * the **dynamic pass** (``BuildConfig(sanitize=True)``) checks real
   executions — cross-rank deadlock detection with per-rank stacks,
   request-leak reports at finalize, buffer-ownership validation, and

@@ -1,7 +1,7 @@
 """AST-based MPI-correctness linter over programs using ``repro.mpi``.
 
-Static counterpart of the dynamic sanitizer: six rule classes
-(``MS101`` .. ``MS106``, see :data:`repro.sanitize.diagnostics.RULES`)
+Static counterpart of the dynamic sanitizer: seven rule classes
+(``MS101`` .. ``MS107``, see :data:`repro.sanitize.diagnostics.RULES`)
 checked per *scope* (each function body, plus the module body) without
 executing the program.
 
@@ -10,7 +10,8 @@ pattern is wrong on every execution path the linter can see, so the
 linter stays zero-false-positive on ``examples/`` and
 ``src/repro/apps/`` (enforced by the lint tier in CI).  Findings can be
 suppressed line-by-line with ``# sanitize: ignore`` or
-``# sanitize: ignore[MS101,MS103]``.
+``# sanitize: ignore[MS101,MS103]`` (shared pragma machinery:
+:func:`repro.analysis_common.suppressed`).
 """
 
 from __future__ import annotations
@@ -20,7 +21,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Optional, Union
 
+from repro.analysis_common import iter_python_files, suppressed
 from repro.sanitize.diagnostics import Diagnostic, Report
+
+#: The sanitizer's end-of-line suppression pragma.
+PRAGMA_MARKER = "# sanitize: ignore"
 
 # ---------------------------------------------------------------------------
 # call classification tables
@@ -86,6 +91,18 @@ WINDOW_CTORS = frozenset({"create", "allocate", "create_dynamic"})
 #: ndarray methods that mutate in place (for MS102).
 MUTATING_METHODS = frozenset({"fill", "sort", "resize", "itemset",
                               "partition"})
+
+#: Constructors of persistent requests (for MS107).
+PERSISTENT_CTORS = frozenset({"Send_init", "Recv_init"})
+
+#: Method calls that complete (or may complete) an active persistent
+#: instance; any such call between two starts clears MS107.
+PERSISTENT_WAITS = frozenset({"wait", "Wait", "test", "Test", "waitall",
+                              "testall", "waitany", "waitsome"})
+
+#: Module-level completion helpers that clear MS107 likewise.
+PERSISTENT_WAIT_FUNCS = frozenset({"waitall", "testall", "waitany",
+                                   "waitsome", "startall"})
 
 _SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
 
@@ -286,25 +303,14 @@ class Linter:
             self._rule_tag_mismatch(scope)
             self._rule_rma_epoch(scope)
             self._rule_nomatch_misuse(scope)
-        return [d for d in self.diagnostics if not self._suppressed(d)]
+            self._rule_persistent_double_start(scope)
+        return [d for d in self.diagnostics
+                if not suppressed(self.lines, d.line, d.rule_id,
+                                  PRAGMA_MARKER)]
 
     def _emit(self, rule_id: str, line: int, message: str) -> None:
         self.diagnostics.append(
             Diagnostic(rule_id, self.path, line, message))
-
-    def _suppressed(self, diag: Diagnostic) -> bool:
-        if not 1 <= diag.line <= len(self.lines):
-            return False
-        text = self.lines[diag.line - 1]
-        marker = "# sanitize: ignore"
-        idx = text.find(marker)
-        if idx < 0:
-            return False
-        rest = text[idx + len(marker):]
-        if rest.startswith("["):
-            listed = rest[1:rest.find("]")] if "]" in rest else rest[1:]
-            return diag.rule_id in {r.strip() for r in listed.split(",")}
-        return True
 
     # -- MS101: request leak ---------------------------------------------------
 
@@ -562,6 +568,73 @@ class Linter:
                     "traffic must be received with recv_nomatch/"
                     "irecv_nomatch")
 
+    # -- MS107: persistent request started twice without a wait ----------------
+
+    def _rule_persistent_double_start(self, scope: Scope) -> None:
+        persistent = self._persistent_names(scope)
+        if not persistent:
+            return
+        clear_lines = self._completion_lines(scope)
+        for name in persistent:
+            starts = [c for c in scope.calls
+                      if c.attr == "start" and c.recv_obj == name]
+            starts.sort(key=lambda c: c.line)
+            for first, second in zip(starts, starts[1:]):
+                if first.line == second.line:
+                    continue
+                if _sibling_branches(first.branch, second.branch):
+                    continue        # mutually exclusive arms
+                if self._inside_loop(scope, first.node) \
+                        or self._inside_loop(scope, second.node):
+                    continue        # loop bodies re-execute: stay quiet
+                if any(first.line < line < second.line
+                       for line in clear_lines):
+                    continue        # a wait/test may have completed it
+                self._emit(
+                    "MS107", second.line,
+                    f"persistent request {name!r} started again (first "
+                    f"start on line {first.line}) with no intervening "
+                    "wait/test — MPI_START on an active request raises "
+                    "MPI_ERR_REQUEST")
+
+    @staticmethod
+    def _persistent_names(scope: Scope) -> set[str]:
+        """Names assigned directly from Send_init/Recv_init calls."""
+        names: set[str] = set()
+        for stmt in scope.statements:
+            if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)):
+                continue
+            value = stmt.value
+            if isinstance(value, ast.Call) \
+                    and isinstance(value.func, ast.Attribute) \
+                    and value.func.attr in PERSISTENT_CTORS:
+                names.add(stmt.targets[0].id)
+        return names
+
+    @staticmethod
+    def _completion_lines(scope: Scope) -> list[int]:
+        """Lines whose statements may complete an active instance:
+        any wait/test-family method call, or a module-level waitall-like
+        helper (conservative — any of them clears the rule)."""
+        lines = [c.line for c in scope.calls if c.attr in PERSISTENT_WAITS]
+        for func_name in PERSISTENT_WAIT_FUNCS:
+            for load in scope.loads_of(func_name):
+                parent = scope.parents.get(load)
+                if isinstance(parent, ast.Call) and parent.func is load:
+                    lines.append(parent.lineno)
+        return lines
+
+    @staticmethod
+    def _inside_loop(scope: Scope, node: ast.AST) -> bool:
+        """Is *node* nested inside a for/while loop of this scope?"""
+        cur: Optional[ast.AST] = scope.parents.get(node)
+        while cur is not None:
+            if isinstance(cur, (ast.For, ast.AsyncFor, ast.While)):
+                return True
+            cur = scope.parents.get(cur)
+        return False
+
 
 # ---------------------------------------------------------------------------
 # public entry points
@@ -577,18 +650,6 @@ def lint_file(path: Union[str, Path]) -> list[Diagnostic]:
     """Lint one file on disk."""
     p = Path(path)
     return lint_source(p.read_text(), str(p))
-
-
-def iter_python_files(paths: Iterable[Union[str, Path]]) -> list[Path]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
-    out: set[Path] = set()
-    for raw in paths:
-        p = Path(raw)
-        if p.is_dir():
-            out.update(p.rglob("*.py"))
-        elif p.suffix == ".py":
-            out.add(p)
-    return sorted(out)
 
 
 def lint_paths(paths: Iterable[Union[str, Path]]) -> Report:

@@ -19,7 +19,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.sanitize",
         description="Static MPI-correctness linter for programs using "
-                    "repro.mpi (rules MS101-MS106; suppress per line "
+                    "repro.mpi (rules MS101-MS107; suppress per line "
                     "with '# sanitize: ignore[MSxxx]').")
     parser.add_argument(
         "paths", nargs="*", metavar="PATH",

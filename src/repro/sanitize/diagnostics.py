@@ -4,38 +4,23 @@ Every sanitizer finding — static (``MS1xx``, from the AST linter) or
 dynamic (``MSD2xx``, from the runtime checker) — carries a stable rule
 id from :data:`RULES`.  Tests assert on these ids, the CLI prints them,
 and ``# sanitize: ignore[MSxxx]`` pragmas suppress them by id.
+
+The record/report/catalog shapes are the shared ones from
+:mod:`repro.analysis_common` (also used by the ``repro.audit``
+self-check); :class:`Diagnostic` and :class:`Report` are kept as the
+sanitizer's public names for them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
+from repro.analysis_common import Finding, Report, Rule, render_catalog
 from repro.errors import MPIError
 
+#: The sanitizer's finding record (the shared analysis Finding).
+Diagnostic = Finding
 
-@dataclass(frozen=True)
-class Rule:
-    """One entry of the rule catalog.
-
-    Attributes
-    ----------
-    rule_id:
-        Stable identifier (``MS101`` ... static, ``MSD201`` ... dynamic).
-    title:
-        One-line description of the defect class.
-    example:
-        A minimal trigger, as the user would write it.
-    fix:
-        The suggested remediation.
-    dynamic:
-        True for runtime-checker rules, False for AST-linter rules.
-    """
-
-    rule_id: str
-    title: str
-    example: str
-    fix: str
-    dynamic: bool = False
+__all__ = ["Diagnostic", "Finding", "Report", "Rule", "RULES",
+           "SanitizerError", "render_rule_catalog"]
 
 
 #: The rule catalog, keyed by rule id (also rendered by ``--rules``
@@ -66,6 +51,11 @@ RULES: dict[str, Rule] = {r.rule_id: r for r in (
          "comm.isend_nomatch(buf, 1); comm.Irecv(b2)  # ANY_SOURCE",
          "receive nomatch traffic with recv_nomatch/irecv_nomatch only, "
          "or keep wildcard receivers on a separate communicator"),
+    Rule("MS107", "persistent request started twice with no intervening "
+         "wait — the second MPI_START raises MPI_ERR_REQUEST at runtime",
+         "p = comm.Send_init(buf, 1); p.start(); p.start()",
+         "wait()/test() the active instance (or waitall the batch) "
+         "before restarting the persistent request"),
     Rule("MSD201", "deadlock: cyclic (or global) wait-for dependency "
          "between blocked ranks", "rank 0: Ssend(1).wait() / rank 1: "
          "Ssend(0).wait()",
@@ -101,51 +91,6 @@ class SanitizerError(MPIError):
         self.code = code
 
 
-@dataclass(frozen=True)
-class Diagnostic:
-    """One static-linter finding."""
-
-    rule_id: str
-    path: str
-    line: int
-    message: str
-
-    def render(self) -> str:
-        """``file:line: [MSxxx] message`` — the CLI output format."""
-        return f"{self.path}:{self.line}: [{self.rule_id}] {self.message}"
-
-
-@dataclass
-class Report:
-    """A collection of diagnostics over one lint invocation."""
-
-    diagnostics: list[Diagnostic] = field(default_factory=list)
-    files_checked: int = 0
-
-    def extend(self, diags: list[Diagnostic]) -> None:
-        """Append findings from one file."""
-        self.diagnostics.extend(diags)
-
-    @property
-    def clean(self) -> bool:
-        """True when no rule fired."""
-        return not self.diagnostics
-
-    def render(self) -> str:
-        """Human-readable multi-line report."""
-        lines = [d.render() for d in sorted(
-            self.diagnostics, key=lambda d: (d.path, d.line, d.rule_id))]
-        lines.append(f"{len(self.diagnostics)} finding(s) in "
-                     f"{self.files_checked} file(s)")
-        return "\n".join(lines)
-
-
 def render_rule_catalog() -> str:
     """The ``--rules`` listing: id, title, example, fix per rule."""
-    out = []
-    for rule in RULES.values():
-        layer = "dynamic" if rule.dynamic else "static"
-        out.append(f"{rule.rule_id} ({layer}): {rule.title}\n"
-                   f"    example: {rule.example}\n"
-                   f"    fix:     {rule.fix}")
-    return "\n".join(out)
+    return render_catalog(RULES)

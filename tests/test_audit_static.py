@@ -1,0 +1,423 @@
+"""Audit rule fixtures: purity, lockset, FP104, pragmas, call graph."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.audit.callgraph import CodeIndex
+from repro.audit.lockset import scan_lockset
+from repro.audit.provenance import (_observable_work, _subtree_charges,
+                                    _tight_callees)
+from repro.audit.purity import scan_purity
+from repro.audit.rules import FP_RULES, render_fp_catalog
+
+
+def _index(tmp_path, source: str, name: str = "mod.py") -> CodeIndex:
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return CodeIndex.build([str(path)])
+
+
+def _purity_ids(tmp_path, source: str) -> list[str]:
+    return [f.rule_id for f in scan_purity(_index(tmp_path, source))]
+
+
+FASTPATH_STUB = """\
+    def fastpath(func):
+        return func
+
+"""
+
+
+class TestPurityFixtures:
+    """FP201-FP205 each fire on a minimal @fastpath fixture."""
+
+    def test_fp201_list_display(self, tmp_path):
+        src = FASTPATH_STUB + (
+            "    @fastpath\n"
+            "    def f(xs):\n"
+            "        out = []\n"
+            "        return out\n")
+        assert _purity_ids(tmp_path, src) == ["FP201"]
+
+    def test_fp201_builtin_ctor_and_comprehension(self, tmp_path):
+        src = FASTPATH_STUB + (
+            "    @fastpath\n"
+            "    def f(xs):\n"
+            "        a = dict()\n"
+            "        return [x for x in xs], a\n")
+        assert _purity_ids(tmp_path, src) == ["FP201", "FP201"]
+
+    def test_fp201_generator_expression_allowed(self, tmp_path):
+        src = FASTPATH_STUB + (
+            "    @fastpath\n"
+            "    def f(xs):\n"
+            "        return sum(x for x in xs)\n")
+        assert _purity_ids(tmp_path, src) == []
+
+    def test_fp202_chain_lookup_in_loop(self, tmp_path):
+        src = FASTPATH_STUB + (
+            "    @fastpath\n"
+            "    def f(self, items):\n"
+            "        for x in items:\n"
+            "            self.table.slot.use(x)\n")
+        assert _purity_ids(tmp_path, src) == ["FP202"]
+
+    def test_fp202_hoisted_lookup_clean(self, tmp_path):
+        src = FASTPATH_STUB + (
+            "    @fastpath\n"
+            "    def f(self, items):\n"
+            "        use = self.table.use\n"
+            "        for x in items:\n"
+            "            use(x)\n")
+        assert _purity_ids(tmp_path, src) == []
+
+    def test_fp203_with_lock(self, tmp_path):
+        src = FASTPATH_STUB + (
+            "    @fastpath\n"
+            "    def f(self):\n"
+            "        with self._lock:\n"
+            "            return self.state\n")
+        assert _purity_ids(tmp_path, src) == ["FP203"]
+
+    def test_fp204_try(self, tmp_path):
+        src = FASTPATH_STUB + (
+            "    @fastpath\n"
+            "    def f(self):\n"
+            "        try:\n"
+            "            return self.state\n"
+            "        finally:\n"
+            "            pass\n")
+        assert _purity_ids(tmp_path, src) == ["FP204"]
+
+    def test_fp205_print_and_logger(self, tmp_path):
+        src = FASTPATH_STUB + (
+            "    @fastpath\n"
+            "    def f(self, logger):\n"
+            "        print(self.state)\n"
+            "        logger.debug('x')\n")
+        assert _purity_ids(tmp_path, src) == ["FP205", "FP205"]
+
+    def test_unmarked_function_not_scanned(self, tmp_path):
+        src = (
+            "    def f(self):\n"
+            "        with self._lock:\n"
+            "            return []\n")
+        assert _purity_ids(tmp_path, textwrap.dedent(src)) == []
+
+    def test_nested_def_body_excluded(self, tmp_path):
+        # Regression: a closure's try/alloc runs off the audited path —
+        # walk_body must not descend into nested definitions.
+        src = FASTPATH_STUB + (
+            "    @fastpath\n"
+            "    def f(self, request):\n"
+            "        def on_match(msg):\n"
+            "            try:\n"
+            "                return [msg]\n"
+            "            finally:\n"
+            "                pass\n"
+            "        return on_match\n")
+        assert _purity_ids(tmp_path, src) == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        src = FASTPATH_STUB + (
+            "    @fastpath\n"
+            "    def f(self):\n"
+            "        with self._lock:  # audit: allow[FP203] - modeled CS\n"
+            "            return self.state\n")
+        assert _purity_ids(tmp_path, src) == []
+
+    def test_pragma_is_rule_specific(self, tmp_path):
+        src = FASTPATH_STUB + (
+            "    @fastpath\n"
+            "    def f(self):\n"
+            "        with self._lock:  # audit: allow[FP204]\n"
+            "            return self.state\n")
+        assert _purity_ids(tmp_path, src) == ["FP203"]
+
+
+class TestLocksetFixtures:
+    """FP301/FP302 on minimal runtime-class fixtures."""
+
+    def _lockset_ids(self, tmp_path, source: str) -> list[str]:
+        index = _index(tmp_path, source)
+        return [f.rule_id for f in scan_lockset(index, path_filter="")]
+
+    def test_fp301_bare_write_flagged(self, tmp_path):
+        src = """\
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.value = 0
+
+                def bump(self):
+                    with self._lock:
+                        self.value += 1
+
+                def reset(self):
+                    self.value = 0
+        """
+        assert self._lockset_ids(tmp_path, src) == ["FP301"]
+
+    def test_fp301_clean_when_consistent(self, tmp_path):
+        src = """\
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.value = 0
+
+                def bump(self):
+                    with self._lock:
+                        self.value += 1
+
+                def reset(self):
+                    with self._lock:
+                        self.value = 0
+        """
+        assert self._lockset_ids(tmp_path, src) == []
+
+    def test_fp301_single_owner_state_ignored(self, tmp_path):
+        src = """\
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.value = 0
+
+                def reset(self):
+                    self.value = 0
+        """
+        assert self._lockset_ids(tmp_path, src) == []
+
+    def test_fp301_helper_inherits_caller_lockset(self, tmp_path):
+        # _apply is only ever called with the lock held, so its write
+        # counts as guarded — no finding.
+        src = """\
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.value = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._apply()
+
+                def set(self):
+                    with self._lock:
+                        self.value = 9
+
+                def _apply(self):
+                    self.value += 1
+        """
+        assert self._lockset_ids(tmp_path, src) == []
+
+    def test_fp302_lock_order_cycle(self, tmp_path):
+        src = """\
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self.a = threading.Lock()
+                    self.b = threading.Lock()
+
+                def forward(self):
+                    with self.a:
+                        with self.b:
+                            pass
+
+                def backward(self):
+                    with self.b:
+                        with self.a:
+                            pass
+        """
+        assert "FP302" in self._lockset_ids(tmp_path, src)
+
+    def test_fp302_consistent_order_clean(self, tmp_path):
+        src = """\
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self.a = threading.Lock()
+                    self.b = threading.Lock()
+
+                def one(self):
+                    with self.a:
+                        with self.b:
+                            pass
+
+                def two(self):
+                    with self.a:
+                        with self.b:
+                            pass
+        """
+        assert self._lockset_ids(tmp_path, src) == []
+
+
+class TestFP104Subtree:
+    """The uncharged-work check uses tight call edges."""
+
+    def test_work_without_charge_detected(self, tmp_path):
+        src = """\
+            def fastpath(func):
+                return func
+
+            class Dev:
+                @fastpath
+                def null_send(self, op):
+                    request = self.pool.acquire('send')
+                    request.complete(0.0)
+                    return request
+        """
+        index = _index(tmp_path, src)
+        func = index.find_method("Dev", "null_send")
+        assert _observable_work(index, func) == {"acquire", "complete"}
+        assert not _subtree_charges(index, func)
+
+    def test_direct_charge_satisfies(self, tmp_path):
+        src = """\
+            def fastpath(func):
+                return func
+
+            class Dev:
+                @fastpath
+                def null_send(self, op):
+                    self.proc.charge('mand', 2)
+                    request = self.pool.acquire('send')
+                    request.complete(0.0)
+                    return request
+        """
+        index = _index(tmp_path, src)
+        func = index.find_method("Dev", "null_send")
+        assert _subtree_charges(index, func)
+
+    def test_family_helper_charge_satisfies(self, tmp_path):
+        src = """\
+            def fastpath(func):
+                return func
+
+            class Dev:
+                @fastpath
+                def issue(self, op):
+                    self._charge_it()
+                    return self.pool.acquire('send')
+
+                def _charge_it(self):
+                    self.proc.charge('mand', 2)
+        """
+        index = _index(tmp_path, src)
+        func = index.find_method("Dev", "issue")
+        assert _subtree_charges(index, func)
+
+    def test_duck_typed_call_does_not_satisfy(self, tmp_path):
+        # Some *other* class's complete() charges, but a tight walk must
+        # not follow the duck-typed request.complete() edge.
+        src = """\
+            def fastpath(func):
+                return func
+
+            class Other:
+                def complete(self):
+                    self.proc.charge('mand', 1)
+
+            class Dev:
+                @fastpath
+                def issue(self, request):
+                    request.complete()
+        """
+        index = _index(tmp_path, src)
+        func = index.find_method("Dev", "issue")
+        assert not _subtree_charges(index, func)
+
+    def test_tight_callees_keep_plain_names(self, tmp_path):
+        import ast
+        src = """\
+            def helper():
+                pass
+
+            class Dev:
+                def issue(self):
+                    helper()
+        """
+        index = _index(tmp_path, src)
+        func = index.find_method("Dev", "issue")
+        call = next(n for n in ast.walk(func.node)
+                    if isinstance(n, ast.Call))
+        assert [f.name for f in _tight_callees(index, call.func, func)] \
+            == ["helper"]
+
+
+class TestCallGraph:
+    """CodeIndex structure and resolution."""
+
+    def test_self_call_prefers_class_family(self, tmp_path):
+        import ast
+        src = """\
+            class Base:
+                def step(self):
+                    pass
+
+            class Derived(Base):
+                def run(self):
+                    self.step()
+
+            class Unrelated:
+                def step(self):
+                    pass
+        """
+        index = _index(tmp_path, src)
+        run = index.find_method("Derived", "run")
+        call = next(n for n in ast.walk(run.node)
+                    if isinstance(n, ast.Call))
+        resolved = index.resolve_call(call.func, run)
+        assert [f.cls for f in resolved] == ["Base"]
+
+    def test_class_family_is_transitive(self, tmp_path):
+        src = """\
+            class A:
+                pass
+
+            class B(A):
+                pass
+
+            class C(B):
+                pass
+        """
+        index = _index(tmp_path, src)
+        assert index.class_family("B") == frozenset({"A", "B", "C"})
+
+    def test_qualname_is_tree_relative(self, tmp_path):
+        pkg = tmp_path / "repro" / "sub"
+        pkg.mkdir(parents=True)
+        (pkg / "m.py").write_text("class K:\n    def f(self):\n        pass\n")
+        index = CodeIndex.build([str(tmp_path)])
+        func = index.find_method("K", "f")
+        assert func.qualname == "repro/sub/m.py:K.f"
+
+    def test_syntax_error_files_skipped(self, tmp_path):
+        (tmp_path / "bad.py").write_text("def broken(:\n")
+        (tmp_path / "good.py").write_text("def ok():\n    pass\n")
+        index = CodeIndex.build([str(tmp_path)])
+        assert len(index.modules) == 1
+
+
+class TestRuleCatalog:
+    """The FP rule table is complete and renderable."""
+
+    def test_all_rule_families_present(self):
+        ids = set(FP_RULES)
+        assert {"FP101", "FP102", "FP103", "FP104"} <= ids
+        assert {"FP201", "FP202", "FP203", "FP204", "FP205"} <= ids
+        assert {"FP301", "FP302"} <= ids
+
+    def test_catalog_renders_every_rule(self):
+        text = render_fp_catalog()
+        for rule_id in FP_RULES:
+            assert rule_id in text

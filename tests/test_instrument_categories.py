@@ -1,0 +1,92 @@
+"""Category/subsystem metadata and cost-registry round-trips."""
+
+from __future__ import annotations
+
+from repro.instrument.categories import (Category, Subsystem,
+                                         category_metadata,
+                                         subsystem_metadata)
+from repro.instrument.costs import COSTS, CostEntry, cost_model_entries
+
+
+class TestMetadata:
+    """Every enum member carries one line of documentation."""
+
+    def test_category_metadata_total(self):
+        meta = category_metadata()
+        assert set(meta) == set(Category)
+        assert all(isinstance(text, str) and text for text in meta.values())
+
+    def test_subsystem_metadata_total(self):
+        meta = subsystem_metadata()
+        assert set(meta) == set(Subsystem)
+        assert all(isinstance(text, str) and text for text in meta.values())
+
+    def test_metadata_mappings_read_only(self):
+        import pytest
+        with pytest.raises(TypeError):
+            category_metadata()[Category.MANDATORY] = "x"
+        with pytest.raises(TypeError):
+            subsystem_metadata()[Subsystem.DESCRIPTOR] = "x"
+
+
+class TestRegistryRoundTrip:
+    """cost_model_entries() is a lossless flat view of COSTS."""
+
+    def test_every_entry_well_formed(self):
+        for key, entry in cost_model_entries().items():
+            assert isinstance(entry, CostEntry)
+            assert entry.key == key
+            assert entry.category in category_metadata()
+            # Subsystem attribution only exists for subsystem-charged
+            # work (mandatory decomposition, CH3 step tables).
+            assert entry.subsystem is None \
+                or entry.subsystem in subsystem_metadata()
+            assert entry.cost >= 0
+
+    def test_group_totals_survive_flattening(self):
+        registry = cost_model_entries()
+        for group, obj in (("isend_error", COSTS.isend_error),
+                           ("put_error", COSTS.put_error),
+                           ("isend_redundant", COSTS.isend_redundant),
+                           ("put_redundant", COSTS.put_redundant),
+                           ("isend_mandatory", COSTS.isend_mandatory),
+                           ("put_mandatory", COSTS.put_mandatory)):
+            flat = sum(e.cost for k, e in registry.items()
+                       if k.startswith(group + "."))
+            assert flat == obj.total, group
+
+    def test_ch3_step_tables_survive_flattening(self):
+        registry = cost_model_entries()
+        for table_name, table in (("ch3_isend_steps", COSTS.ch3_isend_steps),
+                                  ("ch3_put_steps", COSTS.ch3_put_steps)):
+            for step, (_category, _subsystem, cost) in table.items():
+                entry = registry[f"{table_name}.{step}"]
+                assert entry.cost == cost, (table_name, step)
+
+    def test_mandatory_subsystem_attribution(self):
+        registry = cost_model_entries()
+        assert registry["isend_mandatory.request_mgmt"].subsystem \
+            is Subsystem.REQUEST_MGMT
+        assert registry["put_mandatory.descriptor"].subsystem \
+            is Subsystem.DESCRIPTOR
+        assert registry["global_rank_lookup"].subsystem \
+            is Subsystem.RANK_TRANSLATION
+
+    def test_scalar_categories(self):
+        registry = cost_model_entries()
+        assert registry["isend_thread_check"].category \
+            is Category.THREAD_SAFETY
+        assert registry["put_function_call"].category \
+            is Category.FUNCTION_CALL
+        assert registry["noreq_counter_inc"].category is Category.MANDATORY
+
+    def test_every_category_used_by_some_entry(self):
+        used = {e.category for e in cost_model_entries().values()}
+        assert used == set(Category)
+
+    def test_registry_read_only_and_stable(self):
+        import pytest
+        registry = cost_model_entries()
+        with pytest.raises(TypeError):
+            registry["isend_thread_check"] = None
+        assert cost_model_entries().keys() == registry.keys()

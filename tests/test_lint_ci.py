@@ -67,3 +67,52 @@ class TestRuff:
         except FileNotFoundError:
             pytest.skip("ruff not installed in this environment")
         assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+class TestAuditCLI:
+    """``python -m repro.audit`` as the CI fast-path gate runs it."""
+
+    def test_tree_audits_clean(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.audit", "src/repro"],
+            cwd=ROOT, env=_env(), capture_output=True, text=True,
+            timeout=300)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 finding(s)" in proc.stdout
+
+    def test_purity_violation_fails_the_gate(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def fastpath(func):\n"
+                       "    return func\n"
+                       "\n"
+                       "@fastpath\n"
+                       "def hot(xs):\n"
+                       "    return [x for x in xs]\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.audit", str(bad)],
+            cwd=ROOT, env=_env(), capture_output=True, text=True,
+            timeout=120)
+        assert proc.returncode == 1
+        assert "FP201" in proc.stdout
+
+    def test_rules_flag_prints_catalog(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.audit", "--rules"],
+            cwd=ROOT, env=_env(), capture_output=True, text=True,
+            timeout=120)
+        assert proc.returncode == 0
+        for rule_id in ("FP101", "FP104", "FP201", "FP205", "FP301",
+                        "FP302"):
+            assert rule_id in proc.stdout
+
+    def test_json_snapshot_matches_committed(self, tmp_path):
+        out = tmp_path / "AUDIT.json"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.audit", "src/repro",
+             "--json", str(out)],
+            cwd=ROOT, env=_env(), capture_output=True, text=True,
+            timeout=300)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        import json
+        assert json.loads(out.read_text()) \
+            == json.loads((ROOT / "AUDIT.json").read_text())

@@ -136,6 +136,61 @@ class TestRuleFixtures:
         )
         assert "MS106" in _ids(src)
 
+    def test_ms107_persistent_double_start(self):
+        src = (
+            "def f(comm, buf):\n"
+            "    req = comm.Send_init(buf, dest=1, tag=0)\n"
+            "    req.start()\n"
+            "    req.start()\n"
+            "    req.wait()\n"
+        )
+        assert "MS107" in _ids(src)
+
+    def test_ms107_clean_with_intervening_wait(self):
+        src = (
+            "def f(comm, buf):\n"
+            "    req = comm.Recv_init(buf, source=0, tag=0)\n"
+            "    req.start()\n"
+            "    req.wait()\n"
+            "    req.start()\n"
+            "    req.wait()\n"
+        )
+        assert _ids(src) == []
+
+    def test_ms107_loop_body_stays_quiet(self):
+        src = (
+            "def f(comm, buf):\n"
+            "    req = comm.Send_init(buf, dest=1, tag=0)\n"
+            "    for _ in range(4):\n"
+            "        req.start()\n"
+            "        req.wait()\n"
+        )
+        assert _ids(src) == []
+
+    def test_ms107_sibling_branches_exempt(self):
+        src = (
+            "def f(comm, buf, fast):\n"
+            "    req = comm.Send_init(buf, dest=1, tag=0)\n"
+            "    if fast:\n"
+            "        req.start()\n"
+            "    else:\n"
+            "        req.start()\n"
+            "    req.wait()\n"
+        )
+        assert _ids(src) == []
+
+    def test_ms107_module_level_waitall_clears(self):
+        src = (
+            "from repro.mpi import waitall\n"
+            "def f(comm, buf):\n"
+            "    req = comm.Send_init(buf, dest=1, tag=0)\n"
+            "    req.start()\n"
+            "    waitall([req])\n"
+            "    req.start()\n"
+            "    req.wait()\n"
+        )
+        assert _ids(src) == []
+
 
 class TestPragmas:
     """``# sanitize: ignore`` suppresses findings on that line."""
@@ -184,4 +239,5 @@ class TestCatalog:
         for rule_id in RULES:
             assert rule_id in text
         assert {"MS101", "MS102", "MS103", "MS104", "MS105", "MS106",
-                "MSD201", "MSD202", "MSD203", "MSD204"} <= set(RULES)
+                "MS107", "MSD201", "MSD202", "MSD203",
+                "MSD204"} <= set(RULES)
