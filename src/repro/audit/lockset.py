@@ -18,6 +18,19 @@ adds a directed edge (Class.a -> Class.b); a lock-held call into a
 method (of any class, name-resolved) that acquires its own lock adds a
 one-level interprocedural edge.  Any cycle in the resulting digraph is
 reported once per participating edge set.
+
+FP303 — *cross-VCI lock nesting*: VCI-family locks are every
+``<base>.lock`` attribute (``self.lock``, ``vci.lock``,
+``self.vcis[i].lock`` — the per-VCI critical-section locks).  The
+multi-VCI discipline (``repro/runtime/vci.py``) allows at most ONE
+family lock held at a time: two ranks' injector threads may acquire
+shard locks in opposite orders, so nesting deadlocks.  Flagged:
+acquiring a family lock with a textually different base while one is
+held (same base is reentrant and allowed), and calling — one level,
+name-resolved — a function that itself acquires a family lock while
+one is held.  The wildcard registry lock is deliberately NOT named
+``lock`` so its documented shard-then-registry nesting stays outside
+the family.
 """
 
 from __future__ import annotations
@@ -287,7 +300,120 @@ def scan_lockset(index: CodeIndex,
                                     (src, dst), (facts[name].func, line))
 
     findings.extend(_report_cycles(lock_graph, edge_lines))
+    findings.extend(_scan_vci_nesting(index, path_filter))
     findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# FP303 — cross-VCI lock nesting
+# ---------------------------------------------------------------------------
+
+def _family_base(expr: ast.expr) -> Optional[str]:
+    """The VCI-family lock base: a ``<base>.lock`` attribute returns
+    the unparsed base text (its identity); anything else — bare names,
+    other attribute names — is outside the family."""
+    if isinstance(expr, ast.Attribute) and expr.attr == "lock":
+        return ast.unparse(expr.value)
+    return None
+
+
+def _acquires_family_lock(index: CodeIndex, func: FunctionInfo) -> bool:
+    for node in index.walk_body(func):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            if any(_family_base(item.context_expr) is not None
+                   for item in node.items):
+                return True
+    return False
+
+
+class _VCINestingScanner(ast.NodeVisitor):
+    """Track the held VCI-family lock base through one function body,
+    flagging different-base nesting and lock-held calls to family
+    acquirers.  Same held-stack discipline as :class:`_MethodScanner`;
+    nested defs are separate execution contexts and skipped."""
+
+    def __init__(self, index: CodeIndex, func: FunctionInfo,
+                 acquirers: set[int], findings: list[Finding]):
+        self.index = index
+        self.func = func
+        self.acquirers = acquirers
+        self.findings = findings
+        self.held: tuple[str, ...] = ()
+
+    def run(self) -> None:
+        for stmt in self.func.node.body:
+            self.visit(stmt)
+
+    def _qualname(self) -> str:
+        return (f"{self.func.cls}.{self.func.name}" if self.func.cls
+                else self.func.name)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return  # nested defs: separate (unaudited) execution context
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        return
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired: list[str] = []
+        for item in node.items:
+            self.visit(item.context_expr)  # calls inside the expr
+            base = _family_base(item.context_expr)
+            if base is None:
+                continue
+            others = [h for h in self.held + tuple(acquired) if h != base]
+            if others and not suppressed(
+                    self.func.module.lines, node.lineno, "FP303",
+                    PRAGMA_MARKER):
+                self.findings.append(Finding(
+                    "FP303", str(self.func.module.path), node.lineno,
+                    f"{self._qualname()} acquires {base}.lock while "
+                    f"holding {others[0]}.lock — at most one VCI-family "
+                    "lock may be held (cross-VCI nesting deadlocks "
+                    "against opposite-order injectors)"))
+            acquired.append(base)
+        self.held = self.held + tuple(acquired)
+        for stmt in node.body:
+            self.visit(stmt)
+        if acquired:
+            self.held = self.held[:len(self.held) - len(acquired)]
+
+    visit_AsyncWith = visit_With
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.held:
+            fn = node.func
+            callee = (fn.attr if isinstance(fn, ast.Attribute)
+                      else fn.id if isinstance(fn, ast.Name) else None)
+            if callee is not None and any(
+                    id(t) in self.acquirers
+                    for t in self.index.by_name.get(callee, [])):
+                if not suppressed(self.func.module.lines, node.lineno,
+                                  "FP303", PRAGMA_MARKER):
+                    self.findings.append(Finding(
+                        "FP303", str(self.func.module.path), node.lineno,
+                        f"{self._qualname()} calls {callee}() — which "
+                        "acquires a VCI-family lock — while holding "
+                        f"{self.held[-1]}.lock"))
+        self.generic_visit(node)
+
+
+def _scan_vci_nesting(index: CodeIndex, path_filter: str) -> list[Finding]:
+    """FP303 over every function in modules matching *path_filter*.
+
+    Acquirer resolution (for the one-level interprocedural check) is
+    computed over the whole index so a filtered caller reaching an
+    unfiltered acquirer is still caught."""
+    acquirers = {id(f) for f in index.functions.values()
+                 if _acquires_family_lock(index, f)}
+    findings: list[Finding] = []
+    for func in index.functions.values():
+        if path_filter and not func.module.rel.startswith(path_filter):
+            continue
+        _VCINestingScanner(index, func, acquirers, findings).run()
     return findings
 
 

@@ -82,6 +82,13 @@ FP_RULES: dict[str, Rule] = {r.rule_id: r for r in (
          "A: with x: with y   ...   B: with y: with x",
          "pick one global acquisition order and restructure the "
          "offending path"),
+    Rule("FP303", "cross-VCI lock nesting: a second VCI-family lock "
+         "(any <base>.lock) is acquired — or a function acquiring one "
+         "is called — while one is already held",
+         "with self.vcis[0].lock: with self.vcis[1].lock: ...",
+         "restructure to hold at most one VCI lock at a time (the "
+         "multi-VCI discipline in runtime/vci.py shows how wildcard "
+         "scans stay single-lock)"),
 )}
 
 

@@ -192,6 +192,9 @@ class CH4Device:
         if proc.sanitizer is not None and request is not None:
             proc.sanitizer.note_send(request, dest_world, op.sync, payload,
                                      (op.buf, op.count, op.dtref.datatype))
+        # Injection lane: the VCI owning this send's (ctx, dest, tag)
+        # stream (None in the unsharded build; bookkeeping only).
+        vci = proc.vci_for(comm.ctx, op.dest, op.tag, flags.nomatch)
         transport = self._transport_for(dest_world)
         native = (not self.force_am
                   and transport.send_is_native(op.dtref.datatype.contig))
@@ -212,12 +215,14 @@ class CH4Device:
         else:
             self.n_eager += 1
 
-        result = transport.issue(len(payload), native)
+        result = transport.issue(len(payload), native, vci=vci)
         arrive = result.arrive_s
         complete = result.complete_s
         if rendezvous:
             arrive += 2.0 * transport.spec.latency_s
             complete = proc.vclock.now + 2.0 * transport.spec.latency_s
+        if vci is not None:
+            vci.completion.note("send", complete)
         msg = Message(env=env, data=payload, arrive_s=arrive, sync=sync)
         proc.deliver(dest_world, msg)
 
@@ -388,7 +393,10 @@ class CH4Device:
         contig = (op.origin_dtref.datatype.contig
                   and op.target_dtref.datatype.contig)
         native = not self.force_am and transport.rma_is_native(contig)
-        result = transport.issue(len(data), native)
+        vci = self.proc.vci_for(op.win.comm.ctx, op.target_rank, 0)
+        result = transport.issue(len(data), native, vci=vci)
+        if vci is not None:
+            vci.completion.note("rma", result.arrive_s)
         am.run_handler("put", state, data=data, offset_bytes=offset_bytes,
                        target_count=op.target_count,
                        target_datatype=op.target_dtref.datatype)
@@ -415,7 +423,10 @@ class CH4Device:
         contig = (op.origin_dtref.datatype.contig
                   and op.target_dtref.datatype.contig)
         native = not self.force_am and transport.rma_is_native(contig)
-        result = transport.issue(nbytes, native, round_trip=True)
+        vci = self.proc.vci_for(op.win.comm.ctx, op.target_rank, 0)
+        result = transport.issue(nbytes, native, round_trip=True, vci=vci)
+        if vci is not None:
+            vci.completion.note("rma", result.complete_s)
         data = am.run_handler("get", state, offset_bytes=offset_bytes,
                               target_count=op.target_count,
                               target_datatype=op.target_dtref.datatype)
@@ -439,7 +450,12 @@ class CH4Device:
         native = (not self.force_am
                   and transport.rma_is_native(contig, atomic=True))
         round_trip = op.fetch_buf is not None
-        result = transport.issue(len(data), native, round_trip=round_trip)
+        vci = self.proc.vci_for(op.win.comm.ctx, op.target_rank, 0)
+        result = transport.issue(len(data), native, round_trip=round_trip,
+                                 vci=vci)
+        if vci is not None:
+            vci.completion.note("rma", result.complete_s
+                                if round_trip else result.arrive_s)
         before = am.run_handler(
             "accumulate", state, data=data, offset_bytes=offset_bytes,
             target_count=op.target_count,

@@ -180,7 +180,8 @@ class Communicator:
         proc, c = self.proc, COSTS
         data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
         with mpi_entry(proc, c.isend_function_call, c.isend_thread_check,
-                       name="MPI_Issend" if sync else "MPI_Isend"):
+                       name="MPI_Issend" if sync else "MPI_Isend",
+                       vci=proc.vci_for(self.ctx, dest, tag)):
             if proc.config.error_checking:
                 validate_send(proc, c.isend_error, self, data, len(data),
                               BYTE_REF, dest, tag)
@@ -201,7 +202,8 @@ class Communicator:
         then ``pickle.loads(request.payload)`` (or use :meth:`recv`)."""
         proc, c = self.proc, COSTS
         with mpi_entry(proc, c.isend_function_call, c.isend_thread_check,
-                       name="MPI_Irecv"):
+                       name="MPI_Irecv",
+                       vci=proc.vci_for_recv(self.ctx, source, tag)):
             if proc.config.error_checking:
                 validate_recv(proc, c.isend_error, self, 0, BYTE_REF,
                               source, tag)
@@ -251,7 +253,8 @@ class Communicator:
         proc, c = self.proc, COSTS
         data, count, dtref = normalize_buffer(buf)
         with mpi_entry(proc, c.isend_function_call, c.isend_thread_check,
-                       name="MPI_Isend"):
+                       name="MPI_Isend",
+                       vci=proc.vci_for(self.ctx, dest, tag, flags.nomatch)):
             if proc.config.error_checking:
                 validate_send(proc, c.isend_error, self, data, count, dtref,
                               dest, tag, global_rank=flags.global_rank)
@@ -278,7 +281,9 @@ class Communicator:
         proc, c = self.proc, COSTS
         data, count, dtref = normalize_buffer(buf)
         with mpi_entry(proc, c.isend_function_call, c.isend_thread_check,
-                       name="MPI_Irecv"):
+                       name="MPI_Irecv",
+                       vci=proc.vci_for_recv(self.ctx, source, tag,
+                                             flags.nomatch)):
             if proc.config.error_checking:
                 validate_recv(proc, c.isend_error, self, count, dtref,
                               source, tag)

@@ -42,11 +42,20 @@ BYTE_REF = compile_time(BYTE)
 @contextmanager
 def mpi_entry(proc: "Proc", function_call_cost: int,
               thread_check_cost: int,
-              name: Optional[str] = None) -> Iterator[None]:
+              name: Optional[str] = None,
+              vci=None) -> Iterator[None]:
     """One MPI API entry: function-call prologue charge (unless inlined
     away by ipo), thread-safety charge + critical section (unless a
     single-threaded build).  When the rank's timeline is enabled and a
-    *name* is given, the call's virtual-time span is recorded."""
+    *name* is given, the call's virtual-time span is recorded.
+
+    *vci* routes the modeled CS: a routed entry acquires only its
+    owning VCI's lock (per-VCI sharding, ``num_vcis > 1``) and records
+    CS occupancy on that VCI; unrouted entries — wildcard receives,
+    persistent/collective internals, every ``num_vcis=1`` call — take
+    ``proc.cs_lock``, which is VCI 0's lock.  Charged instruction
+    counts are identical either way (the lock choice and the occupancy
+    note are real-Python bookkeeping only)."""
     config = proc.config
     t0 = proc.vclock.now if proc.timeline is not None else 0.0
     if proc.sanitizer is not None and name is not None:
@@ -57,8 +66,14 @@ def mpi_entry(proc: "Proc", function_call_cost: int,
                 proc.charge(Category.FUNCTION_CALL, function_call_cost)
             if config.thread_safety:
                 proc.charge(Category.THREAD_SAFETY, thread_check_cost)
-                with proc.cs_lock:  # audit: allow[FP203] - the modeled CS
-                    yield
+                cs_lock = proc.cs_lock if vci is None else vci.lock
+                with cs_lock:  # audit: allow[FP203] - the modeled CS
+                    if vci is None:
+                        yield
+                    else:
+                        cs_entry_total = proc.counter.total
+                        yield
+                        vci.note_cs(proc.counter.total - cs_entry_total)
             else:
                 yield
     finally:

@@ -305,7 +305,8 @@ class Window:
         buf, count, dtref = normalize_buffer(origin)
         t_count, t_ref = self._normalize_target(count, dtref, target)
         with mpi_entry(proc, c.put_function_call, c.put_thread_check,
-                       name="MPI_Put"):
+                       name="MPI_Put",
+                       vci=proc.vci_for(self.comm.ctx, target_rank, 0)):
             if proc.config.error_checking:
                 self._validate_rma(buf, count, dtref, target_rank,
                                    flags.global_rank)
@@ -325,7 +326,8 @@ class Window:
         buf, count, dtref = normalize_buffer(origin)
         t_count, t_ref = self._normalize_target(count, dtref, target)
         with mpi_entry(proc, c.put_function_call, c.put_thread_check,
-                       name="MPI_Get"):
+                       name="MPI_Get",
+                       vci=proc.vci_for(self.comm.ctx, target_rank, 0)):
             if proc.config.error_checking:
                 self._validate_rma(buf, count, dtref, target_rank,
                                    flags.global_rank)
@@ -347,7 +349,8 @@ class Window:
         buf, count, dtref = normalize_buffer(origin)
         t_count, t_ref = self._normalize_target(count, dtref, target)
         with mpi_entry(proc, c.put_function_call, c.put_thread_check,
-                       name="MPI_Accumulate"):
+                       name="MPI_Accumulate",
+                       vci=proc.vci_for(self.comm.ctx, target_rank, 0)):
             if proc.config.error_checking:
                 self._validate_rma(buf, count, dtref, target_rank,
                                    flags.global_rank)
@@ -368,7 +371,8 @@ class Window:
         proc, c = self.proc, COSTS
         buf, count, dtref = normalize_buffer(origin)
         with mpi_entry(proc, c.put_function_call, c.put_thread_check,
-                       name="MPI_Get_accumulate"):
+                       name="MPI_Get_accumulate",
+                       vci=proc.vci_for(self.comm.ctx, target_rank, 0)):
             if proc.config.error_checking:
                 self._validate_rma(buf, count, dtref, target_rank,
                                    flags.global_rank)
@@ -396,7 +400,8 @@ class Window:
         if count != 1:
             raise MPIErrArg("compare_and_swap operates on one element")
         with mpi_entry(proc, c.put_function_call, c.put_thread_check,
-                       name="MPI_Compare_and_swap"):
+                       name="MPI_Compare_and_swap",
+                       vci=proc.vci_for(self.comm.ctx, target_rank, 0)):
             if proc.config.error_checking:
                 self._validate_rma(buf, count, dtref, target_rank, False)
             if proc.sanitizer is not None and target_rank != PROC_NULL:

@@ -96,17 +96,24 @@ class Netmod:
     @fastpath
 
     def issue(self, nbytes: int, native: bool,
-              round_trip: bool = False) -> IssueResult:
+              round_trip: bool = False, vci=None) -> IssueResult:
         """Charge injection overhead and compute completion/arrival times.
 
         Must be called *after* the device has charged the operation's
         software instructions (the clock then already includes them).
+
+        *vci* identifies the injection lane under per-VCI sharding
+        (``num_vcis > 1``): the injection is tallied on that VCI's
+        counters.  Lane bookkeeping is observational — charges and
+        timing are identical with or without it.
         """
         if not native:
             self.charge_am_fallback()
             self.n_am_fallback += 1
         else:
             self.n_native += 1
+        if vci is not None:
+            vci.note_injection(native)
         clock = self.proc.vclock
         clock.advance_cycles(self.spec.inject_cycles)
         arrive = clock.now + self.spec.transfer_seconds(nbytes)

@@ -19,8 +19,9 @@ Two measurement modes:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -78,7 +79,7 @@ def _trace_isend(comm, flags: ext.ExtFlags):
             req.wait()
         else:
             comm.waitall_noreq()
-        return proc.tracer.last("MPI_Isend").total
+        return proc.tracer.last("MPI_Isend")
     if flags.nomatch:
         comm.recv_nomatch((buf, PAYLOAD_BYTES, BYTE))
     else:
@@ -100,15 +101,16 @@ def _trace_put(comm, flags: ext.ExtFlags):
         with proc.tracer.call("MPI_Put"):
             win.put((src, PAYLOAD_BYTES, BYTE), target_rank=1,
                     target_disp=disp, flags=flags)
-        total = proc.tracer.last("MPI_Put").total
+        total = proc.tracer.last("MPI_Put")
     win.fence()
     return total
 
 
-def measure_instructions(config: BuildConfig, op: str,
-                         flags: ext.ExtFlags = ext.NONE) -> int:
+def measure_call_record(config: BuildConfig, op: str,
+                        flags: ext.ExtFlags = ext.NONE):
     """Run one traced *op* ("isend" or "put") on a fresh 2-rank world
-    under *config*; return its instruction count."""
+    under *config*; return its full per-category
+    :class:`~repro.instrument.trace.CallRecord`."""
     world = World(2, config)
     if op == "isend":
         results = world.run(_trace_isend, args=(flags,))
@@ -117,6 +119,30 @@ def measure_instructions(config: BuildConfig, op: str,
     else:
         raise ValueError(f"op must be 'isend' or 'put', got {op!r}")
     return results[0]
+
+
+def measure_instructions(config: BuildConfig, op: str,
+                         flags: ext.ExtFlags = ext.NONE) -> int:
+    """Run one traced *op* ("isend" or "put") on a fresh 2-rank world
+    under *config*; return its instruction count."""
+    return measure_call_record(config, op, flags).total
+
+
+def measure_cs_instructions(config: BuildConfig, op: str = "isend",
+                            flags: ext.ExtFlags = ext.NONE
+                            ) -> tuple[int, int]:
+    """``(total, cs)`` instruction counts of one traced *op*.
+
+    ``cs`` is the portion resident in the modeled critical section:
+    everything except the FUNCTION_CALL prologue and the THREAD_SAFETY
+    gate, both charged before the per-VCI lock is taken in
+    :func:`repro.mpi.pt2pt.mpi_entry`.  It is the per-message CS
+    occupancy that serializes injector threads sharing a VCI."""
+    from repro.instrument.categories import Category
+    rec = measure_call_record(config, op, flags)
+    cs = (rec.total - rec.category(Category.FUNCTION_CALL)
+          - rec.category(Category.THREAD_SAFETY))
+    return rec.total, cs
 
 
 # ---------------------------------------------------------------------------
@@ -171,28 +197,116 @@ def extension_chain_rates(fabric_name: str = "infinite"
 # ---------------------------------------------------------------------------
 
 def pump_messages(world: World, n_messages: int,
-                  flags: ext.ExtFlags = ext.NONE) -> float:
-    """Drive *n_messages* 1-byte sends rank0 -> rank1 through the real
-    runtime; returns rank 0's virtual time spent.  Wall time is what
-    the caller's benchmark harness measures around this call."""
+                  flags: ext.ExtFlags = ext.NONE,
+                  nthreads: int = 1,
+                  tag_of: Optional[Callable[[int], int]] = None) -> float:
+    """Drive 1-byte sends rank0 -> rank1 through the real runtime;
+    returns rank 0's virtual time spent.  Wall time is what the
+    caller's benchmark harness measures around this call.
+
+    With ``nthreads > 1``, rank 0 runs that many concurrent injector
+    threads, each sending *n_messages* on its own tag (``tag_of(t)``,
+    default the thread index) while rank 1 drains with one receiver
+    thread per tag — the MPI_THREAD_MULTIPLE shape whose per-rank
+    critical section the multi-VCI build shards.  Virtual time is then
+    approximate (the per-rank clock is advanced from several threads);
+    use the occupancy model (:func:`modeled_threaded_rate`) for rate
+    numbers and this mode for correctness validation."""
+    if nthreads > 1 and flags.nomatch:
+        raise ValueError("threaded pumping uses per-thread tags; "
+                         "the nomatch path has no tags to thread over")
+    tag_of = tag_of if tag_of is not None else (lambda t: t)
+
     def sender_receiver(comm):
         buf = np.zeros(PAYLOAD_BYTES, dtype=np.uint8)
         if comm.rank == 0:
             t0 = comm.proc.vclock.now
-            for _ in range(n_messages):
-                req = comm._buffer_send((buf, PAYLOAD_BYTES, BYTE), 1, 0,
-                                        sync=False, flags=flags)
-                if req is not None:
-                    req.wait()
+            if nthreads == 1:
+                for _ in range(n_messages):
+                    req = comm._buffer_send((buf, PAYLOAD_BYTES, BYTE),
+                                            1, 0, sync=False, flags=flags)
+                    if req is not None:
+                        req.wait()
+            else:
+                def inject(tid: int) -> None:
+                    tbuf = np.zeros(PAYLOAD_BYTES, dtype=np.uint8)
+                    for _ in range(n_messages):
+                        req = comm._buffer_send(
+                            (tbuf, PAYLOAD_BYTES, BYTE), 1, tag_of(tid),
+                            sync=False, flags=flags)
+                        if req is not None:
+                            req.wait()
+                workers = [threading.Thread(target=inject, args=(t,),
+                                            name=f"injector-{t}")
+                           for t in range(nthreads)]
+                for w in workers:
+                    w.start()
+                for w in workers:
+                    w.join()
             if flags.noreq:
                 comm.waitall_noreq()
             return comm.proc.vclock.now - t0
         if flags.nomatch:
             for _ in range(n_messages):
                 comm.recv_nomatch((buf, PAYLOAD_BYTES, BYTE))
-        else:
+        elif nthreads == 1:
             for _ in range(n_messages):
                 comm.Recv((buf, PAYLOAD_BYTES, BYTE), source=0, tag=0)
+        else:
+            def drain(tid: int) -> None:
+                tbuf = np.zeros(PAYLOAD_BYTES, dtype=np.uint8)
+                for _ in range(n_messages):
+                    comm.Recv((tbuf, PAYLOAD_BYTES, BYTE), source=0,
+                              tag=tag_of(tid))
+            workers = [threading.Thread(target=drain, args=(t,),
+                                        name=f"receiver-{t}")
+                       for t in range(nthreads)]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join()
         return None
 
     return world.run(sender_receiver)[0]
+
+
+# ---------------------------------------------------------------------------
+# multi-VCI occupancy model (BENCH_vci.json rates)
+# ---------------------------------------------------------------------------
+
+def modeled_threaded_rate(spec: FabricSpec, instructions_total: int,
+                          instructions_cs: int,
+                          vci_of_thread: Sequence[int]) -> float:
+    """Aggregate message rate of concurrent injector threads under
+    per-VCI sharding, in messages/second.
+
+    Each thread repeatedly issues messages costing ``I =
+    instructions_total`` instructions, of which ``C =
+    instructions_cs`` (plus the fabric injection, which happens inside
+    the device call) execute inside the owning VCI's critical section.
+    Threads on different VCIs overlap fully; threads sharing a VCI
+    serialize their CS portions.  The steady-state per-message slot is
+
+        slot = max( I*CPI/clock + inject,          per-thread work
+                    max_v n_v * (C*CPI/clock + inject) )
+
+    where ``n_v`` counts the threads :func:`VCIMap`-routed to VCI
+    ``v``; the aggregate rate is ``nthreads / slot``.  With every
+    thread on one VCI (``num_vcis=1``) the CS term dominates and the
+    rate pins at the single-lock ceiling ``1 / cs_seconds`` — the
+    paper's per-rank critical-section limit; spreading threads across
+    VCIs recovers ``nthreads / per_thread_seconds``."""
+    nthreads = len(vci_of_thread)
+    if nthreads == 0:
+        raise ValueError("need at least one injector thread")
+    per_thread_s = spec.cycles_to_seconds(
+        spec.sw_cycles(instructions_total) + spec.inject_cycles)
+    cs_s = spec.cycles_to_seconds(
+        spec.sw_cycles(instructions_cs) + spec.inject_cycles)
+    loads: dict[int, int] = {}
+    for v in vci_of_thread:
+        loads[v] = loads.get(v, 0) + 1
+    slot = max(per_thread_s, max(loads.values()) * cs_s)
+    if slot <= 0:
+        return float("inf")
+    return nthreads / slot

@@ -99,6 +99,55 @@ def remove_abort_listener(event, callback: Callable[[], None]) -> None:
         remove(callback)
 
 
+class CompletionSegment:
+    """One VCI's completion-queue segment (observational).
+
+    Real MPICH VCIs carry their own completion queues so progress on
+    one interface never touches another's cachelines.  Here the
+    segment records which lane each operation retired through — send
+    completions are noted by the device at issue time, receive
+    completions by the owning matching shard at match time, RMA
+    completions at injection.  Nothing here charges instructions or
+    affects completion semantics (requests complete exactly as
+    before); the counters feed ``BENCH_vci.json`` and the per-VCI
+    teardown report.
+    """
+
+    __slots__ = ("index", "_lock", "n_send", "n_recv", "n_rma",
+                 "last_complete_s")
+
+    def __init__(self, index: int):
+        self.index = index
+        self._lock = threading.Lock()
+        self.n_send = 0
+        self.n_recv = 0
+        self.n_rma = 0
+        self.last_complete_s = 0.0
+
+    def note(self, kind: str, complete_s: float) -> None:
+        """Record one completion of *kind* ("send"/"recv"/"rma") that
+        retired through this segment at virtual time *complete_s*."""
+        with self._lock:
+            if kind == "send":
+                self.n_send += 1
+            elif kind == "recv":
+                self.n_recv += 1
+            else:
+                self.n_rma += 1
+            if complete_s > self.last_complete_s:
+                self.last_complete_s = complete_s
+
+    @property
+    def n_total(self) -> int:
+        """All completions retired through this segment."""
+        return self.n_send + self.n_recv + self.n_rma
+
+    def counts(self) -> tuple[int, int, int]:
+        """(send, recv, rma) completion counts, read atomically."""
+        with self._lock:
+            return self.n_send, self.n_recv, self.n_rma
+
+
 class CompletionQueue:
     """A per-wait completion queue for ``waitany``/``waitsome``.
 

@@ -504,8 +504,19 @@ _ENGINES = {
 }
 
 
-def build_engine(rank: int, kind: str = "bucket") -> _MatchingEngineBase:
-    """Engine factory for ``BuildConfig.matching_engine``."""
+def build_engine(rank: int, kind: str = "bucket", num_vcis: int = 1,
+                 vci_policy: str = "hash") -> _MatchingEngineBase:
+    """Engine factory for ``BuildConfig.matching_engine``.
+
+    ``num_vcis > 1`` builds the per-VCI sharded engine
+    (:class:`repro.runtime.vci.VCIShardedEngine`; its shards are
+    always bucketed — the *kind* argument selects only the unsharded
+    engine).  ``num_vcis = 1`` builds the plain engine and is the
+    byte-identical calibrated default.
+    """
+    if num_vcis > 1:
+        from repro.runtime.vci import VCIShardedEngine
+        return VCIShardedEngine(rank, num_vcis, vci_policy)
     try:
         return _ENGINES[kind](rank)
     except KeyError:

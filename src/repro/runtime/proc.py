@@ -8,10 +8,10 @@ proxies all reach their world through it.
 
 from __future__ import annotations
 
-import threading
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterator
 
+from repro.consts import ANY_SOURCE, ANY_TAG
 from repro.core.config import BuildConfig, Device
 from repro.fabric.model import FabricSpec, fabric_by_name
 from repro.instrument.categories import Category, Subsystem
@@ -20,6 +20,7 @@ from repro.instrument.trace import CallTracer
 from repro.runtime.matching import build_engine
 from repro.runtime.message import Message
 from repro.runtime.request import RequestPool
+from repro.runtime.vci import VCI, VCIMap
 from repro.runtime.vclock import VClock
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -48,7 +49,19 @@ class Proc:
         self.counter = InstructionCounter(label=f"rank {world_rank}")
         self.tracer = CallTracer(self.counter)
         self.vclock = VClock(self.net_fabric)
-        self.engine = build_engine(world_rank, config.matching_engine)
+        #: VCI sharding (``num_vcis=1`` is the unsharded calibrated
+        #: default; >1 splits matching/locks/lanes per VCI — real-
+        #: Python granularity only, charges are unchanged).
+        self.num_vcis = config.num_vcis
+        self.vci_map = VCIMap(config.num_vcis, config.vci_policy)
+        self.engine = build_engine(world_rank, config.matching_engine,
+                                   num_vcis=config.num_vcis,
+                                   vci_policy=config.vci_policy)
+        #: The rank's VCIs.  Sharded builds share the engine's (lock +
+        #: shard + completion segment per VCI); the unsharded build
+        #: still materializes VCI 0 so ``cs_lock`` has one home.
+        self.vcis = (self.engine.vcis if config.num_vcis > 1
+                     else [VCI(0)])
         #: Per-rank dynamic-sanitizer view (None unless the world was
         #: built with ``sanitize=True``); every hook site guards on it.
         world_san = getattr(world, "sanitizer", None)
@@ -58,8 +71,11 @@ class Proc:
         #: real-Python hot path; charged costs are unaffected).
         self.request_pool = RequestPool(self, world.abort_event,
                                         enabled=config.request_pool)
-        #: Critical-section lock taken when thread_safety is built in.
-        self.cs_lock = threading.RLock()
+        #: Critical-section lock taken when thread_safety is built in:
+        #: an alias of VCI 0's lock (same reentrant semantics as the
+        #: old per-rank RLock).  Routed entries acquire their owning
+        #: VCI's lock instead; unrouted entries default here.
+        self.cs_lock = self.vcis[0].lock
         self.node = world.topology.node_of(world_rank)
         self.device = self._build_device()
         #: Charged compute (non-MPI) seconds — application proxies use
@@ -103,6 +119,33 @@ class Proc:
             raise ValueError(f"negative compute time: {seconds}")
         self.vclock.advance_seconds(seconds)
         self.compute_seconds += seconds
+
+    # -- VCI routing ---------------------------------------------------------
+
+    def vci_for(self, ctx: int, peer: int, tag: int,
+                nomatch: bool = False) -> VCI | None:
+        """The VCI owning a concrete ``(ctx, peer, tag)`` stream (or a
+        context's §3.6 arrival-order stream when *nomatch*), or None
+        in the unsharded build — callers then take the legacy
+        ``cs_lock`` path, which is VCI 0's lock."""
+        if self.num_vcis == 1:
+            return None
+        if nomatch:
+            return self.vcis[self.vci_map.nomatch_index(ctx)]
+        return self.vcis[self.vci_map.index_for(ctx, peer, tag)]
+
+    def vci_for_recv(self, ctx: int, source: int, tag: int,
+                     nomatch: bool = False) -> VCI | None:
+        """Receive-side routing: wildcard receives return None — their
+        modeled CS lands on VCI 0 (``cs_lock``), per the all-VCI
+        wildcard discipline — concrete receives route like sends."""
+        if self.num_vcis == 1:
+            return None
+        if nomatch:
+            return self.vcis[self.vci_map.nomatch_index(ctx)]
+        if source == ANY_SOURCE or tag == ANY_TAG:
+            return None
+        return self.vcis[self.vci_map.index_for(ctx, source, tag)]
 
     # -- fabric selection ------------------------------------------------------
 

@@ -191,6 +191,13 @@ class World:
                 lines.append(f"rank {p.world_rank}: {posted} posted "
                              f"receive(s), {unexpected} unexpected "
                              "message(s) still queued")
+                per_vci = getattr(p.engine, "per_vci_counts", None)
+                if per_vci is not None:
+                    shards = [f"vci {i}: {po}p/{ux}u"
+                              for i, (po, ux) in enumerate(per_vci())
+                              if po or ux]
+                    if shards:
+                        lines.append("  per-VCI: " + ", ".join(shards))
         if not lines:
             lines.append("no receives or unexpected messages queued")
         if self.sanitizer is not None:

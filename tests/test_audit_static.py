@@ -261,6 +261,82 @@ class TestLocksetFixtures:
         assert self._lockset_ids(tmp_path, src) == []
 
 
+class TestFP303VCINesting:
+    """FP303: at most one VCI-family (``<base>.lock``) lock at a time."""
+
+    def _ids(self, tmp_path, source: str) -> list[str]:
+        index = _index(tmp_path, source)
+        return [f.rule_id for f in scan_lockset(index, path_filter="")]
+
+    def test_nested_different_bases_flagged(self, tmp_path):
+        src = """\
+            class Engine:
+                def cross(self):
+                    with self.vcis[0].lock:
+                        with self.vcis[1].lock:
+                            pass
+        """
+        assert self._ids(tmp_path, src) == ["FP303"]
+
+    def test_same_base_reentrant_clean(self, tmp_path):
+        src = """\
+            class Engine:
+                def reenter(self):
+                    with self.vci.lock:
+                        with self.vci.lock:
+                            pass
+        """
+        assert self._ids(tmp_path, src) == []
+
+    def test_non_family_inner_lock_clean(self, tmp_path):
+        # The wildcard registry lock is outside the family by naming
+        # convention; shard-then-registry nesting is the documented
+        # discipline.
+        src = """\
+            class Engine:
+                def discipline(self):
+                    with self.vcis[0].lock:
+                        with self._wild_lock:
+                            pass
+        """
+        assert self._ids(tmp_path, src) == []
+
+    def test_interprocedural_call_flagged(self, tmp_path):
+        src = """\
+            class Engine:
+                def note(self):
+                    with self.lock:
+                        pass
+
+                def outer(self):
+                    with self.vci.lock:
+                        self.note()
+        """
+        assert self._ids(tmp_path, src) == ["FP303"]
+
+    def test_call_without_held_lock_clean(self, tmp_path):
+        src = """\
+            class Engine:
+                def note(self):
+                    with self.lock:
+                        pass
+
+                def outer(self):
+                    self.note()
+        """
+        assert self._ids(tmp_path, src) == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        src = """\
+            class Engine:
+                def cross(self):
+                    with self.vcis[0].lock:
+                        with self.vcis[1].lock:  # audit: allow[FP303]
+                            pass
+        """
+        assert self._ids(tmp_path, src) == []
+
+
 class TestFP104Subtree:
     """The uncharged-work check uses tight call edges."""
 
@@ -415,7 +491,7 @@ class TestRuleCatalog:
         ids = set(FP_RULES)
         assert {"FP101", "FP102", "FP103", "FP104"} <= ids
         assert {"FP201", "FP202", "FP203", "FP204", "FP205"} <= ids
-        assert {"FP301", "FP302"} <= ids
+        assert {"FP301", "FP302", "FP303"} <= ids
 
     def test_catalog_renders_every_rule(self):
         text = render_fp_catalog()

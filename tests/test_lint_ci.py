@@ -102,7 +102,7 @@ class TestAuditCLI:
             timeout=120)
         assert proc.returncode == 0
         for rule_id in ("FP101", "FP104", "FP201", "FP205", "FP301",
-                        "FP302"):
+                        "FP302", "FP303"):
             assert rule_id in proc.stdout
 
     def test_json_snapshot_matches_committed(self, tmp_path):
@@ -116,3 +116,70 @@ class TestAuditCLI:
         import json
         assert json.loads(out.read_text()) \
             == json.loads((ROOT / "AUDIT.json").read_text())
+
+
+class TestVCICalibrationGuard:
+    """Multi-VCI neutrality gate: a ``num_vcis=1`` build must charge
+    byte-for-byte what the committed Figure 2 / Table 1 numbers say —
+    the VCI plumbing is real-Python lock granularity only and may not
+    move a single charged instruction."""
+
+    #: Committed Figure 2 bars: build label -> (isend, put).
+    FIGURE2 = {
+        "mpich/original": (253, 1342),
+        "mpich/ch4 (default)": (221, 215),
+        "mpich/ch4 (no-err)": (147, 143),
+        "mpich/ch4 (no-err-single)": (141, 129),
+        "mpich/ch4 (no-err-single-ipo)": (59, 44),
+    }
+    #: Committed Table 1 per-category decomposition of the defaults.
+    TABLE1 = {
+        "isend": {"ERROR_CHECKING": 74, "THREAD_SAFETY": 6,
+                  "FUNCTION_CALL": 23, "REDUNDANT_CHECKS": 59,
+                  "MANDATORY": 59},
+        "put": {"ERROR_CHECKING": 72, "THREAD_SAFETY": 14,
+                "FUNCTION_CALL": 25, "REDUNDANT_CHECKS": 60,
+                "MANDATORY": 44},
+    }
+
+    def test_figure2_totals_unchanged_with_explicit_num_vcis_1(self):
+        import dataclasses
+        from repro.core.config import named_builds
+        from repro.perf.msgrate import measure_instructions
+        for label, (isend, put) in self.FIGURE2.items():
+            config = dataclasses.replace(named_builds()[label],
+                                         num_vcis=1)
+            assert measure_instructions(config, "isend") == isend, label
+            assert measure_instructions(config, "put") == put, label
+
+    def test_table1_charge_trace_byte_identical(self):
+        """The full per-category charge trace of the default
+        (``num_vcis=1``) build serializes to exactly the committed
+        decomposition — not just the same total."""
+        import json
+        from repro.core.config import BuildConfig
+        from repro.perf.msgrate import measure_call_record
+        for op, committed in self.TABLE1.items():
+            rec = measure_call_record(BuildConfig(num_vcis=1), op)
+            trace = {cat.name: n for cat, n in
+                     sorted(rec.by_category.items(),
+                            key=lambda kv: kv[0].name) if n}
+            assert json.dumps(trace, sort_keys=True) \
+                == json.dumps(committed, sort_keys=True), op
+
+
+class TestVCIBenchSmoke:
+    """``benchmarks/bench_vci.py --quick`` as a CI smoke: runs, writes
+    the artifact, and shows the sharded build scaling."""
+
+    def test_quick_mode_runs_and_scales(self):
+        import json
+        proc = subprocess.run(
+            [sys.executable, "benchmarks/bench_vci.py", "--quick"],
+            cwd=ROOT, env=_env(), capture_output=True, text=True,
+            timeout=300)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        result = json.loads(proc.stdout)
+        assert result["speedup_t4"]["ratio"] >= 2.0
+        assert result["validation"]["drained"]
+        assert (ROOT / "BENCH_vci.json").exists()

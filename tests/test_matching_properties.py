@@ -141,6 +141,151 @@ def test_bucket_engine_equivalent_to_linear_with_cancels(events):
     assert cancels["bucket"] == cancels["linear"]
 
 
+# ---------------------------------------------------------------------------
+# VCI-sharded engine: same oracle, plus wildcard/concrete races
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("num_vcis", [2, 4])
+@given(st.lists(_event, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_sharded_engine_matches_reference_for_any_sequence(num_vcis,
+                                                           events):
+    """The VCI-sharded engine pairs exactly like the reference matcher
+    for any single-threaded interleaving: concrete streams meet their
+    shard in FIFO order and wildcards arbitrate on the global sequence,
+    so sharding must not change a single pairing."""
+    from repro.runtime.vci import VCIShardedEngine
+    engine = VCIShardedEngine(0, num_vcis)
+    ref = ReferenceMatcher()
+    engine_pairs = []
+
+    for i, (kind, src, tag) in enumerate(events):
+        if kind == 0:
+            req = Request(RequestKind.RECV)
+
+            def on_match(msg, rid=i):
+                engine_pairs.append((rid, msg.seq))
+
+            engine.post(PostedRecv(ctx=0, src=src, tag=tag, nomatch=False,
+                                   request=req, on_match=on_match))
+            ref.post(i, src, tag)
+        else:
+            msrc = 0 if src == ANY_SOURCE else src
+            mtag = 0 if tag == ANY_TAG else tag
+            msg = Message(env=Envelope(ctx=0, src=msrc, tag=mtag),
+                          data=b"", arrive_s=0.0, seq=i)
+            engine.deposit(msg)
+            ref.deposit(i, msrc, mtag)
+
+    assert engine_pairs == ref.pairs
+    posted_n, unexpected_n = engine.pending_counts()
+    assert posted_n == len(ref.posted)
+    assert unexpected_n == len(ref.unexpected)
+    per_vci = engine.per_vci_counts()
+    assert sum(po for po, _ in per_vci) <= posted_n  # wildcards aside
+    assert sum(ux for _, ux in per_vci) == unexpected_n
+
+
+@pytest.mark.parametrize("num_vcis", [2, 4])
+@given(st.lists(_event_with_cancel, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_sharded_engine_equivalent_to_linear_with_cancels(num_vcis,
+                                                          events):
+    """Linear and VCI-sharded engines agree under any single-threaded
+    post/deposit/cancel interleaving (cancels hit both the shard fast
+    path and the wildcard registry)."""
+    from repro.runtime.vci import VCIShardedEngine
+    pairs = {"linear": [], "sharded": []}
+    cancels = {}
+
+    for label, engine in (("linear", LinearMatchingEngine(0)),
+                          ("sharded", VCIShardedEngine(0, num_vcis))):
+        requests = []
+        outcomes = []
+        for i, (kind, src, tag) in enumerate(events):
+            if kind == 0:
+                req = Request(RequestKind.RECV)
+
+                def on_match(msg, rid=i, out=pairs[label]):
+                    out.append((rid, msg.seq))
+
+                engine.post(PostedRecv(ctx=0, src=src, tag=tag,
+                                       nomatch=False, request=req,
+                                       on_match=on_match))
+                requests.append((i, req))
+            elif kind == 1:
+                msrc = 0 if src == ANY_SOURCE else src
+                mtag = 0 if tag == ANY_TAG else tag
+                engine.deposit(Message(
+                    env=Envelope(ctx=0, src=msrc, tag=mtag),
+                    data=b"", arrive_s=0.0, seq=i))
+            elif requests:
+                rid, req = requests.pop(0)
+                outcomes.append((rid, engine.cancel_posted(req),
+                                 req.cancelled))
+        outcomes.append(engine.pending_counts())
+        cancels[label] = outcomes
+
+    assert pairs["sharded"] == pairs["linear"]
+    assert cancels["sharded"] == cancels["linear"]
+
+
+@pytest.mark.parametrize("num_vcis", [2, 4])
+def test_wildcard_receives_racing_concrete_sends(num_vcis):
+    """Wildcard posts racing concrete deposits from several threads:
+    nothing is lost, nothing matches twice.  Exercises the REGISTERED
+    -> scan -> ARMED discipline against deposits landing on every
+    shard concurrently."""
+    import threading
+    from repro.runtime.vci import VCIShardedEngine
+
+    engine = VCIShardedEngine(0, num_vcis)
+    n_depositors, msgs_each, n_wild = 3, 60, 40
+    matched = []            # (wildcard id, message seq)
+    matched_lock = threading.Lock()
+
+    def poster():
+        for w in range(n_wild):
+            req = Request(RequestKind.RECV)
+
+            def on_match(msg, rid=w):
+                with matched_lock:
+                    matched.append((rid, msg.seq))
+
+            engine.post(PostedRecv(ctx=0, src=ANY_SOURCE, tag=ANY_TAG,
+                                   nomatch=False, request=req,
+                                   on_match=on_match))
+
+    def depositor(tid):
+        for i in range(msgs_each):
+            seq = tid * msgs_each + i
+            engine.deposit(Message(
+                env=Envelope(ctx=0, src=tid, tag=i % 5),
+                data=b"", arrive_s=0.0, seq=seq))
+
+    threads = [threading.Thread(target=poster)] + [
+        threading.Thread(target=depositor, args=(t,))
+        for t in range(n_depositors)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    total_sent = n_depositors * msgs_each
+    # Every wildcard matched exactly once (enough messages for all).
+    assert len(matched) == n_wild
+    assert len({rid for rid, _ in matched}) == n_wild
+    # No message delivered to two receives.
+    assert len({seq for _, seq in matched}) == n_wild
+    # Conservation: every deposit either matched or is still queued.
+    posted_n, unexpected_n = engine.pending_counts()
+    assert posted_n == 0
+    assert unexpected_n == total_sent - n_wild
+    assert engine.n_deposited == total_sent
+    assert (engine.n_matched_posted
+            + engine.n_matched_unexpected) == n_wild
+
+
 class TestChaosTraffic:
     """Randomized all-pairs traffic through the full runtime: every
     sent payload must arrive exactly once, regardless of interleaving."""

@@ -1,4 +1,7 @@
-"""Concurrency stress: atomic RMA under contention, NBC edge cases."""
+"""Concurrency stress: atomic RMA under contention, NBC edge cases,
+MPI_THREAD_MULTIPLE floods on VCI-sharded builds."""
+
+import threading
 
 import numpy as np
 import pytest
@@ -148,6 +151,157 @@ class TestCancelUnderFlood:
 
         values = run_world(2, main)[1]
         assert values == [float(i) for i in range(n)]
+
+
+class TestMultiVCIThreadedFlood:
+    """MPI_THREAD_MULTIPLE floods on sharded (``num_vcis > 1``) builds.
+
+    A double-completion anywhere raises ``MPIErrRequest("request
+    completed twice")`` inside :meth:`Request.complete` and fails the
+    run, so these tests detect double-matches structurally; the
+    payload and drain assertions catch lost matches."""
+
+    @staticmethod
+    def _config(num_vcis=4):
+        return BuildConfig(thread_safety=True, num_vcis=num_vcis)
+
+    @pytest.mark.parametrize("num_vcis", [2, 4])
+    def test_threaded_injectors_per_tag_streams_in_order(self, num_vcis):
+        """4 injector threads on BOTH ranks, each driving its own tag
+        stream in both directions: every stream arrives complete and
+        in non-overtaking order, and both shards drain."""
+        nthreads, n = 4, 30
+
+        def main(comm):
+            peer = 1 - comm.rank
+            out = [None] * nthreads
+
+            def worker(tid):
+                sreqs = [comm.Isend(
+                    np.full(1, comm.rank * 100000.0 + tid * 1000 + i),
+                    dest=peer, tag=tid) for i in range(n)]
+                buf = np.zeros(1)
+                got = []
+                for _ in range(n):
+                    comm.Recv(buf, source=peer, tag=tid)
+                    got.append(float(buf[0]))
+                for r in sreqs:
+                    r.wait()
+                out[tid] = got
+
+            workers = [threading.Thread(target=worker, args=(t,))
+                       for t in range(nthreads)]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join()
+            comm.barrier()
+            return out, comm.proc.engine.pending_counts()
+
+        results = run_world(2, main, config=self._config(num_vcis))
+        for rank, (out, pending) in enumerate(results):
+            src = 1 - rank
+            assert pending == (0, 0)
+            for tid, got in enumerate(out):
+                assert got == [src * 100000.0 + tid * 1000 + i
+                               for i in range(n)], (rank, tid)
+
+    def test_cancel_storm_under_threaded_flood(self):
+        """Per-thread cancel storms racing matching floods on a sharded
+        build: each tag stream keeps MPI's non-overtaking order,
+        cancelled receives leave exactly their messages queued, and
+        the drain recovers every tail in order."""
+        nthreads, n = 3, 40
+
+        def main(comm):
+            if comm.rank == 0:
+                def sender(tid):
+                    reqs = [comm.Isend(np.full(2, float(i)), dest=1,
+                                       tag=tid) for i in range(n)]
+                    for r in reqs:
+                        r.wait()
+
+                workers = [threading.Thread(target=sender, args=(t,))
+                           for t in range(nthreads)]
+                for w in workers:
+                    w.start()
+                for w in workers:
+                    w.join()
+                comm.barrier()
+                return None
+
+            out = [None] * nthreads
+
+            def receiver(tid):
+                buf = np.zeros(2)
+                values, cancelled = [], 0
+                for i in range(n):
+                    req = comm.Irecv(buf, source=0, tag=tid)
+                    if i % 2 and comm.proc.engine.cancel_posted(req):
+                        assert req.cancelled
+                        cancelled += 1
+                        continue
+                    req.wait()
+                    values.append(float(buf[0]))
+                out[tid] = (values, cancelled)
+
+            workers = [threading.Thread(target=receiver, args=(t,))
+                       for t in range(nthreads)]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join()
+            comm.barrier()   # all sends deposited beyond this point
+            total_cancelled = sum(c for _, c in out)
+            assert comm.proc.engine.pending_counts()[1] == total_cancelled
+            buf = np.zeros(2)
+            for tid, (values, cancelled) in enumerate(out):
+                for _ in range(cancelled):
+                    comm.Recv(buf, source=0, tag=tid)
+                    values.append(float(buf[0]))
+            return [values for values, _ in out]
+
+        values_by_tag = run_world(2, main, config=self._config())[1]
+        for values in values_by_tag:
+            assert values == [float(i) for i in range(n)]
+
+    def test_threaded_wildcard_drain_against_concrete_floods(self):
+        """One wildcard-draining thread racing concrete injector
+        threads on a sharded build: the all-VCI wildcard discipline
+        must deliver every message exactly once."""
+        nthreads, n = 3, 25
+
+        def main(comm):
+            from repro.consts import ANY_SOURCE, ANY_TAG
+            if comm.rank == 0:
+                def sender(tid):
+                    for i in range(n):
+                        comm.Isend(np.full(1, tid * 1000.0 + i),
+                                   dest=1, tag=tid).wait()
+
+                workers = [threading.Thread(target=sender, args=(t,))
+                           for t in range(nthreads)]
+                for w in workers:
+                    w.start()
+                for w in workers:
+                    w.join()
+                return None
+
+            got = []
+            buf = np.zeros(1)
+            for _ in range(nthreads * n):
+                comm.Recv(buf, source=ANY_SOURCE, tag=ANY_TAG)
+                got.append(float(buf[0]))
+            return got
+
+        got = run_world(2, main, config=self._config())[1]
+        expected = sorted(t * 1000.0 + i
+                          for t in range(nthreads) for i in range(n))
+        assert sorted(got) == expected
+        # Per-stream non-overtaking survives the wildcard path.
+        for t in range(nthreads):
+            stream = [v for v in got if t * 1000.0 <= v < (t + 1) * 1000.0]
+            assert stream == [t * 1000.0 + i for i in range(n)]
 
 
 class TestNBCEdgeCases:
