@@ -19,7 +19,11 @@ This package implements, in pure Python:
   and the combined ``isend_all_opts`` (:mod:`repro.core.extensions`);
 * strong-scaling application proxies for Nek5000 (spectral-element
   mass-matrix CG) and LAMMPS (Lennard-Jones MD)
-  (:mod:`repro.apps`); and
+  (:mod:`repro.apps`);
+* a fault-tolerant transport — seeded lossy-fabric injection, an
+  ack/retransmit reliability protocol charged under its own
+  ``RELIABILITY`` category, and ULFM-style
+  revoke/shrink/agree recovery (:mod:`repro.ft`); and
 * the benchmark harness regenerating every table and figure of the
   paper's evaluation (:mod:`repro.perf`, :mod:`repro.analysis`).
 
@@ -46,13 +50,16 @@ from repro.errors import (
     MPIErrComm,
     MPIErrCount,
     MPIErrDatatype,
+    MPIErrProcFailed,
     MPIErrRank,
     MPIErrRequest,
+    MPIErrRevoked,
     MPIErrTag,
     MPIErrTruncate,
     MPIErrWin,
 )
 from repro.core.config import BuildConfig, Device, IpoScope
+from repro.ft import ERRORS_ARE_FATAL, ERRORS_RETURN, FaultPlan
 from repro.runtime.world import World
 from repro.mpi.comm import Communicator
 from repro.mpi.group import Group
@@ -99,11 +106,16 @@ __all__ = [
     "MPIErrComm",
     "MPIErrCount",
     "MPIErrDatatype",
+    "MPIErrProcFailed",
     "MPIErrRank",
     "MPIErrRequest",
+    "MPIErrRevoked",
     "MPIErrTag",
     "MPIErrTruncate",
     "MPIErrWin",
+    "FaultPlan",
+    "ERRORS_ARE_FATAL",
+    "ERRORS_RETURN",
     "ANY_SOURCE",
     "ANY_TAG",
     "PROC_NULL",

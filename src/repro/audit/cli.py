@@ -21,6 +21,7 @@ from typing import Mapping, Optional, Sequence
 
 from repro.analysis_common import Finding, Report, iter_python_files
 from repro.audit.callgraph import CodeIndex
+from repro.audit.ftguard import scan_ftguard
 from repro.audit.lockset import scan_lockset
 from repro.audit.manifest import AuditManifest, default_manifest
 from repro.audit.provenance import EntryResult, run_provenance
@@ -41,6 +42,7 @@ def run_audit(paths: Sequence[str],
     findings.extend(prov_findings)
     findings.extend(scan_purity(index))
     findings.extend(scan_lockset(index))
+    findings.extend(scan_ftguard(index))
 
     report = Report(diagnostics=findings, files_checked=len(index.modules))
     snapshot = build_snapshot(manifest, results, report)
@@ -93,7 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.audit",
         description="Static fast-path self-audit of the repro runtime "
-                    "(rules FP101-FP302; suppress per line with "
+                    "(rules FP101-FP304; suppress per line with "
                     "'# audit: allow[FPxxx]').")
     parser.add_argument(
         "paths", nargs="*", metavar="PATH",

@@ -1,6 +1,6 @@
 """Rule catalog for the fast-path self-audit (``FP1xx``–``FP3xx``).
 
-Three analysis families over the repro's own source:
+Four analysis families over the repro's own source:
 
 * ``FP10x`` — charge provenance: every ``proc.charge`` site reachable
   from an MPI entry point must attribute a documented category and a
@@ -12,6 +12,9 @@ Three analysis families over the repro's own source:
 * ``FP30x`` — lockset discipline for ``runtime/*.py``: shared
   attributes are either always or never written under their lock, and
   lock acquisition order is acyclic.
+* ``FP304`` — fault-hook guard discipline: every ``.faults`` hook site
+  outside ``repro/ft/`` tests the attribute against None, so builds
+  without a ``fault_plan`` charge byte-identical calibrated totals.
 
 Suppress a finding on its line with ``# audit: allow[FPxxx]``.
 """
@@ -89,6 +92,13 @@ FP_RULES: dict[str, Rule] = {r.rule_id: r for r in (
          "restructure to hold at most one VCI lock at a time (the "
          "multi-VCI discipline in runtime/vci.py shows how wildcard "
          "scans stay single-lock)"),
+    Rule("FP304", "unguarded fault hook: a function outside repro/ft/ "
+         "loads a .faults attribute without an 'is None' / 'is not "
+         "None' test of it (or of a local bound from it)",
+         "proc.faults.check_self()   # with no guard in the function",
+         "guard the hook ('if proc.faults is not None: ...') so "
+         "fault_plan=None builds never enter fault-tolerance code, or "
+         "document the site with '# audit: allow[FP304]'"),
 )}
 
 

@@ -321,6 +321,17 @@ class CH4Device:
                             nomatch=flags.nomatch, request=request,
                             on_match=on_match)
         proc.engine.post(posted, now_s=proc.vclock.now)
+        if proc.faults is not None:
+            # This rank is about to block: release any outgoing packet
+            # still parked in the wire's reorder stash so a peer is
+            # never starved by a receiver that stopped sending.
+            proc.faults.drain()
+            # Tracked *after* posting so a message already waiting in
+            # the unexpected queue wins over a concurrent peer-death
+            # notification (ULFM: a matched receive is not in error).
+            proc.faults.note_recv(
+                request, None if op.source == ANY_SOURCE
+                else comm.translation.world_rank(op.source), comm)
         return request
 
     # ------------------------------------------------------------------ #
@@ -389,6 +400,8 @@ class CH4Device:
                 f"{op.mpi_name}: origin carries {len(data)} bytes but the "
                 f"target layout holds {expect}")
 
+        if self.proc.faults is not None:
+            self.proc.faults.rma_transmit(target_world, op.mpi_name)
         transport = self._transport_for(target_world)
         contig = (op.origin_dtref.datatype.contig
                   and op.target_dtref.datatype.contig)
@@ -419,6 +432,8 @@ class CH4Device:
                 f"{op.mpi_name}: origin holds {nbytes} bytes but the "
                 f"target layout carries {expect}")
 
+        if self.proc.faults is not None:
+            self.proc.faults.rma_transmit(target_world, op.mpi_name)
         transport = self._transport_for(target_world)
         contig = (op.origin_dtref.datatype.contig
                   and op.target_dtref.datatype.contig)
@@ -444,6 +459,8 @@ class CH4Device:
         self._charge_rma_descriptor(op.flags, c.put_mandatory)
 
         data = pack(op.origin_buf, op.origin_count, op.origin_dtref.datatype)
+        if self.proc.faults is not None:
+            self.proc.faults.rma_transmit(target_world, op.mpi_name)
         transport = self._transport_for(target_world)
         contig = (op.origin_dtref.datatype.contig
                   and op.target_dtref.datatype.contig)

@@ -17,6 +17,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, replace
 
+from repro.ft.plan import FaultPlan
+
 
 class Device(enum.Enum):
     """Which abstract device the build uses (Figure 1)."""
@@ -110,6 +112,17 @@ class BuildConfig:
         to preserve per-context arrival order; wildcard receives use
         the documented all-VCI discipline in
         :class:`repro.runtime.vci.VCIShardedEngine`.
+    fault_plan:
+        A seeded :class:`~repro.ft.plan.FaultPlan` describing a lossy
+        fabric (drop/duplicate/reorder/delay/corrupt probabilities and
+        an optional rank kill).  Building with a plan layers the
+        ack/retransmit reliability protocol (:mod:`repro.ft`) under
+        the device and charges it as ``Category.RELIABILITY``; the
+        default ``None`` builds no fault-tolerance state at all and
+        charges byte-identically to the calibrated Figure 2 / Table 1
+        numbers (every hook guards on ``faults is None`` — audit rule
+        FP304).  ``FaultPlan()`` (all rates zero) enables the protocol
+        and the ``MPIX_Comm_*`` recovery APIs on a lossless wire.
     """
 
     device: Device = Device.CH4
@@ -126,6 +139,7 @@ class BuildConfig:
     sanitize: bool = False
     num_vcis: int = 1
     vci_policy: str = "hash"
+    fault_plan: FaultPlan | None = None
 
     @property
     def ipo(self) -> bool:

@@ -44,6 +44,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.errors import MPIErrArg
+
 
 @dataclass(frozen=True)
 class ExtFlags:
@@ -114,3 +116,86 @@ ALL_OPTS_PT2PT = ExtFlags(global_rank=True, static_comm=True,
 #: §3.7 for RMA (our construction; the paper quotes only the pt2pt 16).
 ALL_OPTS_RMA = ExtFlags(global_rank=True, static_comm=True,
                         virtual_addr=True, no_proc_null=True)
+
+
+# ---------------------------------------------------------------------------
+# ULFM-style recovery entry points (MPIX_Comm_*)
+# ---------------------------------------------------------------------------
+#
+# The User-Level Failure Mitigation proposal's three core operations, in
+# the fault-tolerance model of :mod:`repro.ft`: revoke poisons a
+# communicator everywhere, shrink collectively rebuilds it over the
+# survivors, agree is a fault-aware boolean AND.  All three require a
+# build with a ``fault_plan`` (that is what creates the world-global
+# failure state they coordinate through).
+
+
+def _world_ft(comm):
+    """The world's failure state, or ``MPI_ERR_ARG`` when the build has
+    no fault plan (plain builds carry no failure-detection machinery)."""
+    ft = comm.proc.world.ft
+    if ft is None:
+        raise MPIErrArg(
+            "MPIX_Comm_* recovery requires a fault-tolerant build; "
+            "pass BuildConfig(fault_plan=FaultPlan()) — an all-zero "
+            "plan enables recovery on a lossless wire")
+    return ft
+
+
+def MPIX_Comm_revoke(comm) -> None:
+    """ULFM MPIX_COMM_REVOKE: mark *comm*'s context revoked on every
+    rank.  Subsequent operations on any handle to this context raise
+    ``MPI_ERR_REVOKED`` (through the handle's error handler), which is
+    how survivors still blocked inside the communicator learn that
+    recovery has begun."""
+    _world_ft(comm).revoke(comm.ctx)
+
+
+def MPIX_Comm_shrink(comm, name=None):
+    """ULFM MPIX_COMM_SHRINK: collectively build a new communicator
+    over the surviving members of *comm*.
+
+    Safe to call on a revoked communicator (that is its purpose).  The
+    survivors rendezvous outside the revoked context, the first to
+    complete allocates the fresh context id, and every caller returns
+    a working :class:`~repro.mpi.comm.Communicator` over the agreed
+    alive group, inheriting *comm*'s error handler.
+    """
+    ft = _world_ft(comm)
+    proc = comm.proc
+    # Per-handle shrink counter so repeated shrinks of the same context
+    # rendezvous under distinct keys (each rank's handle advances in
+    # lockstep because shrink is collective).
+    epoch = getattr(comm, "_shrink_epoch", 0)
+    comm._shrink_epoch = epoch + 1
+    members = tuple(comm.group.world_ranks)
+
+    def _build(payloads: dict) -> tuple:
+        """First completer: agree on the alive roster + a fresh ctx."""
+        return (proc.world.alloc_context_id(), tuple(sorted(payloads)))
+
+    new_ctx, alive = ft.rendezvous(
+        ("shrink", comm.ctx, epoch), proc.world_rank, members,
+        reducer=_build)
+    from repro.mpi.comm import Communicator
+    from repro.mpi.group import Group
+    shrunk = Communicator(proc, Group(alive), new_ctx,
+                          name=name or f"{comm.name}.shrink")
+    shrunk._errhandler = comm._errhandler
+    return shrunk
+
+
+def MPIX_Comm_agree(comm, flag: bool = True) -> bool:
+    """ULFM MPIX_COMM_AGREE: fault-aware boolean AND across the
+    surviving members of *comm* — the agreement survivors use to decide
+    whether the epoch's work succeeded before (or instead of)
+    revoking.  Ranks that die during the agreement are excluded rather
+    than hanging it."""
+    ft = _world_ft(comm)
+    epoch = getattr(comm, "_agree_epoch", 0)
+    comm._agree_epoch = epoch + 1
+    members = tuple(comm.group.world_ranks)
+    return bool(ft.rendezvous(
+        ("agree", comm.ctx, epoch), comm.proc.world_rank, members,
+        payload=bool(flag),
+        reducer=lambda payloads: all(payloads.values())))

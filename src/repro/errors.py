@@ -5,9 +5,17 @@ MPI_ERR_COMM, ...).  Whether these checks run at all is a build-time
 decision in this reproduction, exactly as in the paper: the Figure 2
 "no-err" build compiles the checks out, which here means the validation
 functions are never invoked and hence never charge instructions.
+
+Every error can carry its originating context — the MPI operation
+(``op``), the rank it was raised on or the peer it concerns (``rank``),
+and the request it completed (``request``) — so error-handler callbacks
+and teardown reports can name the failing operation instead of
+guessing from a bare message.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 
 class MPIError(Exception):
@@ -17,13 +25,39 @@ class MPIError(Exception):
     ----------
     error_class:
         Symbolic name of the MPI error class (e.g. ``"MPI_ERR_RANK"``).
+    rank:
+        The rank this error concerns — the raising rank for argument
+        errors, the failed *peer* for ``MPI_ERR_PROC_FAILED`` — or
+        None when unknown.
+    op:
+        Name of the MPI operation that raised (e.g. ``"MPI_Isend"``),
+        or None when unknown.
+    request:
+        The :class:`~repro.runtime.request.Request` this error
+        completed, when the failure surfaced through one.
     """
 
     error_class = "MPI_ERR_OTHER"
 
-    def __init__(self, message: str = ""):
-        super().__init__(f"{self.error_class}: {message}" if message else self.error_class)
+    def __init__(self, message: str = "", *, rank: Optional[int] = None,
+                 op: Optional[str] = None, request: object = None):
+        super().__init__(message)
         self.message = message
+        self.rank = rank
+        self.op = op
+        self.request = request
+
+    def __str__(self) -> str:
+        """``CLASS: message [in op, on rank r]`` — context appended so
+        existing ``pytest.raises(match=...)`` patterns keep matching."""
+        text = (f"{self.error_class}: {self.message}" if self.message
+                else self.error_class)
+        context = []
+        if self.op is not None:
+            context.append(f"in {self.op}")
+        if self.rank is not None:
+            context.append(f"rank {self.rank}")
+        return f"{text} [{', '.join(context)}]" if context else text
 
 
 class MPIErrArg(MPIError):
@@ -120,6 +154,25 @@ class MPIErrPending(MPIError):
     """Operation still pending when completion was required."""
 
     error_class = "MPI_ERR_PENDING"
+
+
+class MPIErrProcFailed(MPIError):
+    """A peer process has failed (ULFM MPI_ERR_PROC_FAILED).
+
+    Raised when the reliability layer exhausts its retransmissions
+    against a dead peer, and used to complete pending receives posted
+    against a rank the fault plan killed."""
+
+    error_class = "MPI_ERR_PROC_FAILED"
+
+
+class MPIErrRevoked(MPIError):
+    """The communicator has been revoked (ULFM MPI_ERR_REVOKED).
+
+    Every subsequent operation on a revoked communicator fails with
+    this class until the application shrinks to a replacement."""
+
+    error_class = "MPI_ERR_REVOKED"
 
 
 class MPIErrInternal(MPIError):

@@ -1,0 +1,94 @@
+"""The lossy fabric: a netmod wrapper that misbehaves on purpose.
+
+:class:`FaultyNetmod` represents the unreliable wire in the netmod
+registry.  It delegates every capability decision and all issue timing
+to an *inner* netmod (the infinite netmod by default, so the software
+stack stays the only cost), and exposes counters the reliability layer
+increments as it observes :class:`~repro.ft.plan.WireFate` verdicts.
+
+The wrapper itself never draws faults: fates are pure functions of the
+:class:`~repro.ft.plan.FaultPlan`, evaluated by the per-rank
+:class:`~repro.ft.reliability.RankFaults` at delivery time.  Keeping
+the netmod stateless this way means a ``fault_plan=None`` build that
+happens to select the ``"faulty"`` fabric behaves exactly like the
+inner netmod.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.fabric.model import FabricSpec
+from repro.netmod.base import IssueResult, Netmod
+from repro.netmod.infinite import InfiniteNetmod
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.proc import Proc
+
+
+class FaultyNetmod(Netmod):
+    """A delegating netmod that models an unreliable fabric.
+
+    Parameters
+    ----------
+    proc:
+        The owning rank.
+    spec:
+        Fabric timing spec (defaults resolve to the infinite fabric's
+        numbers in the registry, so the wire adds no time of its own).
+    inner:
+        The netmod whose capabilities and timing are delegated to;
+        a fresh :class:`InfiniteNetmod` when omitted.
+    """
+
+    name = "faulty"
+
+    def __init__(self, proc: "Proc", spec: FabricSpec,
+                 inner: Netmod | None = None):
+        super().__init__(proc, spec)
+        self.inner = inner if inner is not None else InfiniteNetmod(proc, spec)
+        #: Fault observations, incremented by the reliability layer.
+        self.n_dropped = 0
+        self.n_corrupted = 0
+        self.n_duplicated = 0
+        self.n_reordered = 0
+        self.n_delayed = 0
+
+    # -- capability decisions delegate to the wrapped hardware model -------
+
+    def send_is_native(self, contig: bool) -> bool:
+        """Delegate the send capability decision to the inner netmod."""
+        return self.inner.send_is_native(contig)
+
+    def rma_is_native(self, contig: bool, atomic: bool = False) -> bool:
+        """Delegate the RMA capability decision to the inner netmod."""
+        return self.inner.rma_is_native(contig, atomic)
+
+    def issue(self, nbytes: int, native: bool,
+              round_trip: bool = False, vci=None) -> IssueResult:
+        """Delegate issue timing and charging to the inner netmod."""
+        return self.inner.issue(nbytes, native, round_trip=round_trip,
+                                vci=vci)
+
+    def observe(self, fate) -> None:
+        """Tally one :class:`~repro.ft.plan.WireFate` the reliability
+        layer just applied."""
+        if fate.drop:
+            self.n_dropped += 1
+        if fate.corrupt:
+            self.n_corrupted += 1
+        if fate.duplicate:
+            self.n_duplicated += 1
+        if fate.reorder:
+            self.n_reordered += 1
+        if fate.delay:
+            self.n_delayed += 1
+
+
+# Registered here (rather than in the registry module itself) because
+# the class needs the netmod package first — a registry-side top-level
+# import would be circular.  build_netmod() imports this module before
+# any lookup, so the entry is always present when it matters.
+from repro.netmod.registry import NETMODS
+
+NETMODS["faulty"] = FaultyNetmod

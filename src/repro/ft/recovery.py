@@ -1,0 +1,57 @@
+"""Error handlers and rank-death control flow.
+
+MPI-3.1 attaches an error handler to every communicator:
+``MPI_ERRORS_ARE_FATAL`` (the default — the job dies),
+``MPI_ERRORS_RETURN`` (errors surface to the caller), or a user
+callable.  :func:`dispatch_comm_error` implements that dispatch for
+this runtime; the exception always propagates afterwards, because a
+Python caller observes "an error return code" as a catchable raise.
+
+:class:`RankKilled` deliberately subclasses :class:`BaseException`:
+a killed rank must stop executing even inside application code that
+catches ``Exception`` or :class:`~repro.errors.MPIError` — death is
+control flow, not an error the dying rank can handle.  The world's
+rank-entry wrapper catches it specifically and records the rank as
+dead without aborting the survivors.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.errors import MPIError
+    from repro.mpi.comm import Communicator
+
+#: The default MPI error handler: any MPI error tears the world down.
+ERRORS_ARE_FATAL = "MPI_ERRORS_ARE_FATAL"
+
+#: Errors surface to the caller (as a raised :class:`MPIError`) and
+#: the rest of the world keeps running.
+ERRORS_RETURN = "MPI_ERRORS_RETURN"
+
+
+class RankKilled(BaseException):
+    """Raised inside a rank the :class:`~repro.ft.plan.FaultPlan` kills.
+
+    A BaseException so application-level ``except Exception`` blocks
+    cannot resurrect the dead rank; only the world's entry wrapper
+    handles it.
+    """
+
+
+def dispatch_comm_error(comm: "Communicator", exc: "MPIError") -> None:
+    """Run *comm*'s error handler for *exc*.
+
+    ``MPI_ERRORS_ARE_FATAL`` sets the world's abort event (genuine
+    teardown: every blocked rank wakes and unwinds);
+    ``MPI_ERRORS_RETURN`` does nothing here; a callable handler is
+    invoked as ``handler(comm, exc)``.  The caller re-raises *exc* in
+    all three cases — under ERRORS_RETURN that raise *is* the error
+    return the standard describes.
+    """
+    handler = getattr(comm, "_errhandler", ERRORS_ARE_FATAL)
+    if handler == ERRORS_ARE_FATAL:
+        comm.proc.world.abort_event.set()
+    elif handler != ERRORS_RETURN and callable(handler):
+        handler(comm, exc)

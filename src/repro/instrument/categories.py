@@ -43,6 +43,12 @@ class Category(enum.Enum):
     #: Everything that cannot be removed within MPI-3.1 (Section 3).
     MANDATORY = "mandatory"
 
+    #: Transport reliability protocol (sequence numbers, checksums, ack
+    #: piggybacking, dedup/reorder windows, retransmission) — charged
+    #: only by builds with a ``fault_plan``; zero in every Table 1 /
+    #: Figure 2 calibration build, whose fabrics are modeled lossless.
+    RELIABILITY = "reliability"
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 
@@ -120,6 +126,9 @@ def category_metadata() -> Mapping[Category, str]:
             "(removed by link-time/whole-program inlining)",
         Category.MANDATORY:
             "work required by MPI-3.1 semantics (Section 3 subsystems)",
+        Category.RELIABILITY:
+            "transport reliability protocol (seq/ack/retransmit; charged "
+            "only under a fault_plan build — lossless builds charge zero)",
     })
 
 

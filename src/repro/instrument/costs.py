@@ -217,6 +217,50 @@ FUSED_DESCRIPTOR_PUT = 12
 
 
 # ---------------------------------------------------------------------------
+# Transport-reliability protocol costs (fault_plan builds only)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ReliabilityCosts:
+    """Instruction cost of the ack/retransmit reliability protocol
+    (Category.RELIABILITY), layered under the device the way the
+    InfiniBand MPICH2 port layered its reliability under the ADI.
+
+    Charged only when the build carries a
+    :class:`~repro.ft.plan.FaultPlan`; the calibrated Figure 2 /
+    Table 1 builds model a lossless fabric and charge none of this.
+    The per-message lossless overhead decomposes as sender-side
+    (``seqno + checksum + ack_piggyback``) plus, for matched sends,
+    the receiver's dedup-window probe — 43 on the ISEND path and 34
+    on the PUT path (RMA needs no dedup: the sequence check suffices,
+    there is no matching queue to protect)."""
+
+    seqno: int          #: assign/advance the per-peer sequence number
+    checksum: int       #: compute + verify the payload checksum
+    ack_piggyback: int  #: fold cumulative-ack state into the header
+    dedup_window: int   #: receiver window probe (duplicate discard)
+    reorder_window: int  #: buffer + release one out-of-order arrival
+    retransmit: int     #: one timeout-driven retransmission attempt
+
+    @property
+    def sender_overhead(self) -> int:
+        """Per-message sender-side cost on a lossless wire."""
+        return self.seqno + self.checksum + self.ack_piggyback
+
+    @property
+    def matched_overhead(self) -> int:
+        """Per-message lossless cost of a matched (pt2pt) send:
+        sender side plus the receiver's dedup probe."""
+        return self.sender_overhead + self.dedup_window
+
+
+#: Reliability protocol steps; lossless overhead 43 (isend) / 34 (put).
+RELIABILITY_COSTS = ReliabilityCosts(seqno=12, checksum=14, ack_piggyback=8,
+                                     dedup_window=9, reorder_window=11,
+                                     retransmit=46)
+
+
+# ---------------------------------------------------------------------------
 # CH3 ("MPICH/Original") device costs
 # ---------------------------------------------------------------------------
 # The paper publishes only the CH3 totals (253 for ISEND, 1342 for
@@ -295,6 +339,8 @@ class CostModel:
         field(default_factory=lambda: CH3_ISEND_STEPS)
     ch3_put_steps: Mapping[str, tuple[Category, Subsystem | None, int]] = \
         field(default_factory=lambda: CH3_PUT_STEPS)
+
+    reliability: ReliabilityCosts = RELIABILITY_COSTS
 
     # -- published aggregates the model must land on ----------------------
     def expected_ch4_default(self, op: str) -> int:
@@ -396,6 +442,12 @@ def validate(model: CostModel) -> None:
                     + m.fused_descriptor_put)
     assert put_all_opts == m.expected_all_opts("put"), put_all_opts
 
+    # Reliability protocol (fault_plan builds): the lossless per-message
+    # overhead on the PUT path (sender side only) and the ISEND path
+    # (sender side + receiver dedup probe).
+    assert m.reliability.sender_overhead == 34, m.reliability.sender_overhead
+    assert m.reliability.matched_overhead == 43, m.reliability.matched_overhead
+
 
 #: The default calibrated model used by the whole runtime.
 COSTS = CostModel()
@@ -447,6 +499,7 @@ _GROUP_CATEGORY: Mapping[str, Category] = MappingProxyType({
     "put_redundant": Category.REDUNDANT_CHECKS,
     "isend_mandatory": Category.MANDATORY,
     "put_mandatory": Category.MANDATORY,
+    "reliability": Category.RELIABILITY,
 })
 
 

@@ -19,6 +19,7 @@ CATEGORY_LABELS: Mapping[Category, str] = {
     Category.FUNCTION_CALL: "MPI function call",
     Category.REDUNDANT_CHECKS: "Redundant runtime checks",
     Category.MANDATORY: "MPI mandatory overheads",
+    Category.RELIABILITY: "Reliability protocol",
 }
 
 #: Human-readable labels for mandatory subsystems (Section 3 order).

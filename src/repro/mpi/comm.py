@@ -24,7 +24,8 @@ from repro.consts import (ANY_SOURCE, ANY_TAG, MAX_PREDEFINED_COMMS,
                           PROC_NULL, UNDEFINED)
 from repro.core import extensions as ext
 from repro.core.ops import RecvOp, SendOp
-from repro.errors import MPIErrArg, MPIErrComm
+from repro.errors import MPIErrArg, MPIErrComm, MPIError
+from repro.ft.recovery import ERRORS_ARE_FATAL, dispatch_comm_error
 from repro.instrument.categories import Category, Subsystem
 from repro.instrument.costs import COSTS
 from repro.instrument.fastpath import fastpath
@@ -64,6 +65,9 @@ class Communicator:
         # §3.5 requestless-operation bookkeeping (owning thread only).
         self._noreq_count = 0
         self._noreq_latest_s = 0.0
+        # MPI-3.1 default error handler: errors abort the job.  See
+        # set_errhandler for the ULFM-style alternatives.
+        self._errhandler = ERRORS_ARE_FATAL
 
     @classmethod
     def world_view(cls, proc: "Proc") -> "Communicator":
@@ -122,6 +126,52 @@ class Communicator:
                 f"{self.size}, ctx={self.ctx})")
 
     # ------------------------------------------------------------------ #
+    # error handlers (MPI-3.1 §8.3) and fault-tolerant issue paths        #
+    # ------------------------------------------------------------------ #
+
+    def set_errhandler(self, handler) -> None:
+        """MPI_COMM_SET_ERRHANDLER: *handler* is ``ERRORS_ARE_FATAL``
+        (the default — any communication error aborts the whole job),
+        ``ERRORS_RETURN`` (errors raise to the caller only), or a
+        Python callable ``handler(comm, exc)`` invoked before the
+        exception propagates (the MPI_Comm_create_errhandler shape)."""
+        self._errhandler = handler
+
+    def get_errhandler(self):
+        """MPI_COMM_GET_ERRHANDLER: the current error handler."""
+        return self._errhandler
+
+    def _ft_isend(self, op: SendOp) -> Optional[Request]:
+        """Issue a send through the fault-tolerance wrapping: refuse
+        revoked communicators, and route any communication error
+        through this communicator's error handler before it
+        propagates.  Only reached when the build has a fault plan
+        (plain builds call the device directly — zero added work)."""
+        faults = self.proc.faults
+        if faults is None:   # routed here only under the caller's guard
+            return self.proc.device.isend(op)
+        faults.check_self()   # collective internals bypass mpi_entry
+        faults.check_comm(self)
+        try:
+            return self.proc.device.isend(op)
+        except MPIError as exc:
+            dispatch_comm_error(self, exc)
+            raise
+
+    def _ft_irecv(self, op: RecvOp) -> Request:
+        """Receive-side twin of :meth:`_ft_isend`."""
+        faults = self.proc.faults
+        if faults is None:   # routed here only under the caller's guard
+            return self.proc.device.irecv(op)
+        faults.check_self()   # collective internals bypass mpi_entry
+        faults.check_comm(self)
+        try:
+            return self.proc.device.irecv(op)
+        except MPIError as exc:
+            dispatch_comm_error(self, exc)
+            raise
+
+    # ------------------------------------------------------------------ #
     # internal byte-stream primitives (collectives, pickled API)          #
     # ------------------------------------------------------------------ #
 
@@ -131,12 +181,16 @@ class Communicator:
         buf = np.frombuffer(data, np.uint8) if data else np.empty(0, np.uint8)
         op = SendOp(buf=buf, count=len(data), dtref=BYTE_REF, dest=dest,
                     tag=tag, comm=self, flags=flags, sync=sync)
+        if self.proc.faults is not None:
+            return self._ft_isend(op)
         return self.proc.device.isend(op)
 
     def _irecv_bytes(self, source: int, tag: int,
                      flags: ext.ExtFlags = ext.NONE) -> Request:
         op = RecvOp(buf=None, count=0, dtref=BYTE_REF, source=source,
                     tag=tag, comm=self, flags=flags)
+        if self.proc.faults is not None:
+            return self._ft_irecv(op)
         return self.proc.device.irecv(op)
 
     def _send_bytes(self, data: bytes, dest: int, tag: int) -> None:
@@ -260,6 +314,8 @@ class Communicator:
                               dest, tag, global_rank=flags.global_rank)
             op = SendOp(buf=data, count=count, dtref=dtref, dest=dest,
                         tag=tag, comm=self, flags=flags, sync=sync)
+            if proc.faults is not None:
+                return self._ft_isend(op)
             return self.proc.device.isend(op)
 
     def Recv(self, buf, source: int = ANY_SOURCE,
@@ -289,6 +345,8 @@ class Communicator:
                               source, tag)
             op = RecvOp(buf=data, count=count, dtref=dtref, source=source,
                         tag=tag, comm=self, flags=flags)
+            if proc.faults is not None:
+                return self._ft_irecv(op)
             return self.proc.device.irecv(op)
 
     def Sendrecv(self, sendbuf, dest: int, recvbuf, source: int = ANY_SOURCE,

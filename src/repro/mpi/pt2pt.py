@@ -18,6 +18,7 @@ from repro.datatypes.pack import Buffer
 from repro.datatypes.predefined import BYTE, from_numpy_dtype
 from repro.datatypes.usage import DatatypeRef, classify, compile_time
 from repro.errors import (
+    MPIError,
     MPIErrBuffer,
     MPIErrComm,
     MPIErrCount,
@@ -60,6 +61,8 @@ def mpi_entry(proc: "Proc", function_call_cost: int,
     t0 = proc.vclock.now if proc.timeline is not None else 0.0
     if proc.sanitizer is not None and name is not None:
         proc.sanitizer.note_api(name)   # labels leak/deadlock reports
+    if proc.faults is not None:
+        proc.faults.check_self()   # stash flush + fault-plan rank kill
     try:  # audit: allow[FP204] - timeline bookkeeping must not leak
         with proc.timed_call():
             if not config.ipo:
@@ -76,6 +79,15 @@ def mpi_entry(proc: "Proc", function_call_cost: int,
                         vci.note_cs(proc.counter.total - cs_entry_total)
             else:
                 yield
+    except MPIError as exc:
+        # Annotate every error escaping an MPI entry with the raising
+        # rank and the operation name, so error-handler callbacks and
+        # teardown reports can say which call on which rank failed.
+        if exc.rank is None:
+            exc.rank = proc.world_rank
+        if exc.op is None and name is not None:
+            exc.op = name
+        raise
     finally:
         if proc.timeline is not None and name is not None:
             from repro.analysis.timeline import TimelineEvent

@@ -15,6 +15,12 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: Netmods by fabric name.  BG/Q's MU interface behaves like the OFI
 #: model for capability purposes (native contiguous, AM for the rest).
+#: ``"faulty"`` — the lossy-fabric wrapper of :mod:`repro.ft`, which
+#: delegates timing/capabilities to an inner (infinite) netmod and is
+#: also auto-wrapped around any fabric when the build carries a
+#: ``fault_plan`` — registers itself here on import; :func:`build_netmod`
+#: imports it lazily (the class subclasses :class:`Netmod`, so a
+#: top-level import here would be circular).
 NETMODS: dict[str, Type[Netmod]] = {
     "ofi": OFINetmod,
     "ucx": UCXNetmod,
@@ -26,11 +32,27 @@ NETMODS: dict[str, Type[Netmod]] = {
 
 def build_netmod(proc: "Proc", fabric_name: str,
                  spec: FabricSpec | None = None) -> Netmod:
-    """Construct the netmod registered for *fabric_name*."""
+    """Construct the netmod registered for *fabric_name*.
+
+    The ``"faulty"`` pseudo-fabric has no timing model of its own: its
+    spec falls back to the infinite fabric's (zero injection cost, no
+    latency), so only the injected faults distinguish it.  When the
+    build carries a ``fault_plan``, whatever netmod was selected is
+    wrapped in a :class:`FaultyNetmod` so the reliability layer has a
+    place to tally its fault observations.
+    """
+    from repro.ft.injection import FaultyNetmod  # registers "faulty"
     try:
         cls = NETMODS[fabric_name]
     except KeyError:
         raise KeyError(
             f"no netmod registered for fabric {fabric_name!r}; "
             f"choose from {sorted(NETMODS)}") from None
-    return cls(proc, spec if spec is not None else fabric_by_name(fabric_name))
+    if spec is None:
+        spec = fabric_by_name(
+            "infinite" if fabric_name == "faulty" else fabric_name)
+    mod = cls(proc, spec)
+    if proc.config.fault_plan is not None \
+            and not isinstance(mod, FaultyNetmod):
+        mod = FaultyNetmod(proc, spec, inner=mod)
+    return mod

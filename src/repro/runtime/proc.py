@@ -67,6 +67,12 @@ class Proc:
         world_san = getattr(world, "sanitizer", None)
         self.sanitizer = (world_san.rank_view(self)
                           if world_san is not None else None)
+        #: Per-rank fault-tolerant-transport view (None unless the
+        #: world was built with a ``fault_plan``); every hook site
+        #: guards on it (audit rule FP304).
+        world_ft = getattr(world, "ft", None)
+        self.faults = (world_ft.rank_view(self)
+                       if world_ft is not None else None)
         #: Per-rank §3.5 request free-pool (recycles handles on the
         #: real-Python hot path; charged costs are unaffected).
         self.request_pool = RequestPool(self, world.abort_event,
@@ -161,7 +167,15 @@ class Proc:
     # -- delivery ---------------------------------------------------------------
 
     def deliver(self, dest_world_rank: int, msg: Message) -> None:
-        """Deposit *msg* into the destination rank's matching engine."""
+        """Deposit *msg* into the destination rank's matching engine.
+
+        Under a ``fault_plan`` build the message instead crosses the
+        reliability layer's lossy wire (sequence numbering, possible
+        retransmissions, the receiver's dedup/reorder window) before
+        reaching the engine."""
+        if self.faults is not None:
+            self.faults.deliver(dest_world_rank, msg)
+            return
         self.world.proc(dest_world_rank).engine.deposit(msg)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

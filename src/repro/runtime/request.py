@@ -119,6 +119,26 @@ class Request:
         for callback in waiters:
             callback(self)
 
+    def fail(self, complete_s: float, error: BaseException) -> None:
+        """Complete exceptionally — the peer-failure path.
+
+        A no-op when the request is already done (the data won the
+        race); otherwise the request transitions to done-with-error and
+        any late ``complete`` from a matching thread is discarded,
+        under the same race rules as :meth:`cancel`.  ``wait``/``test``
+        re-raise *error* on the owning rank's thread.
+        """
+        with self._lock:
+            if self._done.is_set():
+                return
+            self.cancelled = True   # discard any late complete()
+            self.error = error
+            self.complete_s = complete_s
+            self._done.set()
+            waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            callback(self)
+
     def subscribe(self, callback: Callable[["Request"], None]) -> None:
         """Register *callback(request)* to run exactly once when this
         request completes or is cancelled — immediately (in the calling

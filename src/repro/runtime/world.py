@@ -74,6 +74,16 @@ class World:
             from repro.sanitize.runtime import WorldSanitizer
             self.sanitizer = WorldSanitizer(self)
 
+        #: Fault-tolerance state (``BuildConfig(fault_plan=...)`` only)
+        #: — created before the procs so each rank binds its per-rank
+        #: reliability view.  None in default builds: every hook site
+        #: guards on it (audit rule FP304), so lossless runs execute no
+        #: fault-tolerance code and charge no RELIABILITY instructions.
+        self.ft = None
+        if self.config.fault_plan is not None:
+            from repro.ft.reliability import WorldFaults
+            self.ft = WorldFaults(self, self.config.fault_plan)
+
         self._procs = [None] * nranks
         for r in range(nranks):
             from repro.runtime.proc import Proc
@@ -123,6 +133,7 @@ class World:
         the first failure (by rank order) propagates, with the failing
         rank recorded in the exception notes.
         """
+        from repro.ft.recovery import RankKilled
         from repro.mpi.comm import Communicator
 
         self.abort_event.clear()
@@ -137,11 +148,21 @@ class World:
             try:
                 comm = Communicator.world_view(proc)
                 results[rank] = fn(comm, *args)
+                if proc.faults is not None:
+                    # Rank quiescence: release any reorder-stashed
+                    # packet so a receiver is never stranded waiting
+                    # on a message the wire was still holding back.
+                    proc.faults.drain()
                 if proc.sanitizer is not None:
                     # MPI_Finalize semantics: report (MSD202) instead of
                     # silently dropping still-pending requests, and
                     # expose stalls this rank's exit makes certain.
                     proc.sanitizer.finalize()
+            except RankKilled:
+                # A fault-plan kill is not an application error: the
+                # rank just stops (results stay None) and the
+                # survivors keep running — recovery is their job.
+                results[rank] = None
             except BaseException as exc:  # noqa: BLE001 - reported to caller
                 errors[rank] = exc
                 self.abort_event.set()

@@ -1,7 +1,7 @@
 """AST-based MPI-correctness linter over programs using ``repro.mpi``.
 
-Static counterpart of the dynamic sanitizer: seven rule classes
-(``MS101`` .. ``MS107``, see :data:`repro.sanitize.diagnostics.RULES`)
+Static counterpart of the dynamic sanitizer: eight rule classes
+(``MS101`` .. ``MS108``, see :data:`repro.sanitize.diagnostics.RULES`)
 checked per *scope* (each function body, plus the module body) without
 executing the program.
 
@@ -103,6 +103,15 @@ PERSISTENT_WAITS = frozenset({"wait", "Wait", "test", "Test", "waitall",
 #: Module-level completion helpers that clear MS107 likewise.
 PERSISTENT_WAIT_FUNCS = frozenset({"waitall", "testall", "waitany",
                                    "waitsome", "startall"})
+
+#: ULFM recovery entry points that poison (or supersede) the handle
+#: passed as their first argument (for MS108).
+MPIX_REVOKERS = frozenset({"MPIX_Comm_revoke", "MPIX_Comm_shrink"})
+
+#: Methods still legal on a revoked/superseded handle: error-handler
+#: management and freeing.  The recovery collectives themselves take
+#: the handle as an *argument*, not a receiver, so they pass freely.
+REVOKED_ALLOWED = frozenset({"set_errhandler", "get_errhandler", "free"})
 
 _SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
 
@@ -304,6 +313,7 @@ class Linter:
             self._rule_rma_epoch(scope)
             self._rule_nomatch_misuse(scope)
             self._rule_persistent_double_start(scope)
+            self._rule_use_after_revoke(scope)
         return [d for d in self.diagnostics
                 if not suppressed(self.lines, d.line, d.rule_id,
                                   PRAGMA_MARKER)]
@@ -634,6 +644,83 @@ class Linter:
                 return True
             cur = scope.parents.get(cur)
         return False
+
+    # -- MS108: use of a revoked / superseded communicator ---------------------
+
+    def _rule_use_after_revoke(self, scope: Scope) -> None:
+        for name, line, branch in self._revocation_events(scope):
+            rebinds = [stmt.lineno for stmt in scope.statements
+                       if stmt.lineno > line
+                       and isinstance(stmt, ast.Assign)
+                       and any(isinstance(t, ast.Name) and t.id == name
+                               for t in stmt.targets)]
+            horizon = min(rebinds) if rebinds else float("inf")
+            for call in scope.calls:
+                if call.recv_obj != name or call.line <= line \
+                        or call.line >= horizon:
+                    continue
+                if call.attr in REVOKED_ALLOWED \
+                        or call.attr in MPIX_REVOKERS:
+                    continue
+                if _sibling_branches(branch, call.branch):
+                    continue        # mutually exclusive arms
+                self._emit(
+                    "MS108", call.line,
+                    f"{call.attr}() on {name!r} after the handle was "
+                    f"revoked/superseded on line {line} — re-derive it "
+                    f"first ({name} = MPIX_Comm_shrink({name}))")
+
+    def _revocation_events(self, scope: Scope,
+                           ) -> list[tuple[str, int, tuple]]:
+        """(handle-name, line, branch-path) per revoke/shrink event.
+
+        A ``shrink`` whose result is rebound to the *same* name
+        (``comm = MPIX_Comm_shrink(comm)``) re-derives the handle in
+        place and is not an event.  Events inside loops are skipped:
+        line order does not imply execution order across iterations.
+        """
+        call_nodes: list[tuple[ast.Call, str, tuple]] = []
+        for call in scope.calls:      # ext.MPIX_Comm_revoke(comm) style
+            if call.attr in MPIX_REVOKERS:
+                call_nodes.append((call.node, call.attr, call.branch))
+        for fname in MPIX_REVOKERS:   # bare MPIX_Comm_revoke(comm) style
+            for load in scope.loads_of(fname):
+                parent = scope.parents.get(load)
+                if isinstance(parent, ast.Call) and parent.func is load:
+                    call_nodes.append(
+                        (parent, fname, self._branch_of(scope, parent)))
+        events: list[tuple[str, int, tuple]] = []
+        for node, fname, branch in call_nodes:
+            if not node.args or not isinstance(node.args[0], ast.Name):
+                continue
+            name = node.args[0].id
+            if self._inside_loop(scope, node):
+                continue
+            if fname == "MPIX_Comm_shrink":
+                stmt = scope.statement_of(node)
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                        and isinstance(stmt.targets[0], ast.Name) \
+                        and stmt.targets[0].id == name \
+                        and stmt.value is node:
+                    continue        # comm = MPIX_Comm_shrink(comm)
+            events.append((name, node.lineno, branch))
+        return events
+
+    @staticmethod
+    def _branch_of(scope: Scope, node: ast.AST) -> tuple:
+        """Reconstruct the (id(if), arm) branch path of *node* (the
+        collector records it only for attribute-style calls)."""
+        path: list[tuple] = []
+        child: ast.AST = node
+        parent = scope.parents.get(child)
+        while parent is not None:
+            if isinstance(parent, ast.If):
+                if any(child is stmt for stmt in parent.body):
+                    path.append((id(parent), 0))
+                elif any(child is stmt for stmt in parent.orelse):
+                    path.append((id(parent), 1))
+            child, parent = parent, scope.parents.get(parent)
+        return tuple(reversed(path))
 
 
 # ---------------------------------------------------------------------------

@@ -56,6 +56,13 @@ RULES: dict[str, Rule] = {r.rule_id: r for r in (
          "p = comm.Send_init(buf, 1); p.start(); p.start()",
          "wait()/test() the active instance (or waitall the batch) "
          "before restarting the persistent request"),
+    Rule("MS108", "communication on a revoked or superseded communicator: "
+         "the handle was passed to MPIX_Comm_revoke (or shrunk into a "
+         "new communicator) and then used again without being re-derived",
+         "MPIX_Comm_revoke(comm); comm.send(obj, 1)",
+         "rebind the handle from the recovery collective "
+         "(comm = MPIX_Comm_shrink(comm)) and communicate on the "
+         "shrunk communicator"),
     Rule("MSD201", "deadlock: cyclic (or global) wait-for dependency "
          "between blocked ranks", "rank 0: Ssend(1).wait() / rank 1: "
          "Ssend(0).wait()",

@@ -8,6 +8,7 @@ from repro.audit.callgraph import CodeIndex
 from repro.audit.lockset import scan_lockset
 from repro.audit.provenance import (_observable_work, _subtree_charges,
                                     _tight_callees)
+from repro.audit.ftguard import scan_ftguard
 from repro.audit.purity import scan_purity
 from repro.audit.rules import FP_RULES, render_fp_catalog
 
@@ -484,6 +485,61 @@ class TestCallGraph:
         assert len(index.modules) == 1
 
 
+class TestFTGuardFixtures:
+    """FP304: fault hooks outside repro/ft/ must be None-guarded."""
+
+    @staticmethod
+    def _ftguard_ids(tmp_path, source: str) -> list[str]:
+        index = _index(tmp_path, source)
+        return [f.rule_id for f in scan_ftguard(index, path_filter="")]
+
+    def test_unguarded_hook_flagged(self, tmp_path):
+        src = """\
+            def hook(proc):
+                proc.faults.check_self()
+        """
+        assert self._ftguard_ids(tmp_path, src) == ["FP304"]
+
+    def test_guarded_hook_clean(self, tmp_path):
+        src = """\
+            def hook(proc):
+                if proc.faults is not None:
+                    proc.faults.check_self()
+        """
+        assert self._ftguard_ids(tmp_path, src) == []
+
+    def test_alias_early_exit_clean(self, tmp_path):
+        src = """\
+            def hook(proc, op):
+                faults = proc.faults
+                if faults is None:
+                    return issue(op)
+                faults.check_comm(op.comm)
+                return issue(op)
+        """
+        assert self._ftguard_ids(tmp_path, src) == []
+
+    def test_store_only_clean(self, tmp_path):
+        src = """\
+            def bind(proc, view):
+                proc.faults = view
+        """
+        assert self._ftguard_ids(tmp_path, src) == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        src = """\
+            def hook(proc):
+                proc.faults.drain()  # audit: allow[FP304]
+        """
+        assert self._ftguard_ids(tmp_path, src) == []
+
+    def test_repro_tree_has_no_unguarded_hooks(self):
+        import pathlib
+        root = pathlib.Path(__file__).resolve().parent.parent
+        index = CodeIndex.build([str(root / "src" / "repro")])
+        assert scan_ftguard(index) == []
+
+
 class TestRuleCatalog:
     """The FP rule table is complete and renderable."""
 
@@ -491,7 +547,7 @@ class TestRuleCatalog:
         ids = set(FP_RULES)
         assert {"FP101", "FP102", "FP103", "FP104"} <= ids
         assert {"FP201", "FP202", "FP203", "FP204", "FP205"} <= ids
-        assert {"FP301", "FP302", "FP303"} <= ids
+        assert {"FP301", "FP302", "FP303", "FP304"} <= ids
 
     def test_catalog_renders_every_rule(self):
         text = render_fp_catalog()

@@ -102,7 +102,7 @@ class TestAuditCLI:
             timeout=120)
         assert proc.returncode == 0
         for rule_id in ("FP101", "FP104", "FP201", "FP205", "FP301",
-                        "FP302", "FP303"):
+                        "FP302", "FP303", "FP304"):
             assert rule_id in proc.stdout
 
     def test_json_snapshot_matches_committed(self, tmp_path):
@@ -166,6 +166,75 @@ class TestVCICalibrationGuard:
                             key=lambda kv: kv[0].name) if n}
             assert json.dumps(trace, sort_keys=True) \
                 == json.dumps(committed, sort_keys=True), op
+
+
+class TestFaultCalibrationGuard:
+    """Fault-tolerance neutrality gate: a ``fault_plan=None`` build must
+    charge byte-for-byte what the committed Figure 2 / Table 1 numbers
+    say, and a fault build must add *only* the ``RELIABILITY``
+    attribution on top of the untouched calibrated trace."""
+
+    #: Per-path RELIABILITY overhead of a lossless fault build.
+    RELIABILITY = {"isend": 43, "put": 34}
+
+    def test_fault_plan_none_keeps_figure2_exact(self):
+        import dataclasses
+        from repro.core.config import named_builds
+        from repro.perf.msgrate import measure_instructions
+        for label, (isend, put) in \
+                TestVCICalibrationGuard.FIGURE2.items():
+            config = dataclasses.replace(named_builds()[label],
+                                         fault_plan=None)
+            assert measure_instructions(config, "isend") == isend, label
+            assert measure_instructions(config, "put") == put, label
+
+    def test_fault_plan_none_keeps_table1_trace(self):
+        import json
+        from repro.core.config import BuildConfig
+        from repro.perf.msgrate import measure_call_record
+        for op, committed in TestVCICalibrationGuard.TABLE1.items():
+            rec = measure_call_record(BuildConfig(fault_plan=None), op)
+            trace = {cat.name: n for cat, n in
+                     sorted(rec.by_category.items(),
+                            key=lambda kv: kv[0].name) if n}
+            assert json.dumps(trace, sort_keys=True) \
+                == json.dumps(committed, sort_keys=True), op
+
+    def test_fault_build_adds_only_reliability(self):
+        """A lossless fault build charges the calibrated trace plus
+        exactly the RELIABILITY protocol overhead — category by
+        category, not just in total."""
+        from repro.core.config import BuildConfig
+        from repro.ft import FaultPlan
+        from repro.perf.msgrate import measure_call_record
+        for op, committed in TestVCICalibrationGuard.TABLE1.items():
+            expected = dict(committed,
+                            RELIABILITY=self.RELIABILITY[op])
+            rec = measure_call_record(
+                BuildConfig(fault_plan=FaultPlan()), op)
+            trace = {cat.name: n for cat, n in rec.by_category.items()
+                     if n}
+            assert trace == expected, op
+            assert rec.total == sum(expected.values()), op
+
+
+class TestFaultBenchSmoke:
+    """``benchmarks/bench_fault.py --quick`` as a CI smoke: runs,
+    reports the standing tax, and delivers intact on the lossy wire."""
+
+    def test_quick_mode_runs_and_delivers(self):
+        import json
+        proc = subprocess.run(
+            [sys.executable, "benchmarks/bench_fault.py", "--quick"],
+            cwd=ROOT, env=_env(), capture_output=True, text=True,
+            timeout=300)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        result = json.loads(proc.stdout)
+        assert result["standing_tax"]["isend"]["reliability"] == 43
+        assert result["standing_tax"]["put"]["reliability"] == 34
+        sweep = result["retransmit_sweep"]
+        assert all(row["delivered_intact"] for row in sweep)
+        assert sweep[-1]["n_retransmits"] > 0
 
 
 class TestVCIBenchSmoke:

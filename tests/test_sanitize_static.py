@@ -191,6 +191,56 @@ class TestRuleFixtures:
         )
         assert _ids(src) == []
 
+    def test_ms108_use_after_revoke(self):
+        src = (
+            "from repro.core.extensions import MPIX_Comm_revoke\n"
+            "def f(comm, obj):\n"
+            "    MPIX_Comm_revoke(comm)\n"
+            "    comm.send(obj, 1)\n"
+        )
+        assert _ids(src) == ["MS108"]
+
+    def test_ms108_stale_handle_after_shrink(self):
+        src = (
+            "from repro.core import extensions as ext\n"
+            "def f(comm, obj):\n"
+            "    new = ext.MPIX_Comm_shrink(comm)\n"
+            "    comm.allreduce(obj)\n"
+        )
+        assert _ids(src) == ["MS108"]
+
+    def test_ms108_rebound_handle_clean(self):
+        src = (
+            "from repro.core.extensions import (MPIX_Comm_revoke,\n"
+            "                                   MPIX_Comm_shrink)\n"
+            "def f(comm, obj):\n"
+            "    MPIX_Comm_revoke(comm)\n"
+            "    comm = MPIX_Comm_shrink(comm)\n"
+            "    comm.send(obj, 1)\n"
+        )
+        assert _ids(src) == []
+
+    def test_ms108_errhandler_and_free_allowed(self):
+        src = (
+            "from repro.core import extensions as ext\n"
+            "def f(comm):\n"
+            "    ext.MPIX_Comm_revoke(comm)\n"
+            "    comm.set_errhandler('MPI_ERRORS_RETURN')\n"
+            "    comm.free()\n"
+        )
+        assert _ids(src) == []
+
+    def test_ms108_sibling_branches_exempt(self):
+        src = (
+            "from repro.core import extensions as ext\n"
+            "def f(comm, obj, broken):\n"
+            "    if broken:\n"
+            "        ext.MPIX_Comm_revoke(comm)\n"
+            "    else:\n"
+            "        comm.barrier()\n"
+        )
+        assert _ids(src) == []
+
 
 class TestPragmas:
     """``# sanitize: ignore`` suppresses findings on that line."""
@@ -239,5 +289,5 @@ class TestCatalog:
         for rule_id in RULES:
             assert rule_id in text
         assert {"MS101", "MS102", "MS103", "MS104", "MS105", "MS106",
-                "MS107", "MSD201", "MSD202", "MSD203",
+                "MS107", "MS108", "MSD201", "MSD202", "MSD203",
                 "MSD204"} <= set(RULES)
