@@ -24,6 +24,7 @@ from repro.audit.callgraph import CodeIndex
 from repro.audit.ftguard import scan_ftguard
 from repro.audit.lockset import scan_lockset
 from repro.audit.manifest import AuditManifest, default_manifest
+from repro.audit.progressguard import scan_progressguard
 from repro.audit.provenance import EntryResult, run_provenance
 from repro.audit.purity import scan_purity
 from repro.audit.rules import render_fp_catalog
@@ -43,6 +44,7 @@ def run_audit(paths: Sequence[str],
     findings.extend(scan_purity(index))
     findings.extend(scan_lockset(index))
     findings.extend(scan_ftguard(index))
+    findings.extend(scan_progressguard(index))
 
     report = Report(diagnostics=findings, files_checked=len(index.modules))
     snapshot = build_snapshot(manifest, results, report)
@@ -95,7 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.audit",
         description="Static fast-path self-audit of the repro runtime "
-                    "(rules FP101-FP304; suppress per line with "
+                    "(rules FP101-FP305; suppress per line with "
                     "'# audit: allow[FPxxx]').")
     parser.add_argument(
         "paths", nargs="*", metavar="PATH",

@@ -81,6 +81,7 @@ ENTRY_POINTS: tuple[tuple[str, str], ...] = (
     ("Window", "put_all_opts"),
     ("PersistentSend", "_launch"),
     ("PersistentRecv", "_launch"),
+    ("RankProgress", "run_once"),
 )
 
 

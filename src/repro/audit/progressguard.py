@@ -1,0 +1,112 @@
+"""FP305 — progress-hook guard discipline.
+
+The background progress engine (:mod:`repro.progress`) hooks into the
+measured fast paths through exactly one attribute: ``proc.progress``
+(``world.progress`` at build time), which is ``None`` on every build
+without ``BuildConfig.progress``.  The calibration guarantee —
+``progress=None`` builds charge byte-identical Table 1 / Figure 2
+totals — holds only if every hook site outside ``repro/progress/``
+*tests* that attribute before touching it.
+
+The rule (same shape as FP304 for ``proc.faults``): any function
+outside ``repro/progress/`` that loads a ``.progress`` attribute must
+also contain an ``is None`` / ``is not None`` test of a ``.progress``
+expression (or of a local name bound from one).  Stores (the bindings
+in ``Proc.__init__`` / ``World.__init__``) are exempt, as is the
+guard comparison itself.  Suppress a deliberate unguarded use with
+``# audit: allow[FP305]``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis_common import Finding, suppressed
+from repro.audit.callgraph import CodeIndex, FunctionInfo
+from repro.audit.rules import PRAGMA_MARKER
+
+#: The hook attribute every progress-engine interception flows through.
+_HOOK_ATTR = "progress"
+
+
+def _progress_aliases(index: CodeIndex, func: FunctionInfo) -> set[str]:
+    """Local names assigned from a ``.progress`` load in *func*."""
+    aliases: set[str] = set()
+    for node in index.walk_body(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and isinstance(node.value, ast.Attribute) \
+                and node.value.attr == _HOOK_ATTR:
+            aliases.add(node.targets[0].id)
+    return aliases
+
+
+def _is_progress_expr(expr: ast.expr, aliases: set[str]) -> bool:
+    return ((isinstance(expr, ast.Attribute) and expr.attr == _HOOK_ATTR)
+            or (isinstance(expr, ast.Name) and expr.id in aliases))
+
+
+def _has_none_guard(index: CodeIndex, func: FunctionInfo,
+                    aliases: set[str]) -> bool:
+    """Does *func* compare a ``.progress`` expression against None?"""
+    for node in index.walk_body(func):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not all(isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops):
+            continue
+        sides = [node.left, *node.comparators]
+        if any(_is_progress_expr(s, aliases) for s in sides) and any(
+                isinstance(s, ast.Constant) and s.value is None
+                for s in sides):
+            return True
+    return False
+
+
+def _guard_compare_lines(index: CodeIndex, func: FunctionInfo,
+                         aliases: set[str]) -> set[int]:
+    """Lines whose only ``.progress`` load is the guard test itself."""
+    lines: set[int] = set()
+    for node in index.walk_body(func):
+        if isinstance(node, ast.Compare):
+            for side in (node.left, *node.comparators):
+                if _is_progress_expr(side, aliases):
+                    lines.add(side.lineno)
+    return lines
+
+
+def scan_progressguard(index: CodeIndex,
+                       path_filter: str = "repro/",
+                       exempt_prefix: str = "repro/progress/"
+                       ) -> list[Finding]:
+    """Run FP305 over every function in *index* outside
+    ``repro/progress/``."""
+    findings: list[Finding] = []
+    for func in index.functions.values():
+        rel = func.module.rel
+        if path_filter and not rel.startswith(path_filter):
+            continue
+        if exempt_prefix and rel.startswith(exempt_prefix):
+            continue
+        aliases = _progress_aliases(index, func)
+        loads = [node for node in index.walk_body(func)
+                 if isinstance(node, ast.Attribute)
+                 and node.attr == _HOOK_ATTR
+                 and isinstance(node.ctx, ast.Load)]
+        if not loads:
+            continue
+        if _has_none_guard(index, func, aliases):
+            continue
+        guard_lines = _guard_compare_lines(index, func, aliases)
+        for node in loads:
+            if node.lineno in guard_lines:
+                continue
+            if suppressed(func.module.lines, node.lineno, "FP305",
+                          PRAGMA_MARKER):
+                continue
+            findings.append(Finding(
+                "FP305", str(func.module.path), node.lineno,
+                f"{func.short} uses .progress without an is-None guard: "
+                "progress hooks outside repro/progress/ must test "
+                "'progress is None' so plain builds stay byte-identical"))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
+    return findings

@@ -15,6 +15,10 @@ Four analysis families over the repro's own source:
 * ``FP304`` — fault-hook guard discipline: every ``.faults`` hook site
   outside ``repro/ft/`` tests the attribute against None, so builds
   without a ``fault_plan`` charge byte-identical calibrated totals.
+* ``FP305`` — progress-hook guard discipline: every ``.progress`` hook
+  site outside ``repro/progress/`` tests the attribute against None,
+  so builds without a progress engine charge byte-identical
+  calibrated totals.
 
 Suppress a finding on its line with ``# audit: allow[FPxxx]``.
 """
@@ -99,6 +103,14 @@ FP_RULES: dict[str, Rule] = {r.rule_id: r for r in (
          "guard the hook ('if proc.faults is not None: ...') so "
          "fault_plan=None builds never enter fault-tolerance code, or "
          "document the site with '# audit: allow[FP304]'"),
+    Rule("FP305", "unguarded progress hook: a function outside "
+         "repro/progress/ loads a .progress attribute without an "
+         "'is None' / 'is not None' test of it (or of a local bound "
+         "from it)",
+         "proc.progress.park_completion(...)   # with no guard",
+         "guard the hook ('if proc.progress is not None: ...') so "
+         "progress=None builds never enter engine code, or document "
+         "the site with '# audit: allow[FP305]'"),
 )}
 
 

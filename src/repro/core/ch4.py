@@ -230,6 +230,15 @@ class CH4Device:
             comm.note_noreq_issue(complete)
             return None
         if not op.sync:
+            # Rendezvous completion (CTS arrival) is background-capable:
+            # with a progress engine the precomputed completion parks on
+            # the VCI's lane and the engine thread retires it — same
+            # virtual time, same charges, zero user polls.  Eager and
+            # progress=None builds complete inline as always.
+            if rendezvous and proc.progress is not None:
+                proc.progress.park_completion(vci, transport, request,
+                                              complete)
+                return request
             request.complete(complete)
         return request
 

@@ -123,6 +123,21 @@ class BuildConfig:
         numbers (every hook guards on ``faults is None`` — audit rule
         FP304).  ``FaultPlan()`` (all rates zero) enables the protocol
         and the ``MPIX_Comm_*`` recovery APIs on a lossless wire.
+    progress:
+        Background progress engine (:mod:`repro.progress`).
+        ``"thread"`` runs one daemon progress thread per rank;
+        ``"per-vci"`` runs one per VCI (lane *i* serviced by thread
+        *i*, rank-level continuations and retransmit timers by thread
+        0).  The engine drains parked netmod injection lanes, fires
+        ``ft`` retransmit timers off the virtual clock, and runs
+        request continuations (``Request.on_complete``) so rendezvous
+        and nonblocking collectives advance with *zero* user polls —
+        the "MPI Progress For All" discipline.  Requires
+        ``thread_safety=True``.  The default ``None`` builds no engine
+        and charges byte-identically to the calibrated Figure 2 /
+        Table 1 numbers (every hook guards on ``progress is None`` —
+        audit rule FP305); engine work is charged to
+        ``Category.PROGRESS``, off the application's critical path.
     """
 
     device: Device = Device.CH4
@@ -140,6 +155,7 @@ class BuildConfig:
     num_vcis: int = 1
     vci_policy: str = "hash"
     fault_plan: FaultPlan | None = None
+    progress: str | None = None
 
     @property
     def ipo(self) -> bool:

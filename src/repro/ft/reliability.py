@@ -18,12 +18,14 @@ including the receiver's dedup/reorder window work — lands on the
 uses.  Retransmission timeouts advance only the message's virtual
 arrival time, never wall-clock time.
 
-Locking: sender-side state (sequence counters, the reorder stash,
-statistics) is touched only by the owning rank's thread and needs no
-lock; receiver-side window state is guarded by the receiving rank's
-``_mu``.  A sender never holds its own ``_mu`` while calling into a
-peer, so the only cross-rank chain is ``_mu(dest) -> engine(dest)``,
-which is acyclic.
+Locking: sender-side state (sequence counters, statistics) is touched
+only by the owning rank's thread and needs no lock — except the
+reorder stash, which the background progress engine's timer scan also
+reads, so stash inserts/pops are guarded by ``_tx_mu`` (never held
+across a push); receiver-side window state is guarded by the
+receiving rank's ``_mu``.  A sender never holds its own ``_mu`` (or
+``_tx_mu``) while calling into a peer, so the only cross-rank chain
+is ``_mu(dest) -> engine(dest)``, which is acyclic.
 """
 
 from __future__ import annotations
@@ -165,15 +167,24 @@ class RankFaults:
         self.plan = plan
         #: Guards receiver-side window state and the pending-recv list.
         self._mu = threading.Lock()
-        # Sender-side (owning thread only; unguarded by design).
+        # Sender-side (owning thread only; unguarded by design), except
+        # the reorder stash below.
         self._next_seq: dict[int, int] = {}
         self._rma_seq: dict[int, int] = {}
-        #: The wire's single-slot reorder stash per destination: a
-        #: packet "overtaken" by the next one.  Flushed by the next
+        #: Guards the reorder stash only — shared with the background
+        #: progress engine's timer scan; never held across a push.
+        self._tx_mu = threading.Lock()
+        #: The wire's single-slot reorder stash per destination:
+        #: ``dest -> (seq, msg, retransmit_deadline)``, a packet
+        #: "overtaken" by the next one, stamped with the virtual time
+        #: at which its retransmit timer expires.  Flushed by the next
         #: send to that peer, by posting any receive (the rank is
-        #: about to block) and at rank exit (:meth:`drain`), so a
-        #: quiescent sender cannot strand a packet forever.
-        self._held: dict[int, tuple[int, "Message"]] = {}
+        #: about to block), at rank exit (:meth:`drain`), and — under
+        #: a progress build — by the engine's virtual-clock timer scan
+        #: (:meth:`drain` with ``now``), so a quiescent sender cannot
+        #: strand a packet forever *even if it never calls into MPI
+        #: again*.
+        self._held: dict[int, tuple[int, "Message", float]] = {}
         self.n_sends = 0
         self._killed = False
         # Receiver-side (under _mu).
@@ -239,7 +250,8 @@ class RankFaults:
 
     def _flush(self, dest: int) -> None:
         """Release the reorder stash for *dest*, if any."""
-        held = self._held.pop(dest, None)
+        with self._tx_mu:
+            held = self._held.pop(dest, None)
         if held is not None:
             self._push(dest, held[0], held[1])
 
@@ -269,9 +281,24 @@ class RankFaults:
             delay += self.plan.delay_s
         if delay:
             msg.arrive_s += delay
-        if fate.reorder and dest_world_rank not in self._held:
-            self._held[dest_world_rank] = (seq, msg)
-            return
+        if fate.reorder:
+            # Stash with a virtual-clock retransmit deadline: if no
+            # later traffic flushes it, the timer (progress engine's
+            # scan, or the legacy quiescence flush) will.
+            stashed = False
+            with self._tx_mu:
+                if dest_world_rank not in self._held:
+                    self._held[dest_world_rank] = (
+                        seq, msg,
+                        proc.vclock.now + self.plan.backoff_s(1))
+                    stashed = True
+            if stashed:
+                # Arm the engine's deadline tick (outside _tx_mu: the
+                # engine takes its own cv before the stash lock).
+                progress = proc.progress
+                if progress is not None:
+                    progress.kick()
+                return
         self._push(dest_world_rank, seq, msg)
         if fate.duplicate:
             self._push(dest_world_rank, seq, msg)
@@ -414,10 +441,42 @@ class RankFaults:
             dispatch_comm_error(comm, exc)
             raise exc
 
-    def drain(self) -> None:
-        """Flush every stashed packet (rank exit / quiescence point)."""
-        for dest in list(self._held):
-            self._flush(dest)
+    def drain(self, now: Optional[float] = None) -> int:
+        """Fire retransmit timers; returns how many packets released.
+
+        Without *now* — the rank-exit / quiescence flush — every
+        stashed packet is released unconditionally and nothing extra
+        is charged (the original attempts already paid their wire
+        costs).  With *now* (the progress engine's virtual-clock timer
+        scan) only packets whose retransmit deadline has expired are
+        released, and each release is a real timeout-driven
+        retransmission: one ``retransmit`` RELIABILITY charge and a
+        ``n_retransmits`` bump.  Timers therefore fire off the virtual
+        clock, not off how often the application happens to call into
+        MPI.
+        """
+        r = COSTS.reliability
+        with self._tx_mu:
+            ready = [dest for dest, held in self._held.items()
+                     if now is None or held[2] <= now]
+        released = 0
+        for dest in ready:
+            with self._tx_mu:
+                held = self._held.pop(dest, None)
+            if held is None:
+                continue
+            if now is not None:
+                self.n_retransmits += 1
+                self.proc.charge(Category.RELIABILITY, r.retransmit)
+            self._push(dest, held[0], held[1])
+            released += 1
+        return released
+
+    def stashed_count(self) -> int:
+        """Packets currently in the reorder stash (the progress
+        engine's timer scan polls this to decide whether to tick)."""
+        with self._tx_mu:
+            return len(self._held)
 
     def stats(self) -> dict:
         """Protocol counters for the benchmark and the tests."""

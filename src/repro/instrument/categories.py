@@ -49,6 +49,14 @@ class Category(enum.Enum):
     #: Figure 2 calibration build, whose fabrics are modeled lossless.
     RELIABILITY = "reliability"
 
+    #: Background progress-engine work (wakeups, parked-lane drains,
+    #: continuation dispatch, retransmit-timer scans) — charged only by
+    #: builds with ``progress`` enabled, and charged *off* the
+    #: application's critical path (the engine thread charges under the
+    #: rank's CS lock); zero in every Table 1 / Figure 2 calibration
+    #: build.
+    PROGRESS = "progress"
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 
@@ -129,6 +137,10 @@ def category_metadata() -> Mapping[Category, str]:
         Category.RELIABILITY:
             "transport reliability protocol (seq/ack/retransmit; charged "
             "only under a fault_plan build — lossless builds charge zero)",
+        Category.PROGRESS:
+            "background progress engine (lane drains, continuations, "
+            "timer scans; charged only when BuildConfig.progress is set "
+            "— progress=None builds charge zero)",
     })
 
 

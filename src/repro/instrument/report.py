@@ -20,6 +20,7 @@ CATEGORY_LABELS: Mapping[Category, str] = {
     Category.REDUNDANT_CHECKS: "Redundant runtime checks",
     Category.MANDATORY: "MPI mandatory overheads",
     Category.RELIABILITY: "Reliability protocol",
+    Category.PROGRESS: "Background progress engine",
 }
 
 #: Human-readable labels for mandatory subsystems (Section 3 order).

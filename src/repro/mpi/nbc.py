@@ -9,6 +9,17 @@ returns whether the schedule finished; ``wait`` blocks step by step.
 This is the classic *weak progress* model (progress happens inside MPI
 calls), which MPI-3.1 permits.
 
+With a background progress engine (``BuildConfig(progress=...)``),
+the schedule instead chains itself forward through
+:meth:`~repro.runtime.request.Request.on_complete` continuations:
+whenever an advance stops at an incomplete receive, the receive's
+completion re-runs the advance on the progress thread, so the whole
+collective completes with *zero* user polls between post and wait —
+the strong-progress discipline of "MPI Progress For All".  Advancing
+is then serialized by a per-schedule lock nested inside the rank's
+CS lock (the engine dispatches continuations holding the CS lock, so
+that order is global).
+
 Concurrent nonblocking collectives on one communicator are isolated by
 a per-communicator sequence number folded into the message tags —
 correct because the standard requires all ranks to issue their
@@ -18,6 +29,7 @@ nonblocking collectives in the same order.
 from __future__ import annotations
 
 import pickle
+import threading
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.mpi import reduceops
@@ -79,7 +91,7 @@ class ComputeStep(Step):
 class NBCRequest(Request):
     """The request driving one nonblocking collective's schedule."""
 
-    __slots__ = ("comm", "steps", "_pc", "state")
+    __slots__ = ("comm", "steps", "_pc", "state", "_sched_mu", "_bg_req")
 
     def __init__(self, comm: "Communicator", steps: list[Step],
                  state: Optional[dict] = None):
@@ -93,6 +105,13 @@ class NBCRequest(Request):
         self.steps = steps
         self.state = state if state is not None else {}
         self._pc = 0
+        # Serializes schedule advancement between the application and
+        # the progress engine's continuations (reentrant: a blocking
+        # advance may recurse through wait paths).
+        self._sched_mu = threading.RLock()
+        # The receive currently armed with a background continuation —
+        # identity-compared so each stall arms exactly once.
+        self._bg_req: Optional[Request] = None
         # Kick the schedule as far as it goes without blocking, so
         # receives are pre-posted and early sends overlap user compute.
         self._advance(blocking=False)
@@ -101,7 +120,23 @@ class NBCRequest(Request):
 
     def _advance(self, blocking: bool) -> bool:
         """Run steps until done or until a receive would block
-        (non-blocking mode).  Returns completion."""
+        (non-blocking mode).  Returns completion.
+
+        With a progress engine the advance takes the rank's CS lock
+        *then* the schedule lock — the same order the engine's
+        continuation dispatch establishes (it runs continuations while
+        holding the CS lock), so application ``test``/``wait`` calls
+        and background continuations never deadlock.
+        """
+        proc = self.comm.proc
+        if proc.progress is not None:
+            with proc.cs_lock:
+                with self._sched_mu:
+                    return self._advance_locked(blocking)
+        return self._advance_locked(blocking)
+
+    def _advance_locked(self, blocking: bool) -> bool:
+        """The actual schedule walk (see :meth:`_advance` for locking)."""
         while self._pc < len(self.steps):
             step = self.steps[self._pc]
             if isinstance(step, SendStep):
@@ -120,15 +155,44 @@ class NBCRequest(Request):
                     step.consume(self.state,
                                  step.request.payload or b"")
                     # The inner handle never escapes the schedule —
-                    # recycle it.
+                    # recycle it.  Forget any armed-continuation match
+                    # first: the pool may hand the same object to the
+                    # next step, which must arm afresh.
+                    if step.request is self._bg_req:
+                        self._bg_req = None
                     self.comm.proc.request_pool.release(step.request)
                     step.request = None
                     self._pc += 1
                 else:
+                    self._arm_background(step)
                     return False
         if not self.is_complete():
             self.complete(self.comm.proc.vclock.now)
         return True
+
+    def _arm_background(self, step: RecvStep) -> None:
+        """Chain the stalled receive to a background re-advance.
+
+        With a progress engine, the incomplete receive's completion
+        posts a continuation that re-runs :meth:`_advance` on the
+        engine thread; armed at most once per stalled receive.
+        Without one this is a no-op (``wait``/``test`` keep driving
+        the schedule, the weak-progress model).
+        """
+        progress = self.comm.proc.progress
+        if progress is None or step.request is self._bg_req:
+            return
+        self._bg_req = step.request
+        step.request.on_complete(self._bg_advance)
+
+    def _bg_advance(self, _req: Request) -> None:
+        """Continuation body: advance the schedule on the engine thread;
+        a failure fails this collective's request (surfaced at wait)."""
+        try:
+            self._advance(blocking=False)
+        except BaseException as exc:
+            if not self.is_complete():
+                self.fail(self.comm.proc.vclock.now, exc)
 
     # -- Request interface ---------------------------------------------------
 
@@ -141,9 +205,16 @@ class NBCRequest(Request):
         return False
 
     def wait(self) -> "NBCRequest":
-        """Drive the schedule to completion."""
+        """Drive the schedule to completion.
+
+        With a progress engine the schedule advances itself through
+        continuations, so this just blocks event-driven on the final
+        completion — zero polls; otherwise the wait drives the
+        schedule step by step (weak progress).
+        """
         if not self.is_complete():
-            self._advance(blocking=True)
+            if self.comm.proc.progress is None:
+                self._advance(blocking=True)
         super().wait()
         return self
 

@@ -60,13 +60,12 @@ class RWLock:
     def acquire(self, lock_type: str, abort_event=None) -> None:
         """Acquire in *lock_type* mode, interruptible by the abort event.
 
-        With a :class:`~repro.runtime.completion.NotifyingEvent` abort
-        flag the waiter subscribes a wake listener and blocks without a
-        timeout — a world abort interrupts it immediately.  A plain
-        ``threading.Event`` falls back to slice polling.
+        The waiter subscribes a wake listener and blocks without a
+        timeout — a world abort interrupts it immediately.  (Plain
+        ``threading.Event`` abort flags are bridged by the
+        foreign-event watcher; no slice polling remains.)
         """
-        from repro.runtime.completion import (_ABORT_POLL_S,
-                                              add_abort_listener,
+        from repro.runtime.completion import (add_abort_listener,
                                               remove_abort_listener)
 
         def wake() -> None:
@@ -88,10 +87,7 @@ class RWLock:
                             and self._readers == 0):
                         self._writer = True
                         return
-                    if listening or abort_event is None:
-                        self._cond.wait()
-                    else:
-                        self._cond.wait(timeout=_ABORT_POLL_S)
+                    self._cond.wait()
         finally:
             if listening:
                 remove_abort_listener(abort_event, wake)

@@ -69,6 +69,18 @@ class Netmod:
         #: Counters for tests/ablations.
         self.n_native = 0
         self.n_am_fallback = 0
+        #: Parked injection-lane completions retired by the background
+        #: progress engine rather than inline (observational).
+        self.n_background_drains = 0
+
+    def note_background_drain(self) -> None:
+        """Record one parked completion drained by the progress engine.
+
+        Called by the engine thread under the owning rank's CS lock;
+        observational only — charged instruction counts and virtual
+        times were fixed at issue time.
+        """
+        self.n_background_drains += 1
 
     # -- capability decisions (flow-through: full op knowledge) -----------
 

@@ -17,6 +17,11 @@ This module replaces the polling with notification primitives:
   ``waitany``/``waitsome`` subscribe every request and then block once;
   whichever request completes first (or is cancelled) pushes its index
   and wakes the waiter.  No rescanning, no head-of-line blocking.
+* :class:`_ForeignEventWatcher` — a listener bridge for waiters handed
+  a foreign plain ``threading.Event`` as their abort flag.  These used
+  to fall back to interval polling (and could oversleep an abort by up
+  to a slice); the bridge makes abort wake them at once, so no wait in
+  the runtime carries a timeout anymore.
 
 None of this charges instructions: completion machinery here models
 the *real-Python execution path* only; the paper-calibrated Section 3.5
@@ -29,10 +34,6 @@ from __future__ import annotations
 import threading
 from collections import deque
 from typing import Callable, Optional
-
-#: Fallback poll interval used only when a waiter is given a foreign
-#: plain ``threading.Event`` as its abort flag (no listener support).
-_ABORT_POLL_S = 0.05
 
 
 class NotifyingEvent(threading.Event):
@@ -78,25 +79,105 @@ class NotifyingEvent(threading.Event):
             callback()
 
 
-def add_abort_listener(event, callback: Callable[[], None]) -> bool:
-    """Subscribe *callback* to *event* if it supports listeners.
+class _ForeignEventWatcher:
+    """Listener bridge for a foreign plain ``threading.Event``.
 
-    Returns True when the registration took (the caller may then block
-    without a timeout); False for a plain ``threading.Event``, where
-    the caller must fall back to slice polling.
+    A waiter handed an abort flag that is *not* a
+    :class:`NotifyingEvent` used to fall back to 50 ms slice polling —
+    and could therefore oversleep an abort by up to a full slice.  The
+    bridge restores immediate wakeups: one daemon thread blocks on the
+    foreign event's own ``wait()`` and fires every registered listener
+    the instant it is set.  Listeners registered after the event fired
+    run immediately on the registering thread, matching
+    :meth:`NotifyingEvent.add_listener` semantics exactly.
+
+    One watcher (and one watcher thread) exists per distinct foreign
+    event; it retires after firing.  A foreign event that is cleared
+    and aborted again simply gets a fresh bridge on the next
+    registration.
+    """
+
+    __slots__ = ("event", "_listeners", "_mu", "_thread")
+
+    def __init__(self, event):
+        self.event = event
+        self._listeners: list[Callable[[], None]] = []
+        self._mu = threading.Lock()
+        self._thread = threading.Thread(
+            target=self._watch, name="abort-event-watcher", daemon=True)
+        self._thread.start()
+
+    def _watch(self) -> None:
+        """Thread body: sleep on the foreign event, then fire-and-drop
+        every listener and retire the registry entry."""
+        self.event.wait()
+        with _foreign_mu:
+            if _foreign_watchers.get(id(self.event)) is self:
+                del _foreign_watchers[id(self.event)]
+        with self._mu:
+            listeners, self._listeners = self._listeners, []
+        for callback in listeners:
+            callback()
+
+    def add(self, callback: Callable[[], None]) -> None:
+        """Register *callback*; fires immediately if the event is set."""
+        fire = False
+        with self._mu:
+            if self.event.is_set():
+                fire = True
+            else:
+                self._listeners.append(callback)
+        if fire:
+            callback()
+
+    def remove(self, callback: Callable[[], None]) -> None:
+        """Unregister one occurrence of *callback* (no-op if absent)."""
+        with self._mu:
+            try:
+                self._listeners.remove(callback)
+            except ValueError:
+                pass
+
+
+#: Live listener bridges for foreign plain Events, keyed by ``id()``.
+#: Each watcher holds a strong reference to its event, so a key cannot
+#: be reused while its entry is alive; entries retire when they fire.
+_foreign_watchers: dict[int, _ForeignEventWatcher] = {}
+_foreign_mu = threading.Lock()
+
+
+def add_abort_listener(event, callback: Callable[[], None]) -> bool:
+    """Subscribe *callback* to *event*; always succeeds.
+
+    A :class:`NotifyingEvent` takes the listener natively.  A foreign
+    plain ``threading.Event`` is bridged through a
+    :class:`_ForeignEventWatcher`, so the caller may block without a
+    timeout in either case — abort wakes it immediately, never at a
+    poll boundary.  Returns True (kept for call-site symmetry).
     """
     add = getattr(event, "add_listener", None)
-    if add is None:
-        return False
-    add(callback)
+    if add is not None:
+        add(callback)
+        return True
+    with _foreign_mu:
+        watcher = _foreign_watchers.get(id(event))
+        if watcher is None or watcher.event is not event:
+            watcher = _ForeignEventWatcher(event)
+            _foreign_watchers[id(event)] = watcher
+    watcher.add(callback)
     return True
 
 
 def remove_abort_listener(event, callback: Callable[[], None]) -> None:
-    """Undo :func:`add_abort_listener` (safe if it returned False)."""
+    """Undo :func:`add_abort_listener` (safe to call redundantly)."""
     remove = getattr(event, "remove_listener", None)
     if remove is not None:
         remove(callback)
+        return
+    with _foreign_mu:
+        watcher = _foreign_watchers.get(id(event))
+    if watcher is not None and watcher.event is event:
+        watcher.remove(callback)
 
 
 class CompletionSegment:
@@ -197,10 +278,7 @@ class CompletionQueue:
                         from repro.runtime.world import WorldAborted
                         raise WorldAborted(
                             "world aborted while waiting for completion")
-                    if listening or abort is None:
-                        self._cond.wait()
-                    else:
-                        self._cond.wait(timeout=_ABORT_POLL_S)
+                    self._cond.wait()
                 return self._ready.popleft()
         finally:
             if listening:

@@ -39,7 +39,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.consts import ANY_SOURCE, ANY_TAG
-from repro.runtime.completion import (_ABORT_POLL_S, add_abort_listener,
+from repro.runtime.completion import (add_abort_listener,
                                       remove_abort_listener)
 from repro.runtime.message import Envelope, Message
 from repro.runtime.request import Request
@@ -128,8 +128,8 @@ class _MatchingEngineBase:
         Deposits notify the engine condition, and a world abort wakes
         the wait immediately through its listener hook — the seed's
         behaviour of noticing the abort only after a 50 ms slice
-        expired is gone (slice polling remains only as a fallback for
-        plain-Event abort flags).
+        expired is gone (plain-Event abort flags are bridged by the
+        foreign-event watcher, so no slice polling remains anywhere).
         """
         probe = PostedRecv(ctx=ctx, src=src, tag=tag, nomatch=nomatch,
                            request=None, on_match=lambda m: None)
@@ -144,10 +144,7 @@ class _MatchingEngineBase:
                     if abort_event is not None and abort_event.is_set():
                         from repro.runtime.world import WorldAborted
                         raise WorldAborted("world aborted in probe")
-                    if listening or abort_event is None:
-                        self._lock.wait()
-                    else:
-                        self._lock.wait(timeout=_ABORT_POLL_S)
+                    self._lock.wait()
         finally:
             if listening:
                 remove_abort_listener(abort_event, self._abort_wake)

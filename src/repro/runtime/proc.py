@@ -90,6 +90,13 @@ class Proc:
         #: Optional event timeline (list of TimelineEvent); enabled by
         #: :func:`repro.analysis.timeline.enable_timeline`.
         self.timeline = None
+        #: Per-rank background progress engine (None unless the world
+        #: was built with ``progress=...``); every hook site guards on
+        #: it (audit rule FP305).  Bound last — its daemon threads
+        #: start immediately and may touch any rank state above.
+        world_progress = getattr(world, "progress", None)
+        self.progress = (world_progress.rank_view(self)
+                         if world_progress is not None else None)
 
     def _build_device(self):
         if self.config.device is Device.CH4:
@@ -120,9 +127,20 @@ class Proc:
         yield
 
     def charge_compute(self, seconds: float) -> None:
-        """Advance virtual time by *seconds* of application compute."""
+        """Advance virtual time by *seconds* of application compute.
+
+        Compute is charged outside any MPI entry, so when a background
+        progress engine shares this rank's clock the update serializes
+        on the CS lock (the engine charges under the same lock); a
+        ``progress=None`` build keeps the plain unlocked path.
+        """
         if seconds < 0:
             raise ValueError(f"negative compute time: {seconds}")
+        if self.progress is not None:
+            with self.cs_lock:
+                self.vclock.advance_seconds(seconds)
+                self.compute_seconds += seconds
+            return
         self.vclock.advance_seconds(seconds)
         self.compute_seconds += seconds
 

@@ -21,15 +21,12 @@ from __future__ import annotations
 
 import enum
 import threading
+from collections import deque
 from typing import Callable, Optional, Sequence
 
 from repro.errors import MPIErrRequest
 from repro.runtime.completion import (CompletionQueue, add_abort_listener,
                                       remove_abort_listener)
-
-#: Fallback poll interval, used only when waiting against a foreign
-#: plain ``threading.Event`` abort flag (no listener support).
-_WAIT_SLICE_S = 0.05
 
 
 class RequestKind(enum.Enum):
@@ -50,9 +47,21 @@ class Request:
     the virtual time at which the operation finished and, for receives,
     the message's source/tag/byte count — the material MPI_STATUS is
     made of.
+
+    Completion-callback ordering guarantees (``subscribe`` /
+    ``on_complete``): every callback runs **exactly once**, even when
+    registration races a concurrent ``complete``/``cancel``/``fail``.
+    Callbacks run in registration (FIFO) order on the thread that
+    performed the state transition; a callback registered after the
+    transition's flush has drained runs immediately on the registering
+    thread.  ``on_complete`` additionally marshals the callback onto
+    the rank's background progress thread when a progress engine is
+    enabled — ordering (FIFO per request, then FIFO in the engine's
+    continuation queue) and exactly-once still hold.
     """
 
     __slots__ = ("kind", "_done", "_abort", "_lock", "_waiters",
+                 "_flushing", "_epoch",
                  "complete_s", "source", "tag", "count_bytes", "error",
                  "cancelled", "_proc", "payload")
 
@@ -61,7 +70,14 @@ class Request:
         self._done = threading.Event()
         self._abort = abort_event
         self._lock = threading.Lock()
-        self._waiters: list[Callable[["Request"], None]] = []
+        self._waiters: deque[Callable[["Request"], None]] = deque()
+        #: True while the transitioning thread is draining ``_waiters``
+        #: — late subscribers enqueue instead of firing themselves, so
+        #: no callback can run twice or be skipped.
+        self._flushing = False
+        #: Bumped by ``_reset`` (pool recycle); a flush loop from the
+        #: handle's previous life observes the bump and stops.
+        self._epoch = 0
         self._proc = proc
         self.complete_s: float = 0.0
         self.source: int = -1
@@ -96,9 +112,9 @@ class Request:
             self.count_bytes = count_bytes
             self.error = error
             self._done.set()
-            waiters, self._waiters = self._waiters, []
-        for callback in waiters:
-            callback(self)
+            self._flushing = True
+            epoch = self._epoch
+        self._flush_waiters(epoch)
 
     def cancel(self) -> None:
         """MPI_CANCEL (supported for unmatched receives only).
@@ -112,12 +128,12 @@ class Request:
                 return
             self.cancelled = True
             self._done.set()
-            waiters, self._waiters = self._waiters, []
+            self._flushing = True
+            epoch = self._epoch
         san = getattr(self._proc, "sanitizer", None)
         if san is not None:
             san.note_cancel(self)
-        for callback in waiters:
-            callback(self)
+        self._flush_waiters(epoch)
 
     def fail(self, complete_s: float, error: BaseException) -> None:
         """Complete exceptionally — the peer-failure path.
@@ -135,21 +151,74 @@ class Request:
             self.error = error
             self.complete_s = complete_s
             self._done.set()
-            waiters, self._waiters = self._waiters, []
-        for callback in waiters:
+            self._flushing = True
+            epoch = self._epoch
+        self._flush_waiters(epoch)
+
+    def _flush_waiters(self, epoch: int) -> None:
+        """Drain ``_waiters`` one callback at a time, re-taking the
+        state lock between pops.
+
+        The loop ends only when the queue is observed empty under the
+        lock (clearing ``_flushing`` in the same critical section) or
+        when ``_reset`` recycled the handle (epoch bump) — so a
+        callback appended *during* the drain is popped by this loop
+        rather than fired a second time by the subscriber, and a stale
+        flush from a recycled handle's previous life never touches the
+        new life's waiters.  Callbacks themselves run outside the lock.
+        """
+        while True:
+            with self._lock:
+                if self._epoch != epoch:
+                    return
+                if not self._waiters:
+                    self._flushing = False
+                    return
+                callback = self._waiters.popleft()
             callback(self)
 
     def subscribe(self, callback: Callable[["Request"], None]) -> None:
         """Register *callback(request)* to run exactly once when this
-        request completes or is cancelled — immediately (in the calling
-        thread) if it already has, else in the completing thread.
-        This is the notification hook ``waitany``/``waitsome`` build
-        their completion queues on."""
+        request completes, fails, or is cancelled.
+
+        Ordering: callbacks fire in registration (FIFO) order on the
+        thread that performed the transition.  A registration that
+        lands while that thread is still draining earlier callbacks is
+        appended to the drain (exactly-once — the subscriber never
+        fires it itself); one that lands after the drain finished runs
+        immediately on the registering thread.  This is the
+        notification hook ``waitany``/``waitsome`` and the progress
+        engine's continuations build on."""
         with self._lock:
-            if not self._done.is_set():
+            if not self._done.is_set() or self._flushing:
                 self._waiters.append(callback)
                 return
         callback(self)
+
+    def on_complete(self, fn: Callable[["Request"], None]) -> None:
+        """MPIX-continuation-style completion chaining.
+
+        Attaches *fn(request)* with :meth:`subscribe`'s exactly-once
+        and FIFO guarantees.  When the owning rank runs a background
+        progress engine, *fn* is marshalled onto the rank's progress
+        thread (so continuation work — e.g. advancing an NBC schedule —
+        happens off the application's critical path and is charged to
+        the PROGRESS category); otherwise it runs per ``subscribe``
+        semantics, on the completing thread.
+        """
+        proc = self._proc
+        progress = None
+        if proc is not None:
+            progress = proc.progress
+        if progress is not None:
+            self.subscribe(
+                lambda req, fn=fn: progress.post_continuation(fn, req))
+            return
+        self.subscribe(fn)
+
+    #: MPIX spelling from "Designing and Prototyping Extensions to MPI
+    #: in MPICH" — the same chaining under its proposal name.
+    attach_continuation = on_complete
 
     # -- waiter-side API ---------------------------------------------------
 
@@ -190,16 +259,11 @@ class Request:
     def _wait_interruptible(self, abort) -> None:
         waker = threading.Event()
         self.subscribe(lambda _req, set_=waker.set: set_())
-        if add_abort_listener(abort, waker.set):
-            try:
-                waker.wait()
-            finally:
-                remove_abort_listener(abort, waker.set)
-        else:
-            # Foreign plain Event: slice-poll the abort flag.
-            while not waker.wait(_WAIT_SLICE_S):
-                if abort.is_set():
-                    break
+        add_abort_listener(abort, waker.set)
+        try:
+            waker.wait()
+        finally:
+            remove_abort_listener(abort, waker.set)
         if not self._done.is_set() and abort.is_set():
             from repro.runtime.world import WorldAborted
             raise WorldAborted("world aborted while waiting on request")
@@ -228,6 +292,8 @@ class Request:
             self.kind = kind
             self._done.clear()
             self._waiters.clear()
+            self._flushing = False
+            self._epoch += 1   # kills any stale flush loop
             self.complete_s = 0.0
             self.source = -1
             self.tag = -1

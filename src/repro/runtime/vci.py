@@ -80,7 +80,7 @@ import itertools
 import threading
 from typing import Optional
 
-from repro.runtime.completion import (_ABORT_POLL_S, CompletionSegment,
+from repro.runtime.completion import (CompletionSegment,
                                       add_abort_listener,
                                       remove_abort_listener)
 from repro.runtime.matching import (BucketMatchingEngine, PostedRecv,
@@ -569,10 +569,7 @@ class VCIShardedEngine(_MatchingEngineBase):
                     raise WorldAborted("world aborted in probe")
                 with self._wild_lock:
                     if self._ux_epoch == epoch:
-                        if listening or abort_event is None:
-                            self._wild_lock.wait()
-                        else:
-                            self._wild_lock.wait(timeout=_ABORT_POLL_S)
+                        self._wild_lock.wait()
         finally:
             if listening:
                 remove_abort_listener(abort_event, self._abort_wake)

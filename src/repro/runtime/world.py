@@ -84,6 +84,17 @@ class World:
             from repro.ft.reliability import WorldFaults
             self.ft = WorldFaults(self, self.config.fault_plan)
 
+        #: Background progress engine (``BuildConfig(progress=...)``
+        #: only) — created before the procs so each rank binds its
+        #: per-rank engine (and starts its daemon threads).  None in
+        #: default builds: every hook site guards on it (audit rule
+        #: FP305), so progress-less runs execute no engine code and
+        #: charge no PROGRESS instructions.
+        self.progress = None
+        if self.config.progress is not None:
+            from repro.progress.engine import WorldProgress
+            self.progress = WorldProgress(self, self.config.progress)
+
         self._procs = [None] * nranks
         for r in range(nranks):
             from repro.runtime.proc import Proc

@@ -9,6 +9,7 @@ from repro.audit.lockset import scan_lockset
 from repro.audit.provenance import (_observable_work, _subtree_charges,
                                     _tight_callees)
 from repro.audit.ftguard import scan_ftguard
+from repro.audit.progressguard import scan_progressguard
 from repro.audit.purity import scan_purity
 from repro.audit.rules import FP_RULES, render_fp_catalog
 
@@ -540,6 +541,61 @@ class TestFTGuardFixtures:
         assert scan_ftguard(index) == []
 
 
+class TestProgressGuardFixtures:
+    """FP305: progress hooks outside repro/progress/ must be guarded."""
+
+    @staticmethod
+    def _progressguard_ids(tmp_path, source: str) -> list[str]:
+        index = _index(tmp_path, source)
+        return [f.rule_id for f in scan_progressguard(index, path_filter="")]
+
+    def test_unguarded_hook_flagged(self, tmp_path):
+        src = """\
+            def hook(proc, vci, transport, request, when):
+                proc.progress.park_completion(vci, transport, request, when)
+        """
+        assert self._progressguard_ids(tmp_path, src) == ["FP305"]
+
+    def test_guarded_hook_clean(self, tmp_path):
+        src = """\
+            def hook(proc, vci, transport, request, when):
+                if proc.progress is not None:
+                    proc.progress.park_completion(
+                        vci, transport, request, when)
+        """
+        assert self._progressguard_ids(tmp_path, src) == []
+
+    def test_alias_early_exit_clean(self, tmp_path):
+        src = """\
+            def hook(proc, fn, request):
+                progress = proc.progress
+                if progress is None:
+                    return fn(request)
+                progress.post_continuation(fn, request)
+        """
+        assert self._progressguard_ids(tmp_path, src) == []
+
+    def test_store_only_clean(self, tmp_path):
+        src = """\
+            def bind(proc, view):
+                proc.progress = view
+        """
+        assert self._progressguard_ids(tmp_path, src) == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        src = """\
+            def hook(proc):
+                proc.progress.kick()  # audit: allow[FP305]
+        """
+        assert self._progressguard_ids(tmp_path, src) == []
+
+    def test_repro_tree_has_no_unguarded_hooks(self):
+        import pathlib
+        root = pathlib.Path(__file__).resolve().parent.parent
+        index = CodeIndex.build([str(root / "src" / "repro")])
+        assert scan_progressguard(index) == []
+
+
 class TestRuleCatalog:
     """The FP rule table is complete and renderable."""
 
@@ -547,7 +603,7 @@ class TestRuleCatalog:
         ids = set(FP_RULES)
         assert {"FP101", "FP102", "FP103", "FP104"} <= ids
         assert {"FP201", "FP202", "FP203", "FP204", "FP205"} <= ids
-        assert {"FP301", "FP302", "FP303", "FP304"} <= ids
+        assert {"FP301", "FP302", "FP303", "FP304", "FP305"} <= ids
 
     def test_catalog_renders_every_rule(self):
         text = render_fp_catalog()

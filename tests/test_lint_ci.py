@@ -102,7 +102,7 @@ class TestAuditCLI:
             timeout=120)
         assert proc.returncode == 0
         for rule_id in ("FP101", "FP104", "FP201", "FP205", "FP301",
-                        "FP302", "FP303", "FP304"):
+                        "FP302", "FP303", "FP304", "FP305"):
             assert rule_id in proc.stdout
 
     def test_json_snapshot_matches_committed(self, tmp_path):
@@ -216,6 +216,55 @@ class TestFaultCalibrationGuard:
                      if n}
             assert trace == expected, op
             assert rec.total == sum(expected.values()), op
+
+
+class TestProgressCalibrationGuard:
+    """Progress-engine neutrality gate: a ``progress=None`` build must
+    charge byte-for-byte what the committed Figure 2 / Table 1 numbers
+    say — the engine's hooks are None-guarded everywhere (FP305) and
+    may not move a single charged instruction when disabled."""
+
+    def test_progress_none_keeps_figure2_exact(self):
+        import dataclasses
+        from repro.core.config import named_builds
+        from repro.perf.msgrate import measure_instructions
+        for label, (isend, put) in \
+                TestVCICalibrationGuard.FIGURE2.items():
+            config = dataclasses.replace(named_builds()[label],
+                                         progress=None)
+            assert measure_instructions(config, "isend") == isend, label
+            assert measure_instructions(config, "put") == put, label
+
+    def test_progress_none_keeps_table1_trace(self):
+        import json
+        from repro.core.config import BuildConfig
+        from repro.perf.msgrate import measure_call_record
+        for op, committed in TestVCICalibrationGuard.TABLE1.items():
+            rec = measure_call_record(BuildConfig(progress=None), op)
+            trace = {cat.name: n for cat, n in
+                     sorted(rec.by_category.items(),
+                            key=lambda kv: kv[0].name) if n}
+            assert json.dumps(trace, sort_keys=True) \
+                == json.dumps(committed, sort_keys=True), op
+
+
+class TestProgressBenchSmoke:
+    """``benchmarks/bench_progress.py --quick`` as a CI smoke: runs,
+    shows the overlap collapse, and retires requests with zero polls."""
+
+    def test_quick_mode_overlaps_and_completes(self):
+        import json
+        proc = subprocess.run(
+            [sys.executable, "benchmarks/bench_progress.py", "--quick"],
+            cwd=ROOT, env=_env(), capture_output=True, text=True,
+            timeout=300)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        result = json.loads(proc.stdout)
+        for mode, row in result["overlap"]["modes"].items():
+            assert row["ratio"] >= 3.0, mode
+        for zp in result["zero_poll"]:
+            assert all(zp["complete_before_wait"]), zp["mode"]
+        assert (ROOT / "BENCH_progress.json").exists()
 
 
 class TestFaultBenchSmoke:
