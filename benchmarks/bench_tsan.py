@@ -1,0 +1,138 @@
+"""Race-detector overhead benchmark (emits ``BENCH_tsan.json``).
+
+Two claims, measured on the real runtime:
+
+* **Zero charged overhead** — the detector does all bookkeeping in
+  host Python outside the instruction ledger, so the Figure 2
+  isend/put charged counts are identical under ``tsan=False`` and
+  ``tsan=True``.  Asserted exactly (and guarded again in
+  ``tests/test_lint_ci.py`` against the committed Figure 2 numbers).
+* **Wall-clock overhead when enabled** — a 2-rank threaded flood
+  (3 injector threads per rank, the detector's worst case: every
+  lock event and request transition is instrumented) timed under
+  both configurations; the JSON reports messages/second, the
+  enabled/disabled ratio, and the detector's event counters
+  (lock events and annotated shared-state accesses observed), plus
+  the findings count — which must be zero.
+
+Run standalone (writes ``BENCH_tsan.json`` at the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_tsan.py [--quick]
+
+or through pytest (same JSON, plus assertions)::
+
+    pytest benchmarks/bench_tsan.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import BuildConfig
+from repro.perf.msgrate import measure_instructions
+from repro.runtime.world import World
+
+_ROOT = Path(__file__).resolve().parent.parent
+_OUT = _ROOT / "BENCH_tsan.json"
+_NTHREADS = 3
+_FLOOD_MSGS = 60
+
+
+def threaded_flood(tsan: bool, nmsgs: int = _FLOOD_MSGS) -> dict:
+    """A 2-rank, ``_NTHREADS``-thread symmetric flood; returns rate
+    and (when enabled) the detector's event counters."""
+    config = BuildConfig(thread_safety=True, num_vcis=4, tsan=tsan)
+    world = World(2, config)
+
+    def main(comm):
+        peer = 1 - comm.rank
+
+        def worker(tid):
+            sreqs = [comm.Isend(np.full(1, float(i)), dest=peer, tag=tid)
+                     for i in range(nmsgs)]
+            buf = np.zeros(1)
+            for _ in range(nmsgs):
+                comm.Recv(buf, source=peer, tag=tid)
+            for r in sreqs:
+                r.wait()
+
+        workers = [threading.Thread(target=worker, args=(t,))
+                   for t in range(_NTHREADS)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        comm.barrier()
+
+    t0 = time.perf_counter()
+    world.run(main)
+    wall_s = time.perf_counter() - t0
+    total_msgs = 2 * _NTHREADS * nmsgs
+    row = {"msgs_per_s": round(total_msgs / wall_s, 1),
+           "wall_s": round(wall_s, 3)}
+    if tsan:
+        world.tsan.assert_clean()
+        row["lock_events"] = world.tsan.n_lock_events
+        row["access_events"] = world.tsan.n_access_events
+        row["findings"] = len(world.tsan.findings)
+    return row
+
+
+def charged_counts(tsan: bool) -> dict[str, int]:
+    """Figure 2 charged instruction counts for the default build."""
+    config = BuildConfig(tsan=tsan)
+    return {op: measure_instructions(config, op)
+            for op in ("isend", "put")}
+
+
+def run_benchmark(quick: bool = False) -> dict:
+    """Collect every measurement; writes ``BENCH_tsan.json`` unless
+    *quick* (the CI smoke must not clobber the committed artifact)."""
+    nmsgs = 15 if quick else _FLOOD_MSGS
+    counts_off = charged_counts(tsan=False)
+    counts_on = charged_counts(tsan=True)
+    flood_off = threaded_flood(tsan=False, nmsgs=nmsgs)
+    flood_on = threaded_flood(tsan=True, nmsgs=nmsgs)
+    data = {
+        "benchmark": "tsan",
+        "charged_instructions": {"disabled": counts_off,
+                                 "enabled": counts_on,
+                                 "identical": counts_off == counts_on},
+        "threaded_flood": {
+            "nthreads": _NTHREADS, "num_vcis": 4,
+            "messages_per_thread": nmsgs,
+            "disabled": flood_off, "enabled": flood_on,
+            "enabled_over_disabled": round(
+                flood_on["msgs_per_s"] / flood_off["msgs_per_s"], 3),
+        },
+    }
+    if not quick:
+        _OUT.write_text(json.dumps(data, indent=2) + "\n")
+    return data
+
+
+def test_bench_tsan(print_artifact):
+    """Charged counts identical; flood clean; artifact written."""
+    data = run_benchmark()
+    assert data["charged_instructions"]["identical"]
+    enabled = data["threaded_flood"]["enabled"]
+    assert enabled["findings"] == 0
+    assert enabled["lock_events"] > 0
+    assert enabled["access_events"] > 0
+    print_artifact("Race-detector overhead (BENCH_tsan.json)",
+                   json.dumps(data, indent=2))
+    assert _OUT.exists()
+
+
+if __name__ == "__main__":
+    import argparse
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="short flood; do not write the artifact")
+    print(json.dumps(run_benchmark(quick=parser.parse_args().quick),
+                     indent=2))

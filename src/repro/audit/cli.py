@@ -21,10 +21,10 @@ from typing import Mapping, Optional, Sequence
 
 from repro.analysis_common import Finding, Report, iter_python_files
 from repro.audit.callgraph import CodeIndex
-from repro.audit.ftguard import scan_ftguard
 from repro.audit.lockset import scan_lockset
 from repro.audit.manifest import AuditManifest, default_manifest
-from repro.audit.progressguard import scan_progressguard
+from repro.audit.noneguard import (scan_ftguard, scan_progressguard,
+                                   scan_tsanguard)
 from repro.audit.provenance import EntryResult, run_provenance
 from repro.audit.purity import scan_purity
 from repro.audit.rules import render_fp_catalog
@@ -45,6 +45,7 @@ def run_audit(paths: Sequence[str],
     findings.extend(scan_lockset(index))
     findings.extend(scan_ftguard(index))
     findings.extend(scan_progressguard(index))
+    findings.extend(scan_tsanguard(index))
 
     report = Report(diagnostics=findings, files_checked=len(index.modules))
     snapshot = build_snapshot(manifest, results, report)
@@ -97,8 +98,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.audit",
         description="Static fast-path self-audit of the repro runtime "
-                    "(rules FP101-FP305; suppress per line with "
-                    "'# audit: allow[FPxxx]').")
+                    "(rules FP101-FP306; suppress per line with "
+                    "'# audit: allow[FPxxx]').  Exit status: 0 clean, "
+                    "1 findings, 2 usage error.")
     parser.add_argument(
         "paths", nargs="*", metavar="PATH",
         help="source files or directories to audit (typically src/repro)")

@@ -1,0 +1,170 @@
+"""Parameterized is-None-guard discipline (FP304 / FP305 / FP306).
+
+Three opt-in subsystems hook into the measured fast paths through
+exactly one attribute each, which is ``None`` on every build that does
+not enable them:
+
+* ``proc.faults``   — fault tolerance (:mod:`repro.ft`), FP304;
+* ``proc.progress`` — background progress engine
+  (:mod:`repro.progress`), FP305;
+* ``proc.tsan``     — hybrid race detector (:mod:`repro.tsan`), FP306.
+
+The calibration guarantee — disabled builds charge byte-identical
+Table 1 / Figure 2 totals — holds only if every hook site outside the
+subsystem's own package *tests* that attribute before touching it.
+The shared rule: any function outside the exempt package that loads
+the hook attribute must also contain an ``is None`` / ``is not None``
+test of a hook expression (or of a local name bound from one).
+Stores (the bindings in ``Proc.__init__``) are exempt, as is the
+guard comparison itself.  Suppress a deliberate unguarded use with
+``# audit: allow[FPxxx]``.
+
+Each subsystem is one :class:`GuardSpec`; the per-rule ``scan_*``
+entry points the CLI and tests call are thin partial applications of
+:func:`scan_noneguard` over :data:`GUARD_SPECS`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis_common import Finding, suppressed
+from repro.audit.callgraph import CodeIndex, FunctionInfo
+from repro.audit.rules import PRAGMA_MARKER
+
+
+@dataclass(frozen=True)
+class GuardSpec:
+    """One hook attribute's guard-discipline parameters."""
+
+    #: Rule id the checker reports (``FP304``/``FP305``/``FP306``).
+    rule_id: str
+    #: The hook attribute name every interception flows through.
+    hook_attr: str
+    #: Package whose own code may use the hook bare (``repro/ft/``...).
+    exempt_prefix: str
+    #: Human name for the subsystem, used in the finding message.
+    subsystem: str
+
+
+#: The registered guard disciplines, keyed by rule id.
+GUARD_SPECS: dict[str, GuardSpec] = {spec.rule_id: spec for spec in (
+    GuardSpec("FP304", "faults", "repro/ft/", "fault"),
+    GuardSpec("FP305", "progress", "repro/progress/", "progress"),
+    GuardSpec("FP306", "tsan", "repro/tsan/", "tsan"),
+)}
+
+
+def _hook_aliases(index: CodeIndex, func: FunctionInfo,
+                  hook_attr: str) -> set[str]:
+    """Local names assigned from a hook-attribute load in *func*."""
+    aliases: set[str] = set()
+    for node in index.walk_body(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and isinstance(node.value, ast.Attribute) \
+                and node.value.attr == hook_attr:
+            aliases.add(node.targets[0].id)
+    return aliases
+
+
+def _is_hook_expr(expr: ast.expr, hook_attr: str,
+                  aliases: set[str]) -> bool:
+    """Is *expr* the hook attribute or a local alias of it?"""
+    return ((isinstance(expr, ast.Attribute) and expr.attr == hook_attr)
+            or (isinstance(expr, ast.Name) and expr.id in aliases))
+
+
+def _has_none_guard(index: CodeIndex, func: FunctionInfo,
+                    hook_attr: str, aliases: set[str]) -> bool:
+    """Does *func* compare a hook expression against None?"""
+    for node in index.walk_body(func):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not all(isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops):
+            continue
+        sides = [node.left, *node.comparators]
+        if any(_is_hook_expr(s, hook_attr, aliases) for s in sides) \
+                and any(isinstance(s, ast.Constant) and s.value is None
+                        for s in sides):
+            return True
+    return False
+
+
+def _guard_compare_lines(index: CodeIndex, func: FunctionInfo,
+                         hook_attr: str, aliases: set[str]) -> set[int]:
+    """Lines whose only hook load is the guard test itself."""
+    lines: set[int] = set()
+    for node in index.walk_body(func):
+        if isinstance(node, ast.Compare):
+            for side in (node.left, *node.comparators):
+                if _is_hook_expr(side, hook_attr, aliases):
+                    lines.add(side.lineno)
+    return lines
+
+
+def scan_noneguard(index: CodeIndex, spec: GuardSpec,
+                   path_filter: str = "repro/",
+                   exempt_prefix: str | None = None) -> list[Finding]:
+    """Run *spec*'s guard rule over every function in *index*.
+
+    *exempt_prefix* overrides the spec's own (tests pass ``""`` along
+    with ``path_filter=""`` to scan bare fixture files).
+    """
+    if exempt_prefix is None:
+        exempt_prefix = spec.exempt_prefix
+    findings: list[Finding] = []
+    for func in index.functions.values():
+        rel = func.module.rel
+        if path_filter and not rel.startswith(path_filter):
+            continue
+        if exempt_prefix and rel.startswith(exempt_prefix):
+            continue
+        aliases = _hook_aliases(index, func, spec.hook_attr)
+        loads = [node for node in index.walk_body(func)
+                 if isinstance(node, ast.Attribute)
+                 and node.attr == spec.hook_attr
+                 and isinstance(node.ctx, ast.Load)]
+        if not loads:
+            continue
+        if _has_none_guard(index, func, spec.hook_attr, aliases):
+            continue
+        guard_lines = _guard_compare_lines(index, func, spec.hook_attr,
+                                           aliases)
+        for node in loads:
+            if node.lineno in guard_lines:
+                continue
+            if suppressed(func.module.lines, node.lineno, spec.rule_id,
+                          PRAGMA_MARKER):
+                continue
+            findings.append(Finding(
+                spec.rule_id, str(func.module.path), node.lineno,
+                f"{func.short} uses .{spec.hook_attr} without an "
+                f"is-None guard: {spec.subsystem} hooks outside "
+                f"{spec.exempt_prefix} must test "
+                f"'{spec.hook_attr} is None' so plain builds stay "
+                "byte-identical"))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
+    return findings
+
+
+def scan_ftguard(index: CodeIndex, path_filter: str = "repro/",
+                 exempt_prefix: str | None = None) -> list[Finding]:
+    """FP304 over *index* (fault hooks outside ``repro/ft/``)."""
+    return scan_noneguard(index, GUARD_SPECS["FP304"], path_filter,
+                          exempt_prefix)
+
+
+def scan_progressguard(index: CodeIndex, path_filter: str = "repro/",
+                       exempt_prefix: str | None = None) -> list[Finding]:
+    """FP305 over *index* (progress hooks outside ``repro/progress/``)."""
+    return scan_noneguard(index, GUARD_SPECS["FP305"], path_filter,
+                          exempt_prefix)
+
+
+def scan_tsanguard(index: CodeIndex, path_filter: str = "repro/",
+                   exempt_prefix: str | None = None) -> list[Finding]:
+    """FP306 over *index* (tsan hooks outside ``repro/tsan/``)."""
+    return scan_noneguard(index, GUARD_SPECS["FP306"], path_filter,
+                          exempt_prefix)

@@ -19,8 +19,13 @@ Four analysis families over the repro's own source:
   site outside ``repro/progress/`` tests the attribute against None,
   so builds without a progress engine charge byte-identical
   calibrated totals.
+* ``FP306`` — tsan-hook guard discipline: every ``.tsan`` hook site
+  outside ``repro/tsan/`` tests the attribute against None, so builds
+  without the race detector charge byte-identical calibrated totals.
 
-Suppress a finding on its line with ``# audit: allow[FPxxx]``.
+FP304/FP305/FP306 share one parameterized checker
+(:mod:`repro.audit.noneguard`).  Suppress a finding on its line with
+``# audit: allow[FPxxx]``.
 """
 
 from __future__ import annotations
@@ -111,6 +116,13 @@ FP_RULES: dict[str, Rule] = {r.rule_id: r for r in (
          "guard the hook ('if proc.progress is not None: ...') so "
          "progress=None builds never enter engine code, or document "
          "the site with '# audit: allow[FP305]'"),
+    Rule("FP306", "unguarded tsan hook: a function outside repro/tsan/ "
+         "loads a .tsan attribute without an 'is None' / 'is not None' "
+         "test of it (or of a local bound from it)",
+         "proc.tsan.note_access(key)   # with no guard",
+         "guard the hook ('if proc.tsan is not None: ...') so "
+         "tsan=False builds never enter detector code, or document "
+         "the site with '# audit: allow[FP306]'"),
 )}
 
 

@@ -138,6 +138,19 @@ class BuildConfig:
         Table 1 numbers (every hook guards on ``progress is None`` —
         audit rule FP305); engine work is charged to
         ``Category.PROGRESS``, off the application's critical path.
+    tsan:
+        Hybrid race & deadlock detector (:mod:`repro.tsan`), in the
+        style of Eraser + FastTrack: instrumented runtime locks and
+        annotated shared-state accesses maintain per-thread vector
+        clocks and per-field locksets, reporting TS401 data races
+        (no happens-before edge *and* empty lockset intersection),
+        TS402 lock-order inversions from the observed lock graph,
+        TS403 locks held across blocking waits, and TS404
+        continuations dispatched under engine locks.  Purely
+        observational: the detector charges nothing, and the default
+        ``False`` binds ``proc.tsan = None`` with every hook site
+        guarded (audit rule FP306), so charging stays byte-identical
+        to the calibrated Figure 2 / Table 1 numbers either way.
     """
 
     device: Device = Device.CH4
@@ -156,6 +169,7 @@ class BuildConfig:
     vci_policy: str = "hash"
     fault_plan: FaultPlan | None = None
     progress: str | None = None
+    tsan: bool = False
 
     @property
     def ipo(self) -> bool:

@@ -165,15 +165,22 @@ class RankFaults:
         self.proc = proc
         self.world_ft = world_ft
         self.plan = plan
+        tsan = proc.tsan
         #: Guards receiver-side window state and the pending-recv list.
-        self._mu = threading.Lock()
+        if tsan is not None:
+            self._mu = tsan.make_lock("ft", f"ftwin{proc.world_rank}")
+        else:
+            self._mu = threading.Lock()
         # Sender-side (owning thread only; unguarded by design), except
         # the reorder stash below.
         self._next_seq: dict[int, int] = {}
         self._rma_seq: dict[int, int] = {}
         #: Guards the reorder stash only — shared with the background
         #: progress engine's timer scan; never held across a push.
-        self._tx_mu = threading.Lock()
+        if tsan is not None:
+            self._tx_mu = tsan.make_lock("tx", f"ftstash{proc.world_rank}")
+        else:
+            self._tx_mu = threading.Lock()
         #: The wire's single-slot reorder stash per destination:
         #: ``dest -> (seq, msg, retransmit_deadline)``, a packet
         #: "overtaken" by the next one, stamped with the virtual time
@@ -248,9 +255,21 @@ class RankFaults:
             return
         target.accept_packet(proc, proc.world_rank, seq, msg)
 
+    def _note_stash_access(self, write: bool = True) -> None:
+        """Annotate one reorder-stash access (callers hold ``_tx_mu``,
+        so the lockset half of TS401 certifies them against the
+        progress engine's timer scan)."""
+        tsan = self.proc.tsan
+        if tsan is not None:
+            tsan.note_access(("ft-stash", self.proc.world_rank),
+                             write=write,
+                             what=f"rank {self.proc.world_rank} "
+                                  "reorder stash")
+
     def _flush(self, dest: int) -> None:
         """Release the reorder stash for *dest*, if any."""
         with self._tx_mu:
+            self._note_stash_access()
             held = self._held.pop(dest, None)
         if held is not None:
             self._push(dest, held[0], held[1])
@@ -287,6 +306,7 @@ class RankFaults:
             # scan, or the legacy quiescence flush) will.
             stashed = False
             with self._tx_mu:
+                self._note_stash_access()
                 if dest_world_rank not in self._held:
                     self._held[dest_world_rank] = (
                         seq, msg,
@@ -339,6 +359,11 @@ class RankFaults:
         origin.charge(Category.RELIABILITY, r.dedup_window)
         released = []
         with self._mu:
+            tsan = self.proc.tsan
+            if tsan is not None:
+                tsan.note_access(("ft-win", self.proc.world_rank),
+                                 what=f"rank {self.proc.world_rank} "
+                                      "receive window")
             expected = self._expected.get(src_world, 0)
             buf = self._ooo.setdefault(src_world, {})
             if seq < expected or seq in buf:
@@ -457,11 +482,13 @@ class RankFaults:
         """
         r = COSTS.reliability
         with self._tx_mu:
+            self._note_stash_access(write=False)
             ready = [dest for dest, held in self._held.items()
                      if now is None or held[2] <= now]
         released = 0
         for dest in ready:
             with self._tx_mu:
+                self._note_stash_access()
                 held = self._held.pop(dest, None)
             if held is None:
                 continue
@@ -476,6 +503,7 @@ class RankFaults:
         """Packets currently in the reorder stash (the progress
         engine's timer scan polls this to decide whether to tick)."""
         with self._tx_mu:
+            self._note_stash_access(write=False)
             return len(self._held)
 
     def stats(self) -> dict:

@@ -108,7 +108,14 @@ class NBCRequest(Request):
         # Serializes schedule advancement between the application and
         # the progress engine's continuations (reentrant: a blocking
         # advance may recurse through wait paths).
-        self._sched_mu = threading.RLock()
+        tsan = comm.proc.tsan
+        if tsan is not None:
+            # Key on the request serial, not id(self) — addresses are
+            # reused, serials are not (see Request._tsan_serial).
+            self._sched_mu = tsan.make_lock("sched",
+                                            f"nbc{self._tsan_key[1]}")
+        else:
+            self._sched_mu = threading.RLock()
         # The receive currently armed with a background continuation —
         # identity-compared so each stall arms exactly once.
         self._bg_req: Optional[Request] = None
@@ -137,6 +144,13 @@ class NBCRequest(Request):
 
     def _advance_locked(self, blocking: bool) -> bool:
         """The actual schedule walk (see :meth:`_advance` for locking)."""
+        tsan = self.comm.proc.tsan
+        if tsan is not None:
+            # Under the schedule lock with a progress engine; without
+            # one the schedule is single-threaded (same-thread accesses
+            # are ordered by the thread's own clock).
+            tsan.note_access(("nbc", self._tsan_key[1]),
+                             what="NBC schedule state")
         while self._pc < len(self.steps):
             step = self.steps[self._pc]
             if isinstance(step, SendStep):

@@ -114,7 +114,12 @@ class RankProgress:
     def __init__(self, proc: "Proc", mode: str):
         self.proc = proc
         self.mode = mode
-        self._cv = threading.Condition()
+        tsan = proc.tsan
+        if tsan is not None:
+            self._cv = threading.Condition(tsan.make_lock(
+                "progress_cv", f"cv{proc.world_rank}"))
+        else:
+            self._cv = threading.Condition()
         self._lanes = [_Lane(i) for i in range(max(1, len(proc.vcis)))]
         self._continuations: deque = deque()
         #: Exceptions raised by engine-run work (also aborts the world).
@@ -131,7 +136,11 @@ class RankProgress:
                 target=self._run, args=(slot, n_threads),
                 name=f"mpi-progress-{proc.world_rank}.{slot}", daemon=True)
             self._threads.append(thread)
-        for thread in self._threads:
+        for slot, thread in enumerate(self._threads):
+            if tsan is not None:
+                # Fork edge: rank state built above happens-before
+                # anything the engine thread touches.
+                tsan.thread_fork(("progress", proc.world_rank, slot))
             thread.start()
 
     # -- producer side (hooks guarded by FP305 at every call site) ------
@@ -149,6 +158,11 @@ class RankProgress:
         """
         lane = self._lanes[vci.index if vci is not None else 0]
         with self._cv:
+            tsan = self.proc.tsan
+            if tsan is not None:
+                tsan.note_access(
+                    ("lane", self.proc.world_rank, lane.index),
+                    what=f"injection lane {lane.index}")
             lane.items.append((transport, request, complete_s))
             self._cv.notify_all()
 
@@ -204,6 +218,7 @@ class RankProgress:
         Idle passes charge nothing.
         """
         proc = self.proc
+        tsan = proc.tsan
         p = COSTS.progress
         did_work = False
 
@@ -214,6 +229,11 @@ class RankProgress:
                 for candidate in self._lanes[slot::stride]:
                     if candidate.items:
                         lane = candidate
+                        if tsan is not None:
+                            tsan.note_access(
+                                ("lane", proc.world_rank,
+                                 candidate.index),
+                                what=f"injection lane {candidate.index}")
                         item = candidate.items.popleft()
                         break
             if item is None:
@@ -248,6 +268,12 @@ class RankProgress:
                         proc.charge(Category.PROGRESS, p.wakeup)
                     proc.charge(Category.PROGRESS, p.continuation)
                     self.n_continuations += 1
+                    if tsan is not None:
+                        # TS404: holding a matching lock here would
+                        # self-deadlock any continuation that makes
+                        # MPI calls (the reentrant cs_lock is the
+                        # documented dispatch context and is allowed).
+                        tsan.check_continuation("progress continuation")
                     try:
                         fn(request)
                     except BaseException as exc:
@@ -297,6 +323,9 @@ class RankProgress:
         is a daemon — the world makes no teardown promise beyond its
         rank threads, matching the netmod lane threads of PR 4.
         """
+        tsan = self.proc.tsan
+        if tsan is not None:
+            tsan.thread_begin(("progress", self.proc.world_rank, slot))
         while True:
             self.run_once(slot, stride)
             with self._cv:

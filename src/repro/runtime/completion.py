@@ -194,12 +194,20 @@ class CompletionSegment:
     teardown report.
     """
 
-    __slots__ = ("index", "_lock", "n_send", "n_recv", "n_rma",
+    __slots__ = ("index", "_lock", "tsan", "n_send", "n_recv", "n_rma",
                  "last_complete_s")
 
-    def __init__(self, index: int):
+    def __init__(self, index: int, tsan=None):
         self.index = index
-        self._lock = threading.Lock()
+        #: Race-detector view (None unless the world runs
+        #: ``tsan=True``; hook sites guard on it — FP306); the counter
+        #: lock is then instrumented and every :meth:`note` is an
+        #: annotated access.
+        self.tsan = tsan
+        if tsan is not None:
+            self._lock = tsan.make_lock("cseg", f"cseg{index}")
+        else:
+            self._lock = threading.Lock()
         self.n_send = 0
         self.n_recv = 0
         self.n_rma = 0
@@ -209,6 +217,10 @@ class CompletionSegment:
         """Record one completion of *kind* ("send"/"recv"/"rma") that
         retired through this segment at virtual time *complete_s*."""
         with self._lock:
+            tsan = self.tsan
+            if tsan is not None:
+                tsan.note_access(("cseg", id(self)),
+                                 what=f"completion segment {self.index}")
             if kind == "send":
                 self.n_send += 1
             elif kind == "recv":

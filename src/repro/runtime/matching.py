@@ -82,13 +82,36 @@ class PostedRecv:
 class _MatchingEngineBase:
     """Shared lock, counters, sync-send handshake, and probe loop."""
 
-    def __init__(self, rank: int):
+    #: Race-detector label of ``_lock`` (shards override to "shard").
+    _LOCK_KIND = "engine"
+
+    def __init__(self, rank: int, tsan=None):
         self.rank = rank
-        self._lock = threading.Condition()
+        #: Per-rank race-detector view (None unless ``tsan=True``);
+        #: every hook site guards on it (audit rule FP306).  When
+        #: present, the engine lock is detector-instrumented and the
+        #: queue mutations below are annotated accesses.
+        self.tsan = tsan
+        if tsan is not None:
+            self._lock = threading.Condition(
+                tsan.make_lock(self._LOCK_KIND, f"mq{rank}"))
+        else:
+            self._lock = threading.Condition()
+        #: Annotation key of this engine's queue state (shards use a
+        #: per-shard key: each shard is its own lock domain).
+        self._tsan_key = ("mq", rank, id(self))
         #: Monotone counters for introspection and tests.
         self.n_deposited = 0
         self.n_matched_posted = 0
         self.n_matched_unexpected = 0
+
+    def _note_mq_access(self) -> None:
+        """Annotate one matching-queue mutation (callers hold
+        ``_lock``, so the lockset half of TS401 certifies them)."""
+        tsan = self.tsan
+        if tsan is not None:
+            tsan.note_access(self._tsan_key,
+                             what=f"rank {self.rank} matching queues")
 
     @staticmethod
     def _fire_sync(msg: Message, match_time_s: float) -> None:
@@ -160,8 +183,8 @@ class LinearMatchingEngine(_MatchingEngineBase):
 
     name = "linear"
 
-    def __init__(self, rank: int):
-        super().__init__(rank)
+    def __init__(self, rank: int, tsan=None):
+        super().__init__(rank, tsan)
         self._posted: list[PostedRecv] = []
         self._unexpected: list[Message] = []
 
@@ -176,6 +199,7 @@ class LinearMatchingEngine(_MatchingEngineBase):
         its progress context.
         """
         with self._lock:
+            self._note_mq_access()
             self.n_deposited += 1
             for i, posted in enumerate(self._posted):
                 if posted.matches(msg.env):
@@ -198,6 +222,7 @@ class LinearMatchingEngine(_MatchingEngineBase):
         time of any synchronous sender found in the unexpected queue.
         """
         with self._lock:
+            self._note_mq_access()
             for i, msg in enumerate(self._unexpected):
                 if posted.matches(msg.env):
                     del self._unexpected[i]
@@ -276,8 +301,8 @@ class BucketMatchingEngine(_MatchingEngineBase):
 
     name = "bucket"
 
-    def __init__(self, rank: int):
-        super().__init__(rank)
+    def __init__(self, rank: int, tsan=None):
+        super().__init__(rank, tsan)
         self._seq = 0
         # Posted receives.
         self._posted_exact: dict[tuple[int, int, int],
@@ -318,6 +343,7 @@ class BucketMatchingEngine(_MatchingEngineBase):
         its progress context.
         """
         with self._lock:
+            self._note_mq_access()
             self.n_deposited += 1
             posted = self._take_posted_match(msg.env)
             if posted is not None:
@@ -390,6 +416,7 @@ class BucketMatchingEngine(_MatchingEngineBase):
         time of any synchronous sender found in the unexpected queue.
         """
         with self._lock:
+            self._note_mq_access()
             msg = self._take_unexpected_match(posted)
             if msg is not None:
                 self.n_matched_unexpected += 1
@@ -502,20 +529,23 @@ _ENGINES = {
 
 
 def build_engine(rank: int, kind: str = "bucket", num_vcis: int = 1,
-                 vci_policy: str = "hash") -> _MatchingEngineBase:
+                 vci_policy: str = "hash",
+                 tsan=None) -> _MatchingEngineBase:
     """Engine factory for ``BuildConfig.matching_engine``.
 
     ``num_vcis > 1`` builds the per-VCI sharded engine
     (:class:`repro.runtime.vci.VCIShardedEngine`; its shards are
     always bucketed — the *kind* argument selects only the unsharded
     engine).  ``num_vcis = 1`` builds the plain engine and is the
-    byte-identical calibrated default.
+    byte-identical calibrated default.  *tsan* (a
+    :class:`repro.tsan.detector.RankTsan` or None) instruments every
+    engine lock when the world runs the race detector.
     """
     if num_vcis > 1:
         from repro.runtime.vci import VCIShardedEngine
-        return VCIShardedEngine(rank, num_vcis, vci_policy)
+        return VCIShardedEngine(rank, num_vcis, vci_policy, tsan=tsan)
     try:
-        return _ENGINES[kind](rank)
+        return _ENGINES[kind](rank, tsan)
     except KeyError:
         raise ValueError(
             f"unknown matching engine {kind!r}; "

@@ -54,14 +54,23 @@ class Proc:
         #: Python granularity only, charges are unchanged).
         self.num_vcis = config.num_vcis
         self.vci_map = VCIMap(config.num_vcis, config.vci_policy)
+        #: Per-rank race-detector view (None unless the world was
+        #: built with ``tsan=True``); every hook site guards on it
+        #: (audit rule FP306).  Bound before the engine so every
+        #: runtime lock below is constructed already instrumented.
+        world_tsan = getattr(world, "tsan", None)
+        rank_tsan = (world_tsan.rank_view(self)
+                     if world_tsan is not None else None)
+        self.tsan = rank_tsan
         self.engine = build_engine(world_rank, config.matching_engine,
                                    num_vcis=config.num_vcis,
-                                   vci_policy=config.vci_policy)
+                                   vci_policy=config.vci_policy,
+                                   tsan=rank_tsan)
         #: The rank's VCIs.  Sharded builds share the engine's (lock +
         #: shard + completion segment per VCI); the unsharded build
         #: still materializes VCI 0 so ``cs_lock`` has one home.
         self.vcis = (self.engine.vcis if config.num_vcis > 1
-                     else [VCI(0)])
+                     else [VCI(0, tsan=rank_tsan)])
         #: Per-rank dynamic-sanitizer view (None unless the world was
         #: built with ``sanitize=True``); every hook site guards on it.
         world_san = getattr(world, "sanitizer", None)

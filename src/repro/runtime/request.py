@@ -20,6 +20,7 @@ calibrated at issue time in the devices.
 from __future__ import annotations
 
 import enum
+import itertools
 import threading
 from collections import deque
 from typing import Callable, Optional, Sequence
@@ -61,15 +62,28 @@ class Request:
     """
 
     __slots__ = ("kind", "_done", "_abort", "_lock", "_waiters",
-                 "_flushing", "_epoch",
+                 "_flushing", "_epoch", "_tsan_key",
                  "complete_s", "source", "tag", "count_bytes", "error",
                  "cancelled", "_proc", "payload")
+
+    #: Serial numbers for detector annotation keys.  ``id(self)`` is
+    #: NOT usable as a key: CPython reuses addresses, so a dead
+    #: request's access history would collide with a new object that
+    #: holds a different per-request lock (a false TS401).
+    _tsan_serial = itertools.count()
 
     def __init__(self, kind: RequestKind, proc=None, abort_event=None):
         self.kind = kind
         self._done = threading.Event()
         self._abort = abort_event
-        self._lock = threading.Lock()
+        tsan = getattr(proc, "tsan", None)
+        if tsan is not None:
+            serial = next(Request._tsan_serial)
+            self._tsan_key = ("req", serial)
+            self._lock = tsan.make_lock("request", f"req{serial}")
+        else:
+            self._tsan_key = None
+            self._lock = threading.Lock()
         self._waiters: deque[Callable[["Request"], None]] = deque()
         #: True while the transitioning thread is draining ``_waiters``
         #: — late subscribers enqueue instead of firing themselves, so
@@ -111,6 +125,12 @@ class Request:
             self.tag = tag
             self.count_bytes = count_bytes
             self.error = error
+            tsan = getattr(self._proc, "tsan", None)
+            if tsan is not None:
+                # The waiter's _finish() reads this state bare after
+                # _done fires — publish the edge its read consumes.
+                tsan.note_access(self._tsan_key, what="request state")
+                tsan.hb_publish(self._tsan_key)
             self._done.set()
             self._flushing = True
             epoch = self._epoch
@@ -127,6 +147,10 @@ class Request:
             if self._done.is_set():
                 return
             self.cancelled = True
+            tsan = getattr(self._proc, "tsan", None)
+            if tsan is not None:
+                tsan.note_access(self._tsan_key, what="request state")
+                tsan.hb_publish(self._tsan_key)
             self._done.set()
             self._flushing = True
             epoch = self._epoch
@@ -150,6 +174,10 @@ class Request:
             self.cancelled = True   # discard any late complete()
             self.error = error
             self.complete_s = complete_s
+            tsan = getattr(self._proc, "tsan", None)
+            if tsan is not None:
+                tsan.note_access(self._tsan_key, what="request state")
+                tsan.hb_publish(self._tsan_key)
             self._done.set()
             self._flushing = True
             epoch = self._epoch
@@ -206,6 +234,12 @@ class Request:
         the PROGRESS category); otherwise it runs per ``subscribe``
         semantics, on the completing thread.
         """
+        san = getattr(self._proc, "sanitizer", None)
+        if san is not None:
+            # MS109: registering a continuation on an already-waited
+            # (or pool-recycled) handle — the callback may never fire
+            # in this life, or fire in the handle's *next* life.
+            san.note_on_complete(self)
         proc = self._proc
         progress = None
         if proc is not None:
@@ -239,6 +273,12 @@ class Request:
         error captured by the completing thread.  Event-driven: wakes
         the instant the completing thread (or a world abort) fires."""
         if not self._done.is_set():
+            tsan = getattr(self._proc, "tsan", None)
+            if tsan is not None:
+                # TS403: blocking here while holding a runtime lock
+                # (other than the exempt NBC schedule lock) can
+                # deadlock the thread that would complete us.
+                tsan.check_blocking_wait(f"{self.kind.value} request")
             san = getattr(self._proc, "sanitizer", None)
             if san is not None:
                 # Registers the wait-for edge; raises MSD201 instead of
@@ -269,6 +309,13 @@ class Request:
             raise WorldAborted("world aborted while waiting on request")
 
     def _finish(self) -> None:
+        tsan = getattr(self._proc, "tsan", None)
+        if tsan is not None:
+            # The lockless read of complete_s/error below is ordered
+            # by the edge the completing thread published.
+            tsan.hb_consume(self._tsan_key)
+            tsan.note_access(self._tsan_key, write=False,
+                             what="request state")
         if self._proc is not None:
             self._proc.vclock.merge(self.complete_s)
             san = getattr(self._proc, "sanitizer", None)
@@ -289,6 +336,9 @@ class Request:
         reinitialization.  (Found by the FP301 lockset audit rule.)
         """
         with self._lock:
+            tsan = getattr(self._proc, "tsan", None)
+            if tsan is not None:
+                tsan.note_access(self._tsan_key, what="request state")
             self.kind = kind
             self._done.clear()
             self._waiters.clear()
@@ -309,9 +359,12 @@ class RequestPool:
     The standard path must produce a completable handle per operation;
     what it need not do is *allocate* one each time.  The pool recycles
     handles the way MPICH recycles request objects from a freelist.
-    Acquire and release both happen on the owning rank's thread (MPI
-    calls are made by the rank thread; internal blocking wrappers
-    release after wait), so no lock is needed.
+    Under MPI_THREAD_MULTIPLE several application threads call into
+    the same rank's pool concurrently, so the freelist is guarded by
+    its own leaf lock — which also publishes the happens-before edge
+    from a handle's previous life (its final bare-state read in
+    ``_finish``) to ``_reset`` in its next one.  (The unlocked
+    freelist was found by the TS401 rule in ``repro.tsan``.)
 
     Only exact :class:`Request` instances are pooled — subclasses
     (e.g. NBC schedule requests) are dropped on release.  Charged
@@ -328,6 +381,11 @@ class RequestPool:
         self._proc = proc
         self._abort = abort_event
         self._free: list[Request] = []
+        tsan = getattr(proc, "tsan", None)
+        if tsan is not None:
+            self._mu = tsan.make_lock("pool", f"pool{proc.world_rank}")
+        else:
+            self._mu = threading.Lock()
         self.enabled = enabled
         #: Monotone counters for tests and the matching benchmark.
         self.n_alloc = 0
@@ -335,8 +393,12 @@ class RequestPool:
 
     def acquire(self, kind: RequestKind) -> Request:
         """A fresh-or-recycled request bound to the owning rank."""
-        if self.enabled and self._free:
-            req = self._free.pop()
+        req = None
+        if self.enabled:
+            with self._mu:
+                if self._free:
+                    req = self._free.pop()
+        if req is not None:
             req._reset(kind)
             self.n_reuse += 1
         else:
@@ -354,10 +416,11 @@ class RequestPool:
         if san is not None and req is not None:
             san.note_release(req)   # internal lifetime over
         if (req is None or not self.enabled
-                or req.__class__ is not Request
-                or len(self._free) >= self.MAX_POOLED):
+                or req.__class__ is not Request):
             return
-        self._free.append(req)
+        with self._mu:
+            if len(self._free) < self.MAX_POOLED:
+                self._free.append(req)
 
 
 def waitall(requests: Sequence[Request]) -> None:

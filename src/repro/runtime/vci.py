@@ -112,13 +112,17 @@ class VCI:
     charged instruction totals.
     """
 
-    def __init__(self, index: int):
+    def __init__(self, index: int, tsan=None):
         self.index = index
         #: The modeled critical-section lock (same reentrant semantics
         #: as the old per-rank ``Proc.cs_lock``, which is now an alias
-        #: of VCI 0's lock).
-        self.lock = threading.RLock()
-        self.completion = CompletionSegment(index)
+        #: of VCI 0's lock).  Detector-instrumented (kind "vci") when
+        #: the world runs ``tsan=True``.
+        if tsan is not None:
+            self.lock = tsan.make_lock("vci", f"vci{index}")
+        else:
+            self.lock = threading.RLock()
+        self.completion = CompletionSegment(index, tsan=tsan)
         #: Netmod injections issued through this VCI's lane.
         self.n_injected = 0
         #: ... of which took the active-message fallback.
@@ -226,9 +230,11 @@ class _ShardEngine(BucketMatchingEngine):
     """
 
     name = "vci-shard"
+    _LOCK_KIND = "shard"
 
-    def __init__(self, rank: int, owner: "VCIShardedEngine", vci: VCI):
-        super().__init__(rank)
+    def __init__(self, rank: int, owner: "VCIShardedEngine", vci: VCI,
+                 tsan=None):
+        super().__init__(rank, tsan)
         self._owner = owner
         self._vci = vci
 
@@ -275,12 +281,14 @@ class _ShardEngine(BucketMatchingEngine):
         """
         owner = self._owner
         with self._lock:
+            self._note_mq_access()
             self.n_deposited += 1
             env = msg.env
             entry = self._peek_posted(env)
             wild_posted = None
             if not env.nomatch and owner._n_wild:
                 with owner._wild_lock:
+                    owner._note_wild_access()
                     rec = owner._min_armed_match(env)
                     if rec is not None and (entry is None
                                             or rec.seq < entry.seq):
@@ -303,6 +311,7 @@ class _ShardEngine(BucketMatchingEngine):
                 self._lock.notify_all()
                 return
             with owner._wild_lock:
+                owner._note_wild_access()
                 owner._ux_epoch += 1
                 owner._wild_lock.notify_all()
             self._add_unexpected(msg)
@@ -354,20 +363,25 @@ class VCIShardedEngine(_MatchingEngineBase):
     name = "vci-sharded"
 
     def __init__(self, rank: int, num_vcis: int, vci_policy: str = "hash",
-                 vci_map: Optional[VCIMap] = None):
-        super().__init__(rank)
+                 vci_map: Optional[VCIMap] = None, tsan=None):
+        super().__init__(rank, tsan)
         if num_vcis < 2:
             raise ValueError(
                 f"VCIShardedEngine needs num_vcis >= 2, got {num_vcis} "
                 "(num_vcis=1 builds the plain engine)")
         self.vci_map = vci_map or VCIMap(num_vcis, vci_policy)
-        self.vcis = [VCI(i) for i in range(num_vcis)]
-        self._shards = [_ShardEngine(rank, self, vci) for vci in self.vcis]
+        self.vcis = [VCI(i, tsan=tsan) for i in range(num_vcis)]
+        self._shards = [_ShardEngine(rank, self, vci, tsan=tsan)
+                        for vci in self.vcis]
         self._seq_counter = itertools.count(1)
         #: Rank-level wildcard registry; deliberately *not* named
         #: ``.lock`` — it is outside the FP303 per-VCI lock family and
         #: only ever nests inside a shard lock (see module docstring).
-        self._wild_lock = threading.Condition()
+        if tsan is not None:
+            self._wild_lock = threading.Condition(
+                tsan.make_lock("wild", f"wild{rank}"))
+        else:
+            self._wild_lock = threading.Condition()
         self._wild: list[_WildRecord] = []
         self._wild_removed = 0
         self._n_wild = 0
@@ -440,10 +454,19 @@ class VCIShardedEngine(_MatchingEngineBase):
             return
         self._post_wildcard(posted, now_s)
 
+    def _note_wild_access(self) -> None:
+        """Annotate one wildcard-registry mutation (callers hold
+        ``_wild_lock``, so the lockset half of TS401 certifies them)."""
+        tsan = self.tsan
+        if tsan is not None:
+            tsan.note_access(("wild", self.rank, id(self)),
+                             what=f"rank {self.rank} wildcard registry")
+
     def _post_wildcard(self, posted: PostedRecv, now_s: float) -> None:
         """Register -> scan -> consume-or-arm (module docstring)."""
         rec = _WildRecord(next(self._seq_counter), posted)
         with self._wild_lock:
+            self._note_wild_access()
             self._wild.append(rec)
             self._n_wild += 1
             epoch = self._ux_epoch
@@ -460,6 +483,7 @@ class VCIShardedEngine(_MatchingEngineBase):
                 claimed = False
                 with best_shard._lock:
                     with self._wild_lock:
+                        self._note_wild_access()
                         if rec.claimed:
                             return  # lost to a concurrent cancel
                         if not best.removed:
@@ -587,6 +611,7 @@ class VCIShardedEngine(_MatchingEngineBase):
             if shard.cancel_posted(request):
                 return True
         with self._wild_lock:
+            self._note_wild_access()
             for rec in self._wild:
                 if not rec.claimed and rec.posted.request is request:
                     rec.claimed = True

@@ -95,6 +95,17 @@ class World:
             from repro.progress.engine import WorldProgress
             self.progress = WorldProgress(self, self.config.progress)
 
+        #: Hybrid race/deadlock detector (``BuildConfig(tsan=True)``
+        #: only) — created before the procs so every runtime lock is
+        #: constructed already instrumented.  None in default builds:
+        #: every hook site guards on it (audit rule FP306), so plain
+        #: runs execute no detector code and charge byte-identically.
+        self.tsan = None
+        # The load below is the BuildConfig *flag*, not the hook attr.
+        if self.config.tsan:  # audit: allow[FP306] - build flag read
+            from repro.tsan.detector import WorldTsan
+            self.tsan = WorldTsan(self)
+
         self._procs = [None] * nranks
         for r in range(nranks):
             from repro.runtime.proc import Proc
@@ -156,6 +167,8 @@ class World:
         def entry(rank: int) -> None:
             proc = self._procs[rank]
             install_counter(proc.counter)
+            if self.tsan is not None:
+                self.tsan.thread_begin(("rank", rank))
             try:
                 comm = Communicator.world_view(proc)
                 results[rank] = fn(comm, *args)
@@ -178,15 +191,23 @@ class World:
                 errors[rank] = exc
                 self.abort_event.set()
             finally:
+                if self.tsan is not None:
+                    self.tsan.thread_end(("rank", rank))
                 uninstall_counter()
 
         threads = [threading.Thread(target=entry, args=(r,),
                                     name=f"mpi-rank-{r}", daemon=True)
                    for r in range(self.nranks)]
+        for r in range(self.nranks):
+            if self.tsan is not None:
+                self.tsan.thread_fork(("rank", r))
         for t in threads:
             t.start()
         for t in threads:
             t.join(timeout=timeout)
+        for r, t in enumerate(threads):
+            if self.tsan is not None and not t.is_alive():
+                self.tsan.thread_join(("rank", r))
         hung = [t.name for t in threads if t.is_alive()]
         if hung:
             self.abort_event.set()

@@ -1,7 +1,7 @@
 """AST-based MPI-correctness linter over programs using ``repro.mpi``.
 
-Static counterpart of the dynamic sanitizer: eight rule classes
-(``MS101`` .. ``MS108``, see :data:`repro.sanitize.diagnostics.RULES`)
+Static counterpart of the dynamic sanitizer: nine rule classes
+(``MS101`` .. ``MS109``, see :data:`repro.sanitize.diagnostics.RULES`)
 checked per *scope* (each function body, plus the module body) without
 executing the program.
 
@@ -103,6 +103,14 @@ PERSISTENT_WAITS = frozenset({"wait", "Wait", "test", "Test", "waitall",
 #: Module-level completion helpers that clear MS107 likewise.
 PERSISTENT_WAIT_FUNCS = frozenset({"waitall", "testall", "waitany",
                                    "waitsome", "startall"})
+
+#: Methods that close a request handle's lifetime for MS109 — only
+#: waits, whose completion is *guaranteed* (``test()`` may return
+#: False and leave the handle live, so it does not count).
+LIFETIME_CLOSERS = frozenset({"wait", "Wait"})
+
+#: Continuation-attaching methods (MS109).
+CONTINUATION_ATTACHERS = frozenset({"on_complete", "attach_continuation"})
 
 #: ULFM recovery entry points that poison (or supersede) the handle
 #: passed as their first argument (for MS108).
@@ -314,6 +322,7 @@ class Linter:
             self._rule_nomatch_misuse(scope)
             self._rule_persistent_double_start(scope)
             self._rule_use_after_revoke(scope)
+            self._rule_continuation_after_wait(scope)
         return [d for d in self.diagnostics
                 if not suppressed(self.lines, d.line, d.rule_id,
                                   PRAGMA_MARKER)]
@@ -643,6 +652,51 @@ class Linter:
             if isinstance(cur, (ast.For, ast.AsyncFor, ast.While)):
                 return True
             cur = scope.parents.get(cur)
+        return False
+
+    # -- MS109: continuation attached to a dead request handle -----------------
+
+    def _rule_continuation_after_wait(self, scope: Scope) -> None:
+        attachers = [c for c in scope.calls
+                     if c.attr in CONTINUATION_ATTACHERS
+                     and c.recv_obj.isidentifier()]
+        if not attachers:
+            return
+        for call in attachers:
+            if self._inside_loop(scope, call.node):
+                continue            # iterations reorder: stay quiet
+            for wcall in scope.calls:
+                if wcall.attr not in LIFETIME_CLOSERS \
+                        or wcall.recv_obj != call.recv_obj \
+                        or wcall.line >= call.line:
+                    continue
+                if self._inside_loop(scope, wcall.node):
+                    continue
+                if _sibling_branches(wcall.branch, call.branch):
+                    continue        # mutually exclusive arms
+                if self._rebound_between(scope, call.recv_obj,
+                                         wcall.line, call.line):
+                    continue        # a fresh handle under the old name
+                self._emit(
+                    "MS109", call.line,
+                    f"{call.attr}() on {call.recv_obj!r} after its "
+                    f"wait() on line {wcall.line} — the handle's "
+                    "lifetime is over (the pool may have recycled it "
+                    "to another operation); attach the continuation "
+                    "before waiting")
+                break
+
+    @staticmethod
+    def _rebound_between(scope: Scope, name: str, after: int,
+                         before: int) -> bool:
+        """Was *name* reassigned on a line in ``(after, before]``?"""
+        for stmt in scope.statements:
+            if not after < stmt.lineno <= before:
+                continue
+            if isinstance(stmt, ast.Assign) \
+                    and any(isinstance(t, ast.Name) and t.id == name
+                            for t in stmt.targets):
+                return True
         return False
 
     # -- MS108: use of a revoked / superseded communicator ---------------------

@@ -1,15 +1,26 @@
 """Command-line interface: ``python -m repro.sanitize <files-or-dirs>``.
 
-Exit status 0 when every checked file is clean, 1 when any rule fired
-— suitable for CI (the lint tier runs it over ``examples/`` and
-``src/repro/apps/``).  ``--rules`` prints the rule catalog.
+Exit-status contract (shared with ``python -m repro.audit``, so CI
+can gate on either uniformly):
+
+* **0** — every checked file is clean;
+* **1** — at least one unsuppressed rule fired;
+* **2** — usage error (no paths, unknown flag; argparse's own code).
+
+``--rules`` prints the rule catalog.  ``--json FILE`` additionally
+writes a machine-readable findings snapshot: the checked-file count
+and every finding as ``{rule, path, line, message}``, sorted — stable
+input gives byte-stable output, so the snapshot can be committed and
+diffed like ``AUDIT.json``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from typing import Optional, Sequence
 
+from repro.analysis_common import Report
 from repro.sanitize.astlint import lint_paths
 from repro.sanitize.diagnostics import render_rule_catalog
 
@@ -19,16 +30,38 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.sanitize",
         description="Static MPI-correctness linter for programs using "
-                    "repro.mpi (rules MS101-MS107; suppress per line "
-                    "with '# sanitize: ignore[MSxxx]').")
+                    "repro.mpi (rules MS101-MS109; suppress per line "
+                    "with '# sanitize: ignore[MSxxx]').  Exit status: "
+                    "0 clean, 1 findings, 2 usage error.")
     parser.add_argument(
         "paths", nargs="*", metavar="PATH",
         help="Python files or directories to lint (directories are "
              "searched recursively for *.py)")
     parser.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write a machine-readable findings snapshot to FILE")
+    parser.add_argument(
         "--rules", action="store_true",
         help="print the full rule catalog (static and dynamic) and exit")
     return parser
+
+
+def build_snapshot(report: Report) -> dict:
+    """The deterministic ``--json`` payload for *report*."""
+    return {
+        "version": 1,
+        "files_checked": report.files_checked,
+        "findings": {
+            "count": len(report.diagnostics),
+            "by_rule": dict(sorted(report.counts_by_rule().items())),
+            "items": [
+                {"rule": d.rule_id, "path": d.path, "line": d.line,
+                 "message": d.message}
+                for d in sorted(report.diagnostics,
+                                key=lambda d: (d.path, d.line, d.rule_id))
+            ],
+        },
+    }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -42,4 +75,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("no paths given (or use --rules)")
     report = lint_paths(args.paths)
     print(report.render())
-    return 0 if report.clean else 1
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(build_snapshot(report), fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")
+        print(f"snapshot written to {args.json}")
+    return report.exit_code()

@@ -63,6 +63,13 @@ RULES: dict[str, Rule] = {r.rule_id: r for r in (
          "rebind the handle from the recovery collective "
          "(comm = MPIX_Comm_shrink(comm)) and communicate on the "
          "shrunk communicator"),
+    Rule("MS109", "continuation attached to a dead request handle: "
+         "on_complete after the request was already waited/tested "
+         "(the pool may have recycled the handle to another operation)",
+         "r = comm.Irecv(buf, 0); r.wait(); r.on_complete(fn)",
+         "attach the continuation while the handle is live — before "
+         "the wait()/test() that closes its lifetime (the runtime "
+         "counterpart raises MPI_ERR_SANITIZE at the attach site)"),
     Rule("MSD201", "deadlock: cyclic (or global) wait-for dependency "
          "between blocked ranks", "rank 0: Ssend(1).wait() / rank 1: "
          "Ssend(0).wait()",

@@ -153,6 +153,21 @@ class RankSanitizer:
                 "completed — the application owns the buffer only "
                 "after wait()/test() succeeds")
 
+    def note_on_complete(self, request: "Request") -> None:
+        """``on_complete``/``attach_continuation`` was called: the
+        handle's lifetime must still be open (MS109).  A continuation
+        attached after ``wait``/``test`` closed the record targets a
+        handle the pool may already have recycled, so the callback can
+        fire against a *different* operation's completion."""
+        if id(request) not in self._records:
+            raise SanitizerError(
+                "MS109",
+                f"on_complete() attached at {_user_site()} to a "
+                "request whose lifetime already ended (waited/tested "
+                "and possibly recycled by the request pool) — attach "
+                "the continuation before wait()/test(), while the "
+                "handle is still live")
+
     def note_cancel(self, request: "Request") -> None:
         """MPI_CANCEL closed the request's lifetime."""
         self._records.pop(id(request), None)

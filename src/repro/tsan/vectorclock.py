@@ -1,0 +1,82 @@
+"""Vector clocks for the happens-before half of the hybrid detector.
+
+A :class:`VectorClock` maps detector-assigned thread ids (small
+monotone ints, see :mod:`repro.tsan.detector`) to logical timestamps.
+The representation is a plain dict because the thread population is
+tiny (rank threads + engine threads + test threads) and sparse —
+FastTrack's epoch optimisation is applied one level up, in the
+per-field access records, not here.
+
+Operations follow the standard FastTrack/DJIT+ algebra:
+
+* ``copy``      — snapshot (used when publishing a clock into a lock
+  or a message edge).
+* ``join``      — component-wise max (acquire / consume side).
+* ``increment`` — advance one thread's own component (release /
+  publish side, and thread-local step counting).
+* ``leq``       — component-wise ``<=``; ``a.leq(b)`` means every
+  event in *a* happens-before (or is) the frontier of *b*.
+"""
+
+from __future__ import annotations
+
+
+class VectorClock:
+    """A sparse vector clock over detector thread ids."""
+
+    __slots__ = ("_c",)
+
+    def __init__(self, clocks: dict[int, int] | None = None):
+        self._c: dict[int, int] = dict(clocks) if clocks else {}
+
+    def copy(self) -> "VectorClock":
+        """An independent snapshot (for publishing into a sync object)."""
+        return VectorClock(self._c)
+
+    def get(self, tid: int) -> int:
+        """Thread *tid*'s component (0 if never seen)."""
+        return self._c.get(tid, 0)
+
+    def increment(self, tid: int) -> None:
+        """Advance thread *tid*'s own component by one."""
+        self._c[tid] = self._c.get(tid, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        """Component-wise max with *other*, in place (acquire side)."""
+        for tid, t in other._c.items():
+            if t > self._c.get(tid, 0):
+                self._c[tid] = t
+
+    def leq(self, other: "VectorClock") -> bool:
+        """Component-wise ``<=``: every event here is ordered before
+        (or at) *other*'s frontier."""
+        return all(t <= other._c.get(tid, 0)
+                   for tid, t in self._c.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"t{tid}:{t}"
+                          for tid, t in sorted(self._c.items()))
+        return f"VC({inner})"
+
+
+class Epoch:
+    """A FastTrack epoch: one (tid, timestamp) pair.
+
+    Represents the common case where a field's whole access history
+    is summarised by its last write (or a same-thread read): ordering
+    against an epoch is a single component lookup instead of a full
+    clock comparison.
+    """
+
+    __slots__ = ("tid", "t")
+
+    def __init__(self, tid: int, t: int):
+        self.tid = tid
+        self.t = t
+
+    def happens_before(self, vc: VectorClock) -> bool:
+        """True iff this epoch's event is ordered before *vc*'s frontier."""
+        return self.t <= vc.get(self.tid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"E(t{self.tid}@{self.t})"

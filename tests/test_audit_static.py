@@ -8,8 +8,8 @@ from repro.audit.callgraph import CodeIndex
 from repro.audit.lockset import scan_lockset
 from repro.audit.provenance import (_observable_work, _subtree_charges,
                                     _tight_callees)
-from repro.audit.ftguard import scan_ftguard
-from repro.audit.progressguard import scan_progressguard
+from repro.audit.noneguard import (GUARD_SPECS, scan_ftguard,
+                                   scan_progressguard, scan_tsanguard)
 from repro.audit.purity import scan_purity
 from repro.audit.rules import FP_RULES, render_fp_catalog
 
@@ -596,6 +596,73 @@ class TestProgressGuardFixtures:
         assert scan_progressguard(index) == []
 
 
+class TestTsanGuardFixtures:
+    """FP306: tsan hooks outside repro/tsan/ must be None-guarded."""
+
+    @staticmethod
+    def _tsanguard_ids(tmp_path, source: str) -> list[str]:
+        index = _index(tmp_path, source)
+        return [f.rule_id for f in scan_tsanguard(index, path_filter="")]
+
+    def test_unguarded_hook_flagged(self, tmp_path):
+        src = """\
+            def hook(proc, key):
+                proc.tsan.note_access(key)
+        """
+        assert self._tsanguard_ids(tmp_path, src) == ["FP306"]
+
+    def test_guarded_hook_clean(self, tmp_path):
+        src = """\
+            def hook(proc, key):
+                if proc.tsan is not None:
+                    proc.tsan.note_access(key)
+        """
+        assert self._tsanguard_ids(tmp_path, src) == []
+
+    def test_alias_early_exit_clean(self, tmp_path):
+        src = """\
+            def hook(proc, key):
+                tsan = proc.tsan
+                if tsan is None:
+                    return
+                tsan.note_access(key)
+        """
+        assert self._tsanguard_ids(tmp_path, src) == []
+
+    def test_store_only_clean(self, tmp_path):
+        src = """\
+            def bind(proc, view):
+                proc.tsan = view
+        """
+        assert self._tsanguard_ids(tmp_path, src) == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        src = """\
+            def hook(proc):
+                proc.tsan.check_continuation("x")  # audit: allow[FP306]
+        """
+        assert self._tsanguard_ids(tmp_path, src) == []
+
+    def test_repro_tree_has_no_unguarded_hooks(self):
+        import pathlib
+        root = pathlib.Path(__file__).resolve().parent.parent
+        index = CodeIndex.build([str(root / "src" / "repro")])
+        assert scan_tsanguard(index) == []
+
+
+class TestGuardSpecs:
+    """The parameterized checker registers all three disciplines."""
+
+    def test_specs_cover_all_three_rules(self):
+        assert set(GUARD_SPECS) == {"FP304", "FP305", "FP306"}
+
+    def test_spec_fields_match_rule_catalog(self):
+        for rule_id, spec in GUARD_SPECS.items():
+            assert rule_id in FP_RULES
+            assert f".{spec.hook_attr}" in FP_RULES[rule_id].title
+            assert spec.exempt_prefix in FP_RULES[rule_id].title
+
+
 class TestRuleCatalog:
     """The FP rule table is complete and renderable."""
 
@@ -603,7 +670,8 @@ class TestRuleCatalog:
         ids = set(FP_RULES)
         assert {"FP101", "FP102", "FP103", "FP104"} <= ids
         assert {"FP201", "FP202", "FP203", "FP204", "FP205"} <= ids
-        assert {"FP301", "FP302", "FP303", "FP304", "FP305"} <= ids
+        assert {"FP301", "FP302", "FP303", "FP304", "FP305",
+                "FP306"} <= ids
 
     def test_catalog_renders_every_rule(self):
         text = render_fp_catalog()

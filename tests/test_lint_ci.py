@@ -1,9 +1,14 @@
-"""CI lint gate: the MPI-correctness linter and (if present) ruff.
+"""CI lint gate: every static/dynamic analysis the tree ships.
 
 The MPI linter runs over every shipped program (``examples/`` and the
 mini-apps) exactly as the CI job would:
-``python -m repro.sanitize examples src/repro/apps``.  Ruff is optional
-tooling — the job skips cleanly when the binary is not installed.
+``python -m repro.sanitize examples src/repro/apps``; the fast-path
+audit over ``src/repro``; the race detector's quick stress pass via
+``benchmarks/bench_tsan.py --quick``; and ruff where installed (the
+job skips cleanly when the binary is missing).
+``TestUnifiedLintGate`` chains all of them as the single CI entry
+point.  The calibration-guard classes pin the committed Figure 2 /
+Table 1 charging against every opt-in subsystem's off switch.
 """
 
 from __future__ import annotations
@@ -54,6 +59,26 @@ class TestSanitizeCLI:
             timeout=120)
         assert proc.returncode == 0
         assert "MS101" in proc.stdout and "MSD204" in proc.stdout
+        assert "MS109" in proc.stdout
+
+    def test_json_snapshot_written_and_stable(self, tmp_path):
+        """``--json`` emits the machine-readable contract CI consumes:
+        same tree, two runs, byte-identical snapshots."""
+        import json
+        outs = []
+        for name in ("a.json", "b.json"):
+            out = tmp_path / name
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro.sanitize",
+                 "src/repro/apps", "--json", str(out)],
+                cwd=ROOT, env=_env(), capture_output=True, text=True,
+                timeout=120)
+            assert proc.returncode == 0, proc.stdout + proc.stderr
+            outs.append(out.read_text())
+        assert outs[0] == outs[1]
+        snapshot = json.loads(outs[0])
+        assert snapshot["findings"]["count"] == 0
+        assert snapshot["files_checked"] > 0
 
 
 class TestRuff:
@@ -102,7 +127,7 @@ class TestAuditCLI:
             timeout=120)
         assert proc.returncode == 0
         for rule_id in ("FP101", "FP104", "FP201", "FP205", "FP301",
-                        "FP302", "FP303", "FP304", "FP305"):
+                        "FP302", "FP303", "FP304", "FP305", "FP306"):
             assert rule_id in proc.stdout
 
     def test_json_snapshot_matches_committed(self, tmp_path):
@@ -301,3 +326,105 @@ class TestVCIBenchSmoke:
         assert result["speedup_t4"]["ratio"] >= 2.0
         assert result["validation"]["drained"]
         assert (ROOT / "BENCH_vci.json").exists()
+
+
+class TestTsanCalibrationGuard:
+    """Race-detector neutrality gate: a ``tsan=False`` build must
+    charge byte-for-byte what the committed Figure 2 / Table 1 numbers
+    say — every detector hook outside ``repro.tsan`` is None-guarded
+    (FP306) and may not move a single charged instruction when the
+    detector is off."""
+
+    def test_tsan_false_keeps_figure2_exact(self):
+        import dataclasses
+        from repro.core.config import named_builds
+        from repro.perf.msgrate import measure_instructions
+        for label, (isend, put) in \
+                TestVCICalibrationGuard.FIGURE2.items():
+            config = dataclasses.replace(named_builds()[label],
+                                         tsan=False)
+            assert measure_instructions(config, "isend") == isend, label
+            assert measure_instructions(config, "put") == put, label
+
+    def test_tsan_false_keeps_table1_trace(self):
+        import json
+        from repro.core.config import BuildConfig
+        from repro.perf.msgrate import measure_call_record
+        for op, committed in TestVCICalibrationGuard.TABLE1.items():
+            rec = measure_call_record(BuildConfig(tsan=False), op)
+            trace = {cat.name: n for cat, n in
+                     sorted(rec.by_category.items(),
+                            key=lambda kv: kv[0].name) if n}
+            assert json.dumps(trace, sort_keys=True) \
+                == json.dumps(committed, sort_keys=True), op
+
+    def test_tsan_true_is_charge_invisible_too(self):
+        """Stronger: even *enabled*, the detector lives in host Python
+        outside the ledger — Figure 2 counts do not move."""
+        import dataclasses
+        from repro.core.config import named_builds
+        from repro.perf.msgrate import measure_instructions
+        label = "mpich/ch4 (default)"
+        isend, put = TestVCICalibrationGuard.FIGURE2[label]
+        config = dataclasses.replace(named_builds()[label], tsan=True)
+        assert measure_instructions(config, "isend") == isend
+        assert measure_instructions(config, "put") == put
+
+
+class TestTsanBenchSmoke:
+    """``benchmarks/bench_tsan.py --quick`` as a CI smoke: charged
+    counts identical, threaded flood clean under the detector."""
+
+    def test_quick_mode_runs_clean(self):
+        import json
+        proc = subprocess.run(
+            [sys.executable, "benchmarks/bench_tsan.py", "--quick"],
+            cwd=ROOT, env=_env(), capture_output=True, text=True,
+            timeout=300)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        result = json.loads(proc.stdout)
+        assert result["charged_instructions"]["identical"]
+        enabled = result["threaded_flood"]["enabled"]
+        assert enabled["findings"] == 0
+        assert enabled["lock_events"] > 0
+        assert (ROOT / "BENCH_tsan.json").exists()
+
+
+class TestUnifiedLintGate:
+    """The single CI lint entry point: ruff (when installed), the MPI
+    linter, the fast-path audit, and a quick stress pass under the
+    race detector — one test, every analysis, all green or the gate
+    fails."""
+
+    def test_all_analyses_green(self):
+        # 1. ruff over the shipped analysis packages (optional tool).
+        try:
+            ruff = subprocess.run(
+                ["ruff", "check", "src/repro/sanitize",
+                 "src/repro/audit", "src/repro/tsan"],
+                cwd=ROOT, capture_output=True, text=True, timeout=120)
+            assert ruff.returncode == 0, ruff.stdout + ruff.stderr
+        except FileNotFoundError:
+            pass   # optional tooling; the dedicated test skips loudly
+        # 2. Static MPI-correctness lint over every shipped program.
+        lint = subprocess.run(
+            [sys.executable, "-m", "repro.sanitize",
+             "examples", "src/repro/apps"],
+            cwd=ROOT, env=_env(), capture_output=True, text=True,
+            timeout=120)
+        assert lint.returncode == 0, lint.stdout + lint.stderr
+        # 3. Fast-path purity / guard-discipline audit over the tree.
+        audit = subprocess.run(
+            [sys.executable, "-m", "repro.audit", "src/repro"],
+            cwd=ROOT, env=_env(), capture_output=True, text=True,
+            timeout=300)
+        assert audit.returncode == 0, audit.stdout + audit.stderr
+        # 4. Quick threaded stress pass under the race detector.
+        import json
+        stress = subprocess.run(
+            [sys.executable, "benchmarks/bench_tsan.py", "--quick"],
+            cwd=ROOT, env=_env(), capture_output=True, text=True,
+            timeout=300)
+        assert stress.returncode == 0, stress.stdout + stress.stderr
+        assert json.loads(
+            stress.stdout)["threaded_flood"]["enabled"]["findings"] == 0

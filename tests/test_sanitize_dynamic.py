@@ -183,6 +183,82 @@ class TestRMAEpoch:
         assert _run(2, main) == [0.0, 1.0]
 
 
+class TestDeadContinuation:
+    """MS109 (runtime counterpart): on_complete on a dead handle."""
+
+    def test_attach_after_wait_raises(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(7, 1, tag=0)
+            else:
+                r = comm.irecv(0, tag=0)
+                r.wait()
+                r.on_complete(lambda req: None)
+
+        with pytest.raises(SanitizerError) as exc:
+            _run(2, main)
+        assert exc.value.code == "MS109"
+
+    def test_attach_before_wait_is_clean(self):
+        def main(comm):
+            import threading
+            fired = threading.Event()
+            if comm.rank == 0:
+                comm.send(7, 1, tag=0)
+                return True
+            r = comm.irecv(0, tag=0)
+            r.on_complete(lambda req: fired.set())
+            r.wait()
+            # The engine dispatches the continuation asynchronously —
+            # wait() returning does not mean it has run yet.
+            return fired.wait(timeout=10.0)
+
+        assert _run(2, main, config=replace(SAN, progress="thread")) \
+            == [True, True]
+
+
+class TestShardedThreadedDeadlock:
+    """MSD201 still fires with sharded matching and a progress engine.
+
+    The wait-for graph is world-level while matching state is per-VCI
+    and blocking happens off the progress threads — the detector must
+    see through both layers (regression for the PR-6/PR-7 runtime)."""
+
+    SHARDED = replace(SAN, num_vcis=4, progress="thread")
+
+    def test_two_rank_ssend_cycle_under_vcis_and_progress(self):
+        def main(comm):
+            buf = np.zeros(1, dtype=np.int64)
+            comm.Ssend(buf, dest=1 - comm.rank, tag=0)
+            comm.Recv(buf, source=1 - comm.rank, tag=0)
+
+        with pytest.raises(SanitizerError) as exc:
+            _run(2, main, config=self.SHARDED)
+        assert exc.value.code == "MSD201"
+        assert "rank 0" in str(exc.value)
+        assert "rank 1" in str(exc.value)
+
+    def test_recv_ring_cycle_under_vcis_and_progress(self):
+        def main(comm):
+            buf = np.zeros(1, dtype=np.int64)
+            comm.Recv(buf, source=(comm.rank - 1) % comm.size, tag=0)
+            comm.Send(buf, dest=(comm.rank + 1) % comm.size, tag=0)
+
+        with pytest.raises(SanitizerError) as exc:
+            _run(3, main, config=self.SHARDED)
+        assert exc.value.code == "MSD201"
+
+    def test_matched_exchange_under_vcis_and_progress_is_clean(self):
+        def main(comm):
+            out = np.full(1, comm.rank, dtype=np.int64)
+            buf = np.zeros(1, dtype=np.int64)
+            comm.Sendrecv(out, 1 - comm.rank, buf,
+                          source=1 - comm.rank)
+            return int(buf[0])
+
+        assert _run(2, main, config=self.SHARDED) == [1, 0]
+
+
 class TestNoObservableEffect:
     """sanitize=True never changes results or charged instructions."""
 

@@ -241,6 +241,75 @@ class TestRuleFixtures:
         )
         assert _ids(src) == []
 
+    def test_ms109_on_complete_after_wait(self):
+        src = (
+            "def f(comm, fn):\n"
+            "    r = comm.irecv(0, tag=1)\n"
+            "    r.wait()\n"
+            "    r.on_complete(fn)\n"
+        )
+        assert _ids(src) == ["MS109"]
+
+    def test_ms109_attach_continuation_alias_flagged(self):
+        src = (
+            "def f(comm, fn):\n"
+            "    r = comm.irecv(0, tag=1)\n"
+            "    r.wait()\n"
+            "    r.attach_continuation(fn)\n"
+        )
+        assert _ids(src) == ["MS109"]
+
+    def test_ms109_attach_before_wait_clean(self):
+        src = (
+            "def f(comm, fn):\n"
+            "    r = comm.irecv(0, tag=1)\n"
+            "    r.on_complete(fn)\n"
+            "    r.wait()\n"
+        )
+        assert _ids(src) == []
+
+    def test_ms109_rebound_handle_clean(self):
+        src = (
+            "def f(comm, fn):\n"
+            "    r = comm.irecv(0, tag=1)\n"
+            "    r.wait()\n"
+            "    r = comm.irecv(0, tag=2)\n"
+            "    r.on_complete(fn)\n"
+            "    r.wait()\n"
+        )
+        assert _ids(src) == []
+
+    def test_ms109_sibling_branches_exempt(self):
+        src = (
+            "def f(comm, fn, done):\n"
+            "    r = comm.irecv(0, tag=1)\n"
+            "    if done:\n"
+            "        r.wait()\n"
+            "    else:\n"
+            "        r.on_complete(fn)\n"
+            "        r.wait()\n"
+        )
+        assert _ids(src) == []
+
+    def test_ms109_loop_bodies_exempt(self):
+        src = (
+            "def f(comm, fn, reqs):\n"
+            "    for r in reqs:\n"
+            "        r.wait()\n"
+            "        r.on_complete(fn)\n"
+        )
+        assert _ids(src) == []
+
+    def test_ms109_test_does_not_close_lifetime(self):
+        src = (
+            "def f(comm, fn):\n"
+            "    r = comm.irecv(0, tag=1)\n"
+            "    r.test()\n"
+            "    r.on_complete(fn)\n"
+            "    r.wait()\n"
+        )
+        assert _ids(src) == []
+
 
 class TestPragmas:
     """``# sanitize: ignore`` suppresses findings on that line."""
@@ -289,5 +358,5 @@ class TestCatalog:
         for rule_id in RULES:
             assert rule_id in text
         assert {"MS101", "MS102", "MS103", "MS104", "MS105", "MS106",
-                "MS107", "MS108", "MSD201", "MSD202", "MSD203",
+                "MS107", "MS108", "MS109", "MSD201", "MSD202", "MSD203",
                 "MSD204"} <= set(RULES)
