@@ -1,0 +1,7 @@
+"""``python -m repro.bufcheck`` entry point."""
+
+import sys
+
+from repro.bufcheck.cli import main
+
+sys.exit(main())

@@ -1,0 +1,135 @@
+"""The copy census: static copies-per-path for the published variants.
+
+For each :class:`repro.audit.manifest.PathSpec` (the same 12 rows the
+audit's AUDIT.json freezes), the census roots the dataflow engine at
+the spec's MPI entry point with the entry buffer tainted, collects the
+event stream, and counts the *distinct data-movement sites* on two
+protocol variants:
+
+* **fastpath** — the contiguous zero-copy eager path (events carrying
+  no off-path qualifier: no ``strided``, no ``copy_mode``, no optional
+  subsystem);
+* **copy_mode** — the legacy always-copy path
+  (``BuildConfig(zero_copy=False)``; ``view_mode`` events drop out
+  instead).
+
+Send (isend) paths additionally carry a ``recv`` census rooted at
+``Communicator.Irecv`` — a transfer's end-to-end copy count is the
+send census plus the receive census.  CH4 paths exclude sites in the
+CH3 device tree and vice versa (the call-graph resolver
+over-approximates across devices).
+
+Site ids are line-number-free (``module:func::kind:what`` plus an
+ordinal for repeats), so the committed ``COPYMAP.json`` only changes
+when data movement actually changes — the same diff discipline as
+AUDIT.json.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.audit.callgraph import CodeIndex
+from repro.audit.manifest import AuditManifest, PathSpec, default_manifest
+from repro.bufcheck.dataflow import (Analyzer, Event, OFFCOPY_QUALS,
+                                     OFFPATH_QUALS, Taint)
+
+#: Entry parameter names carrying the user buffer, per path side.
+SEND_BUF_PARAMS = frozenset({"buf", "origin", "origin_buf", "sendbuf"})
+RECV_BUF_PARAMS = frozenset({"buf", "recvbuf"})
+
+#: The canonical receive twin for send-path censuses.
+RECV_TWIN = ("Communicator", "Irecv")
+
+
+def _entry_seeds(index: CodeIndex, cls: str, method: str,
+                 names: frozenset, taint: Taint) -> dict:
+    func = index.find_method(cls, method)
+    if func is None:
+        return {}
+    return {a.arg: taint for a in func.node.args.args
+            if a.arg in names}
+
+
+def _module_filter(spec_name: str) -> Callable[[Event], bool]:
+    """Keep only events in the spec's device tree (plus shared code)."""
+    if spec_name.startswith("ch3_"):
+        return lambda ev: not ev.qual.startswith("repro/core/ch4.py")
+    return lambda ev: not ev.qual.startswith("repro/ch3/")
+
+
+def _site_table(events: list[Event]) -> dict[str, dict]:
+    """Group events into distinct sites.  A site's id gains a ``#n``
+    ordinal (by in-function line order) only when one function holds
+    several same-kind same-what sites — relative order is stable under
+    unrelated edits, absolute line numbers are not."""
+    by_site: dict[str, dict[int, set]] = {}
+    for ev in events:
+        by_site.setdefault(ev.site, {}).setdefault(
+            ev.line, set()).add(ev.quals)
+    table: dict[str, dict] = {}
+    for site, lines in by_site.items():
+        ordered = sorted(lines)
+        for ordinal, line in enumerate(ordered):
+            site_id = site if len(ordered) == 1 else f"{site}#{ordinal}"
+            table[site_id] = {
+                "kind": site.rsplit("::", 1)[1].split(":", 1)[0],
+                "qualsets": lines[line],
+            }
+    return table
+
+
+def _variant(table: dict[str, dict], off: frozenset) -> dict:
+    """Count sites reachable with every off-variant qualifier absent."""
+    picked = {
+        site: info for site, info in table.items()
+        if any(not (qs & off) for qs in info["qualsets"])
+    }
+    def sites_of(kind: str) -> list[str]:
+        return sorted(s for s, i in picked.items() if i["kind"] == kind)
+    copies = sites_of("copy")
+    return {
+        "copies": len(copies),
+        "copy_sites": copies,
+        "views": len(sites_of("borrow")),
+        "transfers": len(sites_of("transfer")),
+    }
+
+
+def _census(analyzer: Analyzer, cls: str, method: str,
+            names: frozenset, taint: Taint,
+            keep: Callable[[Event], bool]) -> Optional[dict]:
+    seeds = _entry_seeds(analyzer.index, cls, method, names, taint)
+    if not seeds:
+        return None
+    events = [ev for ev in analyzer.run_entry(cls, method, seeds)
+              if keep(ev)]
+    table = _site_table(events)
+    return {
+        "fastpath": _variant(table, OFFPATH_QUALS),
+        "copy_mode": _variant(table, OFFCOPY_QUALS),
+    }
+
+
+def census_for_path(analyzer: Analyzer, spec: PathSpec) -> dict:
+    """The COPYMAP row for one published path."""
+    cls, method = spec.entry
+    keep = _module_filter(spec.name)
+    row: dict = {"op": spec.op, "entry": f"{cls}.{method}"}
+    send = _census(analyzer, cls, method, SEND_BUF_PARAMS,
+                   Taint("src", borrowed=True), keep)
+    row["send"] = send if send is not None else {}
+    if spec.op == "isend":
+        recv = _census(analyzer, RECV_TWIN[0], RECV_TWIN[1],
+                       RECV_BUF_PARAMS, Taint("dest", borrowed=True),
+                       keep)
+        row["recv"] = recv if recv is not None else {}
+    return row
+
+
+def build_copymap(analyzer: Analyzer,
+                  manifest: Optional[AuditManifest] = None) -> dict:
+    """The ``paths`` payload of COPYMAP.json (all 12 specs)."""
+    manifest = manifest if manifest is not None else default_manifest()
+    return {spec.name: census_for_path(analyzer, spec)
+            for spec in manifest.paths}

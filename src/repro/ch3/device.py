@@ -86,7 +86,13 @@ class CH3Device:
         env = Envelope(ctx=op.comm.ctx, src=op.comm.rank, tag=op.tag)
         request = proc.request_pool.acquire(RequestKind.SEND)
 
-        payload = pack(op.buf, op.count, op.dtref.datatype)
+        # Same zero-copy discipline as CH4: borrow the application
+        # buffer, pin the view on the request, copy only under fault
+        # injection (retransmit stashes hold payloads across calls).
+        payload = pack(op.buf, op.count, op.dtref.datatype,
+                       copy=not proc.config.zero_copy
+                       or proc.faults is not None)
+        request._keepalive = payload
         if proc.sanitizer is not None:
             proc.sanitizer.note_send(request, dest_world, op.sync, payload,
                                      (op.buf, op.count, op.dtref.datatype))
@@ -134,7 +140,8 @@ class CH3Device:
         def on_match(msg: Message) -> None:
             try:
                 if buf is None:
-                    request.payload = msg.data
+                    # Bufferless receive: take ownership of the payload.
+                    request.payload = msg.owned_data()
                 else:
                     unpack(msg.data, buf, count, datatype)
                 request.complete(msg.arrive_s, source=msg.env.src,

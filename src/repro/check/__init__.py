@@ -1,0 +1,8 @@
+"""Unified analysis gate: sanitize + audit + bufcheck in one command.
+
+``python -m repro.check`` — see :mod:`repro.check.cli`.
+"""
+
+from repro.check.cli import main, run_check
+
+__all__ = ["main", "run_check"]

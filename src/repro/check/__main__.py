@@ -1,0 +1,7 @@
+"""``python -m repro.check`` entry point."""
+
+import sys
+
+from repro.check.cli import main
+
+sys.exit(main())

@@ -188,7 +188,15 @@ class CH4Device:
                 else man.descriptor)
         proc.charge(_MAND, desc, Subsystem.DESCRIPTOR)
 
-        payload = pack(op.buf, op.count, op.dtref.datatype)
+        # Zero-copy fast path: the payload borrows the application
+        # buffer; the request pins the view until recycled.  Fault-
+        # injected builds keep the snapshot (the retransmit stash
+        # holds payloads across calls).
+        payload = pack(op.buf, op.count, op.dtref.datatype,
+                       copy=not proc.config.zero_copy
+                       or proc.faults is not None)
+        if request is not None:
+            request._keepalive = payload
         if proc.sanitizer is not None and request is not None:
             proc.sanitizer.note_send(request, dest_world, op.sync, payload,
                                      (op.buf, op.count, op.dtref.datatype))
@@ -312,7 +320,9 @@ class CH4Device:
         def on_match(msg: Message) -> None:
             try:
                 if buf is None:
-                    request.payload = msg.data
+                    # Bufferless receive: the payload outlives the
+                    # sender's buffer, so take ownership.
+                    request.payload = msg.owned_data()
                 else:
                     unpack(msg.data, buf, count, datatype)
                 request.complete(msg.arrive_s, source=msg.env.src,

@@ -138,6 +138,20 @@ class BuildConfig:
         Table 1 numbers (every hook guards on ``progress is None`` —
         audit rule FP305); engine work is charged to
         ``Category.PROGRESS``, off the application's critical path.
+    zero_copy:
+        Carry contiguous eager point-to-point payloads as zero-copy
+        ``memoryview`` borrows of the application buffer instead of
+        packed ``bytes`` snapshots (:mod:`repro.bufcheck`'s first
+        conversion, after the GPAW C-layer idiom: validate once, keep
+        a reference alive on the request).  The request pins the view,
+        the matching engine takes ownership (``Message.own_data``) the
+        moment a message would outlive the sending call, and fault-
+        injected builds force the copying path because the retransmit
+        stash holds payloads across calls.  Default True; ``False``
+        restores the always-copy behaviour (the before-side of
+        ``benchmarks/bench_bufcheck.py``).  Wall-clock/allocation
+        behaviour only: charged instruction counts are byte-identical
+        either way (``TestBufcheckCalibrationGuard``).
     tsan:
         Hybrid race & deadlock detector (:mod:`repro.tsan`), in the
         style of Eraser + FastTrack: instrumented runtime locks and
@@ -169,6 +183,7 @@ class BuildConfig:
     vci_policy: str = "hash"
     fault_plan: FaultPlan | None = None
     progress: str | None = None
+    zero_copy: bool = True
     tsan: bool = False
 
     @property

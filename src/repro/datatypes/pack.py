@@ -1,14 +1,20 @@
 """Vectorized pack/unpack engines.
 
-Messages travel through the runtime as contiguous ``bytes``.  Packing a
-``(buffer, count, datatype)`` triple gathers the true-data bytes of
-*count* elements; unpacking scatters them back.  Both paths are
-numpy-vectorized: a gather-index array is built once per
+Messages travel through the runtime as contiguous byte ranges.
+Packing a ``(buffer, count, datatype)`` triple gathers the true-data
+bytes of *count* elements; unpacking scatters them back.  Both paths
+are numpy-vectorized: a gather-index array is built once per
 ``(datatype, count)`` and cached, after which pack/unpack are single
 fancy-indexing operations — the idiom the HPC-Python guides prescribe
 (vectorize the loop, reuse the index arrays, avoid per-element Python).
 
-The fast path (contiguous datatype) is a zero-copy slice.
+The fast path (contiguous datatype) is genuinely zero-copy: ``pack``
+returns a read-through ``memoryview`` of the caller's storage unless
+``copy=True`` forces the legacy materializing behaviour.  Ownership
+discipline for the view (who must materialize it, and when) is what
+``repro.bufcheck`` statically verifies; every copy/borrow performed
+here reports to :mod:`repro.instrument.copies` so the static census
+can be cross-checked at runtime.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ import numpy as np
 
 from repro.datatypes.predefined import Datatype
 from repro.errors import MPIErrBuffer, MPIErrCount, MPIErrTruncate
+from repro.instrument import copies
 
 Buffer = Union[bytes, bytearray, memoryview, np.ndarray]
 
@@ -68,8 +75,22 @@ def _required_span(count: int, datatype: Datatype) -> int:
     return (count - 1) * datatype.extent + datatype.typemap.ub
 
 
-def pack(buf: Buffer, count: int, datatype: Datatype) -> bytes:
-    """Gather *count* elements of *datatype* from *buf* into dense bytes."""
+Packed = Union[bytes, memoryview]
+
+
+def pack(buf: Buffer, count: int, datatype: Datatype,
+         copy: bool = False) -> Packed:
+    """Gather *count* elements of *datatype* from *buf* into a dense
+    byte range.
+
+    Contiguous datatypes return a zero-copy ``memoryview`` of *buf*'s
+    storage (the caller borrows the application buffer; whoever may
+    hold the range past the call must take ownership via
+    ``Message.own_data()`` / ``bytes()``) unless ``copy=True``, which
+    forces an owned ``bytes`` snapshot — the pre-zero-copy behaviour,
+    kept for fault-injected builds and as the before-side of the copy
+    benchmarks.  Non-contiguous gathers always materialize.
+    """
     if count < 0:
         raise MPIErrCount(f"count must be >= 0, got {count}")
     if count == 0:
@@ -81,12 +102,20 @@ def pack(buf: Buffer, count: int, datatype: Datatype) -> bytes:
             f"buffer holds {raw.size} bytes, need {need} for "
             f"{count} x {datatype.name}")
     if datatype.contig:
-        return raw[: count * datatype.size].tobytes()
+        seg = raw[: count * datatype.size]
+        if copy:
+            copies.note_copy(seg.size)
+            return seg.tobytes()   # bufcheck: ignore[BC504] - copy mode
+        copies.note_view(seg.size)
+        return seg.data
     idx = _gather_indices(datatype, count)
-    return raw[idx].tobytes()
+    gathered = raw[idx]
+    copies.note_copy(gathered.size)
+    return gathered.tobytes()
 
 
-def unpack(data: bytes, buf: Buffer, count: int, datatype: Datatype) -> int:
+def unpack(data: Packed, buf: Buffer, count: int,
+           datatype: Datatype) -> int:
     """Scatter dense bytes *data* into *buf* as *count* elements.
 
     Returns the number of whole elements written (MPI_GET_COUNT
@@ -115,8 +144,9 @@ def unpack(data: bytes, buf: Buffer, count: int, datatype: Datatype) -> int:
         raise MPIErrBuffer(
             f"receive buffer holds {raw.size} bytes, need {need}")
     src = np.frombuffer(data, dtype=np.uint8)
+    copies.note_copy(src.size)
     if datatype.contig:
-        raw[: len(data)] = src
+        raw[: len(data)] = src   # the one receive-side scatter copy
     else:
         idx = _gather_indices(datatype, nelem)
         raw[idx] = src

@@ -80,9 +80,11 @@ def barrier(comm: "Communicator") -> None:
         k <<= 1
 
 
-def bcast_bytes(comm: "Communicator", data: Optional[bytes],
-                root: int) -> bytes:
-    """Binomial-tree broadcast of a byte string."""
+def bcast_bytes(comm: "Communicator",
+                data: Optional["bytes | memoryview"],
+                root: int) -> "bytes | memoryview":
+    """Binomial-tree broadcast of a byte string (the root may pass a
+    zero-copy view, which it also gets back)."""
     _check_root(comm, root)
     size, rank = comm.size, comm.rank
     if size == 1:
@@ -112,7 +114,8 @@ def bcast_bytes(comm: "Communicator", data: Optional[bytes],
     return data if data is not None else b""
 
 
-def bcast_scatter_allgather(comm: "Communicator", data: Optional[bytes],
+def bcast_scatter_allgather(comm: "Communicator",
+                            data: Optional["bytes | memoryview"],
                             root: int) -> bytes:
     """Van de Geijn broadcast: scatter P near-equal chunks from the
     root, then ring-allgather them — the bandwidth-optimal large-
@@ -131,7 +134,11 @@ def bcast_scatter_allgather(comm: "Communicator", data: Optional[bytes],
 
     chunks = None
     if comm.rank == root:
-        chunks = [data[i * chunk:(i + 1) * chunk] for i in range(size)]
+        # Slice through a memoryview: chunking P ways stays zero-copy
+        # whether the payload arrived as bytes or as a buffer view
+        # (slicing a bytes object would copy every chunk).
+        view = memoryview(data)
+        chunks = [view[i * chunk:(i + 1) * chunk] for i in range(size)]
     mine = scatter_bytes(comm, chunks, root)
     # Ring allgather of the chunks, then reassemble in rank order.
     pieces = allgather_bytes(comm, mine)
@@ -259,9 +266,11 @@ def allgather_bytes(comm: "Communicator", data: bytes) -> list[bytes]:
     return blocks  # type: ignore[return-value]
 
 
-def scatter_bytes(comm: "Communicator", chunks: Optional[Sequence[bytes]],
-                  root: int) -> bytes:
-    """Linear scatter of per-rank byte strings from the root."""
+def scatter_bytes(comm: "Communicator",
+                  chunks: Optional[Sequence["bytes | memoryview"]],
+                  root: int) -> "bytes | memoryview":
+    """Linear scatter of per-rank byte chunks from the root (chunks
+    may be zero-copy views; the root's own chunk is returned as-is)."""
     _check_root(comm, root)
     size, rank = comm.size, comm.rank
     if rank == root:
@@ -277,7 +286,8 @@ def scatter_bytes(comm: "Communicator", chunks: Optional[Sequence[bytes]],
 
 
 def alltoall_bytes(comm: "Communicator",
-                   chunks: Sequence[bytes]) -> list[bytes]:
+                   chunks: Sequence["bytes | memoryview"],
+                   ) -> list["bytes | memoryview"]:
     """Pairwise-exchange alltoall (P-1 sendrecv rounds)."""
     size, rank = comm.size, comm.rank
     if len(chunks) != size:
@@ -446,7 +456,11 @@ def bcast_buf(comm: "Communicator", array: np.ndarray, root: int,
     if algorithm is None:
         algorithm = ("binomial" if arr.nbytes <= BCAST_BINOMIAL_MAX_BYTES
                      else "scatter_allgather")
-    payload = arr.tobytes() if comm.rank == root else None
+    # The root's payload is a borrow of the user buffer: every forward
+    # on the tree is a blocking send, and the matching engine owns any
+    # unexpected copy, so no materialization is needed.
+    payload = (arr.view(np.uint8).reshape(-1).data
+               if comm.rank == root else None)
     if algorithm == "binomial":
         data = bcast_bytes(comm, payload, root)
     elif algorithm == "scatter_allgather":
@@ -472,7 +486,10 @@ def reduce_buf(comm: "Communicator", sendbuf: np.ndarray,
         b = np.frombuffer(higher, dtype=send.dtype)
         return the_op.combine_arrays(a, b).tobytes()
 
-    result = reduce_pairs(comm, send.tobytes(), root, combine)
+    # Snapshot once up front: the binomial tree holds the running
+    # payload across log P combine rounds, and bounding the user-buffer
+    # borrow to the entry keeps the rounds free to interleave recvs.
+    result = reduce_pairs(comm, send.tobytes(), root, combine)  # bufcheck: ignore[BC504]
     if comm.rank == root:
         if recvbuf is None:
             raise MPIErrArg("reduce root needs a recvbuf")
@@ -507,7 +524,9 @@ def allreduce_buf(comm: "Communicator", sendbuf: np.ndarray,
             b = np.frombuffer(higher, dtype=send.dtype)
             return the_op.combine_arrays(a, b).tobytes()
 
-        result = allreduce_recursive_doubling(comm, send.tobytes(),
+        # Snapshot up front: recursive doubling reuses the running
+        # payload across rounds with pre-posted receives in flight.
+        result = allreduce_recursive_doubling(comm, send.tobytes(),  # bufcheck: ignore[BC504]
                                               combine)
         recv.view(np.uint8).reshape(-1)[:] = np.frombuffer(result,
                                                            np.uint8)
@@ -527,7 +546,9 @@ def allgather_buf(comm: "Communicator", sendbuf: np.ndarray,
         raise MPIErrArg(
             f"allgather recvbuf must hold {comm.size} blocks of "
             f"{send.nbytes} bytes, has {recv.nbytes}")
-    blocks = allgather_bytes(comm, send.tobytes())
+    # Own bytes up front: the ring stores the block in the returned
+    # result list, so a sendbuf borrow would escape the call.
+    blocks = allgather_bytes(comm, send.tobytes())  # bufcheck: ignore[BC504]
     flat = recv.view(np.uint8).reshape(-1)
     for i, block in enumerate(blocks):
         flat[i * send.nbytes:(i + 1) * send.nbytes] = \
@@ -538,7 +559,9 @@ def gather_buf(comm: "Communicator", sendbuf: np.ndarray,
                recvbuf: Optional[np.ndarray], root: int) -> None:
     """MPI_GATHER of equal-size numpy blocks into *recvbuf* at root."""
     send = _as_contig(sendbuf, "gather sendbuf")
-    chunks = gather_bytes(comm, send.tobytes(), root)
+    # Own bytes up front: the root stores its own block in the gathered
+    # result list, so a sendbuf borrow would escape the call.
+    chunks = gather_bytes(comm, send.tobytes(), root)  # bufcheck: ignore[BC504]
     if comm.rank != root:
         return
     if recvbuf is None:
@@ -567,8 +590,10 @@ def scatter_buf(comm: "Communicator", sendbuf: Optional[np.ndarray],
             raise MPIErrArg(
                 f"scatter sendbuf must hold {comm.size} blocks of "
                 f"{recv.nbytes} bytes, has {send.nbytes}")
+        # Per-rank chunks are borrows of sendbuf — each linear send is
+        # blocking and the engine materializes unexpected arrivals.
         raw = send.view(np.uint8).reshape(-1)
-        chunks = [raw[i * recv.nbytes:(i + 1) * recv.nbytes].tobytes()
+        chunks = [raw[i * recv.nbytes:(i + 1) * recv.nbytes].data
                   for i in range(comm.size)]
     block = scatter_bytes(comm, chunks, root)
     recv.view(np.uint8).reshape(-1)[:] = np.frombuffer(block, np.uint8)
@@ -591,11 +616,14 @@ def reduce_scatter_block_buf(comm: "Communicator", sendbuf: np.ndarray,
         b = np.frombuffer(higher, dtype=send.dtype)
         return the_op.combine_arrays(a, b).tobytes()
 
-    reduced = reduce_pairs(comm, send.tobytes(), 0, combine)
+    reduced = reduce_pairs(comm, send.view(np.uint8).reshape(-1).data,
+                           0, combine)
     chunks = None
     if comm.rank == 0:
+        # The reduction output is already owned bytes (or, at P=1, the
+        # sendbuf borrow itself) — chunk it with views either way.
         raw = np.frombuffer(reduced, np.uint8)
-        chunks = [raw[i * recv.nbytes:(i + 1) * recv.nbytes].tobytes()
+        chunks = [raw[i * recv.nbytes:(i + 1) * recv.nbytes].data
                   for i in range(comm.size)]
     block = scatter_bytes(comm, chunks, 0)
     recv.view(np.uint8).reshape(-1)[:] = np.frombuffer(block, np.uint8)
@@ -615,7 +643,9 @@ def scan_buf(comm: "Communicator", sendbuf: np.ndarray,
         b = np.frombuffer(higher, dtype=send.dtype)
         return the_op.combine_arrays(a, b).tobytes()
 
-    result = scan_bytes(comm, send.tobytes(), combine)
+    # Snapshot up front: rank i's payload may be returned as-is (rank
+    # 0) or forwarded down the chain after the local recv completes.
+    result = scan_bytes(comm, send.tobytes(), combine)  # bufcheck: ignore[BC504]
     recv.view(np.uint8).reshape(-1)[:] = np.frombuffer(result, np.uint8)
 
 
@@ -631,8 +661,10 @@ def alltoall_buf(comm: "Communicator", sendbuf: np.ndarray,
             f"alltoall buffer of {send.nbytes} bytes does not split into "
             f"{comm.size} blocks")
     blk = send.nbytes // comm.size
+    # Chunk sendbuf with views: every pairwise round is a blocking
+    # sendrecv, so the borrows never outlive the exchange.
     raw = send.view(np.uint8).reshape(-1)
-    chunks = [raw[i * blk:(i + 1) * blk].tobytes()
+    chunks = [raw[i * blk:(i + 1) * blk].data
               for i in range(comm.size)]
     out = alltoall_bytes(comm, chunks)
     flat = recv.view(np.uint8).reshape(-1)

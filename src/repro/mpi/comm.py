@@ -175,8 +175,8 @@ class Communicator:
     # internal byte-stream primitives (collectives, pickled API)          #
     # ------------------------------------------------------------------ #
 
-    def _isend_bytes(self, data: bytes, dest: int, tag: int,
-                     sync: bool = False,
+    def _isend_bytes(self, data: "bytes | memoryview", dest: int,
+                     tag: int, sync: bool = False,
                      flags: ext.ExtFlags = ext.NONE) -> Optional[Request]:
         buf = np.frombuffer(data, np.uint8) if data else np.empty(0, np.uint8)
         op = SendOp(buf=buf, count=len(data), dtref=BYTE_REF, dest=dest,

@@ -54,5 +54,7 @@ def mpi_unpack(inbuf: Buffer, position: int, outbuf: Buffer, count: int,
         raise MPIErrBuffer(
             f"unpack reads past input buffer: need {end} bytes, "
             f"have {raw.size}")
-    unpack(raw[position:end].tobytes(), outbuf, count, datatype)
+    # Feed the scatter a view of the input range — materializing it
+    # first would be a pointless extra copy (bufcheck rule BC504).
+    unpack(raw[position:end].data, outbuf, count, datatype)
     return end

@@ -106,7 +106,10 @@ class PersistentSend(PersistentRequest):
                             COSTS.isend_mandatory.descriptor,
                             Subsystem.DESCRIPTOR)
                 device = proc.device
-                payload = pack(self.buf, self.count, self.dtref.datatype)
+                payload = pack(self.buf, self.count, self.dtref.datatype,
+                               copy=not proc.config.zero_copy
+                               or proc.faults is not None)
+                request._keepalive = payload
                 if proc.sanitizer is not None:
                     proc.sanitizer.note_send(
                         request, self.dest_world, False, payload,

@@ -133,7 +133,9 @@ class WindowState:
         else:
             if buffer is None:
                 buffer = np.empty(0, dtype=np.uint8)
-            self._buffer = buffer.view(np.uint8).reshape(-1)
+            # Windows alias the user's array for their whole lifetime —
+            # that is MPI_WIN_CREATE's contract, not a leaked borrow.
+            self._buffer = buffer.view(np.uint8).reshape(-1)  # bufcheck: ignore[BC503]
 
     @property
     def nbytes(self) -> int:

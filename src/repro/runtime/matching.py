@@ -209,6 +209,11 @@ class LinearMatchingEngine(_MatchingEngineBase):
                     self._fire_sync(msg, msg.arrive_s)
                     self._lock.notify_all()
                     return
+            # Unmatched: the message outlives the sender's call, so a
+            # zero-copy payload view must become owned bytes now (the
+            # application may legally reuse its buffer after the send
+            # completes).
+            msg.own_data()
             self._unexpected.append(msg)
             self._lock.notify_all()
 
@@ -396,6 +401,10 @@ class BucketMatchingEngine(_MatchingEngineBase):
             self._posted_wild_removed = 0
 
     def _add_unexpected(self, msg: Message) -> None:
+        # The message outlives the sender's call from here on: convert
+        # a zero-copy payload view into owned bytes (MPI permits buffer
+        # reuse once the send completes).  VCI shards inherit this.
+        msg.own_data()
         entry = _UxEntry(self._next_seq(), msg)
         env = msg.env
         if env.nomatch:

@@ -12,6 +12,8 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
+from repro.instrument import copies
+
 _seq = itertools.count()
 
 
@@ -34,7 +36,10 @@ class Message:
     env:
         Matching envelope.
     data:
-        Packed payload bytes.
+        Packed payload: owned ``bytes``, or a zero-copy ``memoryview``
+        borrowing the sender's buffer while the message is in flight
+        within the sender's call (the matching engine materializes via
+        :meth:`own_data` before a message can outlive the send).
     arrive_s:
         Virtual time at which the payload is available at the target
         (sender clock at issue + fabric transfer time).
@@ -49,7 +54,7 @@ class Message:
     """
 
     env: Envelope
-    data: bytes
+    data: "bytes | memoryview"
     arrive_s: float
     seq: int = field(default_factory=lambda: next(_seq))
     am_handler: str | None = None
@@ -62,6 +67,28 @@ class Message:
     def nbytes(self) -> int:
         """Payload size in bytes."""
         return len(self.data)
+
+    def own_data(self) -> None:
+        """Take ownership of a borrowed payload, in place.
+
+        MPI lets the application reuse its send buffer the moment the
+        send completes, so a zero-copy payload view must be
+        materialized before the message can sit in an unexpected queue
+        (or a retransmit stash) past the sending call.  This is the
+        runtime's one sanctioned ownership-transfer point; a no-op for
+        payloads that are already owned ``bytes``.
+        """
+        if isinstance(self.data, memoryview):
+            copies.note_transfer(len(self.data))
+            self.data = bytes(self.data)
+
+    def owned_data(self) -> bytes:
+        """The payload as owned ``bytes`` (for bufferless receives,
+        whose ``request.payload`` outlives the sender's buffer)."""
+        if isinstance(self.data, memoryview):
+            copies.note_copy(len(self.data))
+            self.data = bytes(self.data)
+        return self.data
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         kind = f"AM:{self.am_handler}" if self.am_handler else "pt2pt"

@@ -64,7 +64,7 @@ class Request:
     __slots__ = ("kind", "_done", "_abort", "_lock", "_waiters",
                  "_flushing", "_epoch", "_tsan_key",
                  "complete_s", "source", "tag", "count_bytes", "error",
-                 "cancelled", "_proc", "payload")
+                 "cancelled", "_proc", "payload", "_keepalive")
 
     #: Serial numbers for detector annotation keys.  ``id(self)`` is
     #: NOT usable as a key: CPython reuses addresses, so a dead
@@ -101,6 +101,11 @@ class Request:
         self.cancelled = False
         #: Raw received bytes for bufferless (generic-object) receives.
         self.payload: Optional[bytes] = None
+        #: Zero-copy send: the request pins the payload view (and so
+        #: the buffer it borrows) until the handle is recycled — the
+        #: GPAW C-layer idiom of keeping a reference on the request
+        #: instead of copying.  Checked statically by bufcheck BC503.
+        self._keepalive: "object | None" = None
 
     # -- completion-side API (called by whichever thread finishes the op)
 
@@ -351,6 +356,7 @@ class Request:
             self.error = None
             self.cancelled = False
             self.payload = None
+            self._keepalive = None
 
 
 class RequestPool:

@@ -126,7 +126,9 @@ class RankSanitizer:
         if sync:
             rec.peer = dest_world
         if pack_args is not None:
-            rec.crc = zlib.crc32(bytes(payload))
+            # crc32 reads any buffer (bytes, memoryview, ndarray), so
+            # zero-copy payload views checksum without materializing.
+            rec.crc = zlib.crc32(payload)
             rec.pack_args = pack_args
 
     def note_recv(self, request: "Request",
@@ -145,7 +147,7 @@ class RankSanitizer:
             return
         from repro.datatypes.pack import pack
         buf, count, datatype = rec.pack_args
-        if zlib.crc32(bytes(pack(buf, count, datatype))) != rec.crc:
+        if zlib.crc32(pack(buf, count, datatype)) != rec.crc:
             raise SanitizerError(
                 "MSD203",
                 f"send buffer of {rec.api or 'send'} issued at "

@@ -1,0 +1,169 @@
+"""The copy census: COPYMAP.json snapshot discipline and its runtime
+ground truth.
+
+Static side: the committed ``COPYMAP.json`` is byte-equivalent to a
+fresh census over the shipped tree, covers all 12 published paths, and
+shows the zero-copy conversion (fastpath strictly cheaper than the
+legacy copy mode on every converted path).
+
+Dynamic side: one eager contiguous transfer performs *exactly* the
+number of payload copies the census predicts — with ``zero_copy=True``
+one copy end-to-end (the receive-side scatter), with
+``zero_copy=False`` two (pack materialization + scatter) — measured by
+the :mod:`repro.instrument.copies` counters the pack layer and the
+matching engine report into.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.bufcheck.cli import default_paths, run_bufcheck
+from repro.core.config import BuildConfig
+from repro.instrument import copies
+from tests.conftest import run_world
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+PATH_NAMES = {
+    "ch3_isend", "ch3_put",
+    "ch4_isend_default", "ch4_isend_noerr", "ch4_isend_nothread",
+    "ch4_isend_ipo", "isend_all_opts",
+    "ch4_put_default", "ch4_put_noerr", "ch4_put_nothread",
+    "ch4_put_ipo", "put_all_opts",
+}
+
+
+@pytest.fixture(scope="module")
+def snapshot() -> dict:
+    """One fresh census over the shipped tree (the expensive part)."""
+    _report, snap = run_bufcheck(default_paths())
+    return snap
+
+
+@pytest.fixture(scope="module")
+def committed() -> dict:
+    return json.loads((ROOT / "COPYMAP.json").read_text())
+
+
+class TestCopymapSnapshot:
+    def test_matches_committed(self, snapshot, committed):
+        """Regenerating the census reproduces the committed artifact —
+        the AUDIT.json diff discipline for data movement."""
+        assert snapshot == committed
+
+    def test_all_published_paths_covered(self, committed):
+        assert set(committed["paths"]) == PATH_NAMES
+
+    def test_tree_is_finding_free(self, committed):
+        assert committed["findings"]["count"] == 0
+        assert committed["findings"]["by_rule"] == {}
+
+    def test_isend_rows_have_both_sides(self, committed):
+        for name, row in committed["paths"].items():
+            assert row["send"], name
+            if row["op"] == "isend":
+                assert row["recv"], name
+
+
+class TestZeroCopyConversion:
+    """The conversion's contract, as frozen in the committed census."""
+
+    def test_fastpath_never_costlier_than_copy_mode(self, committed):
+        for name, row in committed["paths"].items():
+            for side in ("send", "recv"):
+                variant = row.get(side)
+                if not variant:
+                    continue
+                assert variant["fastpath"]["copies"] \
+                    <= variant["copy_mode"]["copies"], (name, side)
+
+    def test_isend_send_side_is_zero_copy(self, committed):
+        """The converted eager contiguous send path carries a view the
+        whole way: no copy site on any published isend path."""
+        for name, row in committed["paths"].items():
+            if row["op"] != "isend":
+                continue
+            assert row["send"]["fastpath"]["copies"] == 0, name
+            assert row["send"]["copy_mode"]["copies"] == 1, name
+
+    def test_recv_side_keeps_the_one_scatter(self, committed):
+        """Landing into the user's receive buffer is the one copy MPI
+        semantics require; the census sees exactly it."""
+        for name, row in committed["paths"].items():
+            if row["op"] != "isend":
+                continue
+            sites = row["recv"]["fastpath"]["copy_sites"]
+            assert len(sites) == 1, name
+            assert "unpack" in sites[0] and "scatter" in sites[0], name
+
+    def test_put_paths_dropped_the_origin_copy(self, committed):
+        for name, row in committed["paths"].items():
+            if row["op"] != "put":
+                continue
+            assert row["send"]["fastpath"]["copies"] \
+                < row["send"]["copy_mode"]["copies"], name
+
+    def test_send_path_pins_a_keepalive_transfer(self, committed):
+        """The view-carrying send paths own a sanctioned transfer point
+        (``Message.own_data``) — the census proves the keepalive
+        discipline is on the path, not just in the rulebook."""
+        for name, row in committed["paths"].items():
+            if row["op"] != "isend":
+                continue
+            assert row["send"]["fastpath"]["transfers"] >= 1, name
+
+
+def _one_transfer(comm, n):
+    """Rank 0 sends *n* contiguous doubles, rank 1 lands them."""
+    if comm.rank == 0:
+        src = np.arange(n, dtype=np.float64)
+        comm.Send(src, dest=1, tag=7)
+        return None
+    dst = np.zeros(n, dtype=np.float64)
+    comm.Recv(dst, source=0, tag=7)
+    return dst.sum()
+
+
+class TestRuntimeCrossCheck:
+    """The static census against the live counters, per build mode."""
+
+    N = 64          #: doubles per transfer (well under eager cutoff)
+    NBYTES = N * 8
+
+    def _measure(self, config) -> copies.CopySnapshot:
+        with copies.track() as delta:
+            results = run_world(2, _one_transfer, config=config,
+                                args=(self.N,))
+        assert results[1] == sum(range(self.N))
+        return delta()
+
+    def test_zero_copy_build_matches_census(self, committed):
+        row = committed["paths"]["ch4_isend_default"]
+        expected = (row["send"]["fastpath"]["copies"]
+                    + row["recv"]["fastpath"]["copies"])
+        moved = self._measure(BuildConfig())
+        assert moved.n_copies == expected == 1
+        assert moved.bytes_copied == self.NBYTES
+        # The payload travelled as a view at least once.
+        assert moved.n_views >= 1
+
+    def test_copy_mode_build_matches_census(self, committed):
+        row = committed["paths"]["ch4_isend_default"]
+        expected = (row["send"]["copy_mode"]["copies"]
+                    + row["recv"]["copy_mode"]["copies"])
+        moved = self._measure(BuildConfig(zero_copy=False))
+        assert moved.n_copies == expected == 2
+        assert moved.bytes_copied == 2 * self.NBYTES
+        # Owned bytes never need the ownership-transfer escape hatch.
+        assert moved.n_transfers == 0
+
+    def test_conversion_halves_runtime_copies(self):
+        fast = self._measure(BuildConfig())
+        legacy = self._measure(BuildConfig(zero_copy=False))
+        assert fast.n_copies < legacy.n_copies
+        assert fast.bytes_copied * 2 == legacy.bytes_copied

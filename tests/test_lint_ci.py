@@ -3,9 +3,11 @@
 The MPI linter runs over every shipped program (``examples/`` and the
 mini-apps) exactly as the CI job would:
 ``python -m repro.sanitize examples src/repro/apps``; the fast-path
-audit over ``src/repro``; the race detector's quick stress pass via
-``benchmarks/bench_tsan.py --quick``; and ruff where installed (the
-job skips cleanly when the binary is missing).
+audit over ``src/repro``; the buffer-ownership & copy-census gate
+(``python -m repro.bufcheck``, snapshot frozen in ``COPYMAP.json``);
+the unified ``python -m repro.check`` driver; the race detector's
+quick stress pass via ``benchmarks/bench_tsan.py --quick``; and ruff
+where installed (the job skips cleanly when the binary is missing).
 ``TestUnifiedLintGate`` chains all of them as the single CI entry
 point.  The calibration-guard classes pin the committed Figure 2 /
 Table 1 charging against every opt-in subsystem's off switch.
@@ -390,18 +392,158 @@ class TestTsanBenchSmoke:
         assert (ROOT / "BENCH_tsan.json").exists()
 
 
+class TestBufcheckCLI:
+    """``python -m repro.bufcheck`` as the CI copy-census gate runs it."""
+
+    def test_tree_checks_clean(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.bufcheck"],
+            cwd=ROOT, env=_env(), capture_output=True, text=True,
+            timeout=300)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 finding(s)" in proc.stdout
+
+    def test_needless_copy_fails_the_gate(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def send(sendbuf):\n"
+                       "    return sendbuf.tobytes()\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.bufcheck", str(bad)],
+            cwd=ROOT, env=_env(), capture_output=True, text=True,
+            timeout=120)
+        assert proc.returncode == 1
+        assert "BC504" in proc.stdout
+
+    def test_rules_flag_prints_catalog(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.bufcheck", "--rules"],
+            cwd=ROOT, env=_env(), capture_output=True, text=True,
+            timeout=120)
+        assert proc.returncode == 0
+        for rule_id in ("BC501", "BC502", "BC503", "BC504", "BC505"):
+            assert rule_id in proc.stdout
+
+    def test_json_snapshot_matches_committed(self, tmp_path):
+        out = tmp_path / "COPYMAP.json"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.bufcheck",
+             "--json", str(out)],
+            cwd=ROOT, env=_env(), capture_output=True, text=True,
+            timeout=300)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        import json
+        assert json.loads(out.read_text()) \
+            == json.loads((ROOT / "COPYMAP.json").read_text())
+
+
+class TestBufcheckCalibrationGuard:
+    """Zero-copy neutrality gate: carrying payloads as views (or
+    forcing the legacy copies with ``zero_copy=False``) moves memory
+    traffic only — the charged Figure 2 / Table 1 instruction counts
+    may not move by a single instruction in either direction."""
+
+    def test_both_modes_keep_figure2_exact(self):
+        import dataclasses
+        from repro.core.config import named_builds
+        from repro.perf.msgrate import measure_instructions
+        for zero_copy in (True, False):
+            for label, (isend, put) in \
+                    TestVCICalibrationGuard.FIGURE2.items():
+                config = dataclasses.replace(named_builds()[label],
+                                             zero_copy=zero_copy)
+                assert measure_instructions(config, "isend") == isend, \
+                    (label, zero_copy)
+                assert measure_instructions(config, "put") == put, \
+                    (label, zero_copy)
+
+    def test_both_modes_keep_table1_trace(self):
+        import json
+        from repro.core.config import BuildConfig
+        from repro.perf.msgrate import measure_call_record
+        for zero_copy in (True, False):
+            for op, committed in TestVCICalibrationGuard.TABLE1.items():
+                rec = measure_call_record(
+                    BuildConfig(zero_copy=zero_copy), op)
+                trace = {cat.name: n for cat, n in
+                         sorted(rec.by_category.items(),
+                                key=lambda kv: kv[0].name) if n}
+                assert json.dumps(trace, sort_keys=True) \
+                    == json.dumps(committed, sort_keys=True), \
+                    (op, zero_copy)
+
+
+class TestBufcheckBenchSmoke:
+    """``benchmarks/bench_bufcheck.py --quick`` as a CI smoke: exactly
+    one runtime copy per transfer after the conversion, two before."""
+
+    def test_quick_mode_counts_copies(self):
+        import json
+        proc = subprocess.run(
+            [sys.executable, "benchmarks/bench_bufcheck.py", "--quick"],
+            cwd=ROOT, env=_env(), capture_output=True, text=True,
+            timeout=300)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        result = json.loads(proc.stdout)
+        stream = result["stream"]
+        assert stream["zero_copy"]["copies_per_transfer"] == 1.0
+        assert stream["legacy"]["copies_per_transfer"] == 2.0
+        assert result["census"]["findings"] == 0
+        assert (ROOT / "BENCH_bufcheck.json").exists()
+
+
+class TestCheckCLI:
+    """``python -m repro.check`` — the one-command analysis gate."""
+
+    def test_tree_checks_clean_with_merged_snapshot(self, tmp_path):
+        import json
+        out = tmp_path / "check.json"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.check", "--json", str(out)],
+            cwd=ROOT, env=_env(), capture_output=True, text=True,
+            timeout=600)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        for tool in ("sanitize:", "audit:", "bufcheck:"):
+            assert tool in proc.stdout
+        merged = json.loads(out.read_text())
+        assert merged["exit"] == 0
+        assert merged["sanitize"]["findings"]["count"] == 0
+        assert merged["audit"]["findings"]["count"] == 0
+        assert merged["bufcheck"]["findings"]["count"] == 0
+
+    def test_findings_propagate_to_exit_code(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def send(sendbuf):\n"
+                       "    return sendbuf.tobytes()\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.check", str(bad)],
+            cwd=ROOT, env=_env(), capture_output=True, text=True,
+            timeout=300)
+        assert proc.returncode == 1
+        assert "BC504" in proc.stdout
+
+    def test_rules_flag_prints_every_catalog(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.check", "--rules"],
+            cwd=ROOT, env=_env(), capture_output=True, text=True,
+            timeout=120)
+        assert proc.returncode == 0
+        for rule_id in ("MS101", "FP201", "BC504"):
+            assert rule_id in proc.stdout
+
+
 class TestUnifiedLintGate:
     """The single CI lint entry point: ruff (when installed), the MPI
-    linter, the fast-path audit, and a quick stress pass under the
-    race detector — one test, every analysis, all green or the gate
-    fails."""
+    linter, the fast-path audit, the buffer-ownership census, and a
+    quick stress pass under the race detector — one test, every
+    analysis, all green or the gate fails."""
 
     def test_all_analyses_green(self):
         # 1. ruff over the shipped analysis packages (optional tool).
         try:
             ruff = subprocess.run(
                 ["ruff", "check", "src/repro/sanitize",
-                 "src/repro/audit", "src/repro/tsan"],
+                 "src/repro/audit", "src/repro/tsan",
+                 "src/repro/bufcheck", "src/repro/check"],
                 cwd=ROOT, capture_output=True, text=True, timeout=120)
             assert ruff.returncode == 0, ruff.stdout + ruff.stderr
         except FileNotFoundError:
@@ -419,7 +561,14 @@ class TestUnifiedLintGate:
             cwd=ROOT, env=_env(), capture_output=True, text=True,
             timeout=300)
         assert audit.returncode == 0, audit.stdout + audit.stderr
-        # 4. Quick threaded stress pass under the race detector.
+        # 4. Buffer-ownership & copy-census gate over the tree.
+        bufcheck = subprocess.run(
+            [sys.executable, "-m", "repro.bufcheck"],
+            cwd=ROOT, env=_env(), capture_output=True, text=True,
+            timeout=300)
+        assert bufcheck.returncode == 0, \
+            bufcheck.stdout + bufcheck.stderr
+        # 5. Quick threaded stress pass under the race detector.
         import json
         stress = subprocess.run(
             [sys.executable, "benchmarks/bench_tsan.py", "--quick"],

@@ -1,0 +1,162 @@
+"""Property tests for the contiguity predicate and the zero-copy pack.
+
+Two contracts the zero-copy datapath rests on:
+
+* ``Typemap.is_contiguous`` agrees with the brute-force oracle (the
+  element's true-data bytes are exactly ``range(0, size)``) over
+  randomly generated typemaps, and ``Datatype.contig`` composes it
+  with the extent/lb conditions correctly;
+* packing a contiguous ``(buffer, count, datatype)`` triple really
+  borrows — the result is a ``memoryview`` aliasing the caller's
+  storage — while ``copy=True`` and non-contiguous layouts really
+  materialize owned ``bytes``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datatypes import contiguous, hvector, indexed, vector
+from repro.datatypes.pack import pack, unpack
+from repro.datatypes.predefined import BYTE, DOUBLE, INT
+from repro.datatypes.typemap import TypeSegment, Typemap
+from repro.instrument import copies
+
+N_CASES = 200
+
+
+def random_typemap(rng) -> Typemap:
+    """A random valid typemap: sorted non-overlapping segments with
+    random gaps (gap 0 exercises coalescing, a leading gap breaks
+    contiguity from the front)."""
+    n_segs = int(rng.integers(1, 6))
+    segments = []
+    offset = int(rng.integers(0, 3))      # sometimes lb > 0
+    for _ in range(n_segs):
+        length = int(rng.integers(1, 9))
+        segments.append(TypeSegment(offset, length))
+        offset += length + int(rng.integers(0, 4))   # gap 0..3
+    return Typemap(segments)
+
+
+def oracle_contiguous(tm: Typemap) -> bool:
+    """Brute force: the element's bytes are exactly 0..size-1."""
+    return list(tm.byte_offsets()) == list(range(tm.size))
+
+
+class TestContiguityOracle:
+    def test_is_contiguous_matches_oracle(self, rng):
+        seen = {True: 0, False: 0}
+        for _ in range(N_CASES):
+            tm = random_typemap(rng)
+            verdict = tm.is_contiguous()
+            assert verdict == oracle_contiguous(tm), tm
+            seen[verdict] += 1
+        # The generator must exercise both verdicts to prove anything.
+        assert seen[True] > 0 and seen[False] > 0
+
+    def test_adjacent_segments_coalesce_to_contiguous(self):
+        tm = Typemap([TypeSegment(0, 4), TypeSegment(4, 4),
+                      TypeSegment(8, 2)])
+        assert len(tm) == 1
+        assert tm.is_contiguous() and oracle_contiguous(tm)
+
+    def test_datatype_contig_needs_dense_extent(self):
+        """A dense typemap with padding in the extent is NOT contig
+        (packing must skip the padding between elements)."""
+        padded = hvector(1, 3, 3, BYTE)
+        from repro.datatypes import resized
+        stretched = resized(padded, 0, 4).commit()
+        assert stretched.typemap.is_contiguous()
+        assert not stretched.contig
+        assert contiguous(3, BYTE).contig
+
+    def test_derived_contig_matches_oracle_over_constructors(self, rng):
+        for _ in range(N_CASES // 4):
+            count = int(rng.integers(1, 5))
+            blocklen = int(rng.integers(1, 4))
+            stride = blocklen + int(rng.integers(0, 3))
+            dt = vector(count, blocklen, stride, DOUBLE)
+            dense = oracle_contiguous(dt.typemap) \
+                and dt.extent == dt.size and dt.lb == 0
+            assert dt.contig == dense, dt.name
+
+
+class TestPackBorrowsContiguous:
+    def test_contig_pack_is_a_view(self, rng):
+        arr = rng.standard_normal(32)
+        packed = pack(arr, 32, DOUBLE)
+        assert isinstance(packed, memoryview)
+        assert bytes(packed) == arr.tobytes()
+
+    def test_view_aliases_caller_storage(self, rng):
+        """Read-through: mutating the array after pack is visible in
+        the packed view — proof no bytes were copied."""
+        arr = np.zeros(8, dtype=np.float64)
+        packed = pack(arr, 8, DOUBLE)
+        arr[0] = 1234.5
+        assert np.frombuffer(packed, dtype=np.float64)[0] == 1234.5
+
+    def test_copy_true_materializes(self, rng):
+        arr = rng.standard_normal(8)
+        packed = pack(arr, 8, DOUBLE, copy=True)
+        assert isinstance(packed, bytes)
+        arr[0] = -1.0
+        assert np.frombuffer(packed, dtype=np.float64)[0] != -1.0
+
+    def test_noncontig_pack_materializes(self, rng):
+        arr = rng.standard_normal(16)
+        dt = vector(4, 1, 2, DOUBLE).commit()
+        packed = pack(arr, 1, dt)
+        assert isinstance(packed, bytes)
+        assert packed == arr[[0, 2, 4, 6]].tobytes()
+
+    def test_counters_agree_with_the_types(self, rng):
+        """One contig pack notes exactly one view and zero copies; one
+        copy-mode or strided pack notes exactly one copy."""
+        arr = rng.standard_normal(16)
+        strided = vector(4, 1, 2, DOUBLE).commit()
+        with copies.track() as delta:
+            pack(arr, 16, DOUBLE)
+        assert (delta().n_views, delta().n_copies) == (1, 0)
+        with copies.track() as delta:
+            pack(arr, 16, DOUBLE, copy=True)
+        assert (delta().n_views, delta().n_copies) == (0, 1)
+        with copies.track() as delta:
+            pack(arr, 2, strided)
+        assert (delta().n_views, delta().n_copies) == (0, 1)
+
+    def test_random_roundtrip_under_both_modes(self, rng):
+        """pack→unpack restores the element bytes for random datatypes
+        regardless of mode — the conversion changed ownership, never
+        values."""
+        for _ in range(N_CASES // 8):
+            base = (BYTE, INT, DOUBLE)[int(rng.integers(0, 3))]
+            kind = int(rng.integers(0, 3))
+            if kind == 0:
+                dt = contiguous(int(rng.integers(1, 5)), base).commit()
+            elif kind == 1:
+                blocklen = int(rng.integers(1, 4))
+                dt = vector(int(rng.integers(1, 4)), blocklen,
+                            blocklen + int(rng.integers(0, 3)),
+                            base).commit()
+            else:
+                dt = indexed([1, 2], [0, int(rng.integers(2, 5))],
+                             base).commit()
+            count = int(rng.integers(1, 4))
+            span = (count - 1) * dt.extent + dt.typemap.ub
+            src = np.frombuffer(rng.bytes(span), dtype=np.uint8).copy()
+            for copy in (False, True):
+                packed = pack(src, count, dt, copy=copy)
+                dst = np.zeros(span, dtype=np.uint8)
+                wrote = unpack(packed, dst, count, dt)
+                assert wrote == count
+                idx = np.asarray(
+                    [(k * dt.extent) + off for k in range(count)
+                     for off in dt.typemap.byte_offsets()])
+                assert np.array_equal(dst[idx], src[idx]), dt.name
+
+    def test_overlapping_typemap_rejected(self):
+        with pytest.raises(ValueError):
+            Typemap([TypeSegment(0, 4), TypeSegment(2, 4)])
