@@ -62,6 +62,7 @@ from repro.core.config import BuildConfig, Device, IpoScope
 from repro.ft import ERRORS_ARE_FATAL, ERRORS_RETURN, FaultPlan
 from repro.runtime.world import World
 from repro.mpi.comm import Communicator
+from repro.mpi.hier import create_communicator
 from repro.mpi.group import Group
 from repro.mpi.status import Status
 from repro.mpi.info import Info
@@ -95,6 +96,7 @@ __all__ = [
     "Device",
     "IpoScope",
     "Communicator",
+    "create_communicator",
     "Group",
     "Status",
     "Info",

@@ -1,0 +1,5 @@
+"""Data-parallel training mini-app (gradient allreduce workload)."""
+
+from repro.apps.training.sgd import SGDResult, train
+
+__all__ = ["SGDResult", "train"]

@@ -1,0 +1,122 @@
+"""Data-parallel synchronous SGD over a flat parameter bucket.
+
+The ChainerMN workload shape that motivates the collective strategies:
+every rank holds a full replica of a large float32 parameter vector,
+computes a local gradient on its own data shard, and the replicas stay
+bit-identical because each step's gradients are combined with a single
+fused MPI_ALLREDUCE over the whole flat bucket (the DDP
+gradient-bucketing idiom — per-layer tensors are *views* into the flat
+vector, so gradient writes land in the reduce buffer with no staging
+copies, and the allreduce payload is the millions-of-parameters
+message whose algorithm choice ``benchmarks/bench_collectives.py``
+studies).
+
+The objective is a quadratic consensus bowl: rank *r* holds a private
+target ``w*_r`` (a deterministic per-rank perturbation of a shared
+optimum), the local gradient is ``w - w*_r``, and averaging drives the
+replica toward ``mean_r(w*_r)`` — an O(d)-per-step objective, so runs
+with multi-million-parameter vectors spend their time exactly where a
+real data-parallel trainer does: in the gradient allreduce.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.errors import MPIErrArg
+from repro.mpi import reduceops
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.comm import Communicator
+
+
+@dataclass
+class SGDResult:
+    """Outcome of one data-parallel training run."""
+
+    losses: list[float]          #: global mean loss per step (pre-update)
+    params_crc: int              #: CRC of the final replica (bit-identity)
+    bytes_reduced: int           #: total gradient bytes this rank reduced
+    allreduce_calls: int         #: fused: steps; unfused: steps * layers
+    steps: int
+
+
+def _layer_bounds(nparams: int, nlayers: int) -> list[tuple[int, int]]:
+    base, rem = divmod(nparams, nlayers)
+    bounds, lo = [], 0
+    for i in range(nlayers):
+        hi = lo + base + (1 if i < rem else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def train(comm: "Communicator", nparams: int = 1 << 20,
+          nlayers: int = 8, steps: int = 5, lr: float = 0.5,
+          algorithm: Optional[str] = None, fused: bool = True,
+          seed: int = 20260808) -> SGDResult:
+    """Run *steps* of synchronous data-parallel SGD on *comm*.
+
+    *algorithm* forces a flat allreduce variant (None lets the
+    communicator's strategy route — hierarchical, two_dimensional,
+    ...).  *fused* reduces the whole flat gradient bucket in one call;
+    ``fused=False`` is the naive per-layer schedule whose per-message
+    overheads the fused bucket amortizes.
+    """
+    if nparams < nlayers:
+        raise MPIErrArg(f"nparams {nparams} < nlayers {nlayers}")
+    size = comm.size
+    # Shared optimum and deterministic per-rank perturbation: every
+    # replica computes the same w0, each rank its own target shard.
+    shared = np.random.default_rng(seed)
+    optimum = shared.standard_normal(nparams, dtype=np.float32)
+    params = np.zeros(nparams, dtype=np.float32)
+    local_rng = np.random.default_rng(seed + 1 + comm.rank)
+    target = optimum + 0.1 * local_rng.standard_normal(
+        nparams, dtype=np.float32)
+
+    # Flat gradient bucket + reduce output; per-layer tensors are
+    # views, so backprop-style writes land in the bucket directly.
+    grads = np.empty(nparams, dtype=np.float32)
+    gsum = np.empty(nparams, dtype=np.float32)
+    bounds = _layer_bounds(nparams, nlayers)
+    grad_layers = [grads[lo:hi] for lo, hi in bounds]
+    target_layers = [target[lo:hi] for lo, hi in bounds]
+    param_layers = [params[lo:hi] for lo, hi in bounds]
+
+    losses: list[float] = []
+    bytes_reduced = 0
+    calls = 0
+    loss_buf = np.empty(1, np.float64)
+    for _ in range(steps):
+        # Local "backward pass": per-layer gradient writes into the
+        # flat bucket (no concatenation copy).
+        local_loss = 0.0
+        for g, p, t in zip(grad_layers, param_layers, target_layers):
+            np.subtract(p, t, out=g)
+            local_loss += float(np.dot(g, g))
+        comm.Allreduce(np.array([local_loss / (2 * nparams)]), loss_buf,
+                       reduceops.SUM)
+        losses.append(float(loss_buf[0]) / size)
+
+        if fused:
+            comm.Allreduce(grads, gsum, reduceops.SUM,
+                           algorithm=algorithm)
+            bytes_reduced += grads.nbytes
+            calls += 1
+        else:
+            for (lo, hi), g in zip(bounds, grad_layers):
+                comm.Allreduce(g, gsum[lo:hi], reduceops.SUM,
+                               algorithm=algorithm)
+                bytes_reduced += g.nbytes
+                calls += 1
+        params -= lr * (gsum / size)
+
+    return SGDResult(losses=losses,
+                     params_crc=zlib.crc32(params.tobytes()),
+                     bytes_reduced=bytes_reduced,
+                     allreduce_calls=calls, steps=steps)

@@ -41,6 +41,30 @@ RECV_BUF_PARAMS = frozenset({"buf", "recvbuf"})
 #: The canonical receive twin for send-path censuses.
 RECV_TWIN = ("Communicator", "Irecv")
 
+#: The buffer collectives: (key, method, send params, recv params).
+#: Each gets its own send- and recv-side census — the per-collective
+#: receive paths the plain ``Irecv`` twin cannot see (staging in
+#: :mod:`repro.mpi.collectives` happens *inside* the collective call,
+#: e.g. a ring round's combine or an allgather's reassembly loop).
+#: ``Bcast``'s single ``array`` is both sides: the root sends it, every
+#: other rank receives into it.
+COLLECTIVE_ENTRIES = (
+    ("bcast", "Bcast", frozenset({"array"}), frozenset({"array"})),
+    ("reduce", "Reduce", frozenset({"sendbuf"}), frozenset({"recvbuf"})),
+    ("allreduce", "Allreduce",
+     frozenset({"sendbuf"}), frozenset({"recvbuf"})),
+    ("allgather", "Allgather",
+     frozenset({"sendbuf"}), frozenset({"recvbuf"})),
+    ("gather", "Gather", frozenset({"sendbuf"}), frozenset({"recvbuf"})),
+    ("scatter", "Scatter",
+     frozenset({"sendbuf"}), frozenset({"recvbuf"})),
+    ("alltoall", "Alltoall",
+     frozenset({"sendbuf"}), frozenset({"recvbuf"})),
+    ("reduce_scatter_block", "Reduce_scatter_block",
+     frozenset({"sendbuf"}), frozenset({"recvbuf"})),
+    ("scan", "Scan", frozenset({"sendbuf"}), frozenset({"recvbuf"})),
+)
+
 
 def _entry_seeds(index: CodeIndex, cls: str, method: str,
                  names: frozenset, taint: Taint) -> dict:
@@ -133,3 +157,21 @@ def build_copymap(analyzer: Analyzer,
     manifest = manifest if manifest is not None else default_manifest()
     return {spec.name: census_for_path(analyzer, spec)
             for spec in manifest.paths}
+
+
+def build_collective_census(analyzer: Analyzer) -> dict:
+    """The ``collectives`` payload of COPYMAP.json: send- and
+    recv-side staging censuses for every buffer collective (CH4 tree
+    only — the collectives sit above the device split)."""
+    keep = _module_filter("ch4_collectives")
+    out: dict = {}
+    for key, method, send_names, recv_names in COLLECTIVE_ENTRIES:
+        row: dict = {"entry": f"Communicator.{method}"}
+        send = _census(analyzer, "Communicator", method, send_names,
+                       Taint("src", borrowed=True), keep)
+        row["send"] = send if send is not None else {}
+        recv = _census(analyzer, "Communicator", method, recv_names,
+                       Taint("dest", borrowed=True), keep)
+        row["recv"] = recv if recv is not None else {}
+        out[key] = row
+    return out

@@ -26,7 +26,7 @@ from typing import Optional, Sequence
 from repro.analysis_common import Report, iter_python_files
 from repro.audit.callgraph import CodeIndex
 from repro.audit.manifest import AuditManifest, default_manifest
-from repro.bufcheck.census import build_copymap
+from repro.bufcheck.census import build_collective_census, build_copymap
 from repro.bufcheck.dataflow import Analyzer, scan_tree
 from repro.bufcheck.rules import render_bc_catalog
 
@@ -49,6 +49,7 @@ def run_bufcheck(paths: Sequence[str],
     # Census first: the entry-rooted analyses seed the memo tables the
     # whole-tree scan then reuses, and report path-context findings.
     copymap = build_copymap(analyzer, manifest)
+    collectives = build_collective_census(analyzer)
     findings = scan_tree(analyzer)
 
     report = Report(diagnostics=findings,
@@ -56,6 +57,7 @@ def run_bufcheck(paths: Sequence[str],
     snapshot = {
         "version": 1,
         "paths": dict(sorted(copymap.items())),
+        "collectives": dict(sorted(collectives.items())),
         "findings": {
             "count": len(report.diagnostics),
             "by_rule": dict(sorted(report.counts_by_rule().items())),

@@ -55,6 +55,9 @@ class Taint:
     dense: bool = False      #: already-materialized contiguous bytes
     contig: bool = True      #: covers a contiguous byte range
     seq: bool = False        #: sequence of per-rank payloads
+    owned: bool = False      #: storage is a local materialized copy —
+    #: stores through views of it mutate runtime scratch, never the
+    #: application's bytes (the multi-round collectives' accumulators)
 
 
 #: A tracked value: one buffer, a field->value composite (ops,
@@ -507,7 +510,7 @@ class Analyzer:
             if isinstance(target.value, ast.Name):
                 base = env.get(target.value.id)
             if isinstance(base, Taint) and base.borrowed \
-                    and base.role == "src":
+                    and base.role == "src" and not base.owned:
                 self._report(
                     ctx.func, target, "BC502",
                     f"store into borrowed send buffer "
@@ -748,7 +751,7 @@ class Analyzer:
         self._check_copy(node, base, what, quals, ctx)
         return Taint(role=base.role, copies=base.copies + 1,
                      borrowed=False, dense=True, contig=True,
-                     seq=base.seq)
+                     seq=base.seq, owned=True)
 
     def _check_copy(self, node, base: Taint, what: str, quals,
                     ctx) -> None:

@@ -152,6 +152,34 @@ class BuildConfig:
         ``benchmarks/bench_bufcheck.py``).  Wall-clock/allocation
         behaviour only: charged instruction counts are byte-identical
         either way (``TestBufcheckCalibrationGuard``).
+    communicator_name:
+        ChainerMN-style collective-strategy selector governing how the
+        buffer collectives (``Bcast``/``Reduce``/``Allreduce``) route
+        internally (:mod:`repro.mpi.hier`):
+
+        * ``"naive"`` — the simplest trees only (binomial bcast,
+          reduce+bcast allreduce), no size-based algorithm selection;
+        * ``"flat"`` (default) — flat algorithms over the whole
+          communicator with MPICH-style size-based selection
+          (recursive doubling below
+          :data:`repro.mpi.collectives.ALLREDUCE_RECDOUBLE_MAX_BYTES`,
+          reduce+bcast above; ring and reduce-scatter+allgather
+          selectable per call via ``algorithm=``);
+        * ``"hierarchical"`` — split every collective into an
+          intra-node phase (leader reduce/bcast over the shm-class
+          netmod path, :class:`repro.fabric.topology.Topology`
+          locality) and an inter-node phase (fabric path among node
+          leaders);
+        * ``"two_dimensional"`` — the transpose composition: an
+          inter-node reduce along each core-index column, an
+          intra-node allreduce across the column roots, and an
+          inter-node bcast back down the columns.
+
+        Strategy routing only changes which point-to-point schedule a
+        collective issues; the per-message charges are the calibrated
+        device path either way, so Figure 2 / Table 1 charging is
+        byte-identical under every strategy
+        (``TestCollectivesCalibrationGuard``).
     tsan:
         Hybrid race & deadlock detector (:mod:`repro.tsan`), in the
         style of Eraser + FastTrack: instrumented runtime locks and
@@ -184,6 +212,7 @@ class BuildConfig:
     fault_plan: FaultPlan | None = None
     progress: str | None = None
     zero_copy: bool = True
+    communicator_name: str = "flat"
     tsan: bool = False
 
     @property

@@ -39,6 +39,10 @@ TAG_ALLTOALL = _TAG_BASE + 7
 TAG_SCAN = _TAG_BASE + 8
 TAG_REDSCAT = _TAG_BASE + 9
 TAG_RECDOUBLE = _TAG_BASE + 10
+TAG_RING_RS = _TAG_BASE + 11
+TAG_RING_AG = _TAG_BASE + 12
+TAG_RSAG = _TAG_BASE + 13
+TAG_BCAST_RING = _TAG_BASE + 14
 
 #: Payload size above which buffer allreduce switches from
 #: recursive doubling (latency-optimal: log P rounds) to
@@ -50,6 +54,11 @@ ALLREDUCE_RECDOUBLE_MAX_BYTES = 64 * 1024
 #: tree (latency-optimal) to scatter + ring allgather (van de Geijn —
 #: each byte crosses each link once instead of log P times).
 BCAST_BINOMIAL_MAX_BYTES = 128 * 1024
+
+#: Segment size for the pipelined ring (chain) broadcast: small enough
+#: that the pipeline fills quickly, large enough that per-message
+#: overhead stays amortized.
+BCAST_RING_SEGMENT = 32 * 1024
 
 
 def _check_root(comm: "Communicator", root: int) -> None:
@@ -231,6 +240,221 @@ def allreduce_recursive_doubling(comm: "Communicator", payload: bytes,
     if rank < 2 * rem:
         comm._send_bytes(result, rank + 1, TAG_RECDOUBLE)
     return result
+
+
+def _chunk_bounds(nitems: int, nparts: int) -> list[tuple[int, int]]:
+    """Split *nitems* into *nparts* near-equal contiguous ranges (the
+    first ``nitems % nparts`` ranges get the extra item)."""
+    base, rem = divmod(nitems, nparts)
+    bounds = []
+    lo = 0
+    for i in range(nparts):
+        hi = lo + base + (1 if i < rem else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def allreduce_ring(comm: "Communicator",
+                   payload: "bytes | memoryview",
+                   combine, itemsize: int = 1) -> "bytes | bytearray":
+    """Ring allreduce: a P-1-step reduce-scatter of P near-equal chunks
+    followed by a P-1-step ring allgather — the bandwidth-optimal
+    algorithm (each rank moves ``2 m (P-1)/P`` bytes total, Baidu/NCCL
+    style) at the cost of 2(P-1) latency terms.
+
+    Chunk boundaries are aligned to *itemsize* so *combine* always sees
+    whole elements.  *combine* must be associative **and** commutative
+    (chunk c accumulates contributions in ring-arrival order, not rank
+    order) — true for every numpy elementwise op used here.
+
+    *payload* may be a zero-copy borrow: it is copied once into the
+    working accumulator at entry and never referenced again.
+    """
+    size, rank = comm.size, comm.rank
+    nelems = len(payload) // itemsize
+    bounds = [(lo * itemsize, hi * itemsize)
+              for lo, hi in _chunk_bounds(nelems, size)]
+    # One owned working copy; every round stages chunks as views of it.
+    # Sends are blocking (delivery unpacks in this thread, unexpected
+    # arrivals are owned by the engine), so mutating a *different*
+    # chunk after each send is safe.  The entry copy is the algorithm's
+    # accumulator — required in-place combine target, not avoidable
+    # staging.
+    work = bytearray(payload)  # bufcheck: ignore[BC504]
+    wv = memoryview(work)
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+
+    # Reduce-scatter phase: step s sends chunk (rank-s) right and
+    # combines the incoming partial into chunk (rank-s-1).  After P-1
+    # steps rank r owns the fully reduced chunk (r+1) % P.
+    for step in range(size - 1):
+        slo, shi = bounds[(rank - step) % size]
+        rlo, rhi = bounds[(rank - step - 1) % size]
+        rreq = comm._irecv_bytes(left, TAG_RING_RS)
+        comm._send_bytes(wv[slo:shi], right, TAG_RING_RS)
+        rreq.wait()
+        incoming = rreq.payload if rreq.payload is not None else b""
+        wv[rlo:rhi] = combine(wv[rlo:rhi], incoming)
+
+    # Allgather phase: circulate the reduced chunks the rest of the way
+    # around the ring.
+    for step in range(size - 1):
+        slo, shi = bounds[(rank + 1 - step) % size]
+        rlo, rhi = bounds[(rank - step) % size]
+        rreq = comm._irecv_bytes(left, TAG_RING_AG)
+        comm._send_bytes(wv[slo:shi], right, TAG_RING_AG)
+        rreq.wait()
+        wv[rlo:rhi] = rreq.payload if rreq.payload is not None else b""
+    return work
+
+
+def allreduce_reduce_scatter_allgather(comm: "Communicator",
+                                       payload: "bytes | memoryview",
+                                       combine,
+                                       itemsize: int = 1,
+                                       ) -> "bytes | bytearray":
+    """Rabenseifner allreduce: recursive-halving reduce-scatter then
+    recursive-doubling allgather — log P latency terms with the ring's
+    ``2 m (P-1)/P`` bandwidth, the algorithm MPICH selects for large
+    reductions.
+
+    Non-power-of-two sizes use the same fold as
+    :func:`allreduce_recursive_doubling`.  Each halving round records
+    its parent segment on a stack; the doubling rounds pop it back —
+    the partner at every level holds exactly the complement half, so no
+    segment metadata crosses the wire.  *combine* must be associative
+    and commutative, and *payload* may be a zero-copy borrow (copied
+    once at entry).
+    """
+    size, rank = comm.size, comm.rank
+    pof2 = 1
+    while pof2 * 2 <= size:
+        pof2 *= 2
+    rem = size - pof2
+
+    # Owned accumulator (see allreduce_ring): one entry copy by design.
+    work = bytearray(payload)  # bufcheck: ignore[BC504]
+    wv = memoryview(work)
+    nelems = len(work) // itemsize
+
+    # Fold phase (identical discipline to recursive doubling): odd
+    # ranks below 2*rem contribute and wait for the final result.
+    if rank < 2 * rem:
+        if rank % 2:
+            comm._send_bytes(wv, rank - 1, TAG_RSAG)
+            return comm._recv_bytes(rank - 1, TAG_RSAG)
+        incoming = comm._recv_bytes(rank + 1, TAG_RSAG)
+        wv[:] = combine(wv, incoming)
+        core_rank = rank // 2
+    else:
+        core_rank = rank - rem
+
+    def core_to_world(cr: int) -> int:
+        return cr * 2 if cr < rem else cr + rem
+
+    # Recursive halving: each round splits the live segment, keeps the
+    # half on this rank's side of the partner bit, and combines the
+    # partner's contribution for that half.
+    lo, hi = 0, nelems
+    stack: list[tuple[int, int]] = []
+    mask = pof2 >> 1
+    while mask:
+        partner_core = core_rank ^ mask
+        partner = core_to_world(partner_core)
+        mid = lo + (hi - lo) // 2
+        if core_rank < partner_core:
+            keep_lo, keep_hi, send_lo, send_hi = lo, mid, mid, hi
+        else:
+            keep_lo, keep_hi, send_lo, send_hi = mid, hi, lo, mid
+        rreq = comm._irecv_bytes(partner, TAG_RSAG)
+        comm._send_bytes(wv[send_lo * itemsize:send_hi * itemsize],
+                         partner, TAG_RSAG)
+        rreq.wait()
+        incoming = rreq.payload if rreq.payload is not None else b""
+        kept = wv[keep_lo * itemsize:keep_hi * itemsize]
+        if partner_core > core_rank:
+            merged = combine(kept, incoming)
+        else:
+            merged = combine(incoming, kept)
+        wv[keep_lo * itemsize:keep_hi * itemsize] = merged
+        stack.append((lo, hi))
+        lo, hi = keep_lo, keep_hi
+        mask >>= 1
+
+    # Recursive doubling allgather: pop the segment stack; at each
+    # level the partner owns the complement of this rank's segment
+    # within the recorded parent, so receiving it restores the parent.
+    mask = 1
+    while mask < pof2:
+        partner_core = core_rank ^ mask
+        partner = core_to_world(partner_core)
+        plo, phi = stack.pop()
+        rreq = comm._irecv_bytes(partner, TAG_RSAG)
+        comm._send_bytes(wv[lo * itemsize:hi * itemsize],
+                         partner, TAG_RSAG)
+        rreq.wait()
+        incoming = rreq.payload if rreq.payload is not None else b""
+        if lo == plo:          # partner held the upper half
+            wv[hi * itemsize:phi * itemsize] = incoming
+        else:                  # partner held the lower half
+            wv[plo * itemsize:lo * itemsize] = incoming
+        lo, hi = plo, phi
+        mask <<= 1
+
+    # Unfold: ship the total to the folded-out odd ranks.
+    if rank < 2 * rem:
+        comm._send_bytes(wv, rank + 1, TAG_RSAG)
+    return work
+
+
+def bcast_ring(comm: "Communicator",
+               data: Optional["bytes | memoryview"],
+               root: int,
+               segment: int = BCAST_RING_SEGMENT,
+               ) -> "bytes | bytearray | memoryview":
+    """Pipelined chain (ring) broadcast: the payload moves down the
+    rank chain in *segment*-byte pieces, so every link carries each
+    byte exactly once and the pipeline overlaps the hops — the
+    bandwidth-optimal broadcast for long chains once the pipeline
+    fills.
+
+    The total length ships first on the binomial tree (one tiny
+    message per edge), exactly as :func:`bcast_scatter_allgather`
+    does.  The root's payload may be a zero-copy borrow (segments are
+    sliced as views and every forward is a blocking send).
+    """
+    _check_root(comm, root)
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return data if data is not None else b""
+    nbytes = bcast_bytes(
+        comm, str(len(data)).encode() if rank == root else None, root)
+    total = int(nbytes)
+    vrank = (rank - root) % size
+    nxt = (rank + 1) % size if vrank < size - 1 else None
+    prev = (rank - 1) % size
+    nseg = max(1, -(-total // segment))
+
+    if vrank == 0:
+        view = memoryview(data)
+        for i in range(nseg):
+            comm._send_bytes(view[i * segment:(i + 1) * segment],
+                             nxt, TAG_BCAST_RING)
+        return data
+    out = bytearray(total)
+    ov = memoryview(out)
+    # Pre-post every segment receive: same (src, tag) stream, so the
+    # non-overtaking guarantee keeps segments in order.
+    rreqs = [comm._irecv_bytes(prev, TAG_BCAST_RING) for _ in range(nseg)]
+    for i, rreq in enumerate(rreqs):
+        rreq.wait()
+        seg = rreq.payload if rreq.payload is not None else b""
+        ov[i * segment:i * segment + len(seg)] = seg
+        if nxt is not None:
+            comm._send_bytes(seg, nxt, TAG_BCAST_RING)
+    return out
 
 
 def gather_bytes(comm: "Communicator", data: bytes,
@@ -451,7 +675,8 @@ def bcast_buf(comm: "Communicator", array: np.ndarray, root: int,
     """Broadcast a numpy buffer in place, selecting the binomial tree
     for small payloads and scatter+allgather (van de Geijn) beyond
     :data:`BCAST_BINOMIAL_MAX_BYTES`; *algorithm* forces
-    ``"binomial"`` or ``"scatter_allgather"``."""
+    ``"binomial"``, ``"scatter_allgather"``, or ``"ring"`` (the
+    pipelined chain)."""
     arr = _as_contig(array, "bcast buffer")
     if algorithm is None:
         algorithm = ("binomial" if arr.nbytes <= BCAST_BINOMIAL_MAX_BYTES
@@ -465,6 +690,8 @@ def bcast_buf(comm: "Communicator", array: np.ndarray, root: int,
         data = bcast_bytes(comm, payload, root)
     elif algorithm == "scatter_allgather":
         data = bcast_scatter_allgather(comm, payload, root)
+    elif algorithm == "ring":
+        data = bcast_ring(comm, payload, root)
     else:
         raise MPIErrArg(f"unknown bcast algorithm {algorithm!r}")
     if comm.rank != root:
@@ -507,7 +734,8 @@ def allreduce_buf(comm: "Communicator", sendbuf: np.ndarray,
     """Allreduce numpy buffers with MPICH-style algorithm selection:
     recursive doubling for small payloads, reduce+broadcast beyond
     :data:`ALLREDUCE_RECDOUBLE_MAX_BYTES`.  *algorithm* forces
-    ``"recursive_doubling"`` or ``"reduce_bcast"`` (ablations)."""
+    ``"recursive_doubling"``, ``"reduce_bcast"``, ``"ring"``, or
+    ``"reduce_scatter_allgather"`` (Rabenseifner)."""
     send = _as_contig(sendbuf, "allreduce sendbuf")
     recv = _as_contig(recvbuf, "allreduce recvbuf")
     if recv.nbytes != send.nbytes:
@@ -516,25 +744,34 @@ def allreduce_buf(comm: "Communicator", sendbuf: np.ndarray,
         algorithm = ("recursive_doubling"
                      if send.nbytes <= ALLREDUCE_RECDOUBLE_MAX_BYTES
                      else "reduce_bcast")
+    if algorithm == "reduce_bcast":
+        reduce_buf(comm, send, recv, op, 0)
+        bcast_buf(comm, recv, 0)
+        return
+    the_op = _op_or_sum(op)
+
+    def combine(lower: bytes, higher: bytes) -> bytes:
+        a = np.frombuffer(lower, dtype=send.dtype)
+        b = np.frombuffer(higher, dtype=send.dtype)
+        return the_op.combine_arrays(a, b).tobytes()
+
     if algorithm == "recursive_doubling":
-        the_op = _op_or_sum(op)
-
-        def combine(lower: bytes, higher: bytes) -> bytes:
-            a = np.frombuffer(lower, dtype=send.dtype)
-            b = np.frombuffer(higher, dtype=send.dtype)
-            return the_op.combine_arrays(a, b).tobytes()
-
         # Snapshot up front: recursive doubling reuses the running
         # payload across rounds with pre-posted receives in flight.
         result = allreduce_recursive_doubling(comm, send.tobytes(),  # bufcheck: ignore[BC504]
                                               combine)
-        recv.view(np.uint8).reshape(-1)[:] = np.frombuffer(result,
-                                                           np.uint8)
-    elif algorithm == "reduce_bcast":
-        reduce_buf(comm, send, recv, op, 0)
-        bcast_buf(comm, recv, 0)
+    elif algorithm == "ring":
+        # The ring owns its working copy at entry, so the sendbuf
+        # borrow never outlives the call.
+        result = allreduce_ring(comm, send.view(np.uint8).reshape(-1).data,
+                                combine, send.dtype.itemsize)
+    elif algorithm == "reduce_scatter_allgather":
+        result = allreduce_reduce_scatter_allgather(
+            comm, send.view(np.uint8).reshape(-1).data,
+            combine, send.dtype.itemsize)
     else:
         raise MPIErrArg(f"unknown allreduce algorithm {algorithm!r}")
+    recv.view(np.uint8).reshape(-1)[:] = np.frombuffer(result, np.uint8)
 
 
 def allgather_buf(comm: "Communicator", sendbuf: np.ndarray,
@@ -546,9 +783,11 @@ def allgather_buf(comm: "Communicator", sendbuf: np.ndarray,
         raise MPIErrArg(
             f"allgather recvbuf must hold {comm.size} blocks of "
             f"{send.nbytes} bytes, has {recv.nbytes}")
-    # Own bytes up front: the ring stores the block in the returned
-    # result list, so a sendbuf borrow would escape the call.
-    blocks = allgather_bytes(comm, send.tobytes())  # bufcheck: ignore[BC504]
+    # Zero-copy staging: the ring's forwards are blocking sends (the
+    # engine owns any unexpected copy), and the result list — the only
+    # place the sendbuf borrow is stored — dies before this returns,
+    # so no up-front snapshot is needed.
+    blocks = allgather_bytes(comm, send.view(np.uint8).reshape(-1).data)
     flat = recv.view(np.uint8).reshape(-1)
     for i, block in enumerate(blocks):
         flat[i * send.nbytes:(i + 1) * send.nbytes] = \

@@ -65,6 +65,11 @@ class Communicator:
         # §3.5 requestless-operation bookkeeping (owning thread only).
         self._noreq_count = 0
         self._noreq_latest_s = 0.0
+        # Collective-strategy override (None inherits the build's
+        # communicator_name) and the lazily-built subcommunicator
+        # cache for the topology-aware compositions.
+        self.coll_strategy: Optional[str] = None
+        self._hier_ctx = None
         # MPI-3.1 default error handler: errors abort the job.  See
         # set_errhandler for the ULFM-style alternatives.
         self._errhandler = ERRORS_ARE_FATAL
@@ -535,6 +540,12 @@ class Communicator:
     # collectives (delegating to repro.mpi.collectives)                   #
     # ------------------------------------------------------------------ #
 
+    def collective_strategy(self) -> str:
+        """The effective collective strategy: this communicator's
+        override (set by :func:`repro.mpi.hier.create_communicator`)
+        or the build's ``communicator_name``."""
+        return self.coll_strategy or self.proc.config.communicator_name
+
     def barrier(self) -> None:
         """MPI_BARRIER (dissemination algorithm)."""
         coll.barrier(self)
@@ -583,7 +594,18 @@ class Communicator:
     def Bcast(self, array: np.ndarray, root: int = 0,
               algorithm: Optional[str] = None) -> None:
         """MPI_BCAST of a numpy buffer, in place (binomial for small
-        payloads, van-de-Geijn scatter+allgather for large)."""
+        payloads, van-de-Geijn scatter+allgather for large; ``"ring"``
+        selects the pipelined chain).  An explicit *algorithm* always
+        forces the flat schedule; otherwise the communicator's
+        strategy (``communicator_name``) may route through the
+        topology-aware composition (:mod:`repro.mpi.hier`)."""
+        from repro.mpi import hier
+        if algorithm is None:
+            if hier.routes_hier(self):
+                hier.bcast(self, array, root)
+                return
+            if self.collective_strategy() == "naive":
+                algorithm = "binomial"
         coll.bcast_buf(self, array, root, algorithm)
 
     def Gather(self, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray],
@@ -608,13 +630,31 @@ class Communicator:
 
     def Reduce(self, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray],
                op=None, root: int = 0) -> None:
-        """MPI_REDUCE of numpy buffers into *recvbuf* at root."""
+        """MPI_REDUCE of numpy buffers into *recvbuf* at root (the
+        communicator's strategy may route through the leader
+        composition, :mod:`repro.mpi.hier`)."""
+        from repro.mpi import hier
+        if hier.routes_hier(self):
+            hier.reduce(self, sendbuf, recvbuf, op, root)
+            return
         coll.reduce_buf(self, sendbuf, recvbuf, op, root)
 
     def Allreduce(self, sendbuf: np.ndarray, recvbuf: np.ndarray,
                   op=None, algorithm: Optional[str] = None) -> None:
-        """MPI_ALLREDUCE of numpy buffers (recursive doubling for small
-        payloads, reduce+bcast for large; *algorithm* overrides)."""
+        """MPI_ALLREDUCE of numpy buffers (recursive doubling for
+        small payloads, reduce+bcast for large; *algorithm* forces
+        ``"recursive_doubling"``, ``"reduce_bcast"``, ``"ring"``, or
+        ``"reduce_scatter_allgather"``).  Without an explicit
+        *algorithm*, the communicator's strategy
+        (``communicator_name``) may route through the hierarchical or
+        two-dimensional composition (:mod:`repro.mpi.hier`)."""
+        from repro.mpi import hier
+        if algorithm is None:
+            if hier.routes_hier(self):
+                hier.allreduce(self, sendbuf, recvbuf, op)
+                return
+            if self.collective_strategy() == "naive":
+                algorithm = "reduce_bcast"
         coll.allreduce_buf(self, sendbuf, recvbuf, op, algorithm)
 
     def Allgather(self, sendbuf: np.ndarray, recvbuf: np.ndarray) -> None:

@@ -1,0 +1,255 @@
+"""Topology-aware collective strategies (ChainerMN-style).
+
+A :class:`~repro.core.config.BuildConfig` (or an individual
+communicator, via :func:`create_communicator`) names a collective
+*strategy* — ``naive`` / ``flat`` / ``hierarchical`` /
+``two_dimensional`` — governing how the buffer collectives route:
+
+* **hierarchical** splits each collective into an intra-node phase over
+  the node-local subcommunicator (whose messages the device routes to
+  the shm-class fabric automatically, :meth:`Proc.fabric_to`) and an
+  inter-node phase among the per-node leaders (fabric path).  An
+  allreduce thus moves each element across the network once per node
+  instead of once per rank — the reason ChainerMN's hierarchical
+  communicator is what makes data-parallel training scale.
+
+* **two_dimensional** is the transpose composition: a reduce along
+  each *core-index column* (the ranks sharing a core slot across
+  nodes — every column message is inter-node), an allreduce among the
+  column roots (all on the first node — intra-node), and a bcast back
+  down the columns.  Correct for any block distribution including a
+  partial last node, because every rank belongs to exactly one column
+  and the roots cover all columns.
+
+The subcommunicators are built lazily (``MPI_COMM_SPLIT`` is itself a
+collective, so the first routed collective constructs them on every
+rank together) and cached on the communicator.  Phase internals call
+the :mod:`repro.mpi.collectives` algorithms directly with explicit
+algorithm names — never the ``Communicator`` strategy dispatch — so
+routing can never recurse.
+
+Hierarchical phases re-associate the reduction (node-grouped instead
+of rank-ordered), so ops must be associative and commutative — true
+for every numpy elementwise op shipped in :mod:`repro.mpi.reduceops`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.consts import UNDEFINED
+from repro.errors import MPIErrArg
+from repro.mpi import collectives as coll
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.comm import Communicator
+
+#: Strategy names accepted by ``BuildConfig.communicator_name`` and
+#: :func:`create_communicator`.
+STRATEGIES = ("naive", "flat", "hierarchical", "two_dimensional")
+
+#: Internal tag for leader<->root shuttles (continues the
+#: collectives-module tag block).
+TAG_HIER = coll._TAG_BASE + 15
+
+
+def create_communicator(communicator_name: str,
+                        comm: "Communicator") -> "Communicator":
+    """ChainerMN-style factory: a dup of *comm* whose buffer
+    collectives route through *communicator_name*, overriding the
+    build-level selector (collective over *comm*)."""
+    if communicator_name not in STRATEGIES:
+        raise MPIErrArg(
+            f"unknown communicator_name {communicator_name!r}; "
+            f"expected one of {STRATEGIES}")
+    dup = comm.dup(name=f"{comm.name}+{communicator_name}")
+    dup.coll_strategy = communicator_name
+    return dup
+
+
+class HierContext:
+    """Cached subcommunicators for one communicator's routed
+    collectives (built collectively on first use).
+
+    Attributes
+    ----------
+    local:
+        This rank's node-local subcommunicator (ordered by comm rank,
+        so ``local.rank == 0`` is the node leader).
+    leaders:
+        The inter-node subcommunicator over the node leaders; None on
+        non-leader ranks.
+    node_leader_rank:
+        ``{node: leaders-comm rank}`` of every node's leader (known on
+        all ranks, for rooted collectives).
+    my_node:
+        This rank's node id.
+    columns/col_roots:
+        The two_dimensional subcommunicators (same discipline: column
+        ordered by comm rank; ``col_roots`` is None off the roots).
+    """
+
+    def __init__(self, comm: "Communicator"):
+        topo = comm.world.topology
+        self.my_node = topo.node_of(comm.proc.world_rank)
+        self.local = comm.split(color=self.my_node, key=comm.rank)
+        self.leaders = comm.split(
+            color=0 if self.local.rank == 0 else UNDEFINED, key=comm.rank)
+        # Everyone learns which leaders-comm rank fronts each node:
+        # leaders allgather (node, rank), then each leader shares the
+        # map with its node.
+        table = None
+        if self.leaders is not None:
+            pairs = coll.allgather_obj(
+                self.leaders, (self.my_node, self.leaders.rank))
+            table = dict(pairs)
+        self.node_leader_rank = coll.bcast_obj(self.local, table, 0)
+        # two_dimensional: columns are the ranks sharing a core slot.
+        my_col = topo.core_of(comm.proc.world_rank)
+        self.columns = comm.split(color=my_col, key=comm.rank)
+        self.col_roots = comm.split(
+            color=0 if self.columns.rank == 0 else UNDEFINED, key=comm.rank)
+
+
+def _ctx(comm: "Communicator") -> HierContext:
+    if comm._hier_ctx is None:
+        comm._hier_ctx = HierContext(comm)
+    return comm._hier_ctx
+
+
+def routes_hier(comm: "Communicator") -> bool:
+    """True when *comm*'s strategy sends its buffer collectives through
+    the topology-aware compositions (multi-rank, multi-node)."""
+    strategy = comm.collective_strategy()
+    if strategy not in ("hierarchical", "two_dimensional"):
+        return False
+    if comm.size <= 1:
+        return False
+    return comm.world.topology.nnodes > 1
+
+
+# ---------------------------------------------------------------------------
+# hierarchical (intra-node + leaders) compositions
+# ---------------------------------------------------------------------------
+
+def _hier_allreduce(comm: "Communicator", sendbuf: np.ndarray,
+                    recvbuf: np.ndarray, op) -> None:
+    ctx = _ctx(comm)
+    # Phase 1 (shm): reduce onto the node leader, into recvbuf.
+    coll.reduce_buf(ctx.local, sendbuf, recvbuf, op, 0)
+    # Phase 2 (fabric): leaders allreduce the node partials.  Large
+    # payloads force Rabenseifner — reduce-scatter+allgather moves
+    # 2m(P-1)/P bytes per leader where the flat default's
+    # reduce+bcast moves 2m log P — while small ones keep the
+    # latency-optimal size-based selection.
+    if ctx.leaders is not None:
+        alg = (None
+               if recvbuf.nbytes <= coll.ALLREDUCE_RECDOUBLE_MAX_BYTES
+               else "reduce_scatter_allgather")
+        # Aliasing recvbuf as both sides is safe here: every allreduce
+        # algorithm snapshots (or entry-copies) the send payload before
+        # writing the result back.
+        coll.allreduce_buf(ctx.leaders, recvbuf, recvbuf, op,  # bufcheck: ignore[BC505]
+                           alg)
+    # Phase 3 (shm): leader broadcasts the total over the node.
+    coll.bcast_buf(ctx.local, recvbuf, 0)
+
+
+def _hier_bcast(comm: "Communicator", array: np.ndarray,
+                root: int) -> None:
+    ctx = _ctx(comm)
+    topo = comm.world.topology
+    root_node = topo.node_of(comm.world_rank_of(root))
+    if ctx.my_node == root_node:
+        # Reach the node leader (and the rest of the node) first.
+        local_root = ctx.local.group.rank_of_world(comm.world_rank_of(root))
+        coll.bcast_buf(ctx.local, array, local_root)
+    if ctx.leaders is not None:
+        coll.bcast_buf(ctx.leaders, array,
+                       ctx.node_leader_rank[root_node])
+    if ctx.my_node != root_node:
+        coll.bcast_buf(ctx.local, array, 0)
+
+
+def _hier_reduce(comm: "Communicator", sendbuf: np.ndarray,
+                 recvbuf: Optional[np.ndarray], op, root: int) -> None:
+    ctx = _ctx(comm)
+    topo = comm.world.topology
+    root_node = topo.node_of(comm.world_rank_of(root))
+    # Phase 1 (shm): node partials land on each leader in a scratch
+    # buffer (recvbuf is only valid at the real root).
+    partial = (np.empty_like(sendbuf) if ctx.local.rank == 0 else None)
+    coll.reduce_buf(ctx.local, sendbuf, partial, op, 0)
+    # Phase 2 (fabric): leaders reduce to the root node's leader.
+    if ctx.leaders is not None:
+        leader_root = ctx.node_leader_rank[root_node]
+        out = (np.empty_like(sendbuf)
+               if ctx.leaders.rank == leader_root else None)
+        coll.reduce_buf(ctx.leaders, partial, out, op, leader_root)
+        partial = out
+    # Phase 3 (shm): shuttle leader -> root when they differ.
+    local_root = (ctx.local.group.rank_of_world(comm.world_rank_of(root))
+                  if ctx.my_node == root_node else UNDEFINED)
+    if comm.rank == root:
+        if recvbuf is None:
+            raise MPIErrArg("reduce root needs a recvbuf")
+        if local_root == 0:
+            recvbuf.view(np.uint8).reshape(-1)[:] = \
+                partial.view(np.uint8).reshape(-1)
+        else:
+            data = ctx.local._recv_bytes(0, TAG_HIER)
+            recvbuf.view(np.uint8).reshape(-1)[:] = \
+                np.frombuffer(data, np.uint8)
+    elif ctx.my_node == root_node and ctx.local.rank == 0:
+        ctx.local._send_bytes(partial.view(np.uint8).reshape(-1).data,
+                              local_root, TAG_HIER)
+
+
+# ---------------------------------------------------------------------------
+# two_dimensional (column reduce / root-row allreduce / column bcast)
+# ---------------------------------------------------------------------------
+
+def _twod_allreduce(comm: "Communicator", sendbuf: np.ndarray,
+                    recvbuf: np.ndarray, op) -> None:
+    ctx = _ctx(comm)
+    # Phase 1 (fabric): reduce down each core-index column.
+    coll.reduce_buf(ctx.columns, sendbuf, recvbuf, op, 0)
+    # Phase 2 (shm, on a full first node): the column roots — one per
+    # core slot — allreduce the column partials (Rabenseifner for
+    # large payloads, as in the hierarchical leaders phase).
+    if ctx.col_roots is not None:
+        alg = (None
+               if recvbuf.nbytes <= coll.ALLREDUCE_RECDOUBLE_MAX_BYTES
+               else "reduce_scatter_allgather")
+        # Safe self-aliasing, as in the hierarchical leaders phase.
+        coll.allreduce_buf(ctx.col_roots, recvbuf, recvbuf, op,  # bufcheck: ignore[BC505]
+                           alg)
+    # Phase 3 (fabric): broadcast the total back down the columns.
+    coll.bcast_buf(ctx.columns, recvbuf, 0)
+
+
+# ---------------------------------------------------------------------------
+# dispatch from Communicator methods
+# ---------------------------------------------------------------------------
+
+def bcast(comm: "Communicator", array: np.ndarray, root: int) -> None:
+    """Routed MPI_BCAST (both 2D and hierarchical use the leader
+    composition — a column-wise bcast would be phase 3 alone)."""
+    _hier_bcast(comm, array, root)
+
+
+def reduce(comm: "Communicator", sendbuf: np.ndarray,
+           recvbuf: Optional[np.ndarray], op, root: int) -> None:
+    """Routed MPI_REDUCE (leader composition for both strategies)."""
+    _hier_reduce(comm, sendbuf, recvbuf, op, root)
+
+
+def allreduce(comm: "Communicator", sendbuf: np.ndarray,
+              recvbuf: np.ndarray, op) -> None:
+    """Routed MPI_ALLREDUCE."""
+    if comm.collective_strategy() == "two_dimensional":
+        _twod_allreduce(comm, sendbuf, recvbuf, op)
+    else:
+        _hier_allreduce(comm, sendbuf, recvbuf, op)

@@ -1,0 +1,172 @@
+"""Analytic LogGP-style collective algorithm models.
+
+Each collective algorithm is a schedule of point-to-point messages;
+its projected time composes the per-message cost of
+:class:`repro.fabric.model.FabricSpec` (software issue cycles + fabric
+injection + wire latency + serialization) with the algorithm's round
+structure:
+
+=========================  =======================================
+algorithm                  critical-path cost (P ranks, m bytes)
+=========================  =======================================
+reduce+bcast (binomial)    ``2 ceil(log2 P)`` rounds of ``m``
+recursive doubling         ``ceil(log2 P)`` rounds of ``m``
+ring                       ``2 (P-1)`` rounds of ``m / P``
+reduce-scatter+allgather   ``2 log2 P`` rounds of ``m/2, m/4, ...``
+hierarchical               intra-node (shm) + leaders (fabric)
+=========================  =======================================
+
+The *sw_instructions* parameter is the charged per-message software
+cost of the build under study (e.g. the calibrated 221-instruction
+MPI_ISEND default path), so projections inherit the paper's central
+result: cheaper builds shift every crossover point.  The benchmark
+(``benchmarks/bench_collectives.py``) measures the same algorithms on
+the virtual clock at small scale and uses these formulas to project to
+thousands of nodes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.fabric.model import FabricSpec, fabric_by_name
+
+#: Default per-message software cost: the calibrated MPI_ISEND default
+#: build (Figure 2), send side plus matched receive side.
+DEFAULT_SW_INSTRUCTIONS = 2 * 221.0
+
+
+@dataclass(frozen=True)
+class CollectiveModel:
+    """Projected collective times on one (fabric, shm-fabric) pair."""
+
+    fabric: FabricSpec = field(
+        default_factory=lambda: fabric_by_name("ofi"))
+    shm: FabricSpec = field(
+        default_factory=lambda: fabric_by_name("posix"))
+    sw_instructions: float = DEFAULT_SW_INSTRUCTIONS
+
+    # -- primitive ---------------------------------------------------------
+
+    def msg_seconds(self, nbytes: float, fabric: FabricSpec | None = None,
+                    ) -> float:
+        """One pt2pt message of *nbytes*: software issue + injection +
+        wire latency + serialization."""
+        f = fabric if fabric is not None else self.fabric
+        return (f.cycles_to_seconds(f.issue_cycles(self.sw_instructions))
+                + f.transfer_seconds(int(nbytes)))
+
+    # -- flat allreduce ----------------------------------------------------
+
+    def allreduce_reduce_bcast(self, nranks: int, nbytes: int,
+                               fabric: FabricSpec | None = None) -> float:
+        """Binomial reduce to root then binomial bcast."""
+        if nranks <= 1:
+            return 0.0
+        rounds = 2 * math.ceil(math.log2(nranks))
+        return rounds * self.msg_seconds(nbytes, fabric)
+
+    def allreduce_recursive_doubling(self, nranks: int, nbytes: int,
+                                     fabric: FabricSpec | None = None,
+                                     ) -> float:
+        """log2 P exchanges of the full payload (plus the fold round
+        pair when P is not a power of two)."""
+        if nranks <= 1:
+            return 0.0
+        rounds = math.ceil(math.log2(nranks))
+        pof2 = 1 << (nranks.bit_length() - 1)
+        if pof2 != nranks:
+            rounds += 2
+        return rounds * self.msg_seconds(nbytes, fabric)
+
+    def allreduce_ring(self, nranks: int, nbytes: int,
+                       fabric: FabricSpec | None = None) -> float:
+        """2(P-1) rounds of m/P — bandwidth-optimal, latency-heavy."""
+        if nranks <= 1:
+            return 0.0
+        return 2 * (nranks - 1) * self.msg_seconds(
+            nbytes / nranks, fabric)
+
+    def allreduce_reduce_scatter_allgather(
+            self, nranks: int, nbytes: int,
+            fabric: FabricSpec | None = None) -> float:
+        """Rabenseifner: halving then doubling, segment sizes m/2,
+        m/4, ... — log P latency with the ring's bandwidth."""
+        if nranks <= 1:
+            return 0.0
+        steps = math.ceil(math.log2(nranks))
+        t = 0.0
+        for k in range(1, steps + 1):
+            t += 2 * self.msg_seconds(nbytes / (1 << k), fabric)
+        pof2 = 1 << (nranks.bit_length() - 1)
+        if pof2 != nranks:
+            t += 2 * self.msg_seconds(nbytes, fabric)
+        return t
+
+    #: Flat-model registry (names match ``allreduce_buf`` algorithms).
+    FLAT_ALLREDUCE = {
+        "reduce_bcast": "allreduce_reduce_bcast",
+        "recursive_doubling": "allreduce_recursive_doubling",
+        "ring": "allreduce_ring",
+        "reduce_scatter_allgather": "allreduce_reduce_scatter_allgather",
+    }
+
+    def flat_allreduce(self, algorithm: str, nranks: int, nbytes: int,
+                       fabric: FabricSpec | None = None) -> float:
+        """Projected flat allreduce time by algorithm name."""
+        return getattr(self, self.FLAT_ALLREDUCE[algorithm])(
+            nranks, nbytes, fabric)
+
+    # -- hierarchical ------------------------------------------------------
+
+    def allreduce_hierarchical(self, nranks: int, nbytes: int,
+                               cores_per_node: int,
+                               inter_algorithm: str = "ring") -> float:
+        """Leader composition: intra-node binomial reduce + bcast on
+        the shm fabric, *inter_algorithm* among the node leaders on
+        the network fabric."""
+        if nranks <= 1:
+            return 0.0
+        nnodes = math.ceil(nranks / cores_per_node)
+        local = min(cores_per_node, nranks)
+        t = self.allreduce_reduce_bcast(local, nbytes, self.shm)
+        t += self.flat_allreduce(inter_algorithm, nnodes, nbytes)
+        return t
+
+    # -- analysis ----------------------------------------------------------
+
+    def crossover_bytes(self, algo_a: str, algo_b: str, nranks: int,
+                        lo: int = 64, hi: int = 1 << 26) -> int | None:
+        """Smallest payload in [lo, hi] where *algo_b* becomes faster
+        than *algo_a* (None if the ordering never flips)."""
+        def faster_b(m: int) -> bool:
+            return (self.flat_allreduce(algo_b, nranks, m)
+                    < self.flat_allreduce(algo_a, nranks, m))
+        if faster_b(lo) or not faster_b(hi):
+            return None
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if faster_b(mid):
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    def project_scaling(self, nbytes: int, cores_per_node: int,
+                        node_counts: tuple[int, ...] = (
+                            16, 64, 256, 1024, 4096),
+                        ) -> list[dict]:
+        """Projected allreduce times at thousands of nodes: every flat
+        algorithm over all ranks vs the hierarchical composition."""
+        rows = []
+        for nodes in node_counts:
+            nranks = nodes * cores_per_node
+            row = {"nodes": nodes, "nranks": nranks, "nbytes": nbytes}
+            for name in self.FLAT_ALLREDUCE:
+                row[f"flat_{name}_s"] = self.flat_allreduce(
+                    name, nranks, nbytes)
+            row["hierarchical_s"] = self.allreduce_hierarchical(
+                nranks, nbytes, cores_per_node)
+            rows.append(row)
+        return rows

@@ -58,7 +58,8 @@ def _user_site() -> str:
 class ReqRecord:
     """Lifetime record of one in-flight request (owning thread only)."""
 
-    __slots__ = ("request", "api", "site", "peer", "crc", "pack_args")
+    __slots__ = ("request", "api", "site", "peer", "crc", "pack_args",
+                 "view")
 
     def __init__(self, request: "Request", api: Optional[str], site: str):
         self.request = request
@@ -69,8 +70,13 @@ class ReqRecord:
         self.peer: Optional[int] = None
         #: CRC of the packed send buffer at post time (buffer sends).
         self.crc: Optional[int] = None
-        #: ``(buf, count, datatype)`` to re-pack at completion.
+        #: ``(buf, count, datatype)`` to re-pack at completion
+        #: (copying-path sends only).
         self.pack_args: Optional[tuple] = None
+        #: The zero-copy payload view itself, when the send carried
+        #: one: it reads through to the user buffer, so re-checksumming
+        #: it at completion detects mutation with no re-pack.
+        self.view: Optional[memoryview] = None
 
     def describe(self) -> str:
         """One line for leak / teardown / deadlock reports."""
@@ -129,7 +135,14 @@ class RankSanitizer:
             # crc32 reads any buffer (bytes, memoryview, ndarray), so
             # zero-copy payload views checksum without materializing.
             rec.crc = zlib.crc32(payload)
-            rec.pack_args = pack_args
+            if isinstance(payload, memoryview):
+                # Zero-copy send: the view reads through to the user
+                # buffer, so the completion check re-checksums it
+                # directly instead of re-packing (a re-pack would
+                # materialize bytes and perturb the copy census).
+                rec.view = payload
+            else:
+                rec.pack_args = pack_args
 
     def note_recv(self, request: "Request",
                   src_world: Optional[int]) -> None:
@@ -145,9 +158,13 @@ class RankSanitizer:
         rec = self._records.pop(id(request), None)
         if rec is None or rec.crc is None or request.cancelled:
             return
-        from repro.datatypes.pack import pack
-        buf, count, datatype = rec.pack_args
-        if zlib.crc32(pack(buf, count, datatype)) != rec.crc:
+        if rec.view is not None:
+            mutated = zlib.crc32(rec.view) != rec.crc
+        else:
+            from repro.datatypes.pack import pack
+            buf, count, datatype = rec.pack_args
+            mutated = zlib.crc32(pack(buf, count, datatype)) != rec.crc
+        if mutated:
             raise SanitizerError(
                 "MSD203",
                 f"send buffer of {rec.api or 'send'} issued at "

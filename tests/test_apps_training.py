@@ -1,0 +1,72 @@
+"""The data-parallel SGD mini-app (:mod:`repro.apps.training`)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.training import train
+from repro.core.config import BuildConfig
+from repro.fabric.topology import Topology
+from repro.runtime.world import World
+
+NPARAMS = 10_000
+STEPS = 4
+
+
+def _run(nranks, cpn, strategy="flat", **kw):
+    topo = Topology(nranks=nranks, cores_per_node=cpn)
+    config = BuildConfig(communicator_name=strategy)
+    world = World(nranks, config, topology=topo)
+    return world.run(
+        lambda comm: train(comm, nparams=NPARAMS, steps=STEPS, **kw),
+        timeout=300)
+
+
+class TestTraining:
+    def test_loss_decreases_monotonically(self):
+        res = _run(4, 2)[0]
+        assert len(res.losses) == STEPS
+        assert all(b < a for a, b in zip(res.losses, res.losses[1:]))
+
+    def test_replicas_bit_identical(self):
+        results = _run(5, 2)
+        assert len({r.params_crc for r in results}) == 1
+
+    @pytest.mark.parametrize("strategy",
+                             ("naive", "hierarchical",
+                              "two_dimensional"))
+    def test_strategies_match_flat(self, strategy):
+        flat = _run(6, 2)[0]
+        results = _run(6, 2, strategy=strategy)
+        # Within a strategy the replicas are always bit-identical; the
+        # topology-aware compositions re-associate the float32 sum, so
+        # across strategies the guarantee is numerical, not bitwise.
+        assert len({r.params_crc for r in results}) == 1
+        np.testing.assert_allclose(results[0].losses, flat.losses,
+                                   rtol=1e-5)
+        if strategy == "naive":   # same rank-ordered reduction
+            assert results[0].params_crc == flat.params_crc
+
+    def test_unfused_matches_fused(self):
+        # Per-layer allreduces traverse the same gradients in the same
+        # order, so the result is bit-identical to the fused bucket.
+        fused = _run(4, 2, fused=True)[0]
+        unfused = _run(4, 2, fused=False)[0]
+        assert unfused.params_crc == fused.params_crc
+        assert unfused.allreduce_calls > fused.allreduce_calls
+
+    def test_accounting(self):
+        res = _run(3, 3)[0]
+        # One fused gradient allreduce per step over float32 params.
+        assert res.allreduce_calls == STEPS
+        assert res.bytes_reduced == STEPS * NPARAMS * 4
+        assert res.steps == STEPS
+
+    def test_explicit_algorithm_passthrough(self):
+        base = _run(4, 2)[0]
+        results = _run(4, 2, algorithm="ring")
+        # Ring combines in arrival order (re-associated float32): the
+        # replicas stay bit-identical and the optimization trajectory
+        # matches flat numerically.
+        assert len({r.params_crc for r in results}) == 1
+        np.testing.assert_allclose(results[0].losses, base.losses,
+                                   rtol=1e-5)

@@ -491,6 +491,63 @@ class TestBufcheckBenchSmoke:
         assert (ROOT / "BENCH_bufcheck.json").exists()
 
 
+class TestCollectivesCalibrationGuard:
+    """Collective-selector neutrality gate: the algorithm subsystem
+    lives entirely above the device send path, so neither the default
+    (``flat``) selector nor the ``hierarchical`` strategy may move a
+    single charged Figure 2 / Table 1 instruction on the calibrated
+    point-to-point paths."""
+
+    def test_strategies_keep_figure2_exact(self):
+        import dataclasses
+        from repro.core.config import named_builds
+        from repro.perf.msgrate import measure_instructions
+        for strategy in ("flat", "hierarchical"):
+            for label, (isend, put) in \
+                    TestVCICalibrationGuard.FIGURE2.items():
+                config = dataclasses.replace(
+                    named_builds()[label], communicator_name=strategy)
+                assert measure_instructions(config, "isend") == isend, \
+                    (label, strategy)
+                assert measure_instructions(config, "put") == put, \
+                    (label, strategy)
+
+    def test_strategies_keep_table1_trace(self):
+        import json
+        from repro.core.config import BuildConfig
+        from repro.perf.msgrate import measure_call_record
+        for strategy in ("flat", "hierarchical"):
+            for op, committed in TestVCICalibrationGuard.TABLE1.items():
+                rec = measure_call_record(
+                    BuildConfig(communicator_name=strategy), op)
+                trace = {cat.name: n for cat, n in
+                         sorted(rec.by_category.items(),
+                                key=lambda kv: kv[0].name) if n}
+                assert json.dumps(trace, sort_keys=True) \
+                    == json.dumps(committed, sort_keys=True), \
+                    (op, strategy)
+
+
+class TestCollectivesBenchSmoke:
+    """``benchmarks/bench_collectives.py --quick`` as a CI smoke: the
+    sweep runs, the hierarchical composition wins at the largest
+    point, and the training replicas stay bit-identical."""
+
+    def test_quick_mode_runs_and_wins(self):
+        import json
+        proc = subprocess.run(
+            [sys.executable, "benchmarks/bench_collectives.py",
+             "--quick"],
+            cwd=ROOT, env=_env(), capture_output=True, text=True,
+            timeout=600)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        result = json.loads(proc.stdout)
+        assert result["hierarchical_vs_flat"]["speedup"] > 1.0
+        for strat, row in result["training"].items():
+            assert row["replicas_identical"], strat
+            assert row["final_loss"] < row["first_loss"], strat
+
+
 class TestCheckCLI:
     """``python -m repro.check`` — the one-command analysis gate."""
 
