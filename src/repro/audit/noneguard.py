@@ -1,13 +1,15 @@
-"""Parameterized is-None-guard discipline (FP304 / FP305 / FP306).
+"""Parameterized is-None-guard discipline (FP304-FP307).
 
-Three opt-in subsystems hook into the measured fast paths through
+Four opt-in subsystems hook into the measured fast paths through
 exactly one attribute each, which is ``None`` on every build that does
 not enable them:
 
 * ``proc.faults``   — fault tolerance (:mod:`repro.ft`), FP304;
 * ``proc.progress`` — background progress engine
   (:mod:`repro.progress`), FP305;
-* ``proc.tsan``     — hybrid race detector (:mod:`repro.tsan`), FP306.
+* ``proc.tsan``     — hybrid race detector (:mod:`repro.tsan`), FP306;
+* ``proc.detector`` — heartbeat failure detector
+  (:mod:`repro.ft.detector`), FP307.
 
 The calibration guarantee — disabled builds charge byte-identical
 Table 1 / Figure 2 totals — holds only if every hook site outside the
@@ -38,7 +40,7 @@ from repro.audit.rules import PRAGMA_MARKER
 class GuardSpec:
     """One hook attribute's guard-discipline parameters."""
 
-    #: Rule id the checker reports (``FP304``/``FP305``/``FP306``).
+    #: Rule id the checker reports (``FP304``...``FP307``).
     rule_id: str
     #: The hook attribute name every interception flows through.
     hook_attr: str
@@ -53,6 +55,7 @@ GUARD_SPECS: dict[str, GuardSpec] = {spec.rule_id: spec for spec in (
     GuardSpec("FP304", "faults", "repro/ft/", "fault"),
     GuardSpec("FP305", "progress", "repro/progress/", "progress"),
     GuardSpec("FP306", "tsan", "repro/tsan/", "tsan"),
+    GuardSpec("FP307", "detector", "repro/ft/", "failure-detector"),
 )}
 
 
@@ -167,4 +170,11 @@ def scan_tsanguard(index: CodeIndex, path_filter: str = "repro/",
                    exempt_prefix: str | None = None) -> list[Finding]:
     """FP306 over *index* (tsan hooks outside ``repro/tsan/``)."""
     return scan_noneguard(index, GUARD_SPECS["FP306"], path_filter,
+                          exempt_prefix)
+
+
+def scan_detectorguard(index: CodeIndex, path_filter: str = "repro/",
+                       exempt_prefix: str | None = None) -> list[Finding]:
+    """FP307 over *index* (detector hooks outside ``repro/ft/``)."""
+    return scan_noneguard(index, GUARD_SPECS["FP307"], path_filter,
                           exempt_prefix)

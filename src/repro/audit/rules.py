@@ -22,8 +22,12 @@ Four analysis families over the repro's own source:
 * ``FP306`` — tsan-hook guard discipline: every ``.tsan`` hook site
   outside ``repro/tsan/`` tests the attribute against None, so builds
   without the race detector charge byte-identical calibrated totals.
+* ``FP307`` — detector-hook guard discipline: every ``.detector`` hook
+  site outside ``repro/ft/`` tests the attribute against None, so
+  builds without the heartbeat failure detector charge byte-identical
+  calibrated totals.
 
-FP304/FP305/FP306 share one parameterized checker
+FP304-FP307 share one parameterized checker
 (:mod:`repro.audit.noneguard`).  Suppress a finding on its line with
 ``# audit: allow[FPxxx]``.
 """
@@ -123,6 +127,14 @@ FP_RULES: dict[str, Rule] = {r.rule_id: r for r in (
          "guard the hook ('if proc.tsan is not None: ...') so "
          "tsan=False builds never enter detector code, or document "
          "the site with '# audit: allow[FP306]'"),
+    Rule("FP307", "unguarded failure-detector hook: a function outside "
+         "repro/ft/ loads a .detector attribute without an "
+         "'is None' / 'is not None' test of it (or of a local bound "
+         "from it)",
+         "proc.detector.beat()   # with no guard",
+         "guard the hook ('if proc.detector is not None: ...') so "
+         "detector=None builds never enter heartbeat code, or document "
+         "the site with '# audit: allow[FP307]'"),
 )}
 
 

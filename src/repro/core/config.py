@@ -17,6 +17,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, replace
 
+from repro.ft.detector import DetectorConfig
 from repro.ft.plan import FaultPlan
 
 
@@ -180,6 +181,22 @@ class BuildConfig:
         device path either way, so Figure 2 / Table 1 charging is
         byte-identical under every strategy
         (``TestCollectivesCalibrationGuard``).
+    detector:
+        Heartbeat failure detector (:mod:`repro.ft.detector`).  A
+        :class:`~repro.ft.detector.DetectorConfig` arms suspect →
+        confirmed-dead escalation for explicitly registered ranks
+        (dynamic session/client ranks register automatically): a rank
+        that goes silent past ``suspect_s`` is suspected, past
+        ``confirm_s`` it is confirmed dead through the fault layer's
+        ``mark_dead`` — the same path an explicit ``kill_rank`` plan
+        takes, so pending receives fail with ``MPI_ERR_PROC_FAILED``
+        and the ``MPIX_Comm_*`` recovery collectives apply unchanged.
+        Requires a ``fault_plan`` build (the detector feeds the fault
+        layer's world-global failure state).  The default ``None``
+        binds ``proc.detector = None`` with every hook site outside
+        ``repro/ft/`` guarded (audit rule FP307); the detector itself
+        is charge-observational, so charging stays byte-identical to
+        the calibrated Figure 2 / Table 1 numbers either way.
     tsan:
         Hybrid race & deadlock detector (:mod:`repro.tsan`), in the
         style of Eraser + FastTrack: instrumented runtime locks and
@@ -213,6 +230,7 @@ class BuildConfig:
     progress: str | None = None
     zero_copy: bool = True
     communicator_name: str = "flat"
+    detector: DetectorConfig | None = None
     tsan: bool = False
 
     @property

@@ -177,6 +177,12 @@ def MPIX_Comm_shrink(comm, name=None):
     new_ctx, alive = ft.rendezvous(
         ("shrink", comm.ctx, epoch), proc.world_rank, members,
         reducer=_build)
+    # Invalidate the hierarchical-collective subcommunicator cache:
+    # its node-local/leader communicators snapshot the pre-failure
+    # roster, and a staged phase over a stale subcommunicator would
+    # wait on the dead rank forever.  The shrunk communicator rebuilds
+    # its own hierarchy on first use.
+    comm._hier_ctx = None
     from repro.mpi.comm import Communicator
     from repro.mpi.group import Group
     shrunk = Communicator(proc, Group(alive), new_ctx,

@@ -22,12 +22,16 @@ FP304 audit rule enforces this), so a build with
 without the subsystem.
 """
 
+from repro.ft.detector import DetectorConfig, RankDetector, WorldDetector
 from repro.ft.plan import FaultPlan, WireFate
 from repro.ft.recovery import (ERRORS_ARE_FATAL, ERRORS_RETURN, RankKilled,
                                dispatch_comm_error)
 from repro.ft.reliability import RankFaults, WorldFaults
 
 __all__ = [
+    "DetectorConfig",
+    "RankDetector",
+    "WorldDetector",
     "FaultPlan",
     "WireFate",
     "RankFaults",

@@ -69,6 +69,12 @@ class WorldFaults:
         self._slots: dict[object, dict[int, object]] = {}
         #: Memoized rendezvous results (computed once per key).
         self._results: dict[object, object] = {}
+        #: Derived-context registry: parent ctx -> child ctx ids.
+        #: Hierarchical collectives stage phases over internal
+        #: subcommunicators; registering those here lets a revoke of
+        #: the parent cascade, so no rank stays blocked on a child
+        #: context the revoke never named.
+        self._derived: dict[int, set[int]] = {}
 
     def rank_view(self, proc: "Proc") -> "RankFaults":
         """The per-rank protocol state bound to *proc*."""
@@ -96,19 +102,38 @@ class WorldFaults:
 
     # -- revocation --------------------------------------------------------
 
+    def add_derived(self, parent_ctx: int, child_ctx: int) -> None:
+        """Register *child_ctx* as internally derived from
+        *parent_ctx*: a later :meth:`revoke` of the parent cascades to
+        it (and transitively to its own children).  The hierarchical
+        collectives register their node-local/leader subcommunicator
+        contexts here, so a rank blocked inside a staged phase is
+        interrupted by the parent's revocation instead of hanging."""
+        with self._cv:
+            self._derived.setdefault(parent_ctx, set()).add(child_ctx)
+
     def revoke(self, ctx: int) -> None:
         """Mark communicator context *ctx* revoked (ULFM revoke:
         propagates to every rank, since the set is world-global) and
         interrupt every pending receive posted on it — revocation must
         reach ranks blocked inside a receive, or they would never make
         the MPI call that notices the revoked flag and so never join
-        the recovery collective."""
+        the recovery collective.  Cascades to every context registered
+        as derived from *ctx* (transitively)."""
         with self._cv:
-            self.revoked.add(ctx)
+            targets = {ctx}
+            frontier = [ctx]
+            while frontier:
+                for child in self._derived.get(frontier.pop(), ()):
+                    if child not in targets:
+                        targets.add(child)
+                        frontier.append(child)
+            self.revoked.update(targets)
             self._cv.notify_all()
-        for p in self.world.procs:
-            if p.faults is not None:
-                p.faults.fail_pending_revoked(ctx)
+        for ctx_id in sorted(targets):
+            for p in self.world.procs:
+                if p.faults is not None:
+                    p.faults.fail_pending_revoked(ctx_id)
 
     def is_revoked(self, ctx: int) -> bool:
         """Has context *ctx* been revoked?"""
@@ -129,6 +154,8 @@ class WorldFaults:
         rank).  The first completer runs *reducer* over the collected
         payloads; everyone returns the memoized result.
         """
+        me = self.world.proc(rank).faults
+        dying = False
         with self._cv:
             slot = self._slots.setdefault(key, {})
             slot[rank] = payload
@@ -143,12 +170,45 @@ class WorldFaults:
                     from repro.runtime.world import WorldAborted
                     raise WorldAborted(
                         "world aborted during MPIX recovery rendezvous")
+                if me is not None and me.kill_pending():
+                    # This rank's plan kill became due *while it waited
+                    # inside the recovery collective*: withdraw its
+                    # deposit and die here, instead of contributing to
+                    # an agreement it should not survive to see.
+                    slot.pop(rank, None)
+                    dying = True
+                    break
                 self._cv.wait(0.05)
-            if key not in self._results:
-                self._results[key] = (
-                    reducer({m: slot[m] for m in alive})
-                    if reducer is not None else None)
-            return self._results[key]
+                # A recovery collective may be everyone's only live
+                # code path — keep the heartbeat roster scanned so a
+                # member that vanished mid-recovery is confirmed dead
+                # (which is what unblocks this very loop).  The tick's
+                # confirmation path retakes ``_cv`` (mark_dead), so it
+                # must run with it released.
+                detector = self.world.detector
+                if detector is not None:
+                    self._cv.release()
+                    try:
+                        detector.maybe_tick()
+                    finally:
+                        self._cv.acquire()
+            if not dying:
+                if key not in self._results:
+                    self._results[key] = (
+                        reducer({m: slot[m] for m in alive})
+                        if reducer is not None else None)
+                result = self._results[key]
+        if dying:
+            # mark_dead retakes the (non-reentrant) condition variable
+            # and runs communicator error handlers — strictly outside
+            # the critical section above.  Its notify wakes the
+            # surviving members, who recompute the alive set and
+            # complete the rendezvous without this rank.
+            self.mark_dead(rank)
+            raise RankKilled(
+                f"rank {rank} killed by fault plan during a recovery "
+                "rendezvous")
+        return result
 
 
 class RankFaults:
@@ -419,6 +479,11 @@ class RankFaults:
             # fail() is a no-op if the data won the race meanwhile, and
             # discards any matching thread's late complete() if not.
             request.fail(self.proc.vclock.now, exc)
+            # Drop the posted-queue descriptor too: the handle is done
+            # (failed), so the embedded cancel() no-ops, but a server
+            # that outlives a dead client must not count this receive
+            # as leaked at finalize.
+            self.proc.engine.cancel_posted(request)
 
     def fail_pending_revoked(self, ctx: int) -> None:
         """Complete every pending receive posted on revoked context
@@ -434,6 +499,9 @@ class RankFaults:
                 "receive was pending", rank=self.proc.world_rank)
             dispatch_comm_error(comm, exc)
             request.fail(self.proc.vclock.now, exc)
+            # As in fail_pending: retire the posted descriptor so a
+            # revoked context leaves nothing behind in the queues.
+            self.proc.engine.cancel_posted(request)
 
     # -- per-call hooks ----------------------------------------------------
 
@@ -455,6 +523,28 @@ class RankFaults:
             raise RankKilled(
                 f"rank {self.proc.world_rank} killed by fault plan "
                 f"after {self.n_sends} sends")
+        # Surviving an MPI call is a heartbeat; also offer the roster
+        # scan, so detection needs no progress build.  (repro/ft/ is
+        # FP307-exempt, but the detector is optional on fault builds,
+        # hence the guard.)
+        detector = self.proc.detector
+        if detector is not None:
+            detector.beat()
+            detector.maybe_tick()
+
+    def kill_pending(self) -> bool:
+        """Has this rank's plan kill become due?  Latches ``_killed``
+        when it has — polled by the recovery rendezvous's wait loop so
+        a rank can die *during* an agreement round; the caller is
+        responsible for ``mark_dead`` (outside the world condition
+        variable) and for raising :class:`RankKilled`."""
+        if self._killed:
+            return True
+        if self.plan.kill_due(self.proc.world_rank, self.n_sends,
+                              self.proc.vclock.now):
+            self._killed = True
+            return True
+        return False
 
     def check_comm(self, comm: object) -> None:
         """Raise ``MPI_ERR_REVOKED`` (via the communicator's error

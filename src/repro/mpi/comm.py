@@ -76,9 +76,21 @@ class Communicator:
 
     @classmethod
     def world_view(cls, proc: "Proc") -> "Communicator":
-        """This rank's MPI_COMM_WORLD."""
+        """This rank's MPI_COMM_WORLD.
+
+        Covers the *static* ranks only: processes born later through
+        ``MPI_Comm_spawn`` or a :class:`~repro.mpi.session.Session`
+        are not members (groups snapshot their roster at creation —
+        the MPI dynamic-process rule) and reach the world through the
+        intercommunicator their spawn/connect produced."""
         from repro.runtime.world import World
-        return cls(proc, Group(range(proc.world.nranks)), World.WORLD_CTX,
+        size = getattr(proc.world, "static_nranks", proc.world.nranks)
+        if proc.world_rank >= size:
+            raise MPIErrComm(
+                f"dynamic rank {proc.world_rank} is not a member of "
+                "the static MPI_COMM_WORLD; use the spawn/connect "
+                "intercommunicator or a Session communicator")
+        return cls(proc, Group(range(size)), World.WORLD_CTX,
                    name="MPI_COMM_WORLD")
 
     # -- basic queries -----------------------------------------------------
@@ -729,3 +741,18 @@ class Communicator:
         if self.ctx == 0:
             raise MPIErrComm("cannot free MPI_COMM_WORLD")
         self.freed = True
+
+    def spawn(self, fn, nprocs: int, args: tuple = (),
+              root: int = 0) -> "Communicator":
+        """MPI_COMM_SPAWN (see
+        :func:`repro.mpi.intercomm.comm_spawn`): start *nprocs* fresh
+        dynamic ranks running ``fn(child_comm, *args)``; returns the
+        parent↔children intercommunicator."""
+        from repro.mpi.intercomm import comm_spawn
+        return comm_spawn(self, fn, nprocs, args=args, root=root)
+
+    def get_parent(self) -> "Communicator":
+        """MPI_COMM_GET_PARENT (see
+        :func:`repro.mpi.intercomm.get_parent`)."""
+        from repro.mpi.intercomm import get_parent
+        return get_parent(self)

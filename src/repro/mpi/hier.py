@@ -111,6 +111,17 @@ class HierContext:
         self.columns = comm.split(color=my_col, key=comm.rank)
         self.col_roots = comm.split(
             color=0 if self.columns.rank == 0 else UNDEFINED, key=comm.rank)
+        # Fault builds: register every staging subcommunicator as
+        # derived from the parent, so MPIX_Comm_revoke(parent) reaches
+        # a rank blocked inside a phase (the revocation cascade) — an
+        # unregistered child context would strand it mid-collective.
+        faults = comm.proc.faults
+        if faults is not None:
+            ft = faults.world_ft
+            for sub in (self.local, self.leaders, self.columns,
+                        self.col_roots):
+                if sub is not None:
+                    ft.add_derived(comm.ctx, sub.ctx)
 
 
 def _ctx(comm: "Communicator") -> HierContext:

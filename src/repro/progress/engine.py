@@ -290,6 +290,14 @@ class RankProgress:
                     fired = faults.drain(now=proc.vclock.now)
                     self.n_timer_fires += fired
 
+            # Heartbeat-detector scan: silence expiry, like retransmit
+            # deadlines, is announced only by the wall clock, so thread
+            # 0's deadline tick drives it.  Charge-observational — the
+            # detector charges nothing (FP307 calibration contract).
+            detector = proc.detector
+            if detector is not None and detector.armed():
+                detector.maybe_tick()
+
         return did_work
 
     def _note_error(self, exc: BaseException) -> None:
@@ -299,8 +307,12 @@ class RankProgress:
         self.proc.world.abort_event.set()
 
     def _timers_pending(self) -> bool:
-        """True when the rank holds reorder-stashed packets whose
-        deadlines only the wall clock will announce."""
+        """True when the rank holds wall-clock deadlines no notify will
+        announce: reorder-stashed retransmit packets, or an armed
+        heartbeat detector whose silence thresholds must be observed."""
+        detector = self.proc.detector
+        if detector is not None and detector.armed():
+            return True
         faults = self.proc.faults
         if faults is None:
             return False

@@ -82,6 +82,13 @@ class Proc:
         world_ft = getattr(world, "ft", None)
         self.faults = (world_ft.rank_view(self)
                        if world_ft is not None else None)
+        #: Per-rank heartbeat-failure-detector view (None unless the
+        #: world was built with ``detector=...``); every hook site
+        #: outside ``repro/ft/`` guards on it (audit rule FP307).
+        #: Bound before the progress engine, whose timer scan ticks it.
+        world_det = getattr(world, "detector", None)
+        self.detector = (world_det.rank_view(self)
+                         if world_det is not None else None)
         #: Per-rank §3.5 request free-pool (recycles handles on the
         #: real-Python hot path; charged costs are unaffected).
         self.request_pool = RequestPool(self, world.abort_event,

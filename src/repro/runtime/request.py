@@ -289,13 +289,22 @@ class Request:
                 # Registers the wait-for edge; raises MSD201 instead of
                 # blocking when this wait completes a certain deadlock.
                 san.note_block_request(self)
+            detector = getattr(self._proc, "detector", None)
+            if detector is not None:
+                # Park this rank: blocked-in-wait means alive by
+                # construction, so its heartbeat must not go stale.
+                detector.enter_wait()
             try:
                 abort = self._abort
-                if abort is None:
+                if detector is not None:
+                    self._wait_ticking(abort, detector)
+                elif abort is None:
                     self._done.wait()
                 else:
                     self._wait_interruptible(abort)
             finally:
+                if detector is not None:
+                    detector.exit_wait()
                 if san is not None:
                     san.note_unblock()
         self._finish()
@@ -310,6 +319,27 @@ class Request:
         finally:
             remove_abort_listener(abort, waker.set)
         if not self._done.is_set() and abort.is_set():
+            from repro.runtime.world import WorldAborted
+            raise WorldAborted("world aborted while waiting on request")
+
+    def _wait_ticking(self, abort, detector) -> None:
+        """Detector-build wait: block in slices, offering the
+        rate-limited roster scan each slice.  A rank parked in a wait
+        is often the *only* live thread (a server blocked on a request
+        from a vanished client), so without a progress engine's timer
+        tick this is where silence expiry must be observed."""
+        waker = threading.Event()
+        self.subscribe(lambda _req, set_=waker.set: set_())
+        if abort is not None:
+            add_abort_listener(abort, waker.set)
+        try:
+            while not waker.wait(0.02):
+                detector.maybe_tick()
+        finally:
+            if abort is not None:
+                remove_abort_listener(abort, waker.set)
+        if (abort is not None and not self._done.is_set()
+                and abort.is_set()):
             from repro.runtime.world import WorldAborted
             raise WorldAborted("world aborted while waiting on request")
 

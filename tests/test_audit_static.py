@@ -8,8 +8,9 @@ from repro.audit.callgraph import CodeIndex
 from repro.audit.lockset import scan_lockset
 from repro.audit.provenance import (_observable_work, _subtree_charges,
                                     _tight_callees)
-from repro.audit.noneguard import (GUARD_SPECS, scan_ftguard,
-                                   scan_progressguard, scan_tsanguard)
+from repro.audit.noneguard import (GUARD_SPECS, scan_detectorguard,
+                                   scan_ftguard, scan_progressguard,
+                                   scan_tsanguard)
 from repro.audit.purity import scan_purity
 from repro.audit.rules import FP_RULES, render_fp_catalog
 
@@ -650,11 +651,66 @@ class TestTsanGuardFixtures:
         assert scan_tsanguard(index) == []
 
 
-class TestGuardSpecs:
-    """The parameterized checker registers all three disciplines."""
+class TestDetectorGuardFixtures:
+    """FP307: detector hooks outside repro/ft/ must be None-guarded."""
 
-    def test_specs_cover_all_three_rules(self):
-        assert set(GUARD_SPECS) == {"FP304", "FP305", "FP306"}
+    @staticmethod
+    def _detectorguard_ids(tmp_path, source: str) -> list[str]:
+        index = _index(tmp_path, source)
+        return [f.rule_id
+                for f in scan_detectorguard(index, path_filter="")]
+
+    def test_unguarded_hook_flagged(self, tmp_path):
+        src = """\
+            def hook(proc):
+                proc.detector.beat()
+        """
+        assert self._detectorguard_ids(tmp_path, src) == ["FP307"]
+
+    def test_guarded_hook_clean(self, tmp_path):
+        src = """\
+            def hook(proc):
+                if proc.detector is not None:
+                    proc.detector.beat()
+        """
+        assert self._detectorguard_ids(tmp_path, src) == []
+
+    def test_alias_early_exit_clean(self, tmp_path):
+        src = """\
+            def hook(proc):
+                detector = proc.detector
+                if detector is None:
+                    return
+                detector.maybe_tick()
+        """
+        assert self._detectorguard_ids(tmp_path, src) == []
+
+    def test_store_only_clean(self, tmp_path):
+        src = """\
+            def bind(proc, view):
+                proc.detector = view
+        """
+        assert self._detectorguard_ids(tmp_path, src) == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        src = """\
+            def hook(proc):
+                proc.detector.enter_wait()  # audit: allow[FP307]
+        """
+        assert self._detectorguard_ids(tmp_path, src) == []
+
+    def test_repro_tree_has_no_unguarded_hooks(self):
+        import pathlib
+        root = pathlib.Path(__file__).resolve().parent.parent
+        index = CodeIndex.build([str(root / "src" / "repro")])
+        assert scan_detectorguard(index) == []
+
+
+class TestGuardSpecs:
+    """The parameterized checker registers all four disciplines."""
+
+    def test_specs_cover_all_four_rules(self):
+        assert set(GUARD_SPECS) == {"FP304", "FP305", "FP306", "FP307"}
 
     def test_spec_fields_match_rule_catalog(self):
         for rule_id, spec in GUARD_SPECS.items():
@@ -671,7 +727,7 @@ class TestRuleCatalog:
         assert {"FP101", "FP102", "FP103", "FP104"} <= ids
         assert {"FP201", "FP202", "FP203", "FP204", "FP205"} <= ids
         assert {"FP301", "FP302", "FP303", "FP304", "FP305",
-                "FP306"} <= ids
+                "FP306", "FP307"} <= ids
 
     def test_catalog_renders_every_rule(self):
         text = render_fp_catalog()

@@ -129,7 +129,8 @@ class TestAuditCLI:
             timeout=120)
         assert proc.returncode == 0
         for rule_id in ("FP101", "FP104", "FP201", "FP205", "FP301",
-                        "FP302", "FP303", "FP304", "FP305", "FP306"):
+                        "FP302", "FP303", "FP304", "FP305", "FP306",
+                        "FP307"):
             assert rule_id in proc.stdout
 
     def test_json_snapshot_matches_committed(self, tmp_path):
@@ -371,6 +372,76 @@ class TestTsanCalibrationGuard:
         config = dataclasses.replace(named_builds()[label], tsan=True)
         assert measure_instructions(config, "isend") == isend
         assert measure_instructions(config, "put") == put
+
+
+class TestServiceCalibrationGuard:
+    """Failure-detector neutrality gate: a ``detector=None`` build must
+    charge byte-for-byte what the committed Figure 2 / Table 1 numbers
+    say — every detector hook outside ``repro/ft/`` is None-guarded
+    (FP307) and may not move a single charged instruction when the
+    heartbeat detector is off."""
+
+    def test_detector_none_keeps_figure2_exact(self):
+        import dataclasses
+        from repro.core.config import named_builds
+        from repro.perf.msgrate import measure_instructions
+        for label, (isend, put) in \
+                TestVCICalibrationGuard.FIGURE2.items():
+            config = dataclasses.replace(named_builds()[label],
+                                         detector=None)
+            assert measure_instructions(config, "isend") == isend, label
+            assert measure_instructions(config, "put") == put, label
+
+    def test_detector_none_keeps_table1_trace(self):
+        import json
+        from repro.core.config import BuildConfig
+        from repro.perf.msgrate import measure_call_record
+        for op, committed in TestVCICalibrationGuard.TABLE1.items():
+            rec = measure_call_record(BuildConfig(detector=None), op)
+            trace = {cat.name: n for cat, n in
+                     sorted(rec.by_category.items(),
+                            key=lambda kv: kv[0].name) if n}
+            assert json.dumps(trace, sort_keys=True) \
+                == json.dumps(committed, sort_keys=True), op
+
+    def test_detector_on_is_charge_invisible_on_fault_build(self):
+        """Stronger: even *enabled*, heartbeats live in host Python
+        outside the ledger — a fault build with the detector armed
+        charges exactly what the bare fault build charges."""
+        from repro.core.config import BuildConfig
+        from repro.ft import FaultPlan
+        from repro.ft.detector import DetectorConfig
+        from repro.perf.msgrate import measure_call_record
+        for op in TestVCICalibrationGuard.TABLE1:
+            bare = measure_call_record(
+                BuildConfig(fault_plan=FaultPlan()), op)
+            armed = measure_call_record(
+                BuildConfig(fault_plan=FaultPlan(),
+                            detector=DetectorConfig()), op)
+            assert armed.total == bare.total, op
+            assert dict(armed.by_category) == dict(bare.by_category), op
+
+
+class TestServiceBenchSmoke:
+    """``benchmarks/bench_service.py --quick`` as a CI smoke: the
+    measured churn run leaks nothing and the occupancy projection
+    reaches a million simulated clients."""
+
+    def test_quick_mode_serves_and_projects(self):
+        import json
+        proc = subprocess.run(
+            [sys.executable, "benchmarks/bench_service.py", "--quick"],
+            cwd=ROOT, env=_env(), capture_output=True, text=True,
+            timeout=600)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        result = json.loads(proc.stdout)
+        measured = result["measured"]
+        assert measured["requests_leaked"] == 0
+        assert measured["requests_completed"] > 0
+        sweep = result["projection"]["sweep"]
+        assert max(row["num_clients"] for row in sweep) >= 1_000_000
+        assert all(row["rate_requests_per_s"] > 0 for row in sweep)
+        assert (ROOT / "BENCH_service.json").exists()
 
 
 class TestTsanBenchSmoke:
